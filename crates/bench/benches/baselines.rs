@@ -1,0 +1,79 @@
+//! Criterion bench: the baselines — Cavnar–Trenkle rank-order and the
+//! HAIL functional table — against the Bloom classifier, all in software.
+//! (The Table 4 hardware numbers come from the timing models; this bench
+//! measures the functional implementations on this machine.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lc_bench::{builder_for, profiles_for};
+use lc_bloom::BloomParams;
+use lc_corpus::{Corpus, CorpusConfig};
+use lc_hail::HailClassifier;
+use lc_mguesser::{CavnarTrenkle, HashSetClassifier};
+
+fn bench_baselines(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        docs_per_language: 10,
+        mean_doc_bytes: 10 * 1024,
+        ..CorpusConfig::default()
+    });
+    let profiles = profiles_for(&corpus, 5000);
+    let docs: Vec<&[u8]> = corpus
+        .split()
+        .test_all()
+        .map(|d| d.text.as_slice())
+        .collect();
+    let bytes: u64 = docs.iter().map(|d| d.len() as u64).sum();
+
+    let mut g = c.benchmark_group("baselines");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(20);
+
+    let ct = CavnarTrenkle::from_profiles(&profiles);
+    g.bench_function("cavnar_trenkle", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for d in &docs {
+                acc ^= ct.classify(black_box(d));
+            }
+            black_box(acc)
+        });
+    });
+
+    let hs = HashSetClassifier::from_profiles(&profiles);
+    g.bench_function("hashset_matchcount", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for d in &docs {
+                acc ^= hs.classify(black_box(d)).0[0];
+            }
+            black_box(acc)
+        });
+    });
+
+    let hail = HailClassifier::from_profiles(&profiles);
+    g.bench_function("hail_direct_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for d in &docs {
+                acc ^= hail.classify(black_box(d)).0[0];
+            }
+            black_box(acc)
+        });
+    });
+
+    let bloom = builder_for(&corpus, 5000).build_bloom(BloomParams::PAPER_CONSERVATIVE, 7);
+    g.bench_function("bloom_matchcount", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for d in &docs {
+                acc ^= bloom.classify(black_box(d)).counts()[0];
+            }
+            black_box(acc)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion bench: Bloom filter program/test operations and the H3 hash —
+//! the per-n-gram inner loop of the classifier.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lc_bloom::{BloomParams, ClassicBloomFilter, ParallelBloomFilter};
+use lc_hash::{H3Family, HashFunction, MultiplicativeHash, H3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn keys(n: usize) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(1);
+    (0..n).map(|_| rng.gen::<u64>() & 0xF_FFFF).collect()
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let ks = keys(4096);
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Elements(ks.len() as u64));
+
+    let h3 = H3::new(20, 14, 3);
+    g.bench_function("h3_bytesliced", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &k in &ks {
+                acc ^= h3.hash(black_box(k));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("h3_bitserial_reference", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &k in &ks {
+                acc ^= h3.hash_bitserial(black_box(k));
+            }
+            black_box(acc)
+        });
+    });
+    let mult = MultiplicativeHash::new(20, 14, 3);
+    g.bench_function("multiplicative", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &k in &ks {
+                acc ^= mult.hash(black_box(k));
+            }
+            black_box(acc)
+        });
+    });
+    let fam = H3Family::new(4, 20, 14, 3);
+    g.bench_function("h3_family_k4", |b| {
+        let mut out = [0u32; 4];
+        b.iter(|| {
+            for &k in &ks {
+                fam.hash_all_into(black_box(k), &mut out);
+            }
+            black_box(out[0])
+        });
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let ks = keys(4096);
+    let mut g = c.benchmark_group("bloom");
+    g.throughput(Throughput::Elements(ks.len() as u64));
+
+    for params in [BloomParams::PAPER_CONSERVATIVE, BloomParams::PAPER_COMPACT] {
+        let label = format!("m{}k{}", params.m_kbits(), params.k);
+        let mut f = ParallelBloomFilter::new(params, 20, 5);
+        f.program_all(ks.iter().copied().take(5000));
+
+        g.bench_function(format!("parallel_test_{label}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &k in &ks {
+                    hits += usize::from(f.test(black_box(k)));
+                }
+                black_box(hits)
+            });
+        });
+        g.bench_function(format!("parallel_test_pair_{label}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for pair in ks.chunks(2) {
+                    let (a, b2) = f.test_pair(black_box(pair[0]), black_box(pair[1]));
+                    hits += usize::from(a) + usize::from(b2);
+                }
+                black_box(hits)
+            });
+        });
+    }
+
+    let mut classic =
+        ClassicBloomFilter::with_equivalent_memory(BloomParams::PAPER_CONSERVATIVE, 20, 5);
+    classic.program_all(ks.iter().copied().take(5000));
+    g.bench_function("classic_test_equiv_memory", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &k in &ks {
+                hits += usize::from(classic.test(black_box(k)));
+            }
+            black_box(hits)
+        });
+    });
+
+    g.bench_function("program_5000_m16k4", |b| {
+        b.iter(|| {
+            let mut f = ParallelBloomFilter::new(BloomParams::PAPER_CONSERVATIVE, 20, 5);
+            f.program_all(ks.iter().copied().take(5000));
+            black_box(f.programmed())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_bloom);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: alphabet folding and n-gram extraction — the front of
+//! the pipeline, one n-gram per input byte.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lc_corpus::{Corpus, CorpusConfig};
+use lc_ngram::{NGramExtractor, NGramSpec, StreamingExtractor};
+
+fn bench_extraction(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        docs_per_language: 4,
+        mean_doc_bytes: 64 * 1024,
+        ..CorpusConfig::default()
+    });
+    let doc = &corpus.documents()[0].text;
+
+    let mut g = c.benchmark_group("extraction");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+
+    g.bench_function("whole_buffer_4gram", |b| {
+        let ex = NGramExtractor::new(NGramSpec::PAPER);
+        let mut out = Vec::with_capacity(doc.len());
+        b.iter(|| {
+            ex.extract_into(black_box(doc), &mut out);
+            black_box(out.len())
+        });
+    });
+
+    g.bench_function("streaming_64bit_words", |b| {
+        // Chunked like the DMA engine delivers: 8-byte words.
+        let mut out = Vec::with_capacity(doc.len());
+        b.iter(|| {
+            let mut ex = StreamingExtractor::new(NGramSpec::PAPER);
+            out.clear();
+            for chunk in doc.chunks(8) {
+                ex.feed(chunk, &mut out);
+            }
+            black_box(out.len())
+        });
+    });
+
+    g.bench_function("subsampled_s2", |b| {
+        let ex = NGramExtractor::with_subsampling(NGramSpec::PAPER, 2);
+        let mut out = Vec::with_capacity(doc.len());
+        b.iter(|| {
+            ex.extract_into(black_box(doc), &mut out);
+            black_box(out.len())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

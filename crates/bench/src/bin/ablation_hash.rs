@@ -1,0 +1,81 @@
+//! Ablation: H3 vs multiplicative hashing inside the Bloom filter.
+//!
+//! The paper chooses H3 because it is an XOR tree in hardware. This ablation
+//! shows the *quality* of the filter (measured false-positive rate) is
+//! family-insensitive — the choice is about gate cost, not statistics.
+//!
+//! ```sh
+//! cargo run -p lc-bench --release --bin ablation_hash
+//! ```
+
+use lc_bench::rule;
+use lc_bloom::analysis::false_positive_rate;
+use lc_bloom::{BitVector, BloomParams};
+use lc_hash::{H3Family, HashFunction, MultiplicativeHash};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Generic Bloom measurement over any family of address generators.
+fn measure_fp(hashers: &[Box<dyn HashFunction>], params: BloomParams, keys: &HashSet<u64>) -> f64 {
+    let mut vectors: Vec<BitVector> = (0..params.k)
+        .map(|_| BitVector::new(params.address_bits))
+        .collect();
+    for &key in keys {
+        for (h, v) in hashers.iter().zip(&mut vectors) {
+            v.set(h.hash(key));
+        }
+    }
+    let mut tested = 0u64;
+    let mut fp = 0u64;
+    for key in 0..(1u64 << 20) {
+        if keys.contains(&key) {
+            continue;
+        }
+        tested += 1;
+        if hashers.iter().zip(&vectors).all(|(h, v)| v.get(h.hash(key))) {
+            fp += 1;
+        }
+    }
+    fp as f64 / tested as f64
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let mut keys = HashSet::new();
+    while keys.len() < 5000 {
+        keys.insert(rng.gen::<u64>() & 0xF_FFFF);
+    }
+
+    rule("ablation: hash family vs measured false-positive rate (N = 5000)");
+    println!(
+        "{:>8} {:>3} | {:>10} | {:>10} {:>10}",
+        "m(Kbit)", "k", "model", "H3", "multiplicative"
+    );
+    for params in BloomParams::paper_table_configs() {
+        let h3_fam = H3Family::new(params.k, 20, params.address_bits, 7);
+        let h3: Vec<Box<dyn HashFunction>> = h3_fam
+            .functions()
+            .iter()
+            .map(|f| Box::new(f.clone()) as Box<dyn HashFunction>)
+            .collect();
+        let mult: Vec<Box<dyn HashFunction>> = (0..params.k)
+            .map(|i| {
+                Box::new(MultiplicativeHash::new(20, params.address_bits, 7000 + i as u64))
+                    as Box<dyn HashFunction>
+            })
+            .collect();
+        println!(
+            "{:>8} {:>3} | {:>10.5} | {:>10.5} {:>10.5}",
+            params.m_kbits(),
+            params.k,
+            false_positive_rate(5000, params),
+            measure_fp(&h3, params, &keys),
+            measure_fp(&mult, params, &keys),
+        );
+    }
+    println!(
+        "\nboth families track the analytic model; H3 wins in hardware because it is\n\
+         an XOR tree (no multipliers), not because it filters better."
+    );
+}

@@ -1,0 +1,91 @@
+//! Beyond the paper's ten languages: the compact configuration (k=6,
+//! m=4 Kbit) carrying **20 real languages** — functional evidence for the
+//! §5.2 scalability claim (the paper synthesized the 30-language design but
+//! evaluated accuracy on ten).
+//!
+//! ```sh
+//! cargo run -p lc-bench --release --bin extended20
+//! ```
+
+use lc_bench::{docs_per_language, mean_doc_bytes, rule};
+use lc_bloom::BloomParams;
+use lc_core::{ClassifierBuilder, PAPER_PROFILE_SIZE};
+use lc_corpus::{Corpus, CorpusConfig, Language};
+use lc_fpga::device::EP2S180;
+use lc_fpga::fabric::RamInventory;
+use lc_fpga::resources::{estimate_device, max_languages, ClassifierConfig};
+use lc_ngram::NGramSpec;
+
+fn main() {
+    let cfg = CorpusConfig {
+        docs_per_language: docs_per_language(80),
+        mean_doc_bytes: mean_doc_bytes(4 * 1024),
+        ..CorpusConfig::default()
+    };
+    let corpus = Corpus::generate_for(&Language::EXTENDED, cfg);
+    let split = corpus.split();
+
+    let mut b = ClassifierBuilder::new(NGramSpec::PAPER, PAPER_PROFILE_SIZE);
+    for &l in corpus.languages() {
+        let docs: Vec<&[u8]> = split.train(l).map(|d| d.text.as_slice()).collect();
+        b.add_language(l.code(), docs);
+    }
+    let classifier = b.build_bloom(BloomParams::PAPER_COMPACT, 13);
+
+    rule("20 real languages on the compact configuration (k=6, m=4 Kbit)");
+    let labels: Vec<String> = corpus
+        .languages()
+        .iter()
+        .map(|l| l.code().to_string())
+        .collect();
+    let docs: Vec<(usize, &[u8])> = split
+        .test_all()
+        .map(|d| (d.language.index(), d.text.as_slice()))
+        .collect();
+    let summary = lc_core::eval::evaluate(labels, &docs, |body| {
+        let r = classifier.classify(body);
+        (r.best(), r.margin())
+    });
+    let (lo, hi) = summary.confusion.class_accuracy_range().unwrap();
+    println!(
+        "accuracy over {} documents, 20 languages: avg {:.2}% (range {:.2}%..{:.2}%)",
+        summary.documents,
+        summary.confusion.average_class_accuracy() * 100.0,
+        lo * 100.0,
+        hi * 100.0,
+    );
+    if let Some((t, p, n)) = summary.confusion.worst_confusion() {
+        println!(
+            "worst confusion: {} -> {} ({n} docs)",
+            summary.confusion.labels()[t],
+            summary.confusion.labels()[p]
+        );
+    }
+
+    rule("hardware placement for 20 languages");
+    let hw_cfg = ClassifierConfig {
+        bloom: BloomParams::PAPER_COMPACT,
+        languages: 20,
+        copies: 4,
+    };
+    let mut inv = RamInventory::new(EP2S180, hw_cfg.languages);
+    let placed = inv.place_classifier(&hw_cfg).expect("20 languages must fit");
+    let est = estimate_device(&hw_cfg);
+    println!(
+        "placed {} bit-vectors on {} M4Ks; device estimate: logic {} ({:.0}%), Fmax {:.0} MHz",
+        placed.len(),
+        inv.allocated_m4ks(),
+        est.logic,
+        EP2S180.logic_fraction(est.logic) * 100.0,
+        est.fmax_mhz,
+    );
+    println!(
+        "headroom: up to {} languages on M4Ks (paper: 30), plus {} more on spare M512s (paper: 4)",
+        max_languages(&EP2S180, BloomParams::PAPER_COMPACT, 4),
+        inv.extra_languages_on_m512(&ClassifierConfig {
+            bloom: BloomParams::PAPER_COMPACT,
+            languages: 30,
+            copies: 4,
+        }),
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates the §5.4 headline arithmetic: the 1,552 Mn-grams/s peak, the
+//! 1.4 GB/s projection on an improved link, and the 260x/4.4x endgame
+//! ratios of §5.5.
+//!
+//! ```sh
+//! cargo run -p lc-bench --release --bin peak_rate
+//! ```
+
+use lc_bench::{rule, throughput_corpus};
+use lc_bloom::BloomParams;
+use lc_core::PAPER_PROFILE_SIZE;
+use lc_fpga::resources::ClassifierConfig;
+use lc_fpga::{HardwareClassifier, HostProtocol, LinkModel, Xd1000};
+use lc_hail::XCV2000E_SRAM;
+use lc_mguesser::PAPER_MGUESSER_MB_S;
+
+fn main() {
+    let corpus = throughput_corpus(60);
+    let classifier = lc_bench::builder_for(&corpus, PAPER_PROFILE_SIZE)
+        .build_bloom(BloomParams::PAPER_CONSERVATIVE, 7);
+    let hw = HardwareClassifier::place(classifier, ClassifierConfig::paper_ten_languages())
+        .with_clock_mhz(194.0);
+
+    rule("peak datapath arithmetic (§5.4)");
+    println!(
+        "194 MHz x 8 n-grams/clock = {:.0} million n-grams/sec (paper: 1,552)",
+        hw.peak_bytes_per_sec() / 1e6
+    );
+    println!(
+        "one n-gram per input byte  = {:.2} GB/s peak (paper: ~1.4 GB/s)",
+        hw.peak_bytes_per_sec() / (1 << 30) as f64
+    );
+    println!(
+        "HyperTransport headroom: peak 1.6 GB/s per direction -> the datapath,\n\
+         not the link, is the eventual limit"
+    );
+
+    let docs: Vec<&[u8]> = corpus
+        .split()
+        .test_all()
+        .map(|d| d.text.as_slice())
+        .collect();
+
+    rule("measured board revision (500 MB/s link cap)");
+    let mut sys = Xd1000::new(hw.clone());
+    let r = sys.run(&docs, HostProtocol::Asynchronous);
+    println!(
+        "async streaming: {:.0} MB/s (paper: 470; link-bound)",
+        r.throughput_mb_s()
+    );
+    let rate = r.throughput_mb_s();
+    let prog_s = r.programming_time.as_secs_f64();
+    println!(
+        "incl. one-time profile programming ({:.0} ms): {:.0} MB/s at this scale; \
+         projected at the paper's 484 MB corpus: {:.0} MB/s (paper: 378)",
+        prog_s * 1e3,
+        r.throughput_with_programming_mb_s(),
+        484.0 / (484.0 / rate + prog_s),
+    );
+
+    rule("projected improved communication infrastructure (§5.4/§6)");
+    let mut fast = Xd1000::with_link(hw, LinkModel::xd1000_improved());
+    let rf = fast.run(&docs, HostProtocol::Asynchronous);
+    let gbs = rf.throughput_mb_s() / 1000.0;
+    println!("async streaming: {:.2} GB/s (paper projection: ~1.4 GB/s)", gbs);
+    println!(
+        "at this rate: {:.0}x the 2007 software baseline (paper: 260x), {:.1}x HAIL (paper: 4.4x)",
+        rf.throughput_mb_s() / PAPER_MGUESSER_MB_S,
+        rf.throughput_mb_s() / XCV2000E_SRAM.throughput_mb_s(),
+    );
+}

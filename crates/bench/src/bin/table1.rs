@@ -1,0 +1,141 @@
+//! Regenerates **Table 1**: variation of classification accuracy with Bloom
+//! Filter parameters, plus the §5.1 accuracy range and margin observation.
+//!
+//! ```sh
+//! cargo run -p lc-bench --release --bin table1
+//! ```
+//!
+//! Paper values for comparison (10 languages, t = 5000, N = 5000):
+//!
+//! | m (Kbit) | k | FP/1000 | accuracy |
+//! |---|---|---|---|
+//! | 16 | 4 | 5   | 99.45% |
+//! | 16 | 3 | 18  | 97.42% |
+//! | 16 | 2 | 69  | 97.31% |
+//! | 8  | 4 | 44  | 99.42% |
+//! | 8  | 3 | 95  | 97.22% |
+//! | 8  | 2 | 209 | 95.57% |
+//! | 4  | 6 | 123 | 99.41% |
+//! | 4  | 5 | 174 | 96.44% |
+
+use lc_bench::{accuracy_corpus, evaluate_classifier, run_accuracy_config, rule};
+use lc_bloom::analysis::{false_positives_per_thousand, PAPER_TABLE1};
+use lc_bloom::BloomParams;
+use lc_core::PAPER_PROFILE_SIZE;
+
+/// Fraction of test documents whose predicted label differs across five
+/// independently seeded filter banks — a direct measurement of
+/// false-positive-induced decision noise, isolated from corpus margins.
+fn decision_instability(
+    corpus: &lc_corpus::Corpus,
+    t: usize,
+    params: BloomParams,
+) -> f64 {
+    use rayon::prelude::*;
+    let classifiers: Vec<_> = (100u64..105)
+        .map(|seed| lc_bench::builder_for(corpus, t).build_bloom(params, seed))
+        .collect();
+    let docs: Vec<&[u8]> = corpus
+        .split()
+        .test_all()
+        .map(|d| d.text.as_slice())
+        .collect();
+    let unstable = docs
+        .par_iter()
+        .filter(|d| {
+            let first = classifiers[0].classify(d).best();
+            classifiers[1..].iter().any(|c| c.classify(d).best() != first)
+        })
+        .count();
+    unstable as f64 / docs.len() as f64
+}
+
+fn main() {
+    let t = PAPER_PROFILE_SIZE;
+    let corpus = accuracy_corpus();
+    println!(
+        "corpus: {} docs/language, {:.1} KB mean, confusable mixing {:.0}%",
+        corpus.config().docs_per_language,
+        corpus.config().mean_doc_bytes as f64 / 1024.0,
+        corpus.config().confusion_mix * 100.0,
+    );
+
+    // Reference: the exact (no-FP) classifier bounds achievable accuracy.
+    let exact = lc_bench::builder_for(&corpus, t).build_exact();
+    let labels: Vec<String> = corpus
+        .languages()
+        .iter()
+        .map(|l| l.code().to_string())
+        .collect();
+    let docs: Vec<(usize, &[u8])> = corpus
+        .split()
+        .test_all()
+        .map(|d| (d.language.index(), d.text.as_slice()))
+        .collect();
+    let exact_summary = lc_core::eval::evaluate(labels, &docs, |b| {
+        let r = exact.classify(b);
+        (r.best(), r.margin())
+    });
+    println!(
+        "exact-lookup reference accuracy: {:.2}%",
+        exact_summary.confusion.average_class_accuracy() * 100.0
+    );
+
+    rule("Table 1: accuracy vs Bloom Filter parameters");
+    // "instability" isolates the pure false-positive effect: the fraction of
+    // test documents whose predicted label changes across five independent
+    // hash-family seeds. On the real JRC-Acquis corpus this FP sensitivity
+    // surfaces directly as the accuracy column; on the synthetic corpus
+    // margins are wider (see EXPERIMENTS.md), so accuracy compresses while
+    // instability still exposes the (m, k) tradeoff sharply.
+    println!(
+        "{:>8} {:>3} | {:>11} {:>11} | {:>9} {:>9} | {:>8} {:>11}",
+        "m(Kbit)", "k", "FP/1000", "FP(paper)", "acc(ours)", "acc(papr)", "margin", "instability"
+    );
+    for ((params, (pm, pk, paper_fp, paper_acc)), seed) in BloomParams::paper_table_configs()
+        .into_iter()
+        .zip(PAPER_TABLE1)
+        .zip(1u64..)
+    {
+        assert_eq!((params.m_kbits(), params.k), (pm, pk));
+        let (summary, _) = run_accuracy_config(&corpus, t, params, seed);
+        let instability = decision_instability(&corpus, t, params);
+        println!(
+            "{:>8} {:>3} | {:>11.1} {:>11.0} | {:>8.2}% {:>8.2}% | {:>8.3} {:>10.2}%",
+            params.m_kbits(),
+            params.k,
+            false_positives_per_thousand(t, params),
+            paper_fp,
+            summary.confusion.average_class_accuracy() * 100.0,
+            paper_acc,
+            summary.mean_margin,
+            instability * 100.0,
+        );
+    }
+
+    rule("§5.1 detail for the conservative configuration (k=4, m=16 Kbit)");
+    let (summary, classifier) =
+        run_accuracy_config(&corpus, t, BloomParams::PAPER_CONSERVATIVE, 1);
+    let (lo, hi) = summary.confusion.class_accuracy_range().unwrap();
+    println!(
+        "accuracy range {:.2}%..{:.2}% (paper: 99.05%..99.76%), average {:.2}% (paper: 99.45%)",
+        lo * 100.0,
+        hi * 100.0,
+        summary.confusion.average_class_accuracy() * 100.0
+    );
+    println!(
+        "mean top-2 margin {:.3} vs FP rate {:.4} — margin >> FP, as §5.1 observes",
+        summary.mean_margin,
+        classifier.filters()[0].expected_fp_rate(),
+    );
+    if let Some((t_idx, p_idx, n)) = summary.confusion.worst_confusion() {
+        println!(
+            "worst confusion: {} -> {} ({} docs; paper: es -> pt, et -> fi)",
+            summary.confusion.labels()[t_idx],
+            summary.confusion.labels()[p_idx],
+            n
+        );
+    }
+    println!("\nconfusion matrix:\n{}", summary.confusion.render());
+    let _ = evaluate_classifier; // exported helper exercised elsewhere
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table 2**: resource utilization of the n-gram classifier
+//! module (2 languages, 8 n-grams/clock) for the eight Bloom configurations.
+//!
+//! ```sh
+//! cargo run -p lc-bench --release --bin table2
+//! ```
+//!
+//! M4K counts are exact arithmetic; logic/registers/Fmax come from the
+//! estimator least-squares calibrated against this very table (residuals
+//! reported per row — the model is an interpolation of the paper's synthesis
+//! results, see `lc-fpga::resources`).
+
+use lc_bench::rule;
+use lc_bloom::BloomParams;
+use lc_fpga::resources::{estimate_module, ClassifierConfig, PAPER_TABLE2};
+
+fn main() {
+    rule("Table 2: classifier module resources (2 languages, 8 n-grams/clock)");
+    println!(
+        "{:>8} {:>3} | {:>7} {:>7} {:>5} {:>6} | {:>7} {:>7} {:>5} {:>6} | {:>6}",
+        "m(Kbit)", "k", "logic", "regs", "M4K", "Fmax", "logicP", "regsP", "M4KP", "FmaxP", "err%"
+    );
+    let mut worst_err: f64 = 0.0;
+    for (m, k, p_logic, p_regs, p_m4k, p_fmax) in PAPER_TABLE2 {
+        let cfg = ClassifierConfig {
+            bloom: BloomParams::from_kbits(m, k),
+            languages: 2,
+            copies: 4,
+        };
+        let e = estimate_module(&cfg);
+        let err = (f64::from(e.logic) - f64::from(p_logic)).abs() / f64::from(p_logic) * 100.0;
+        worst_err = worst_err.max(err);
+        println!(
+            "{:>8} {:>3} | {:>7} {:>7} {:>5} {:>6.0} | {:>7} {:>7} {:>5} {:>6} | {:>5.1}%",
+            m, k, e.logic, e.registers, e.m4k, e.fmax_mhz, p_logic, p_regs, p_m4k, p_fmax, err,
+        );
+        assert_eq!(e.m4k, p_m4k, "M4K accounting must be exact");
+    }
+    println!("\n(columns suffixed P are the paper's Quartus II synthesis results)");
+    println!("worst logic residual: {worst_err:.1}%");
+
+    rule("trend checks the paper calls out in §5.2");
+    let f16 = estimate_module(&ClassifierConfig {
+        bloom: BloomParams::from_kbits(16, 4),
+        languages: 2,
+        copies: 4,
+    });
+    let f4 = estimate_module(&ClassifierConfig {
+        bloom: BloomParams::from_kbits(4, 4),
+        languages: 2,
+        copies: 4,
+    });
+    println!(
+        "fewer RAMs per bit-vector raises Fmax: m=16K -> {:.0} MHz, m=4K -> {:.0} MHz",
+        f16.fmax_mhz, f4.fmax_mhz
+    );
+    println!(
+        "smaller bit-vectors reduce logic: m=16K -> {} LEs, m=4K -> {} LEs (k=4)",
+        f16.logic, f4.logic
+    );
+}

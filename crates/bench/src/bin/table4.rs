@@ -1,0 +1,116 @@
+//! Regenerates **Table 4**: comparison of n-gram based language classifiers
+//! (Mguesser software, HAIL FPGA, this work's Bloom FPGA).
+//!
+//! ```sh
+//! cargo run -p lc-bench --release --bin table4
+//! ```
+//!
+//! Paper: Mguesser 5.5 MB/s (measured, Opteron 2.4 GHz, 81 MB run), HAIL
+//! 324 MB/s (XCV2000E), BloomFilter 470 MB/s (EP2S180). We measure the
+//! software baseline on this machine (far faster than a 2007 Opteron) and
+//! simulate both hardware designs; both the paper's published baseline and
+//! ours are reported, and the ratio story is checked against both.
+
+use lc_bench::{profiles_for, rule, throughput_corpus};
+use lc_bloom::BloomParams;
+use lc_core::PAPER_PROFILE_SIZE;
+use lc_fpga::resources::ClassifierConfig;
+use lc_fpga::{HardwareClassifier, HostProtocol, Xd1000};
+use lc_hail::{HailClassifier, XCV2000E_SRAM};
+use lc_mguesser::{CavnarTrenkle, HashSetClassifier, PAPER_MGUESSER_MB_S};
+use std::time::Instant;
+
+fn measure_mb_s<F: FnMut(&[u8])>(docs: &[&[u8]], mut f: F) -> f64 {
+    let bytes: usize = docs.iter().map(|d| d.len()).sum();
+    let t0 = Instant::now();
+    for d in docs {
+        f(d);
+    }
+    bytes as f64 / 1e6 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let corpus = throughput_corpus(80);
+    let profiles = profiles_for(&corpus, PAPER_PROFILE_SIZE);
+    let docs: Vec<&[u8]> = corpus
+        .split()
+        .test_all()
+        .map(|d| d.text.as_slice())
+        .collect();
+    let total_mb = docs.iter().map(|d| d.len()).sum::<usize>() as f64 / 1e6;
+    println!("workload: {} documents, {total_mb:.1} MB, 10 languages, t = 5000", docs.len());
+
+    // Software baselines (measured on this machine).
+    let ct = CavnarTrenkle::from_profiles(&profiles);
+    let ct_rate = measure_mb_s(&docs, |d| {
+        let _ = ct.classify(d);
+    });
+    let hs = HashSetClassifier::from_profiles(&profiles);
+    let hs_rate = measure_mb_s(&docs, |d| {
+        let _ = hs.classify(d);
+    });
+
+    // HAIL: functional classification cross-checked, throughput from the
+    // published SRAM configuration.
+    let hail = HailClassifier::from_profiles(&profiles);
+    let hail_ok = docs
+        .iter()
+        .take(32)
+        .filter(|d| {
+            let (counts, _) = hail.classify(d);
+            let best = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+                .unwrap()
+                .0;
+            let (hs_counts, _) = hs.classify(d);
+            let hs_best = hs_counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+                .unwrap()
+                .0;
+            best == hs_best
+        })
+        .count();
+    assert_eq!(hail_ok, 32, "HAIL must agree with exact software scoring");
+    let hail_rate = XCV2000E_SRAM.throughput_mb_s();
+
+    // Bloom design: full XD1000 simulation, asynchronous protocol, paper
+    // clock.
+    let classifier = lc_bench::builder_for(&corpus, PAPER_PROFILE_SIZE)
+        .build_bloom(BloomParams::PAPER_CONSERVATIVE, 7);
+    let hw = HardwareClassifier::place(classifier, ClassifierConfig::paper_ten_languages())
+        .with_clock_mhz(194.0);
+    let mut sys = Xd1000::new(hw);
+    let bloom_rate = sys.run(&docs, HostProtocol::Asynchronous).throughput_mb_s();
+
+    rule("Table 4: comparison of n-gram based language classifiers");
+    println!("{:<26} {:<34} {:>10}", "System", "Type", "MB/s");
+    println!("{:<26} {:<34} {:>10.1}", "Mguesser (paper)", "AMD Opteron workstation (2007)", PAPER_MGUESSER_MB_S);
+    println!("{:<26} {:<34} {:>10.1}", "Cavnar-Trenkle (ours)", "this machine, measured", ct_rate);
+    println!("{:<26} {:<34} {:>10.1}", "HashSet scorer (ours)", "this machine, measured", hs_rate);
+    println!("{:<26} {:<34} {:>10.1}", "HAIL", "Xilinx XCV2000E-8 FPGA (model)", hail_rate);
+    println!("{:<26} {:<34} {:>10.1}", "BloomFilter (this work)", "Altera EP2S180 FPGA (simulated)", bloom_rate);
+
+    rule("headline ratios");
+    println!(
+        "Bloom vs HAIL:            {:.2}x   (paper: 1.45x)",
+        bloom_rate / hail_rate
+    );
+    println!(
+        "Bloom vs Mguesser(paper): {:.0}x    (paper: 85x)",
+        bloom_rate / PAPER_MGUESSER_MB_S
+    );
+    println!(
+        "Bloom vs best software measured here: {:.1}x",
+        bloom_rate / ct_rate.max(hs_rate)
+    );
+    println!(
+        "\nnote: the 2007 software baseline (5.5 MB/s) is retained for the 85x headline;\n\
+         our Rust software baseline on modern hardware is {:.0}x faster than 2007 Mguesser,\n\
+         which shrinks the hardware/software gap exactly as Moore's-law scaling predicts.",
+        ct_rate.max(hs_rate) / PAPER_MGUESSER_MB_S
+    );
+}

@@ -1,0 +1,191 @@
+//! A power-of-two-length bit-vector: the software image of one (or several
+//! cascaded) embedded RAM block(s) configured as a 1-bit-wide memory.
+
+use serde::{Deserialize, Serialize};
+
+/// An `m`-bit vector, `m` a power of two (embedded RAMs are address-decoded,
+/// so the paper's bit-vector lengths are 4/8/16 Kbit).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitVector {
+    words: Vec<u64>,
+    bits: u32, // log2(m)
+}
+
+impl BitVector {
+    /// Create a zeroed vector of `2^address_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address_bits` is 0 or greater than 32.
+    pub fn new(address_bits: u32) -> Self {
+        assert!(
+            (1..=32).contains(&address_bits),
+            "address_bits must be in 1..=32, got {address_bits}"
+        );
+        let m = 1usize << address_bits;
+        Self {
+            words: vec![0u64; m.div_ceil(64)],
+            bits: address_bits,
+        }
+    }
+
+    /// Vector length in bits (`m`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Whether the vector has zero set bits.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of address bits (`log2 m`).
+    #[inline]
+    pub fn address_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Set the bit at `addr` (the Bloom "program" write port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= len()`.
+    #[inline]
+    pub fn set(&mut self, addr: u32) {
+        let addr = addr as usize;
+        assert!(addr < self.len(), "address {addr} out of range");
+        self.words[addr / 64] |= 1u64 << (addr % 64);
+    }
+
+    /// Read the bit at `addr` (one read port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= len()`.
+    #[inline]
+    pub fn get(&self, addr: u32) -> bool {
+        let addr = addr as usize;
+        assert!(addr < self.len(), "address {addr} out of range");
+        (self.words[addr / 64] >> (addr % 64)) & 1 == 1
+    }
+
+    /// Dual-port read: both ports in "one cycle", as on a dual-ported M4K.
+    /// The paper duplicates the hash logic to feed two independent data
+    /// paths; the memory itself services both.
+    #[inline]
+    pub fn get_pair(&self, addr_a: u32, addr_b: u32) -> (bool, bool) {
+        (self.get(addr_a), self.get(addr_b))
+    }
+
+    /// Clear all bits (the paper's preprocessing step resets bit-vectors
+    /// before programming profiles).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits — used for occupancy/false-positive estimation.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.count_ones() as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_vector_is_all_zero() {
+        let v = BitVector::new(14);
+        assert_eq!(v.len(), 16 * 1024);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut v = BitVector::new(12);
+        v.set(0);
+        v.set(4095);
+        v.set(1234);
+        assert!(v.get(0) && v.get(4095) && v.get(1234));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut v = BitVector::new(8);
+        v.set(42);
+        v.set(42);
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut v = BitVector::new(10);
+        for a in (0..1024).step_by(7) {
+            v.set(a);
+        }
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn dual_port_reads_agree_with_single_port() {
+        let mut v = BitVector::new(10);
+        v.set(3);
+        let (a, b) = v.get_pair(3, 4);
+        assert!(a);
+        assert!(!b);
+        let (a, b) = v.get_pair(3, 3); // same address on both ports is legal
+        assert!(a && b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let v = BitVector::new(4);
+        let _ = v.get(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let mut v = BitVector::new(4);
+        v.set(16);
+    }
+
+    #[test]
+    fn non_multiple_of_64_length_works() {
+        // 2^5 = 32 bits: exercises the partial-word case.
+        let mut v = BitVector::new(5);
+        v.set(31);
+        assert!(v.get(31));
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_matches_distinct_addresses(
+            addrs in proptest::collection::vec(0u32..4096, 0..256)
+        ) {
+            let mut v = BitVector::new(12);
+            for &a in &addrs {
+                v.set(a);
+            }
+            let distinct: std::collections::HashSet<u32> = addrs.iter().copied().collect();
+            prop_assert_eq!(v.count_ones(), distinct.len());
+            for &a in &distinct {
+                prop_assert!(v.get(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Counting Bloom filter — deletion support for profile updates.
+//!
+//! The paper's filters are write-once per deployment: updating a language
+//! profile means clearing and reprogramming every bit-vector (§4
+//! preprocessing). A natural library extension — and the standard trick the
+//! packet-inspection literature the paper cites (Dharmapurikar et al.) uses —
+//! is to keep small saturating **counters** instead of bits on the host side,
+//! so individual n-grams can be removed when a profile is retrained
+//! incrementally; the bit-vector image programmed into hardware is then just
+//! `counter > 0`.
+//!
+//! This is host-side tooling: the FPGA still holds plain bit-vectors; the
+//! counting filter is how the host maintains them across incremental profile
+//! updates without full reprogramming.
+
+use crate::params::BloomParams;
+use crate::BitVector;
+use lc_hash::H3Family;
+
+/// Width of each counter in bits (4, the customary choice: overflow
+/// probability is negligible at Bloom loads).
+pub const COUNTER_BITS: u32 = 4;
+
+/// Saturation value (counters stick at 15 and can no longer be decremented
+/// reliably; [`CountingBloomFilter::saturated`] reports how many did).
+pub const COUNTER_MAX: u8 = 15;
+
+/// A parallel counting Bloom filter: `k` H3 hashes, `k` arrays of 4-bit
+/// saturating counters.
+#[derive(Clone, Debug)]
+pub struct CountingBloomFilter {
+    params: BloomParams,
+    hashes: H3Family,
+    /// Counters stored one byte each for simplicity (the hardware image is
+    /// 4-bit; the host can afford bytes).
+    counters: Vec<Vec<u8>>,
+    programmed: usize,
+    saturated: u64,
+}
+
+impl CountingBloomFilter {
+    /// Create an empty counting filter.
+    pub fn new(params: BloomParams, input_bits: u32, seed: u64) -> Self {
+        let hashes = H3Family::new(params.k, input_bits, params.address_bits, seed);
+        let counters = (0..params.k).map(|_| vec![0u8; params.m_bits()]).collect();
+        Self {
+            params,
+            hashes,
+            counters,
+            programmed: 0,
+            saturated: 0,
+        }
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Elements currently held (inserts minus removes).
+    pub fn programmed(&self) -> usize {
+        self.programmed
+    }
+
+    /// Number of counter saturation events so far (a nonzero value means
+    /// subsequent removals may under-delete; callers should rebuild).
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// Insert an element (increments `k` counters).
+    pub fn insert(&mut self, key: u64) {
+        for (i, counters) in self.counters.iter_mut().enumerate() {
+            let a = self.hashes.hash_one(i, key) as usize;
+            if counters[a] >= COUNTER_MAX {
+                self.saturated += 1;
+            } else {
+                counters[a] += 1;
+            }
+        }
+        self.programmed += 1;
+    }
+
+    /// Remove an element previously inserted (decrements `k` counters).
+    /// Removing a key that was never inserted corrupts the filter, as in
+    /// every counting-Bloom design; the caller owns that contract.
+    pub fn remove(&mut self, key: u64) {
+        for (i, counters) in self.counters.iter_mut().enumerate() {
+            let a = self.hashes.hash_one(i, key) as usize;
+            counters[a] = counters[a].saturating_sub(1);
+        }
+        self.programmed = self.programmed.saturating_sub(1);
+    }
+
+    /// Membership test (same semantics as the plain filter).
+    pub fn test(&self, key: u64) -> bool {
+        self.counters
+            .iter()
+            .enumerate()
+            .all(|(i, c)| c[self.hashes.hash_one(i, key) as usize] > 0)
+    }
+
+    /// Render the bit-vector image the hardware would be programmed with
+    /// (`counter > 0` per position).
+    pub fn to_bit_vectors(&self) -> Vec<BitVector> {
+        self.counters
+            .iter()
+            .map(|c| {
+                let mut v = BitVector::new(self.params.address_bits);
+                for (a, &cnt) in c.iter().enumerate() {
+                    if cnt > 0 {
+                        v.set(a as u32);
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn filter() -> CountingBloomFilter {
+        CountingBloomFilter::new(BloomParams::PAPER_CONSERVATIVE, 20, 9)
+    }
+
+    #[test]
+    fn insert_then_test() {
+        let mut f = filter();
+        f.insert(0x12345);
+        f.insert(0xABCDE);
+        assert!(f.test(0x12345));
+        assert!(f.test(0xABCDE));
+        assert!(!f.test(0x54321));
+        assert_eq!(f.programmed(), 2);
+    }
+
+    #[test]
+    fn remove_restores_absence() {
+        let mut f = filter();
+        f.insert(0x12345);
+        assert!(f.test(0x12345));
+        f.remove(0x12345);
+        assert!(!f.test(0x12345));
+        assert_eq!(f.programmed(), 0);
+    }
+
+    #[test]
+    fn removal_preserves_other_members_even_with_collisions() {
+        let mut f = CountingBloomFilter::new(BloomParams::new(2, 6), 20, 4); // tiny, collisions likely
+        let keys: Vec<u64> = (0..40u64).map(|i| i * 2654435761 % (1 << 20)).collect();
+        for &k in &keys {
+            f.insert(k);
+        }
+        // Remove half; the other half must still test positive (the whole
+        // point of counters vs bits).
+        for &k in &keys[..20] {
+            f.remove(k);
+        }
+        for &k in &keys[20..] {
+            assert!(f.test(k), "member {k:#x} lost after unrelated removal");
+        }
+    }
+
+    #[test]
+    fn incremental_profile_update_scenario() {
+        // Retrain: swap 1000 old n-grams for 1000 new ones without clearing.
+        let mut f = filter();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let old: Vec<u64> = (0..1000).map(|_| rng.gen::<u64>() & 0xF_FFFF).collect();
+        let new: Vec<u64> = (0..1000).map(|_| rng.gen::<u64>() & 0xF_FFFF).collect();
+        for &k in &old {
+            f.insert(k);
+        }
+        for &k in &old {
+            f.remove(k);
+        }
+        for &k in &new {
+            f.insert(k);
+        }
+        for &k in &new {
+            assert!(f.test(k));
+        }
+        assert_eq!(f.programmed(), 1000);
+        assert_eq!(f.saturated(), 0, "paper-scale loads must not saturate 4-bit counters");
+    }
+
+    #[test]
+    fn bit_vector_image_matches_membership() {
+        let mut f = filter();
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 7919 % (1 << 20)).collect();
+        for &k in &keys {
+            f.insert(k);
+        }
+        let vectors = f.to_bit_vectors();
+        // Every member's addresses are set in the image.
+        for &k in &keys {
+            for (i, v) in vectors.iter().enumerate() {
+                use lc_hash::HashFunction;
+                let addr = f.hashes.functions()[i].hash(k);
+                assert!(v.get(addr));
+            }
+        }
+        // Image occupancy equals live-counter occupancy.
+        for (v, c) in vectors.iter().zip(&f.counters) {
+            assert_eq!(v.count_ones(), c.iter().filter(|&&x| x > 0).count());
+        }
+    }
+
+    #[test]
+    fn saturation_is_reported() {
+        let mut f = CountingBloomFilter::new(BloomParams::new(1, 1), 20, 1); // 2 counters!
+        for _ in 0..40 {
+            f.insert(7);
+        }
+        assert!(f.saturated() > 0);
+        assert!(f.test(7));
+    }
+}

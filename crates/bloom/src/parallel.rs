@@ -1,0 +1,276 @@
+//! The Parallel Bloom Filter — the paper's membership-testing structure.
+
+use crate::params::BloomParams;
+use crate::BitVector;
+use lc_hash::H3Family;
+
+/// A Parallel Bloom Filter: `k` H3 hash functions, each addressing its own
+/// independent `m`-bit vector (one or more dedicated embedded RAM blocks in
+/// hardware). An element matches iff **all** `k` per-vector bits are set —
+/// the bitwise AND in Algorithm 1 of the paper.
+#[derive(Clone, Debug)]
+pub struct ParallelBloomFilter {
+    params: BloomParams,
+    hashes: H3Family,
+    vectors: Vec<BitVector>,
+    programmed: usize,
+}
+
+impl ParallelBloomFilter {
+    /// Create an empty filter for `input_bits`-bit keys with the given
+    /// parameters, hash matrices drawn deterministically from `seed`.
+    pub fn new(params: BloomParams, input_bits: u32, seed: u64) -> Self {
+        let hashes = H3Family::new(params.k, input_bits, params.address_bits, seed);
+        let vectors = (0..params.k)
+            .map(|_| BitVector::new(params.address_bits))
+            .collect();
+        Self {
+            params,
+            hashes,
+            vectors,
+            programmed: 0,
+        }
+    }
+
+    /// Filter parameters.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of elements programmed since the last clear (the `N` in the
+    /// false-positive model; duplicates are counted as programmed elements,
+    /// so program each profile entry once for a meaningful `N`).
+    pub fn programmed(&self) -> usize {
+        self.programmed
+    }
+
+    /// Program a single element (the Set procedure of Algorithm 1): set the
+    /// bit at `H_i(w)` in vector `i`, for every `i`.
+    pub fn program(&mut self, key: u64) {
+        for (i, v) in self.vectors.iter_mut().enumerate() {
+            v.set(self.hashes.hash_one(i, key));
+        }
+        self.programmed += 1;
+    }
+
+    /// Program every element of an iterator (a whole language profile).
+    pub fn program_all<I: IntoIterator<Item = u64>>(&mut self, keys: I) {
+        for k in keys {
+            self.program(k);
+        }
+    }
+
+    /// Membership test (the Test procedure of Algorithm 1): AND of the `k`
+    /// per-vector bits. May return a false positive, never a false negative.
+    #[inline]
+    pub fn test(&self, key: u64) -> bool {
+        self.vectors
+            .iter()
+            .enumerate()
+            .all(|(i, v)| v.get(self.hashes.hash_one(i, key)))
+    }
+
+    /// Membership test with precomputed addresses (`addrs[i]` = output of
+    /// hash `i`). When several filters share the same hash family — all
+    /// language filters in a classifier are seeded identically, mirroring
+    /// replicated hash circuits fed by one n-gram register — the addresses
+    /// can be computed once and tested against every language's vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs.len() != k`.
+    #[inline]
+    pub fn test_with_addresses(&self, addrs: &[u32]) -> bool {
+        assert_eq!(addrs.len(), self.vectors.len());
+        self.vectors
+            .iter()
+            .zip(addrs)
+            .all(|(v, &a)| v.get(a))
+    }
+
+    /// Compute the `k` hash addresses for `key` into `out` (for use with
+    /// [`Self::test_with_addresses`] across a filter bank).
+    #[inline]
+    pub fn addresses_into(&self, key: u64, out: &mut [u32]) {
+        self.hashes.hash_all_into(key, out);
+    }
+
+    /// Dual-port test of two keys "in the same cycle", as the paper does by
+    /// duplicating the hash logic over the dual-ported embedded RAMs (§3.2).
+    #[inline]
+    pub fn test_pair(&self, key_a: u64, key_b: u64) -> (bool, bool) {
+        let mut a = true;
+        let mut b = true;
+        for (i, v) in self.vectors.iter().enumerate() {
+            let (ra, rb) = v.get_pair(self.hashes.hash_one(i, key_a), self.hashes.hash_one(i, key_b));
+            a &= ra;
+            b &= rb;
+        }
+        (a, b)
+    }
+
+    /// Reset all bit-vectors (preprocessing step before programming new
+    /// profiles).
+    pub fn clear(&mut self) {
+        for v in &mut self.vectors {
+            v.clear();
+        }
+        self.programmed = 0;
+    }
+
+    /// Expected false-positive probability for the current load, using the
+    /// paper's model `f = (1 − e^(−N/m))^k`.
+    pub fn expected_fp_rate(&self) -> f64 {
+        crate::analysis::false_positive_rate(self.programmed, self.params)
+    }
+
+    /// Measured occupancy of each bit-vector (diagnostics; with H3 hashing
+    /// the occupancy should track `1 − e^(−N/m)` per vector).
+    pub fn occupancies(&self) -> Vec<f64> {
+        self.vectors.iter().map(|v| v.occupancy()).collect()
+    }
+
+    /// Measure the false-positive rate empirically by testing `keys` that
+    /// are known not to have been programmed. Returns matches / total.
+    pub fn measure_fp_rate<'a, I: IntoIterator<Item = &'a u64>>(&self, negatives: I) -> f64 {
+        let mut total = 0usize;
+        let mut hits = 0usize;
+        for &k in negatives {
+            total += 1;
+            if self.test(k) {
+                hits += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Borrow the underlying bit-vectors (used by the FPGA fabric model to
+    /// account block placement).
+    pub fn vectors(&self) -> &[BitVector] {
+        &self.vectors
+    }
+
+    /// Borrow the hash family.
+    pub fn hashes(&self) -> &H3Family {
+        &self.hashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn paper_filter(seed: u64) -> ParallelBloomFilter {
+        ParallelBloomFilter::new(BloomParams::PAPER_CONSERVATIVE, 20, seed)
+    }
+
+    #[test]
+    fn no_false_negatives_small() {
+        let mut f = paper_filter(1);
+        let keys: Vec<u64> = (0..5000u64).map(|i| i * 131 % (1 << 20)).collect();
+        f.program_all(keys.iter().copied());
+        for &k in &keys {
+            assert!(f.test(k), "programmed key {k:#x} must test positive");
+        }
+    }
+
+    #[test]
+    fn empty_filter_matches_nothing() {
+        let f = paper_filter(2);
+        for k in 0..10_000u64 {
+            assert!(!f.test(k));
+        }
+    }
+
+    #[test]
+    fn clear_empties_filter() {
+        let mut f = paper_filter(3);
+        f.program_all(0..1000);
+        assert!(f.programmed() == 1000);
+        f.clear();
+        assert_eq!(f.programmed(), 0);
+        for k in 0..1000u64 {
+            assert!(!f.test(k));
+        }
+    }
+
+    #[test]
+    fn dual_port_agrees_with_single_port() {
+        let mut f = paper_filter(4);
+        f.program_all((0..2000u64).map(|i| i * 7919 % (1 << 20)));
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let a = rng.gen::<u64>() & 0xF_FFFF;
+            let b = rng.gen::<u64>() & 0xF_FFFF;
+            let (pa, pb) = f.test_pair(a, b);
+            assert_eq!(pa, f.test(a));
+            assert_eq!(pb, f.test(b));
+        }
+    }
+
+    #[test]
+    fn measured_fp_tracks_model_for_paper_configs() {
+        // Program N=5000 random 20-bit keys and check the measured FP rate is
+        // within 3x of the model (generous: sampling + hash-family variance).
+        for params in BloomParams::paper_table_configs() {
+            let mut f = ParallelBloomFilter::new(params, 20, 42);
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut programmed = std::collections::HashSet::new();
+            while programmed.len() < 5000 {
+                programmed.insert(rng.gen::<u64>() & 0xF_FFFF);
+            }
+            f.program_all(programmed.iter().copied());
+
+            let negatives: Vec<u64> = (0..(1u64 << 20))
+                .filter(|k| !programmed.contains(k))
+                .collect();
+            let measured = f.measure_fp_rate(negatives.iter());
+            let model = f.expected_fp_rate();
+            assert!(
+                measured < model * 3.0 + 1e-4,
+                "config {params:?}: measured {measured:.5} vs model {model:.5}"
+            );
+            // And it should not be wildly below the model either (the model
+            // is tight for random keys).
+            if model > 1e-3 {
+                assert!(
+                    measured > model / 3.0,
+                    "config {params:?}: measured {measured:.5} vs model {model:.5}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_matches_load_theory() {
+        let mut f = paper_filter(5);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let keys: std::collections::HashSet<u64> =
+            (0..5000).map(|_| rng.gen::<u64>() & 0xF_FFFF).collect();
+        f.program_all(keys.iter().copied());
+        let expected = 1.0 - (-(keys.len() as f64) / 16384.0).exp();
+        for occ in f.occupancies() {
+            assert!(
+                (occ - expected).abs() < 0.03,
+                "occupancy {occ:.4} far from theory {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_hashing() {
+        let mut f1 = ParallelBloomFilter::new(BloomParams::new(2, 10), 20, 1);
+        let mut f2 = ParallelBloomFilter::new(BloomParams::new(2, 10), 20, 2);
+        f1.program(0x12345);
+        f2.program(0x12345);
+        // The set bits land at different addresses with overwhelming
+        // probability; compare the vectors.
+        assert_ne!(f1.vectors(), f2.vectors());
+    }
+}

@@ -1,0 +1,237 @@
+//! The parallel multi-language classifier (§3.3) and batch parallelism.
+//!
+//! Hardware shape: `c` copies of the multiple-language classifier, each with
+//! dual-ported RAMs, test `2c` n-grams per clock (the paper's build: 4
+//! copies → 8 n-grams/clock). An **adder tree** aggregates the per-copy
+//! match counts after the final n-gram of a document. Because every copy
+//! holds the *same* programmed bit-vectors, distributing the n-gram stream
+//! across copies changes nothing about the total counts — a property this
+//! module asserts in tests (and which the FPGA simulator relies on).
+
+use lc_ngram::{NGram, NGramExtractor};
+use rayon::prelude::*;
+
+use crate::classifier::MultiLanguageClassifier;
+use crate::result::ClassificationResult;
+
+/// The paper's lane configuration: 4 classifier copies × 2 RAM ports.
+pub const PAPER_COPIES: usize = 4;
+
+/// Hardware-shaped parallel classifier: `copies` replicas, each testing two
+/// n-grams per clock through its dual ports.
+#[derive(Clone, Debug)]
+pub struct ParallelClassifier {
+    /// One logical classifier; copies share programmed state, so a single
+    /// instance stands in for all replicas functionally. Lane accounting is
+    /// arithmetic over the stream, not duplicated memory.
+    inner: MultiLanguageClassifier,
+    copies: usize,
+}
+
+impl ParallelClassifier {
+    /// Wrap a programmed classifier in the paper's 4-copy configuration.
+    pub fn paper(inner: MultiLanguageClassifier) -> Self {
+        Self::new(inner, PAPER_COPIES)
+    }
+
+    /// Wrap with a custom number of copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn new(inner: MultiLanguageClassifier, copies: usize) -> Self {
+        assert!(copies >= 1, "need at least one classifier copy");
+        Self { inner, copies }
+    }
+
+    /// Number of classifier copies `c`.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// N-grams accepted per clock (`2c`, dual-ported RAMs).
+    pub fn ngrams_per_clock(&self) -> usize {
+        2 * self.copies
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &MultiLanguageClassifier {
+        &self.inner
+    }
+
+    /// Classify a document the way the datapath does: n-grams are dealt
+    /// round-robin to `2c` lanes, each lane keeps its own per-language
+    /// counters, and the adder tree merges them at end-of-document.
+    /// The result is count-identical to sequential classification.
+    pub fn classify(&self, text: &[u8]) -> ClassificationResult {
+        let mut grams = Vec::new();
+        NGramExtractor::new(self.inner.spec()).extract_into(text, &mut grams);
+        self.classify_ngrams(&grams)
+    }
+
+    /// Per-lane match counters for a pre-extracted stream: `lane_counts[l][p]`
+    /// is the count lane `l` accumulated for language `p`. This is the state
+    /// the hardware's physical counters hold before the adder tree fires at
+    /// end-of-document; the FPGA model uses it to apply counter-width
+    /// saturation per lane.
+    pub fn lane_counts(&self, grams: &[NGram]) -> Vec<Vec<u64>> {
+        let lanes = self.ngrams_per_clock();
+        let p = self.inner.num_languages();
+        let mut lane_counts = vec![vec![0u64; p]; lanes];
+        for chunk in grams.chunks(lanes) {
+            for (lane, g) in chunk.iter().enumerate() {
+                let r = self.inner.classify_ngrams(std::slice::from_ref(g));
+                for (acc, &c) in lane_counts[lane].iter_mut().zip(r.counts()) {
+                    *acc += c;
+                }
+            }
+        }
+        lane_counts
+    }
+
+    /// Adder tree over per-lane counters: pairwise reduction, exactly
+    /// associative for u64 adds.
+    pub fn adder_tree(mut level: Vec<Vec<u64>>, p: usize) -> Vec<u64> {
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => {
+                        next.push(a.iter().zip(&b).map(|(x, y)| x + y).collect());
+                    }
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        level.pop().unwrap_or_else(|| vec![0u64; p])
+    }
+
+    /// Lane-split classification of a pre-extracted stream.
+    pub fn classify_ngrams(&self, grams: &[NGram]) -> ClassificationResult {
+        let p = self.inner.num_languages();
+        let lane_counts = self.lane_counts(grams);
+        ClassificationResult::new(Self::adder_tree(lane_counts, p), grams.len() as u64)
+    }
+
+    /// Clock cycles the datapath needs for a `len`-byte document (one byte
+    /// is one n-gram once the window is warm): `ceil(ngrams / 2c)`.
+    pub fn cycles_for_len(&self, len: usize) -> u64 {
+        let n = self.inner.spec().n();
+        let ngrams = len.saturating_sub(n - 1);
+        (ngrams as u64).div_ceil(self.ngrams_per_clock() as u64)
+    }
+}
+
+/// Classify a batch of documents in parallel over the Rayon pool (the
+/// paper's outermost level of parallelism: "parallel document processing").
+/// Results are index-aligned with the input order regardless of scheduling.
+pub fn classify_batch(
+    classifier: &MultiLanguageClassifier,
+    docs: &[&[u8]],
+) -> Vec<ClassificationResult> {
+    docs.par_iter().map(|d| classifier.classify(d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ClassifierBuilder;
+    use lc_bloom::BloomParams;
+    use lc_corpus::{Corpus, CorpusConfig};
+    use lc_ngram::NGramSpec;
+
+    fn classifier() -> MultiLanguageClassifier {
+        let corpus = Corpus::generate(CorpusConfig::test_scale());
+        let split = corpus.split();
+        let mut b = ClassifierBuilder::new(NGramSpec::PAPER, 1000);
+        for &l in corpus.languages() {
+            let docs: Vec<&[u8]> = split.train(l).map(|d| d.text.as_slice()).collect();
+            b.add_language(l.code(), docs);
+        }
+        b.build_bloom(BloomParams::PAPER_CONSERVATIVE, 11)
+    }
+
+    #[test]
+    fn lane_split_is_count_exact() {
+        let c = classifier();
+        let corpus = Corpus::generate(CorpusConfig::test_scale());
+        let par = ParallelClassifier::paper(c.clone());
+        for d in corpus.split().test_all().take(10) {
+            let seq = c.classify(&d.text);
+            let lanes = par.classify(&d.text);
+            assert_eq!(seq, lanes, "lane-split result must equal sequential");
+        }
+    }
+
+    #[test]
+    fn any_copy_count_is_equivalent() {
+        let c = classifier();
+        let text = b"some text to classify across differing lane counts for equivalence";
+        let reference = c.classify(text);
+        for copies in [1usize, 2, 3, 4, 8] {
+            let par = ParallelClassifier::new(c.clone(), copies);
+            assert_eq!(par.classify(text), reference, "copies={copies}");
+        }
+    }
+
+    #[test]
+    fn lane_counts_sum_to_sequential_counts() {
+        let c = classifier();
+        let par = ParallelClassifier::paper(c.clone());
+        let text = b"the adder tree must preserve every single match count exactly";
+        let mut grams = Vec::new();
+        lc_ngram::NGramExtractor::new(c.spec()).extract_into(text, &mut grams);
+        let lanes = par.lane_counts(&grams);
+        assert_eq!(lanes.len(), 8);
+        let summed = ParallelClassifier::adder_tree(lanes, c.num_languages());
+        assert_eq!(summed, c.classify(text).counts().to_vec());
+    }
+
+    #[test]
+    fn adder_tree_handles_odd_lane_counts_and_empty() {
+        let merged = ParallelClassifier::adder_tree(
+            vec![vec![1, 2], vec![3, 4], vec![5, 6]],
+            2,
+        );
+        assert_eq!(merged, vec![9, 12]);
+        assert_eq!(ParallelClassifier::adder_tree(vec![], 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let c = classifier();
+        let par = ParallelClassifier::paper(c);
+        assert_eq!(par.ngrams_per_clock(), 8);
+        // 8003-byte doc -> 8000 n-grams -> 1000 cycles.
+        assert_eq!(par.cycles_for_len(8003), 1000);
+        // Short docs round up to one cycle once any n-gram exists.
+        assert_eq!(par.cycles_for_len(4), 1);
+        assert_eq!(par.cycles_for_len(3), 0);
+        assert_eq!(par.cycles_for_len(0), 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_order() {
+        let c = classifier();
+        let corpus = Corpus::generate(CorpusConfig::test_scale());
+        let docs: Vec<&[u8]> = corpus
+            .split()
+            .test_all()
+            .take(24)
+            .map(|d| d.text.as_slice())
+            .collect();
+        let batch = classify_batch(&c, &docs);
+        assert_eq!(batch.len(), docs.len());
+        for (d, r) in docs.iter().zip(&batch) {
+            assert_eq!(&c.classify(d), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one classifier copy")]
+    fn zero_copies_rejected() {
+        let _ = ParallelClassifier::new(classifier(), 0);
+    }
+}

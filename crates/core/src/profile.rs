@@ -1,0 +1,179 @@
+//! Language profiles and the classifier builder (the paper's preprocessing
+//! step: "generating the n-gram profile for each language from a
+//! representative sample of documents").
+
+use lc_bloom::BloomParams;
+use lc_ngram::{NGramProfile, NGramSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::{ExactClassifier, MultiLanguageClassifier};
+
+/// The paper's profile size: top `t = 5000` n-grams per language (§4).
+pub const PAPER_PROFILE_SIZE: usize = 5000;
+
+/// A named language profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LanguageProfile {
+    /// Display name / code of the language.
+    pub name: String,
+    /// The top-t n-gram profile.
+    pub profile: NGramProfile,
+}
+
+impl LanguageProfile {
+    /// Train a profile from documents.
+    pub fn train<'a, I: IntoIterator<Item = &'a [u8]>>(
+        name: impl Into<String>,
+        spec: NGramSpec,
+        docs: I,
+        t: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            profile: NGramProfile::build(spec, docs, t),
+        }
+    }
+}
+
+/// Builder for a multi-language classifier: collect per-language training
+/// material, then construct Bloom-filter or exact classifiers from the same
+/// profiles (so the two can be compared like the paper compares against
+/// HAIL's direct-memory lookup).
+#[derive(Clone, Debug)]
+pub struct ClassifierBuilder {
+    spec: NGramSpec,
+    t: usize,
+    profiles: Vec<LanguageProfile>,
+}
+
+impl ClassifierBuilder {
+    /// Builder with the paper's configuration: 4-grams, `t = 5000`.
+    pub fn paper() -> Self {
+        Self::new(NGramSpec::PAPER, PAPER_PROFILE_SIZE)
+    }
+
+    /// Builder with a custom n-gram shape and profile size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn new(spec: NGramSpec, t: usize) -> Self {
+        assert!(t > 0, "profile size must be positive");
+        Self {
+            spec,
+            t,
+            profiles: Vec::new(),
+        }
+    }
+
+    /// The n-gram shape.
+    pub fn spec(&self) -> NGramSpec {
+        self.spec
+    }
+
+    /// Profile size `t`.
+    pub fn profile_size(&self) -> usize {
+        self.t
+    }
+
+    /// Train and add one language from its training documents. Returns
+    /// `&mut self` for chaining.
+    pub fn add_language<'a, I: IntoIterator<Item = &'a [u8]>>(
+        &mut self,
+        name: impl Into<String>,
+        docs: I,
+    ) -> &mut Self {
+        self.profiles
+            .push(LanguageProfile::train(name, self.spec, docs, self.t));
+        self
+    }
+
+    /// Add a pre-trained profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's n-gram shape differs from the builder's.
+    pub fn add_profile(&mut self, profile: LanguageProfile) -> &mut Self {
+        assert_eq!(
+            profile.profile.spec(),
+            self.spec,
+            "profile n-gram shape mismatch"
+        );
+        self.profiles.push(profile);
+        self
+    }
+
+    /// Languages added so far.
+    pub fn languages(&self) -> impl Iterator<Item = &str> {
+        self.profiles.iter().map(|p| p.name.as_str())
+    }
+
+    /// Number of languages added so far.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether no languages have been added.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The trained profiles.
+    pub fn profiles(&self) -> &[LanguageProfile] {
+        &self.profiles
+    }
+
+    /// Build the Bloom-filter classifier (the paper's design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no languages were added.
+    pub fn build_bloom(&self, params: BloomParams, seed: u64) -> MultiLanguageClassifier {
+        MultiLanguageClassifier::from_profiles(&self.profiles, self.spec, params, seed)
+    }
+
+    /// Build the exact (direct-lookup) classifier — the false-positive-free
+    /// reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no languages were added.
+    pub fn build_exact(&self) -> ExactClassifier {
+        ExactClassifier::from_profiles(&self.profiles, self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_trains_profiles_of_requested_size() {
+        let mut b = ClassifierBuilder::new(NGramSpec::PAPER, 50);
+        b.add_language("en", [b"the quick brown fox jumps over the lazy dog".as_slice()]);
+        assert_eq!(b.len(), 1);
+        assert!(b.profiles()[0].profile.len() <= 50);
+        assert!(!b.profiles()[0].profile.is_empty());
+    }
+
+    #[test]
+    fn paper_builder_uses_4grams_and_5000() {
+        let b = ClassifierBuilder::paper();
+        assert_eq!(b.spec().n(), 4);
+        assert_eq!(b.profile_size(), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mixed_spec_profiles_rejected() {
+        let mut b = ClassifierBuilder::new(NGramSpec::new(4), 10);
+        let p = LanguageProfile::train("x", NGramSpec::new(3), [b"abc def".as_slice()], 10);
+        b.add_profile(p);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile size must be positive")]
+    fn zero_t_rejected() {
+        let _ = ClassifierBuilder::new(NGramSpec::PAPER, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Classification results: per-language match counts and derived decisions.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of classifying one document: one match counter per language,
+/// as read back from the hardware's Query Result command.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassificationResult {
+    counts: Vec<u64>,
+    total_ngrams: u64,
+}
+
+impl ClassificationResult {
+    /// Construct from raw counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    pub fn new(counts: Vec<u64>, total_ngrams: u64) -> Self {
+        assert!(!counts.is_empty(), "need at least one language counter");
+        Self {
+            counts,
+            total_ngrams,
+        }
+    }
+
+    /// Raw per-language match counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total n-grams tested for this document.
+    pub fn total_ngrams(&self) -> u64 {
+        self.total_ngrams
+    }
+
+    /// Index of the winning language (highest match count; ties broken by
+    /// lowest index, matching a hardware priority encoder).
+    pub fn best(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Index of the runner-up language, or `None` for single-language banks.
+    pub fn runner_up(&self) -> Option<usize> {
+        if self.counts.len() < 2 {
+            return None;
+        }
+        let best = self.best();
+        let mut second: Option<usize> = None;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if i == best {
+                continue;
+            }
+            match second {
+                None => second = Some(i),
+                Some(s) if c > self.counts[s] => second = Some(i),
+                _ => {}
+            }
+        }
+        second
+    }
+
+    /// Margin between the top two counts, normalized by total n-grams —
+    /// §5.1: "the difference in match counts between the two highest scoring
+    /// languages is significantly larger than the false positive rate".
+    /// Returns 1.0 for single-language banks and 0.0 for empty documents.
+    pub fn margin(&self) -> f64 {
+        let Some(second) = self.runner_up() else {
+            return 1.0;
+        };
+        if self.total_ngrams == 0 {
+            return 0.0;
+        }
+        let b = self.counts[self.best()];
+        let s = self.counts[second];
+        (b - s) as f64 / self.total_ngrams as f64
+    }
+
+    /// Match fraction for language `i` (count / total n-grams).
+    pub fn match_fraction(&self, i: usize) -> f64 {
+        if self.total_ngrams == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total_ngrams as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_is_argmax_with_low_index_tiebreak() {
+        let r = ClassificationResult::new(vec![5, 9, 9, 3], 20);
+        assert_eq!(r.best(), 1);
+        assert_eq!(r.runner_up(), Some(2));
+    }
+
+    #[test]
+    fn margin_normalized_by_total() {
+        let r = ClassificationResult::new(vec![80, 30], 100);
+        assert!((r.margin() - 0.5).abs() < 1e-12);
+        assert!((r.match_fraction(0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_language_bank() {
+        let r = ClassificationResult::new(vec![7], 10);
+        assert_eq!(r.best(), 0);
+        assert_eq!(r.runner_up(), None);
+        assert_eq!(r.margin(), 1.0);
+    }
+
+    #[test]
+    fn empty_document() {
+        let r = ClassificationResult::new(vec![0, 0], 0);
+        assert_eq!(r.best(), 0);
+        assert_eq!(r.margin(), 0.0);
+        assert_eq!(r.match_fraction(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one language")]
+    fn empty_counts_rejected() {
+        let _ = ClassificationResult::new(vec![], 0);
+    }
+}

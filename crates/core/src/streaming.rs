@@ -1,0 +1,179 @@
+//! Incremental (streaming) classification.
+//!
+//! The hardware never sees a whole document at once: DMA delivers 64-bit
+//! words and the match counters accumulate as n-grams emerge from the shift
+//! register, until End-of-Document latches the result. This module gives the
+//! software library the same shape: feed chunks of any size, read partial
+//! standings at any point, and `finish` for the final result. Output is
+//! bit-identical to whole-buffer classification for any chunking (property
+//! tested).
+
+use lc_ngram::{NGram, StreamingExtractor};
+
+use crate::classifier::MultiLanguageClassifier;
+use crate::result::ClassificationResult;
+
+/// A streaming classification session over one document.
+#[derive(Clone, Debug)]
+pub struct StreamingClassifier<'c> {
+    classifier: &'c MultiLanguageClassifier,
+    extractor: StreamingExtractor,
+    counts: Vec<u64>,
+    total_ngrams: u64,
+    /// Workhorse buffer reused across feeds.
+    grams: Vec<NGram>,
+    addrs: Vec<u32>,
+}
+
+impl<'c> StreamingClassifier<'c> {
+    /// Start a session against a programmed classifier.
+    pub fn new(classifier: &'c MultiLanguageClassifier) -> Self {
+        Self {
+            classifier,
+            extractor: StreamingExtractor::new(classifier.spec()),
+            counts: vec![0u64; classifier.num_languages()],
+            total_ngrams: 0,
+            grams: Vec::new(),
+            addrs: vec![0u32; classifier.params().k],
+        }
+    }
+
+    /// Feed the next chunk of the document (any size, including empty).
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.grams.clear();
+        self.extractor.feed(chunk, &mut self.grams);
+        let filters = self.classifier.filters();
+        for g in &self.grams {
+            filters[0].addresses_into(g.value(), &mut self.addrs);
+            for (c, f) in self.counts.iter_mut().zip(filters) {
+                if f.test_with_addresses(&self.addrs) {
+                    *c += 1;
+                }
+            }
+        }
+        self.total_ngrams += self.grams.len() as u64;
+    }
+
+    /// Current standings (partial counts) without ending the document —
+    /// what a host would see reading the counters mid-stream.
+    pub fn standings(&self) -> ClassificationResult {
+        ClassificationResult::new(self.counts.clone(), self.total_ngrams)
+    }
+
+    /// Bytes consumed so far in this document.
+    pub fn bytes_seen(&self) -> usize {
+        self.extractor.chars_seen()
+    }
+
+    /// End the document and return the final result (the End-of-Document
+    /// latch). The session resets and can be reused for the next document.
+    pub fn finish(&mut self) -> ClassificationResult {
+        let result = ClassificationResult::new(
+            std::mem::replace(&mut self.counts, vec![0u64; self.classifier.num_languages()]),
+            self.total_ngrams,
+        );
+        self.total_ngrams = 0;
+        self.extractor.reset();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ClassifierBuilder;
+    use lc_bloom::BloomParams;
+    use lc_corpus::{Corpus, CorpusConfig};
+    use lc_ngram::NGramSpec;
+    use proptest::prelude::*;
+
+    fn classifier() -> &'static MultiLanguageClassifier {
+        static CLASSIFIER: std::sync::OnceLock<MultiLanguageClassifier> =
+            std::sync::OnceLock::new();
+        CLASSIFIER.get_or_init(build_classifier)
+    }
+
+    fn build_classifier() -> MultiLanguageClassifier {
+        let corpus = Corpus::generate(CorpusConfig::test_scale());
+        let split = corpus.split();
+        let mut b = ClassifierBuilder::new(NGramSpec::PAPER, 800);
+        for &l in corpus.languages() {
+            let docs: Vec<&[u8]> = split.train(l).map(|d| d.text.as_slice()).collect();
+            b.add_language(l.code(), docs);
+        }
+        b.build_bloom(BloomParams::PAPER_CONSERVATIVE, 3)
+    }
+
+    #[test]
+    fn chunked_equals_whole_buffer() {
+        let c = classifier();
+        let corpus = Corpus::generate(CorpusConfig::test_scale());
+        let mut s = StreamingClassifier::new(c);
+        for d in corpus.split().test_all().take(8) {
+            for chunk in d.text.chunks(8) {
+                s.feed(chunk);
+            }
+            assert_eq!(s.finish(), c.classify(&d.text));
+        }
+    }
+
+    #[test]
+    fn standings_are_monotone_and_final() {
+        let c = classifier();
+        let mut s = StreamingClassifier::new(c);
+        let doc = b"the committee shall deliver its opinion on the draft measures within a time limit";
+        let mut prev_total = 0u64;
+        for chunk in doc.chunks(10) {
+            s.feed(chunk);
+            let st = s.standings();
+            assert!(st.total_ngrams() >= prev_total);
+            prev_total = st.total_ngrams();
+        }
+        let final_result = s.finish();
+        assert_eq!(final_result, c.classify(doc));
+    }
+
+    #[test]
+    fn session_reuse_is_clean() {
+        let c = classifier();
+        let mut s = StreamingClassifier::new(c);
+        s.feed(b"le premier document francais avec quelques mots");
+        let first = s.finish();
+        s.feed(b"the second document in english with other words");
+        let second = s.finish();
+        assert_eq!(first, c.classify(b"le premier document francais avec quelques mots"));
+        assert_eq!(second, c.classify(b"the second document in english with other words"));
+    }
+
+    #[test]
+    fn empty_feeds_are_harmless() {
+        let c = classifier();
+        let mut s = StreamingClassifier::new(c);
+        s.feed(b"");
+        s.feed(b"abcdef");
+        s.feed(b"");
+        assert_eq!(s.finish(), c.classify(b"abcdef"));
+    }
+
+    proptest! {
+        #[test]
+        fn any_chunking_is_equivalent(
+            doc in proptest::collection::vec(any::<u8>(), 0..400),
+            cuts in proptest::collection::vec(0usize..400, 0..6),
+        ) {
+            let c = classifier();
+            let mut cut_points: Vec<usize> =
+                cuts.into_iter().map(|x| x % (doc.len() + 1)).collect();
+            cut_points.push(0);
+            cut_points.push(doc.len());
+            cut_points.sort_unstable();
+            cut_points.dedup();
+
+            let mut s = StreamingClassifier::new(c);
+            for w in cut_points.windows(2) {
+                s.feed(&doc[w[0]..w[1]]);
+            }
+            prop_assert_eq!(s.finish(), c.classify(&doc));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The ten languages of the paper's evaluation (§5: "We used 10 languages:
+//! Czech, Slovak, Danish, Swedish, Spanish, Portuguese, Finnish, Estonian,
+//! French and English.").
+
+use std::fmt;
+
+/// One of the ten evaluation languages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Language {
+    /// Czech (cs)
+    Czech,
+    /// Slovak (sk) — the paper notes cs/sk are a confusable pair.
+    Slovak,
+    /// Danish (da)
+    Danish,
+    /// Swedish (sv) — da/sv confusable pair.
+    Swedish,
+    /// Spanish (es)
+    Spanish,
+    /// Portuguese (pt) — es/pt confusable pair ("consistently more Spanish
+    /// documents were misclassified as Portuguese").
+    Portuguese,
+    /// Finnish (fi)
+    Finnish,
+    /// Estonian (et) — fi/et confusable pair ("Estonian documents as
+    /// Finnish").
+    Estonian,
+    /// French (fr)
+    French,
+    /// English (en)
+    English,
+    // --- Extended set (beyond the paper's ten): used to exercise the
+    // 30-language hardware configuration and the scalability claims.
+    /// German (de)
+    German,
+    /// Dutch (nl) — de/nl form a Germanic confusable pair.
+    Dutch,
+    /// Italian (it)
+    Italian,
+    /// Romanian (ro) — it/ro form a Romance confusable pair.
+    Romanian,
+    /// Polish (pl)
+    Polish,
+    /// Hungarian (hu)
+    Hungarian,
+    /// Lithuanian (lt)
+    Lithuanian,
+    /// Slovenian (sl) — sl/hr form a South-Slavic confusable pair.
+    Slovenian,
+    /// Croatian (hr)
+    Croatian,
+    /// Catalan (ca)
+    Catalan,
+}
+
+impl Language {
+    /// The paper's ten evaluation languages, in its listing order.
+    pub const ALL: [Language; 10] = [
+        Language::Czech,
+        Language::Slovak,
+        Language::Danish,
+        Language::Swedish,
+        Language::Spanish,
+        Language::Portuguese,
+        Language::Finnish,
+        Language::Estonian,
+        Language::French,
+        Language::English,
+    ];
+
+    /// The extended set: the paper's ten plus ten more European languages,
+    /// used to exercise the 30-language hardware configuration (§5.2) at
+    /// realistic functional scale.
+    pub const EXTENDED: [Language; 20] = [
+        Language::Czech,
+        Language::Slovak,
+        Language::Danish,
+        Language::Swedish,
+        Language::Spanish,
+        Language::Portuguese,
+        Language::Finnish,
+        Language::Estonian,
+        Language::French,
+        Language::English,
+        Language::German,
+        Language::Dutch,
+        Language::Italian,
+        Language::Romanian,
+        Language::Polish,
+        Language::Hungarian,
+        Language::Lithuanian,
+        Language::Slovenian,
+        Language::Croatian,
+        Language::Catalan,
+    ];
+
+    /// ISO 639-1 code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Language::Czech => "cs",
+            Language::Slovak => "sk",
+            Language::Danish => "da",
+            Language::Swedish => "sv",
+            Language::Spanish => "es",
+            Language::Portuguese => "pt",
+            Language::Finnish => "fi",
+            Language::Estonian => "et",
+            Language::French => "fr",
+            Language::English => "en",
+            Language::German => "de",
+            Language::Dutch => "nl",
+            Language::Italian => "it",
+            Language::Romanian => "ro",
+            Language::Polish => "pl",
+            Language::Hungarian => "hu",
+            Language::Lithuanian => "lt",
+            Language::Slovenian => "sl",
+            Language::Croatian => "hr",
+            Language::Catalan => "ca",
+        }
+    }
+
+    /// English name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Language::Czech => "Czech",
+            Language::Slovak => "Slovak",
+            Language::Danish => "Danish",
+            Language::Swedish => "Swedish",
+            Language::Spanish => "Spanish",
+            Language::Portuguese => "Portuguese",
+            Language::Finnish => "Finnish",
+            Language::Estonian => "Estonian",
+            Language::French => "French",
+            Language::English => "English",
+            Language::German => "German",
+            Language::Dutch => "Dutch",
+            Language::Italian => "Italian",
+            Language::Romanian => "Romanian",
+            Language::Polish => "Polish",
+            Language::Hungarian => "Hungarian",
+            Language::Lithuanian => "Lithuanian",
+            Language::Slovenian => "Slovenian",
+            Language::Croatian => "Croatian",
+            Language::Catalan => "Catalan",
+        }
+    }
+
+    /// Stable index (position in [`Language::EXTENDED`]; the paper's ten
+    /// occupy `0..10` in paper order).
+    pub fn index(self) -> usize {
+        Language::EXTENDED.iter().position(|&l| l == self).unwrap()
+    }
+
+    /// Look up by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 20`.
+    pub fn from_index(i: usize) -> Language {
+        Language::EXTENDED[i]
+    }
+
+    /// Parse an ISO code.
+    pub fn from_code(code: &str) -> Option<Language> {
+        Language::EXTENDED.iter().copied().find(|l| l.code() == code)
+    }
+
+    /// The paper's observed confusable partner, if any (§5.2: "consistently
+    /// more Spanish documents were misclassified as Portuguese, and Estonian
+    /// documents as Finnish"; cs/sk and da/sv are the other similar pairs in
+    /// the set).
+    pub fn confusable_partner(self) -> Option<Language> {
+        match self {
+            Language::Czech => Some(Language::Slovak),
+            Language::Slovak => Some(Language::Czech),
+            Language::Danish => Some(Language::Swedish),
+            Language::Swedish => Some(Language::Danish),
+            Language::Spanish => Some(Language::Portuguese),
+            Language::Portuguese => Some(Language::Spanish),
+            Language::Finnish => Some(Language::Estonian),
+            Language::Estonian => Some(Language::Finnish),
+            Language::German => Some(Language::Dutch),
+            Language::Dutch => Some(Language::German),
+            Language::Italian => Some(Language::Romanian),
+            Language::Romanian => Some(Language::Italian),
+            Language::Slovenian => Some(Language::Croatian),
+            Language::Croatian => Some(Language::Slovenian),
+            Language::French
+            | Language::English
+            | Language::Polish
+            | Language::Hungarian
+            | Language::Lithuanian
+            | Language::Catalan => None,
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_languages_with_unique_codes() {
+        let codes: std::collections::HashSet<&str> =
+            Language::EXTENDED.iter().map(|l| l.code()).collect();
+        assert_eq!(codes.len(), 20);
+    }
+
+    #[test]
+    fn paper_ten_prefix_the_extended_set() {
+        assert_eq!(&Language::EXTENDED[..10], &Language::ALL[..]);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, &l) in Language::EXTENDED.iter().enumerate() {
+            assert_eq!(l.index(), i);
+            assert_eq!(Language::from_index(i), l);
+        }
+    }
+
+    #[test]
+    fn code_round_trips() {
+        for &l in &Language::EXTENDED {
+            assert_eq!(Language::from_code(l.code()), Some(l));
+        }
+        assert_eq!(Language::from_code("xx"), None);
+    }
+
+    #[test]
+    fn confusable_pairs_are_symmetric() {
+        for &l in &Language::EXTENDED {
+            if let Some(p) = l.confusable_partner() {
+                assert_eq!(p.confusable_partner(), Some(l));
+                assert_ne!(p, l);
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Language::Czech.to_string(), "Czech");
+        assert_eq!(format!("{}", Language::English), "English");
+    }
+}

@@ -1,0 +1,249 @@
+//! Order-3 character Markov chains over ISO-8859-1 bytes.
+//!
+//! A chain trained on a language's seed text generates unbounded synthetic
+//! text whose character 4-gram distribution matches the seed's (a 3-byte
+//! context predicts the next byte — precisely the statistic a 4-gram
+//! classifier measures). Sampling uses cumulative weight tables per context
+//! for O(log v) draws, and contexts unseen in training fall back to starting
+//! a fresh sentence context.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Order of the chain: 3 bytes of context.
+pub const ORDER: usize = 3;
+
+#[derive(Clone, Debug, Default)]
+struct Transition {
+    /// Next-byte candidates (sorted by byte for determinism).
+    bytes: Vec<u8>,
+    /// Cumulative counts aligned with `bytes`.
+    cumulative: Vec<u32>,
+}
+
+impl Transition {
+    fn total(&self) -> u32 {
+        *self.cumulative.last().unwrap_or(&0)
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u8 {
+        debug_assert!(!self.bytes.is_empty());
+        let r = rng.gen_range(0..self.total());
+        // First cumulative value strictly greater than r.
+        let idx = self.cumulative.partition_point(|&c| c <= r);
+        self.bytes[idx]
+    }
+}
+
+/// An order-3 byte-level Markov model.
+#[derive(Clone, Debug)]
+pub struct MarkovModel {
+    transitions: HashMap<[u8; ORDER], Transition>,
+    /// Contexts that started sentences in the training text, used as
+    /// (re)start states.
+    starts: Vec<[u8; ORDER]>,
+}
+
+impl MarkovModel {
+    /// Train on a byte corpus (ISO-8859-1). Runs of whitespace are collapsed
+    /// to single spaces first so the chain does not learn formatting
+    /// artefacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (normalized) text is shorter than `ORDER + 1` bytes.
+    pub fn train(text: &[u8]) -> Self {
+        let norm = normalize_whitespace(text);
+        assert!(
+            norm.len() > ORDER,
+            "training text too short: {} bytes after normalization",
+            norm.len()
+        );
+
+        let mut counts: HashMap<[u8; ORDER], HashMap<u8, u32>> = HashMap::new();
+        let mut starts = Vec::new();
+        for w in norm.windows(ORDER + 1) {
+            let ctx = [w[0], w[1], w[2]];
+            *counts.entry(ctx).or_default().entry(w[3]).or_insert(0) += 1;
+            // A context following ". " or at the very beginning is a start.
+        }
+        for (i, w) in norm.windows(ORDER).enumerate() {
+            if i == 0 || (i >= 2 && norm[i - 2] == b'.' && norm[i - 1] == b' ') {
+                starts.push([w[0], w[1], w[2]]);
+            }
+        }
+        if starts.is_empty() {
+            let w = &norm[..ORDER];
+            starts.push([w[0], w[1], w[2]]);
+        }
+
+        let transitions = counts
+            .into_iter()
+            .map(|(ctx, next)| {
+                let mut pairs: Vec<(u8, u32)> = next.into_iter().collect();
+                pairs.sort_unstable_by_key(|p| p.0);
+                let mut bytes = Vec::with_capacity(pairs.len());
+                let mut cumulative = Vec::with_capacity(pairs.len());
+                let mut acc = 0u32;
+                for (b, c) in pairs {
+                    acc += c;
+                    bytes.push(b);
+                    cumulative.push(acc);
+                }
+                (ctx, Transition { bytes, cumulative })
+            })
+            .collect();
+
+        Self { transitions, starts }
+    }
+
+    /// Number of distinct contexts learned.
+    pub fn contexts(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Generate `len` bytes of text, deterministically from `seed`.
+    pub fn generate(&self, len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(len + ORDER);
+        let mut ctx = self.starts[rng.gen_range(0..self.starts.len())];
+        out.extend_from_slice(&ctx);
+        while out.len() < len {
+            match self.transitions.get(&ctx) {
+                Some(t) => {
+                    let b = t.sample(&mut rng);
+                    out.push(b);
+                    ctx = [ctx[1], ctx[2], b];
+                }
+                None => {
+                    // Dead end (context only appeared at the end of the
+                    // training text): restart a sentence.
+                    out.push(b' ');
+                    ctx = self.starts[rng.gen_range(0..self.starts.len())];
+                    out.extend_from_slice(&ctx);
+                }
+            }
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+/// Collapse whitespace runs to single spaces and trim.
+pub fn normalize_whitespace(text: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(text.len());
+    let mut in_space = true; // leading whitespace trimmed
+    for &b in text {
+        let is_ws = b == b' ' || b == b'\n' || b == b'\t' || b == b'\r';
+        if is_ws {
+            if !in_space {
+                out.push(b' ');
+                in_space = true;
+            }
+        } else {
+            out.push(b);
+            in_space = false;
+        }
+    }
+    while out.last() == Some(&b' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::seed_text;
+    use crate::translit::to_latin1;
+    use crate::Language;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn english_model() -> MarkovModel {
+        MarkovModel::train(&to_latin1(seed_text(Language::English)))
+    }
+
+    #[test]
+    fn generates_requested_length() {
+        let m = english_model();
+        for len in [0usize, 1, 3, 4, 100, 5000] {
+            assert_eq!(m.generate(len, 1).len(), len);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let m = english_model();
+        assert_eq!(m.generate(500, 7), m.generate(500, 7));
+        assert_ne!(m.generate(500, 7), m.generate(500, 8));
+    }
+
+    #[test]
+    fn generated_4grams_come_from_training_distribution() {
+        // Every generated 4-gram (away from restart splices) must exist in
+        // the training text, since an order-3 chain can only emit trained
+        // transitions.
+        let seed = to_latin1(seed_text(Language::English));
+        let norm = normalize_whitespace(&seed);
+        let trained: HashSet<&[u8]> = norm.windows(4).collect();
+        let m = MarkovModel::train(&seed);
+        let gen = m.generate(2000, 3);
+        let mut misses = 0;
+        for w in gen.windows(4) {
+            if !trained.contains(w) {
+                misses += 1; // restart splices can create novel windows
+            }
+        }
+        let frac = misses as f64 / (gen.len() - 3) as f64;
+        assert!(frac < 0.02, "too many out-of-model 4-grams: {frac:.4}");
+    }
+
+    #[test]
+    fn whitespace_normalization() {
+        assert_eq!(normalize_whitespace(b"  a  b\n\nc  "), b"a b c".to_vec());
+        assert_eq!(normalize_whitespace(b""), Vec::<u8>::new());
+        assert_eq!(normalize_whitespace(b"   "), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "training text too short")]
+    fn short_training_text_rejected() {
+        let _ = MarkovModel::train(b"ab");
+    }
+
+    #[test]
+    fn all_language_models_train_and_generate() {
+        for &l in &Language::EXTENDED {
+            let m = MarkovModel::train(&to_latin1(seed_text(l)));
+            assert!(m.contexts() > 300, "{l}: only {} contexts", m.contexts());
+            let text = m.generate(1000, 42);
+            assert_eq!(text.len(), 1000);
+            // Generated text should contain spaces (word-like structure).
+            assert!(text.iter().filter(|&&b| b == b' ').count() > 50, "{l}");
+        }
+    }
+
+    #[test]
+    fn models_of_different_languages_disagree() {
+        // Cross-check: text generated by the French model shares few 4-grams
+        // with Finnish training text, and vice versa.
+        let fr = MarkovModel::train(&to_latin1(seed_text(Language::French)));
+        let fi_text = normalize_whitespace(&to_latin1(seed_text(Language::Finnish)));
+        let fi_4grams: HashSet<&[u8]> = fi_text.windows(4).collect();
+        let gen = fr.generate(3000, 5);
+        let hits = gen.windows(4).filter(|w| fi_4grams.contains(*w)).count();
+        let frac = hits as f64 / (gen.len() - 3) as f64;
+        assert!(frac < 0.5, "French output overlaps Finnish too much: {frac:.3}");
+    }
+
+    proptest! {
+        #[test]
+        fn generate_never_panics(len in 0usize..2000, seed in any::<u64>()) {
+            let m = english_model();
+            let out = m.generate(len, seed);
+            prop_assert_eq!(out.len(), len);
+        }
+    }
+}

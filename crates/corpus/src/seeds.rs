@@ -1,0 +1,490 @@
+//! Embedded seed text per language.
+//!
+//! Each seed is a few paragraphs of authentic-orthography text in the
+//! JRC-Acquis register (EU legal boilerplate) plus a rights-declaration
+//! passage and some general prose. The seeds are the training material for
+//! the per-language Markov chains in [`crate::markov`]; they only need to
+//! carry each language's characteristic character-transition statistics, not
+//! to be large. Text is stored as UTF-8 and transliterated/encoded to
+//! ISO-8859-1 downstream ([`crate::translit`]).
+
+use crate::language::Language;
+
+/// Seed text for a language.
+pub fn seed_text(lang: Language) -> &'static str {
+    match lang {
+        Language::English => EN,
+        Language::French => FR,
+        Language::Spanish => ES,
+        Language::Portuguese => PT,
+        Language::Danish => DA,
+        Language::Swedish => SV,
+        Language::Finnish => FI,
+        Language::Estonian => ET,
+        Language::Czech => CS,
+        Language::Slovak => SK,
+        Language::German => DE,
+        Language::Dutch => NL,
+        Language::Italian => IT,
+        Language::Romanian => RO,
+        Language::Polish => PL,
+        Language::Hungarian => HU,
+        Language::Lithuanian => LT,
+        Language::Slovenian => SL,
+        Language::Croatian => HR,
+        Language::Catalan => CA,
+    }
+}
+
+const EN: &str = "\
+All human beings are born free and equal in dignity and rights. They are endowed with reason \
+and conscience and should act towards one another in a spirit of brotherhood. Everyone is \
+entitled to all the rights and freedoms set forth in this declaration, without distinction of \
+any kind, such as race, colour, sex, language, religion, political or other opinion, national \
+or social origin, property, birth or other status. \
+Having regard to the treaty establishing the European Community, the Council of the European \
+Union has adopted this regulation. This regulation shall enter into force on the twentieth day \
+following that of its publication in the official journal of the European Communities. This \
+regulation shall be binding in its entirety and directly applicable in all member states. The \
+committee shall deliver its opinion on the draft measures within a time limit which the \
+chairman may lay down according to the urgency of the matter. Whereas the measures provided \
+for in this decision are in accordance with the opinion of the standing committee, the \
+commission has examined the application and considers that the conditions laid down in the \
+annex are satisfied. Member states shall take all necessary measures to ensure that the \
+provisions of this directive are applied to products placed on the market. The government of \
+the United Kingdom informed the commission that further information would be made available \
+before the end of the year. During the transitional period the customs duties applicable to \
+imports of the products listed in the first paragraph shall be reduced in equal steps. Where a \
+member state considers that an adjustment is necessary it shall inform the other member states \
+and the commission, giving the reasons for the proposed change and the expected effects on \
+trade between the countries concerned.";
+
+const FR: &str = "\
+Tous les êtres humains naissent libres et égaux en dignité et en droits. Ils sont doués de \
+raison et de conscience et doivent agir les uns envers les autres dans un esprit de \
+fraternité. Chacun peut se prévaloir de tous les droits et de toutes les libertés proclamés \
+dans la présente déclaration, sans distinction aucune, notamment de race, de couleur, de sexe, \
+de langue, de religion, d'opinion politique ou de toute autre opinion, d'origine nationale ou \
+sociale, de fortune, de naissance ou de toute autre situation. \
+Vu le traité instituant la Communauté européenne, le Conseil de l'Union européenne a arrêté le \
+présent règlement. Le présent règlement entre en vigueur le vingtième jour suivant celui de sa \
+publication au journal officiel des Communautés européennes. Le présent règlement est \
+obligatoire dans tous ses éléments et directement applicable dans tout état membre. Le comité \
+émet son avis sur le projet de mesures dans un délai que le président peut fixer en fonction \
+de l'urgence de la question. Considérant que les mesures prévues à la présente décision sont \
+conformes à l'avis du comité permanent, la commission a examiné la demande et considère que \
+les conditions fixées à l'annexe sont remplies. Les états membres prennent toutes les mesures \
+nécessaires pour que les dispositions de la présente directive soient appliquées aux produits \
+mis sur le marché. Pendant la période transitoire, les droits de douane applicables aux \
+importations des produits visés au premier alinéa sont réduits par étapes égales. Lorsqu'un \
+état membre estime qu'un ajustement est nécessaire, il en informe les autres états membres et \
+la commission en indiquant les raisons de la modification proposée.";
+
+const ES: &str = "\
+Todos los seres humanos nacen libres e iguales en dignidad y derechos y, dotados como están de \
+razón y conciencia, deben comportarse fraternalmente los unos con los otros. Toda persona \
+tiene todos los derechos y libertades proclamados en esta declaración, sin distinción alguna \
+de raza, color, sexo, idioma, religión, opinión política o de cualquier otra índole, origen \
+nacional o social, posición económica, nacimiento o cualquier otra condición. \
+Visto el tratado constitutivo de la Comunidad Europea, el Consejo de la Unión Europea ha \
+adoptado el presente reglamento. El presente reglamento entrará en vigor el vigésimo día \
+siguiente al de su publicación en el diario oficial de las Comunidades Europeas. El presente \
+reglamento será obligatorio en todos sus elementos y directamente aplicable en cada estado \
+miembro. El comité emitirá su dictamen sobre el proyecto de medidas en un plazo que el \
+presidente podrá fijar en función de la urgencia de la cuestión. Considerando que las medidas \
+previstas en la presente decisión se ajustan al dictamen del comité permanente, la comisión ha \
+examinado la solicitud y considera que se cumplen las condiciones establecidas en el anexo. \
+Los estados miembros adoptarán todas las medidas necesarias para garantizar que las \
+disposiciones de la presente directiva se apliquen a los productos comercializados. Durante el \
+período transitorio, los derechos de aduana aplicables a las importaciones de los productos \
+mencionados en el primer párrafo se reducirán en etapas iguales. Cuando un estado miembro \
+considere que es necesario un ajuste, informará de ello a los demás estados miembros y a la \
+comisión, indicando las razones de la modificación propuesta.";
+
+const PT: &str = "\
+Todos os seres humanos nascem livres e iguais em dignidade e em direitos. Dotados de razão e \
+de consciência, devem agir uns para com os outros em espírito de fraternidade. Todos os seres \
+humanos podem invocar os direitos e as liberdades proclamados na presente declaração, sem \
+distinção alguma, nomeadamente de raça, de cor, de sexo, de língua, de religião, de opinião \
+política ou outra, de origem nacional ou social, de fortuna, de nascimento ou de qualquer \
+outra situação. \
+Tendo em conta o tratado que institui a Comunidade Europeia, o Conselho da União Europeia \
+adoptou o presente regulamento. O presente regulamento entra em vigor no vigésimo dia seguinte \
+ao da sua publicação no jornal oficial das Comunidades Europeias. O presente regulamento é \
+obrigatório em todos os seus elementos e directamente aplicável em todos os estados membros. \
+O comité emitirá o seu parecer sobre o projecto de medidas num prazo que o presidente pode \
+fixar em função da urgência da questão. Considerando que as medidas previstas na presente \
+decisão estão em conformidade com o parecer do comité permanente, a comissão examinou o pedido \
+e considera que as condições estabelecidas no anexo se encontram preenchidas. Os estados \
+membros tomarão todas as medidas necessárias para assegurar que as disposições da presente \
+directiva sejam aplicadas aos produtos colocados no mercado. Durante o período transitório, os \
+direitos aduaneiros aplicáveis às importações dos produtos referidos no primeiro parágrafo \
+serão reduzidos em fases iguais. Quando um estado membro considerar que é necessário um \
+ajustamento, informará desse facto os outros estados membros e a comissão, indicando as razões \
+da alteração proposta.";
+
+const DA: &str = "\
+Alle mennesker er født frie og lige i værdighed og rettigheder. De er udstyret med fornuft og \
+samvittighed, og de bør handle mod hverandre i en broderskabets ånd. Enhver har krav på alle \
+de rettigheder og friheder, som nævnes i denne erklæring, uden forskelsbehandling af nogen \
+art, for eksempel på grund af race, farve, køn, sprog, religion, politisk eller anden \
+anskuelse, national eller social oprindelse, formueforhold, fødsel eller anden samfundsmæssig \
+stilling. \
+Under henvisning til traktaten om oprettelse af Det Europæiske Fællesskab har Rådet for Den \
+Europæiske Union udstedt denne forordning. Denne forordning træder i kraft på tyvendedagen \
+efter offentliggørelsen i De Europæiske Fællesskabers tidende. Denne forordning er bindende i \
+alle enkeltheder og gælder umiddelbart i hver medlemsstat. Udvalget afgiver udtalelse om \
+udkastet til foranstaltninger inden for en frist, som formanden kan fastsætte under hensyn til, \
+hvor meget sagen haster. Da de i denne beslutning fastsatte foranstaltninger er i \
+overensstemmelse med udtalelsen fra det stående udvalg, har kommissionen gennemgået \
+ansøgningen og finder, at betingelserne i bilaget er opfyldt. Medlemsstaterne træffer alle \
+nødvendige foranstaltninger for at sikre, at bestemmelserne i dette direktiv anvendes på varer, \
+der bringes i omsætning. I overgangsperioden nedsættes tolden ved indførsel af de varer, der \
+er nævnt i første afsnit, i lige store etaper. Når en medlemsstat finder, at en tilpasning er \
+nødvendig, underretter den de øvrige medlemsstater og kommissionen herom med angivelse af \
+grundene til den foreslåede ændring.";
+
+const SV: &str = "\
+Alla människor är födda fria och lika i värde och rättigheter. De är utrustade med förnuft och \
+samvete och bör handla gentemot varandra i en anda av broderskap. Var och en är berättigad \
+till alla de fri- och rättigheter som uttalas i denna förklaring utan åtskillnad av något slag, \
+såsom ras, hudfärg, kön, språk, religion, politisk eller annan uppfattning, nationellt eller \
+socialt ursprung, egendom, börd eller ställning i övrigt. \
+Med beaktande av fördraget om upprättandet av Europeiska gemenskapen har Europeiska unionens \
+råd antagit denna förordning. Denna förordning träder i kraft den tjugonde dagen efter det att \
+den har offentliggjorts i Europeiska gemenskapernas officiella tidning. Denna förordning är \
+till alla delar bindande och direkt tillämplig i alla medlemsstater. Kommittén skall yttra sig \
+över utkastet till åtgärder inom den tid som ordföranden bestämmer med hänsyn till hur \
+brådskande frågan är. Eftersom de åtgärder som föreskrivs i detta beslut är förenliga med \
+yttrandet från den ständiga kommittén har kommissionen granskat ansökan och anser att \
+villkoren i bilagan är uppfyllda. Medlemsstaterna skall vidta alla nödvändiga åtgärder för att \
+säkerställa att bestämmelserna i detta direktiv tillämpas på produkter som släpps ut på \
+marknaden. Under övergångsperioden skall tullarna vid import av de produkter som anges i \
+första stycket sänkas i lika stora steg. Om en medlemsstat anser att en anpassning är \
+nödvändig skall den underrätta de övriga medlemsstaterna och kommissionen om detta och ange \
+skälen för den föreslagna ändringen.";
+
+const FI: &str = "\
+Kaikki ihmiset syntyvät vapaina ja tasavertaisina arvoltaan ja oikeuksiltaan. Heille on \
+annettu järki ja omatunto, ja heidän on toimittava toisiaan kohtaan veljeyden hengessä. \
+Jokainen on oikeutettu kaikkiin tässä julistuksessa esitettyihin oikeuksiin ja vapauksiin \
+ilman minkäänlaista rotuun, väriin, sukupuoleen, kieleen, uskontoon, poliittiseen tai muuhun \
+mielipiteeseen, kansalliseen tai yhteiskunnalliseen alkuperään, omaisuuteen, syntyperään tai \
+muuhun tekijään perustuvaa erotusta. \
+Ottaen huomioon Euroopan yhteisön perustamissopimuksen Euroopan unionin neuvosto on antanut \
+tämän asetuksen. Tämä asetus tulee voimaan kahdentenakymmenentenä päivänä sen jälkeen, kun se \
+on julkaistu Euroopan yhteisöjen virallisessa lehdessä. Tämä asetus on kaikilta osiltaan \
+velvoittava, ja sitä sovelletaan sellaisenaan kaikissa jäsenvaltioissa. Komitea antaa \
+lausuntonsa toimenpideluonnoksesta määräajassa, jonka puheenjohtaja voi asettaa asian \
+kiireellisyyden mukaan. Koska tässä päätöksessä säädetyt toimenpiteet ovat pysyvän komitean \
+lausunnon mukaisia, komissio on tutkinut hakemuksen ja katsoo, että liitteessä asetetut \
+edellytykset täyttyvät. Jäsenvaltioiden on toteutettava kaikki tarvittavat toimenpiteet sen \
+varmistamiseksi, että tämän direktiivin säännöksiä sovelletaan markkinoille saatettuihin \
+tuotteisiin. Siirtymäkauden aikana ensimmäisessä kohdassa tarkoitettujen tuotteiden tuontiin \
+sovellettavia tulleja alennetaan yhtä suurin vaihein. Jos jäsenvaltio katsoo, että mukautus on \
+tarpeen, sen on ilmoitettava asiasta muille jäsenvaltioille ja komissiolle sekä esitettävä \
+ehdotetun muutoksen perustelut.";
+
+const ET: &str = "\
+Kõik inimesed sünnivad vabadena ja võrdsetena oma väärikuselt ja õigustelt. Neile on antud \
+mõistus ja südametunnistus ja nende suhtumist üksteisesse peab kandma vendluse vaim. Igal \
+inimesel peavad olema kõik käesoleva deklaratsiooniga välja kuulutatud õigused ja vabadused, \
+olenemata rassist, nahavärvusest, soost, keelest, usulistest, poliitilistest või muudest \
+veendumustest, rahvuslikust või sotsiaalsest päritolust, varanduslikust, seisuslikust või muust \
+seisundist. \
+Võttes arvesse Euroopa Ühenduse asutamislepingut on Euroopa Liidu nõukogu vastu võtnud \
+käesoleva määruse. Käesolev määrus jõustub kahekümnendal päeval pärast selle avaldamist \
+Euroopa Ühenduste teatajas. Käesolev määrus on tervikuna siduv ja vahetult kohaldatav kõikides \
+liikmesriikides. Komitee esitab oma arvamuse meetmete eelnõu kohta tähtaja jooksul, mille \
+eesistuja võib määrata lähtuvalt küsimuse kiireloomulisusest. Kuna käesolevas otsuses \
+sätestatud meetmed on kooskõlas alalise komitee arvamusega, on komisjon taotluse läbi vaadanud \
+ja leiab, et lisas sätestatud tingimused on täidetud. Liikmesriigid võtavad kõik vajalikud \
+meetmed tagamaks, et käesoleva direktiivi sätteid kohaldatakse turule viidud toodete suhtes. \
+Üleminekuperioodi jooksul vähendatakse esimeses lõigus nimetatud toodete impordi suhtes \
+kohaldatavaid tollimakse võrdsete sammudena. Kui liikmesriik leiab, et kohandamine on vajalik, \
+teatab ta sellest teistele liikmesriikidele ja komisjonile ning esitab kavandatava muudatuse \
+põhjused.";
+
+const CS: &str = "\
+Všichni lidé rodí se svobodní a sobě rovní co do důstojnosti a práv. Jsou nadáni rozumem a \
+svědomím a mají spolu jednat v duchu bratrství. Každý má všechna práva a všechny svobody, \
+stanovené touto deklarací, bez jakéhokoli rozlišování, zejména podle rasy, barvy, pohlaví, \
+jazyka, náboženství, politického nebo jiného smýšlení, národnostního nebo sociálního původu, \
+majetku, rodu nebo jiného postavení. \
+S ohledem na smlouvu o založení Evropského společenství přijala Rada Evropské unie toto \
+nařízení. Toto nařízení vstupuje v platnost dvacátým dnem po vyhlášení v úředním věstníku \
+Evropských společenství. Toto nařízení je závazné v celém rozsahu a přímo použitelné ve všech \
+členských státech. Výbor zaujme stanovisko k návrhu opatření ve lhůtě, kterou může předseda \
+stanovit podle naléhavosti věci. Vzhledem k tomu, že opatření stanovená tímto rozhodnutím jsou \
+v souladu se stanoviskem stálého výboru, komise přezkoumala žádost a má za to, že podmínky \
+stanovené v příloze jsou splněny. Členské státy přijmou veškerá nezbytná opatření, aby \
+zajistily, že ustanovení této směrnice budou uplatňována na výrobky uváděné na trh. Během \
+přechodného období se cla použitelná na dovoz výrobků uvedených v prvním pododstavci snižují \
+ve stejných etapách. Pokud členský stát usoudí, že je nutná úprava, uvědomí o tom ostatní \
+členské státy a komisi a uvede důvody navrhované změny i očekávané účinky na obchod mezi \
+dotčenými zeměmi.";
+
+const SK: &str = "\
+Všetci ľudia sa rodia slobodní a sebe rovní, čo sa týka ich dôstojnosti a práv. Sú obdarení \
+rozumom a majú navzájom jednať v bratskom duchu. Každý má všetky práva a všetky slobody, \
+vyhlásené v tejto deklarácii, bez hocijakého rozlišovania najmä podľa rasy, farby, pohlavia, \
+jazyka, náboženstva, politického alebo iného zmýšľania, národnostného alebo sociálneho pôvodu, \
+majetku, rodu alebo iného postavenia. \
+So zreteľom na zmluvu o založení Európskeho spoločenstva prijala Rada Európskej únie toto \
+nariadenie. Toto nariadenie nadobúda účinnosť dvadsiatym dňom po jeho uverejnení v úradnom \
+vestníku Európskych spoločenstiev. Toto nariadenie je záväzné v celom rozsahu a priamo \
+uplatniteľné vo všetkých členských štátoch. Výbor zaujme stanovisko k návrhu opatrení v \
+lehote, ktorú môže predseda určiť podľa naliehavosti veci. Keďže opatrenia ustanovené v tomto \
+rozhodnutí sú v súlade so stanoviskom stáleho výboru, komisia preskúmala žiadosť a domnieva \
+sa, že podmienky stanovené v prílohe sú splnené. Členské štáty prijmú všetky potrebné \
+opatrenia, aby zabezpečili, že ustanovenia tejto smernice sa budú uplatňovať na výrobky \
+uvádzané na trh. Počas prechodného obdobia sa clá uplatniteľné na dovoz výrobkov uvedených v \
+prvom pododseku znižujú v rovnakých etapách. Ak členský štát usúdi, že je potrebná úprava, \
+oznámi to ostatným členským štátom a komisii a uvedie dôvody navrhovanej zmeny ako aj \
+očakávané účinky na obchod medzi dotknutými krajinami.";
+
+
+const DE: &str = "\
+Alle Menschen sind frei und gleich an Würde und Rechten geboren. Sie sind mit Vernunft und \
+Gewissen begabt und sollen einander im Geiste der Brüderlichkeit begegnen. Jeder hat Anspruch \
+auf die in dieser Erklärung verkündeten Rechte und Freiheiten ohne irgendeinen Unterschied, \
+etwa nach Rasse, Hautfarbe, Geschlecht, Sprache, Religion, politischer oder sonstiger \
+Überzeugung, nationaler oder sozialer Herkunft, Vermögen, Geburt oder sonstigem Stand. \
+Gestützt auf den Vertrag zur Gründung der Europäischen Gemeinschaft hat der Rat der \
+Europäischen Union diese Verordnung erlassen. Diese Verordnung tritt am zwanzigsten Tag nach \
+ihrer Veröffentlichung im Amtsblatt der Europäischen Gemeinschaften in Kraft. Diese Verordnung \
+ist in allen ihren Teilen verbindlich und gilt unmittelbar in jedem Mitgliedstaat. Der \
+Ausschuss gibt seine Stellungnahme zu dem Entwurf der Maßnahmen innerhalb einer Frist ab, die \
+der Vorsitzende unter Berücksichtigung der Dringlichkeit der Angelegenheit festsetzen kann. Da \
+die in dieser Entscheidung vorgesehenen Maßnahmen mit der Stellungnahme des ständigen \
+Ausschusses in Einklang stehen, hat die Kommission den Antrag geprüft und ist der Auffassung, \
+dass die im Anhang festgelegten Bedingungen erfüllt sind. Die Mitgliedstaaten treffen alle \
+erforderlichen Maßnahmen, um sicherzustellen, dass die Bestimmungen dieser Richtlinie auf die \
+in den Verkehr gebrachten Erzeugnisse angewandt werden. Während der Übergangszeit werden die \
+Zölle auf die Einfuhren der im ersten Absatz genannten Erzeugnisse in gleichen Stufen gesenkt. \
+Hält ein Mitgliedstaat eine Anpassung für erforderlich, so unterrichtet er die übrigen \
+Mitgliedstaaten und die Kommission und gibt die Gründe für die vorgeschlagene Änderung an.";
+
+const NL: &str = "\
+Alle mensen worden vrij en gelijk in waardigheid en rechten geboren. Zij zijn begiftigd met \
+verstand en geweten, en behoren zich jegens elkander in een geest van broederschap te \
+gedragen. Een ieder heeft aanspraak op alle rechten en vrijheden, in deze verklaring opgesomd, \
+zonder enig onderscheid van welke aard ook, zoals ras, kleur, geslacht, taal, godsdienst, \
+politieke of andere overtuiging, nationale of maatschappelijke afkomst, eigendom, geboorte of \
+andere status. \
+Gelet op het verdrag tot oprichting van de Europese Gemeenschap heeft de Raad van de Europese \
+Unie deze verordening vastgesteld. Deze verordening treedt in werking op de twintigste dag \
+volgende op die van haar bekendmaking in het publicatieblad van de Europese Gemeenschappen. \
+Deze verordening is verbindend in al haar onderdelen en is rechtstreeks toepasselijk in elke \
+lidstaat. Het comité brengt advies uit over het ontwerp van maatregelen binnen een termijn die \
+de voorzitter kan vaststellen naar gelang van de urgentie van de materie. Overwegende dat de \
+in deze beschikking vervatte maatregelen in overeenstemming zijn met het advies van het \
+permanent comité, heeft de commissie de aanvraag onderzocht en is zij van oordeel dat aan de \
+in de bijlage gestelde voorwaarden is voldaan. De lidstaten treffen alle nodige maatregelen om \
+ervoor te zorgen dat de bepalingen van deze richtlijn worden toegepast op de in de handel \
+gebrachte producten. Gedurende de overgangsperiode worden de douanerechten bij invoer van de \
+in de eerste alinea bedoelde producten in gelijke etappes verlaagd. Wanneer een lidstaat van \
+oordeel is dat een aanpassing noodzakelijk is, stelt hij de overige lidstaten en de commissie \
+daarvan in kennis met opgave van de redenen voor de voorgestelde wijziging.";
+
+const IT: &str = "\
+Tutti gli esseri umani nascono liberi ed eguali in dignità e diritti. Essi sono dotati di \
+ragione e di coscienza e devono agire gli uni verso gli altri in spirito di fratellanza. Ad \
+ogni individuo spettano tutti i diritti e tutte le libertà enunciate nella presente \
+dichiarazione, senza distinzione alcuna, per ragioni di razza, di colore, di sesso, di lingua, \
+di religione, di opinione politica o di altro genere, di origine nazionale o sociale, di \
+ricchezza, di nascita o di altra condizione. \
+Visto il trattato che istituisce la Comunità europea, il Consiglio dell'Unione europea ha \
+adottato il presente regolamento. Il presente regolamento entra in vigore il ventesimo giorno \
+successivo alla pubblicazione nella gazzetta ufficiale delle Comunità europee. Il presente \
+regolamento è obbligatorio in tutti i suoi elementi e direttamente applicabile in ciascuno \
+degli stati membri. Il comitato esprime il suo parere sul progetto di misure entro un termine \
+che il presidente può fissare in funzione dell'urgenza della questione. Considerando che le \
+misure previste dalla presente decisione sono conformi al parere del comitato permanente, la \
+commissione ha esaminato la domanda e ritiene che le condizioni stabilite nell'allegato siano \
+soddisfatte. Gli stati membri adottano tutte le misure necessarie per garantire che le \
+disposizioni della presente direttiva siano applicate ai prodotti immessi sul mercato. Durante \
+il periodo transitorio i dazi doganali applicabili alle importazioni dei prodotti di cui al \
+primo comma sono ridotti in fasi uguali. Qualora uno stato membro ritenga necessario un \
+adeguamento, ne informa gli altri stati membri e la commissione indicando i motivi della \
+modifica proposta.";
+
+const RO: &str = "\
+Toate ființele umane se nasc libere și egale în demnitate și în drepturi. Ele sunt înzestrate \
+cu rațiune și conștiință și trebuie să se comporte unele față de altele în spiritul \
+fraternității. Fiecare om se poate prevala de toate drepturile și libertățile proclamate în \
+prezenta declarație fără nici un fel de deosebire ca, de pildă, deosebirea de rasă, culoare, \
+sex, limbă, religie, opinie politică sau orice altă opinie, de origine națională sau socială, \
+avere, naștere sau orice alte împrejurări. \
+Având în vedere tratatul de instituire a Comunității Europene, Consiliul Uniunii Europene a \
+adoptat prezentul regulament. Prezentul regulament intră în vigoare în a douăzecea zi de la \
+data publicării în jurnalul oficial al Comunităților Europene. Prezentul regulament este \
+obligatoriu în toate elementele sale și se aplică direct în toate statele membre. Comitetul \
+își dă avizul cu privire la proiectul de măsuri într-un termen pe care președintele îl poate \
+stabili în funcție de urgența chestiunii. Întrucât măsurile prevăzute de prezenta decizie sunt \
+conforme cu avizul comitetului permanent, comisia a examinat cererea și consideră că sunt \
+îndeplinite condițiile stabilite în anexă. Statele membre iau toate măsurile necesare pentru a \
+se asigura că dispozițiile prezentei directive se aplică produselor introduse pe piață. În \
+cursul perioadei de tranziție, taxele vamale aplicabile importurilor de produse menționate la \
+primul paragraf se reduc în etape egale. În cazul în care un stat membru consideră că este \
+necesară o ajustare, informează celelalte state membre și comisia, indicând motivele \
+modificării propuse.";
+
+const PL: &str = "\
+Wszyscy ludzie rodzą się wolni i równi pod względem swej godności i swych praw. Są oni \
+obdarzeni rozumem i sumieniem i powinni postępować wobec innych w duchu braterstwa. Każdy \
+człowiek posiada wszystkie prawa i wolności zawarte w niniejszej deklaracji bez względu na \
+jakiekolwiek różnice rasy, koloru, płci, języka, wyznania, poglądów politycznych i innych, \
+narodowości, pochodzenia społecznego, majątku, urodzenia lub jakiegokolwiek innego stanu. \
+Uwzględniając traktat ustanawiający Wspólnotę Europejską, Rada Unii Europejskiej przyjęła \
+niniejsze rozporządzenie. Niniejsze rozporządzenie wchodzi w życie dwudziestego dnia po jego \
+opublikowaniu w dzienniku urzędowym Wspólnot Europejskich. Niniejsze rozporządzenie wiąże w \
+całości i jest bezpośrednio stosowane we wszystkich państwach członkowskich. Komitet wydaje \
+opinię w sprawie projektu środków w terminie, który przewodniczący może określić w zależności \
+od pilności sprawy. Zważywszy, że środki przewidziane w niniejszej decyzji są zgodne z opinią \
+stałego komitetu, komisja zbadała wniosek i uznaje, że warunki określone w załączniku zostały \
+spełnione. Państwa członkowskie podejmują wszelkie niezbędne środki w celu zapewnienia, aby \
+przepisy niniejszej dyrektywy były stosowane do produktów wprowadzanych do obrotu. W okresie \
+przejściowym cła stosowane w przywozie produktów wymienionych w akapicie pierwszym są obniżane \
+w równych etapach. Jeżeli państwo członkowskie uzna, że konieczne jest dostosowanie, informuje \
+o tym pozostałe państwa członkowskie i komisję, podając powody proponowanej zmiany.";
+
+const HU: &str = "\
+Minden emberi lény szabadon születik és egyenlő méltósága és joga van. Az emberek ésszel és \
+lelkiismerettel bírván egymással szemben testvéri szellemben kell hogy viseltessenek. Mindenki, \
+bármely megkülönböztetésre, nevezetesen fajra, színre, nemre, nyelvre, vallásra, politikai \
+vagy bármely más véleményre, nemzeti vagy társadalmi eredetre, vagyonra, születésre vagy \
+bármely más körülményre való tekintet nélkül hivatkozhat a jelen nyilatkozatban kinyilvánított \
+összes jogokra és szabadságokra. \
+Tekintettel az Európai Közösséget létrehozó szerződésre, az Európai Unió Tanácsa elfogadta ezt \
+a rendeletet. Ez a rendelet az Európai Közösségek hivatalos lapjában való kihirdetését követő \
+huszadik napon lép hatályba. Ez a rendelet teljes egészében kötelező és közvetlenül \
+alkalmazandó valamennyi tagállamban. A bizottság az intézkedések tervezetéről az elnök által \
+az ügy sürgősségére tekintettel megállapított határidőn belül nyilvánít véleményt. Mivel az e \
+határozatban előírt intézkedések összhangban vannak az állandó bizottság véleményével, a \
+bizottság megvizsgálta a kérelmet, és úgy ítéli meg, hogy a mellékletben meghatározott \
+feltételek teljesülnek. A tagállamok meghozzák a szükséges intézkedéseket annak biztosítására, \
+hogy ezen irányelv rendelkezéseit a forgalomba hozott termékekre alkalmazzák. Az átmeneti \
+időszak alatt az első bekezdésben említett termékek behozatalára alkalmazandó vámokat egyenlő \
+lépésekben csökkentik. Ha egy tagállam úgy ítéli meg, hogy kiigazításra van szükség, erről \
+tájékoztatja a többi tagállamot és a bizottságot, megjelölve a javasolt módosítás indokait.";
+
+const LT: &str = "\
+Visi žmonės gimsta laisvi ir lygūs savo orumu ir teisėmis. Jiems suteiktas protas ir sąžinė ir \
+jie turi elgtis vienas kito atžvilgiu kaip broliai. Kiekvienas žmogus gali naudotis visomis \
+teisėmis ir laisvėmis, paskelbtomis šioje deklaracijoje, be jokių skirtumų, tokių kaip rasė, \
+odos spalva, lytis, kalba, religija, politiniai ar kitokie įsitikinimai, nacionalinė ar \
+socialinė kilmė, turtinė, luominė ar kitokia padėtis. \
+Atsižvelgdama į Europos bendrijos steigimo sutartį, Europos Sąjungos Taryba priėmė šį \
+reglamentą. Šis reglamentas įsigalioja dvidešimtą dieną po jo paskelbimo Europos Bendrijų \
+oficialiajame leidinyje. Šis reglamentas yra privalomas visas ir tiesiogiai taikomas visose \
+valstybėse narėse. Komitetas pateikia savo nuomonę dėl priemonių projekto per terminą, kurį \
+pirmininkas gali nustatyti atsižvelgdamas į klausimo skubumą. Kadangi šiame sprendime \
+numatytos priemonės atitinka nuolatinio komiteto nuomonę, komisija išnagrinėjo paraišką ir \
+mano, kad priede nustatytos sąlygos yra įvykdytos. Valstybės narės imasi visų būtinų priemonių \
+užtikrinti, kad šios direktyvos nuostatos būtų taikomos į rinką pateiktiems produktams. \
+Pereinamuoju laikotarpiu pirmoje pastraipoje nurodytų produktų importui taikomi muitai \
+mažinami lygiomis dalimis. Jei valstybė narė mano, kad pakeitimas yra būtinas, ji apie tai \
+praneša kitoms valstybėms narėms ir komisijai, nurodydama siūlomo pakeitimo priežastis.";
+
+const SL: &str = "\
+Vsi ljudje se rodijo svobodni in imajo enako dostojanstvo in enake pravice. Obdarjeni so z \
+razumom in vestjo in bi morali ravnati drug z drugim kakor bratje. Vsakdo je upravičen do \
+uživanja vseh pravic in svoboščin, ki so razglašene s to deklaracijo, ne glede na raso, barvo \
+kože, spol, jezik, vero, politično ali drugo prepričanje, narodno ali socialno pripadnost, \
+premoženje, rojstvo ali kakršnokoli drugo okoliščino. \
+Ob upoštevanju pogodbe o ustanovitvi Evropske skupnosti je Svet Evropske unije sprejel to \
+uredbo. Ta uredba začne veljati dvajseti dan po objavi v uradnem listu Evropskih skupnosti. Ta \
+uredba je v celoti zavezujoča in se neposredno uporablja v vseh državah članicah. Odbor poda \
+svoje mnenje o osnutku ukrepov v roku, ki ga lahko predsednik določi glede na nujnost zadeve. \
+Ker so ukrepi, predvideni s to odločbo, v skladu z mnenjem stalnega odbora, je komisija \
+preučila zahtevek in meni, da so pogoji iz priloge izpolnjeni. Države članice sprejmejo vse \
+potrebne ukrepe za zagotovitev, da se določbe te direktive uporabljajo za proizvode, dane v \
+promet. V prehodnem obdobju se carine, ki se uporabljajo za uvoz proizvodov iz prvega \
+pododstavka, znižujejo v enakih korakih. Če država članica meni, da je prilagoditev potrebna, \
+o tem obvesti druge države članice in komisijo ter navede razloge za predlagano spremembo.";
+
+const HR: &str = "\
+Sva ljudska bića rađaju se slobodna i jednaka u dostojanstvu i pravima. Ona su obdarena \
+razumom i sviješću i trebaju jedno prema drugome postupati u duhu bratstva. Svakome pripadaju \
+sva prava i slobode proglašene u ovoj deklaraciji bez ikakvih razlika u pogledu rase, boje \
+kože, spola, jezika, vjere, političkog ili drugog mišljenja, nacionalnog ili društvenog \
+podrijetla, imovine, rođenja ili drugih okolnosti. \
+Uzimajući u obzir ugovor o osnivanju Europske zajednice, Vijeće Europske unije donijelo je ovu \
+uredbu. Ova uredba stupa na snagu dvadesetog dana od dana objave u službenom listu Europskih \
+zajednica. Ova je uredba u cijelosti obvezujuća i izravno se primjenjuje u svim državama \
+članicama. Odbor daje svoje mišljenje o nacrtu mjera u roku koji predsjednik može odrediti s \
+obzirom na hitnost predmeta. Budući da su mjere predviđene ovom odlukom u skladu s mišljenjem \
+stalnog odbora, komisija je ispitala zahtjev i smatra da su uvjeti utvrđeni u prilogu \
+ispunjeni. Države članice poduzimaju sve potrebne mjere kako bi osigurale da se odredbe ove \
+direktive primjenjuju na proizvode stavljene na tržište. Tijekom prijelaznog razdoblja carine \
+koje se primjenjuju na uvoz proizvoda iz prvog podstavka snižavaju se u jednakim koracima. Ako \
+država članica smatra da je prilagodba potrebna, o tome obavješćuje ostale države članice i \
+komisiju navodeći razloge predložene izmjene.";
+
+const CA: &str = "\
+Tots els éssers humans neixen lliures i iguals en dignitat i en drets. Són dotats de raó i de \
+consciència, i han de comportar-se fraternalment els uns amb els altres. Tothom té tots els \
+drets i llibertats proclamats en aquesta declaració, sense cap distinció de raça, color, sexe, \
+llengua, religió, opinió política o de qualsevol altra mena, origen nacional o social, \
+fortuna, naixement o altra condició. \
+Vist el tractat constitutiu de la Comunitat Europea, el Consell de la Unió Europea ha adoptat \
+el present reglament. El present reglament entrarà en vigor el vintè dia següent al de la seva \
+publicació al diari oficial de les Comunitats Europees. El present reglament serà obligatori \
+en tots els seus elements i directament aplicable a cada estat membre. El comitè emetrà el seu \
+dictamen sobre el projecte de mesures en un termini que el president podrà fixar en funció de \
+la urgència de la qüestió. Considerant que les mesures previstes en la present decisió \
+s'ajusten al dictamen del comitè permanent, la comissió ha examinat la sol·licitud i considera \
+que es compleixen les condicions establertes a l'annex. Els estats membres adoptaran totes les \
+mesures necessàries per garantir que les disposicions de la present directiva s'apliquin als \
+productes comercialitzats. Durant el període transitori, els drets de duana aplicables a les \
+importacions dels productes esmentats al primer paràgraf es reduiran en etapes iguals. Quan un \
+estat membre consideri que cal un ajustament, n'informarà els altres estats membres i la \
+comissió, indicant les raons de la modificació proposada.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_language_has_a_substantial_seed() {
+        for &l in &Language::EXTENDED {
+            let s = seed_text(l);
+            assert!(
+                s.chars().count() > 900,
+                "{l}: seed too short ({} chars)",
+                s.chars().count()
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_are_pairwise_distinct() {
+        for &a in &Language::EXTENDED {
+            for &b in &Language::EXTENDED {
+                if a != b {
+                    assert_ne!(seed_text(a), seed_text(b), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_carry_language_specific_characters() {
+        assert!(seed_text(Language::French).contains('é'));
+        assert!(seed_text(Language::Spanish).contains('ñ') || seed_text(Language::Spanish).contains('ó'));
+        assert!(seed_text(Language::Danish).contains('æ') || seed_text(Language::Danish).contains('ø'));
+        assert!(seed_text(Language::Swedish).contains('ä') || seed_text(Language::Swedish).contains('å'));
+        assert!(seed_text(Language::Finnish).contains('ä'));
+        assert!(seed_text(Language::Estonian).contains('õ'));
+        assert!(seed_text(Language::Czech).contains('ř'));
+        assert!(seed_text(Language::Slovak).contains('ľ') || seed_text(Language::Slovak).contains('ť'));
+        assert!(seed_text(Language::Portuguese).contains('ã'));
+        assert!(seed_text(Language::German).contains('ü') || seed_text(Language::German).contains('ß'));
+        assert!(seed_text(Language::Polish).contains('ł') || seed_text(Language::Polish).contains('ą'));
+        assert!(seed_text(Language::Romanian).contains('ă'));
+        assert!(seed_text(Language::Hungarian).contains('ő') || seed_text(Language::Hungarian).contains('é'));
+        assert!(seed_text(Language::Lithuanian).contains('ė') || seed_text(Language::Lithuanian).contains('ž'));
+        assert!(seed_text(Language::Catalan).contains('ò') || seed_text(Language::Catalan).contains('ç'));
+    }
+}

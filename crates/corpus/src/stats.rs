@@ -1,0 +1,131 @@
+//! Corpus statistics, for reporting experiment setups the way the paper
+//! does ("average of 5,700 documents ... average of 1,300 words per
+//! document ... average file size of a single language corpus was 48 MB").
+
+use crate::generator::Corpus;
+use crate::language::Language;
+
+/// Aggregate statistics of a corpus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusStats {
+    /// Documents per language (language, count, bytes, words).
+    pub per_language: Vec<LanguageStats>,
+    /// Total documents.
+    pub total_documents: usize,
+    /// Total bytes.
+    pub total_bytes: usize,
+}
+
+/// Per-language statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LanguageStats {
+    /// The language.
+    pub language: Language,
+    /// Number of documents.
+    pub documents: usize,
+    /// Total bytes across documents.
+    pub bytes: usize,
+    /// Total (approximate) word count: runs of non-space bytes.
+    pub words: usize,
+}
+
+impl LanguageStats {
+    /// Mean document size in bytes.
+    pub fn mean_doc_bytes(&self) -> f64 {
+        if self.documents == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.documents as f64
+        }
+    }
+
+    /// Mean words per document.
+    pub fn mean_words_per_doc(&self) -> f64 {
+        if self.documents == 0 {
+            0.0
+        } else {
+            self.words as f64 / self.documents as f64
+        }
+    }
+}
+
+/// Count words as runs of non-space bytes.
+pub fn count_words(text: &[u8]) -> usize {
+    let mut words = 0;
+    let mut in_word = false;
+    for &b in text {
+        let is_space = b == b' ' || b == b'\n' || b == b'\t' || b == b'\r';
+        if !is_space && !in_word {
+            words += 1;
+        }
+        in_word = !is_space;
+    }
+    words
+}
+
+impl CorpusStats {
+    /// Compute statistics for a corpus.
+    pub fn of(corpus: &Corpus) -> Self {
+        let mut per_language: Vec<LanguageStats> = corpus
+            .languages()
+            .iter()
+            .map(|&language| LanguageStats {
+                language,
+                documents: 0,
+                bytes: 0,
+                words: 0,
+            })
+            .collect();
+        for d in corpus.documents() {
+            let ls = per_language
+                .iter_mut()
+                .find(|s| s.language == d.language)
+                .expect("document language must be in corpus language list");
+            ls.documents += 1;
+            ls.bytes += d.len();
+            ls.words += count_words(&d.text);
+        }
+        let total_documents = per_language.iter().map(|s| s.documents).sum();
+        let total_bytes = per_language.iter().map(|s| s.bytes).sum();
+        Self {
+            per_language,
+            total_documents,
+            total_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CorpusConfig;
+
+    #[test]
+    fn word_counting() {
+        assert_eq!(count_words(b""), 0);
+        assert_eq!(count_words(b"   "), 0);
+        assert_eq!(count_words(b"one"), 1);
+        assert_eq!(count_words(b"one two  three"), 3);
+        assert_eq!(count_words(b"  lead trail  "), 2);
+    }
+
+    #[test]
+    fn stats_are_consistent_with_corpus() {
+        let c = Corpus::generate(CorpusConfig::test_scale());
+        let s = CorpusStats::of(&c);
+        assert_eq!(s.total_documents, c.documents().len());
+        assert_eq!(s.total_bytes, c.total_bytes());
+        assert_eq!(s.per_language.len(), 10);
+        for ls in &s.per_language {
+            assert_eq!(ls.documents, c.config().docs_per_language);
+            assert!(ls.mean_doc_bytes() > 0.0);
+            // Word-like structure: mean word length between 3 and 12 bytes.
+            let mean_word = ls.bytes as f64 / ls.words as f64;
+            assert!(
+                (3.0..12.0).contains(&mean_word),
+                "{}: mean word length {mean_word:.1}",
+                ls.language
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Stratix II EP2S180 device model.
+//!
+//! The paper's target is the Altera Stratix EP2S180F1508-C3 (§4). Resource
+//! inventory (Altera Stratix II data sheet): 71,760 ALMs ≈ 143,520 ALUTs /
+//! logic elements and registers, 930 M512 blocks (512-bit), 768 M4K blocks
+//! (4 Kbit — the paper: "the 768 4 Kbit embedded RAMs available on the
+//! FPGA"), and 9 M-RAM blocks (512 Kbit).
+
+use serde::{Deserialize, Serialize};
+
+/// An FPGA device's resource inventory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Device name.
+    pub name: &'static str,
+    /// Logic elements (ALUT-equivalent).
+    pub logic: u32,
+    /// Registers.
+    pub registers: u32,
+    /// M512 embedded RAM blocks (512 bits each).
+    pub m512: u32,
+    /// M4K embedded RAM blocks (4 Kbit each).
+    pub m4k: u32,
+    /// M-RAM blocks (512 Kbit each).
+    pub mram: u32,
+}
+
+/// The paper's target device.
+pub const EP2S180: DeviceModel = DeviceModel {
+    name: "EP2S180F1508-C3",
+    logic: 143_520,
+    registers: 143_520,
+    m512: 930,
+    m4k: 768,
+    mram: 9,
+};
+
+impl DeviceModel {
+    /// Total embedded-RAM bits across block types.
+    pub fn total_ram_bits(&self) -> u64 {
+        u64::from(self.m512) * 512 + u64::from(self.m4k) * 4096 + u64::from(self.mram) * 512 * 1024
+    }
+
+    /// Fraction of logic a given utilization represents.
+    pub fn logic_fraction(&self, used: u32) -> f64 {
+        f64::from(used) / f64::from(self.logic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ep2s180_has_768_m4ks_as_in_paper() {
+        assert_eq!(EP2S180.m4k, 768);
+    }
+
+    #[test]
+    fn paper_utilization_fractions_hold() {
+        // §5.3: "The logic elements used vary between a third and two-thirds
+        // of the total" for 38,891 and 85,924 used logic.
+        let lo = EP2S180.logic_fraction(38_891);
+        let hi = EP2S180.logic_fraction(85_924);
+        assert!((0.25..0.40).contains(&lo), "lo={lo:.3}");
+        assert!((0.55..0.70).contains(&hi), "hi={hi:.3}");
+        // "...with less than half the total registers on the FPGA being used"
+        assert!(f64::from(68_423u32) / f64::from(EP2S180.registers) < 0.5);
+    }
+
+    #[test]
+    fn ram_totals() {
+        // 930*512 + 768*4096 + 9*512K = 0.476M + 3.15M + 4.72M ≈ 8.3 Mbit
+        let bits = EP2S180.total_ram_bits();
+        assert!(bits > 8_000_000 && bits < 9_000_000, "{bits}");
+    }
+}

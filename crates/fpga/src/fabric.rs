@@ -1,0 +1,260 @@
+//! Embedded-RAM fabric: allocation of bit-vectors onto physical blocks.
+//!
+//! The paper's key architectural claim is that Bloom-filter bit-vectors live
+//! entirely in **on-chip** embedded RAM — each hash function's vector gets
+//! its own physically distinct block(s), so all `k` lookups (× 2 ports × `c`
+//! copies × `p` languages) happen in one clock. This module performs that
+//! placement explicitly: it walks a classifier's filters and assigns M4K
+//! blocks from the device inventory, failing exactly when the paper's design
+//! would fail to fit.
+
+use crate::device::DeviceModel;
+use crate::resources::{infra_m4ks, ClassifierConfig};
+use lc_bloom::M4K_BITS;
+
+/// A placed bit-vector: which M4K blocks hold it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlacedVector {
+    /// Language index.
+    pub language: usize,
+    /// Classifier copy index.
+    pub copy: usize,
+    /// Hash-function index within the filter.
+    pub hash: usize,
+    /// M4K block ids (global, 0-based).
+    pub blocks: Vec<u32>,
+}
+
+/// Tracks allocation of a device's embedded RAM blocks.
+#[derive(Clone, Debug)]
+pub struct RamInventory {
+    device: DeviceModel,
+    next_m4k: u32,
+    next_m512: u32,
+    reserved_infra: u32,
+    reserved_infra_m512: u32,
+}
+
+/// Allocation failure: the device ran out of M4K blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfBlocks {
+    /// Blocks requested beyond availability.
+    pub requested: u32,
+    /// Blocks remaining.
+    pub available: u32,
+}
+
+impl std::fmt::Display for OutOfBlocks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of M4K blocks: requested {} with {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfBlocks {}
+
+impl RamInventory {
+    /// Fresh inventory for a device, reserving the infrastructure's M4K
+    /// share for `languages` (paper Table 3: 40 blocks at p=10, 48 at p=30).
+    pub fn new(device: DeviceModel, languages: usize) -> Self {
+        Self {
+            device,
+            next_m4k: 0,
+            next_m512: 0,
+            reserved_infra: infra_m4ks(languages),
+            // M512 infrastructure share interpolated from Table 3
+            // (36 blocks at p=10, 66 at p=30): 21 + 1.5p.
+            reserved_infra_m512: (21.0 + 1.5 * languages as f64).round() as u32,
+        }
+    }
+
+    /// M4K blocks still available to the classifier module.
+    pub fn available_m4ks(&self) -> u32 {
+        self.device
+            .m4k
+            .saturating_sub(self.reserved_infra)
+            .saturating_sub(self.next_m4k)
+    }
+
+    /// M4K blocks allocated so far (module only).
+    pub fn allocated_m4ks(&self) -> u32 {
+        self.next_m4k
+    }
+
+    /// Allocate blocks for one `m_bits`-bit vector.
+    pub fn allocate_vector(&mut self, m_bits: usize) -> Result<Vec<u32>, OutOfBlocks> {
+        let need = m_bits.div_ceil(M4K_BITS) as u32;
+        if need > self.available_m4ks() {
+            return Err(OutOfBlocks {
+                requested: need,
+                available: self.available_m4ks(),
+            });
+        }
+        let start = self.next_m4k;
+        self.next_m4k += need;
+        Ok((start..self.next_m4k).collect())
+    }
+
+    /// M512 blocks still available to the classifier module (§5.2: "a large
+    /// fraction of 512 bit embedded RAMs remain unutilized on the target
+    /// FPGA which may be used to support an additional four languages").
+    pub fn available_m512s(&self) -> u32 {
+        self.device
+            .m512
+            .saturating_sub(self.reserved_infra_m512)
+            .saturating_sub(self.next_m512)
+    }
+
+    /// Allocate M512 blocks for one `m_bits`-bit vector (8 blocks per 4 Kbit
+    /// vector). Returned ids are offset by `1_000_000` to keep them disjoint
+    /// from M4K ids.
+    pub fn allocate_vector_m512(&mut self, m_bits: usize) -> Result<Vec<u32>, OutOfBlocks> {
+        const M512_BITS: usize = 512;
+        let need = m_bits.div_ceil(M512_BITS) as u32;
+        if need > self.available_m512s() {
+            return Err(OutOfBlocks {
+                requested: need,
+                available: self.available_m512s(),
+            });
+        }
+        let start = 1_000_000 + self.next_m512;
+        self.next_m512 += need;
+        Ok((start..start + need).collect())
+    }
+
+    /// Languages that fit on the **leftover M512 fabric** after `cfg` is
+    /// placed on M4Ks — the paper's "additional four languages" avenue.
+    pub fn extra_languages_on_m512(&self, cfg: &ClassifierConfig) -> usize {
+        const M512_BITS: usize = 512;
+        let blocks_per_vector = cfg.bloom.m_bits().div_ceil(M512_BITS) as u32;
+        let per_language = blocks_per_vector * (cfg.copies * cfg.bloom.k) as u32;
+        if per_language == 0 {
+            return 0;
+        }
+        (self.available_m512s() / per_language) as usize
+    }
+
+    /// Place a full classifier configuration: every (language, copy, hash)
+    /// bit-vector gets distinct blocks. Returns the placement or the precise
+    /// point of exhaustion.
+    pub fn place_classifier(
+        &mut self,
+        cfg: &ClassifierConfig,
+    ) -> Result<Vec<PlacedVector>, OutOfBlocks> {
+        let mut placed = Vec::with_capacity(cfg.languages * cfg.copies * cfg.bloom.k);
+        for language in 0..cfg.languages {
+            for copy in 0..cfg.copies {
+                for hash in 0..cfg.bloom.k {
+                    let blocks = self.allocate_vector(cfg.bloom.m_bits())?;
+                    placed.push(PlacedVector {
+                        language,
+                        copy,
+                        hash,
+                        blocks,
+                    });
+                }
+            }
+        }
+        Ok(placed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::EP2S180;
+    use lc_bloom::BloomParams;
+
+    #[test]
+    fn placement_matches_arithmetic_for_paper_configs() {
+        for cfg in [
+            ClassifierConfig::paper_ten_languages(),
+            ClassifierConfig::paper_thirty_languages(),
+        ] {
+            let mut inv = RamInventory::new(EP2S180, cfg.languages);
+            let placed = inv.place_classifier(&cfg).expect("paper configs must fit");
+            assert_eq!(inv.allocated_m4ks(), cfg.module_m4ks());
+            assert_eq!(placed.len(), cfg.languages * cfg.copies * cfg.bloom.k);
+        }
+    }
+
+    #[test]
+    fn all_placed_blocks_are_distinct() {
+        let cfg = ClassifierConfig::paper_ten_languages();
+        let mut inv = RamInventory::new(EP2S180, cfg.languages);
+        let placed = inv.place_classifier(&cfg).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for pv in &placed {
+            assert_eq!(pv.blocks.len(), cfg.bloom.m4ks_per_vector());
+            for &b in &pv.blocks {
+                assert!(seen.insert(b), "block {b} double-allocated");
+            }
+        }
+    }
+
+    #[test]
+    fn thirteen_conservative_languages_do_not_fit() {
+        // 13 languages × 4 copies × 16 M4Ks = 832 > 768.
+        let cfg = ClassifierConfig {
+            bloom: BloomParams::PAPER_CONSERVATIVE,
+            languages: 13,
+            copies: 4,
+        };
+        let mut inv = RamInventory::new(EP2S180, cfg.languages);
+        let err = inv.place_classifier(&cfg).unwrap_err();
+        assert!(err.requested > 0);
+    }
+
+    #[test]
+    fn thirty_compact_languages_fit_thirty_one_do_not() {
+        let fit = ClassifierConfig::paper_thirty_languages();
+        let mut inv = RamInventory::new(EP2S180, fit.languages);
+        assert!(inv.place_classifier(&fit).is_ok());
+
+        let no_fit = ClassifierConfig {
+            languages: 31,
+            ..fit
+        };
+        let mut inv = RamInventory::new(EP2S180, no_fit.languages);
+        assert!(inv.place_classifier(&no_fit).is_err());
+    }
+
+    #[test]
+    fn m512_fabric_adds_four_languages_to_the_compact_design() {
+        // §5.2: after placing 30 compact languages on M4Ks, the unused
+        // M512s support "an additional four languages".
+        let cfg = ClassifierConfig::paper_thirty_languages();
+        let mut inv = RamInventory::new(EP2S180, cfg.languages);
+        inv.place_classifier(&cfg).unwrap();
+        assert_eq!(inv.extra_languages_on_m512(&cfg), 4);
+    }
+
+    #[test]
+    fn m512_allocation_respects_inventory() {
+        let mut inv = RamInventory::new(EP2S180, 30);
+        let avail = inv.available_m512s();
+        // One compact bit-vector (4 Kbit) takes 8 blocks.
+        let blocks = inv.allocate_vector_m512(4 * 1024).unwrap();
+        assert_eq!(blocks.len(), 8);
+        assert!(blocks.iter().all(|&b| b >= 1_000_000), "ids disjoint from M4K ids");
+        assert_eq!(inv.available_m512s(), avail - 8);
+        // Exhaustion reports precisely.
+        let err = inv.allocate_vector_m512((avail as usize + 1) * 512).unwrap_err();
+        assert_eq!(err.available, avail - 8);
+    }
+
+    #[test]
+    fn error_reports_requested_and_available() {
+        let mut inv = RamInventory::new(EP2S180, 10);
+        // Exhaust almost everything.
+        let avail = inv.available_m4ks() as usize;
+        inv.allocate_vector((avail - 1) * M4K_BITS).unwrap();
+        let err = inv.allocate_vector(2 * M4K_BITS).unwrap_err();
+        assert_eq!(err.requested, 2);
+        assert_eq!(err.available, 1);
+        assert!(err.to_string().contains("out of M4K"));
+    }
+}

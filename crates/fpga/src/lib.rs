@@ -1,0 +1,44 @@
+//! # lc-fpga — XtremeData XD1000 hardware simulator
+//!
+//! The paper's platform is an XD1000 development system: a dual-socket board
+//! with an AMD Opteron and an Altera **Stratix II EP2S180** FPGA connected by
+//! non-coherent HyperTransport (1.6 GB/s peak each way; the board revision
+//! they used achieves 500 MB/s). We cannot synthesize VHDL here, so this
+//! crate simulates the platform at two levels:
+//!
+//! * **Functionally bit-exact**: the simulated datapath ([`datapath`])
+//!   classifies documents with exactly the same Bloom filters as `lc-core`,
+//!   the DMA protocol ([`protocol`]) implements the paper's command flow
+//!   (Size → DMA words → End-of-Document → Query Result with XOR checksum,
+//!   watchdog reset on truncated transfers), so every hardware-path result
+//!   can be asserted equal to the software-path result.
+//! * **Timing/resource modelled**: clock frequency, logic, registers and
+//!   embedded-RAM block counts come from an analytic model ([`resources`])
+//!   least-squares calibrated against the paper's own synthesis results
+//!   (Tables 2–3; residuals ≤ ~2% for logic/registers, ≤ ~6% for Fmax), and
+//!   simulated wall-clock time comes from a transaction-level link model
+//!   ([`link`]) with constants calibrated to §5.4 (sync 228 MB/s vs async
+//!   470 MB/s at a 500 MB/s link cap).
+//!
+//! The top level ([`system`]) wires these together into an [`system::Xd1000`]
+//! with the paper's two host protocols: the synchronous (interrupt per
+//! document) and asynchronous (pipelined, two software threads) versions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datapath;
+pub mod device;
+pub mod fabric;
+pub mod link;
+pub mod protocol;
+pub mod resources;
+pub mod system;
+
+pub use datapath::HardwareClassifier;
+pub use device::{DeviceModel, EP2S180};
+pub use fabric::RamInventory;
+pub use link::{DmaEngine, LinkModel, SimTime};
+pub use protocol::{Command, FpgaProtocol, ProtocolError, QueryResult};
+pub use resources::{ClassifierConfig, ResourceEstimate};
+pub use system::{HostProtocol, RunReport, Xd1000};

@@ -1,0 +1,437 @@
+//! The FPGA-side command/DMA protocol state machine.
+//!
+//! §4 describes the flow: commands arrive over the register interface while
+//! document data arrives via DMA, *asynchronously and potentially out of
+//! order*. The hardware therefore:
+//!
+//! 1. receives a **Size** command announcing how many 64-bit words to expect,
+//! 2. buffers DMA words until the announced count has arrived — "subsequent
+//!    commands are only processed once all the words expected have been
+//!    received via DMA" (we model the out-of-order window by queueing
+//!    commands that arrive early),
+//! 3. on **End of Document**, classifies and latches the match counters,
+//! 4. on **Query Result**, returns the counters plus an XOR data checksum
+//!    and status bits,
+//! 5. a **watchdog timer** resets the state machine if an expected transfer
+//!    stalls (fault injection tests exercise this).
+
+use crate::datapath::HardwareClassifier;
+use crate::link::{xor_checksum, SimTime};
+use lc_core::ClassificationResult;
+use std::collections::VecDeque;
+
+/// Host-issued commands (register interface).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Announce an incoming document: number of 64-bit DMA words and exact
+    /// byte length.
+    Size {
+        /// 64-bit words to expect via DMA.
+        words: u32,
+        /// Exact document length in bytes (≤ 8 × words).
+        bytes: u32,
+    },
+    /// Final word of the document has been sent; classify and latch.
+    EndOfDocument,
+    /// Read back the latched result.
+    QueryResult,
+    /// Clear all Bloom bit-vectors (preprocessing).
+    ClearFilters,
+    /// Reset the state machine (also issued internally by the watchdog).
+    Reset,
+}
+
+/// The response to a Query Result command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Per-language match counters.
+    pub result: ClassificationResult,
+    /// XOR checksum of the received DMA words.
+    pub checksum: u64,
+    /// Status bits: true = transfer and classification valid.
+    pub valid: bool,
+}
+
+/// Protocol faults observable by the host or tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Query issued but no result latched.
+    NoResult,
+    /// Size command while a document is in flight.
+    SizeWhileBusy,
+    /// EndOfDocument before all announced words arrived (hardware waits; in
+    /// simulation this surfaces as an explicit error after the watchdog).
+    TruncatedTransfer {
+        /// Words received so far.
+        received: u32,
+        /// Words announced by Size.
+        expected: u32,
+    },
+    /// DMA words arrived with no Size announcement.
+    UnexpectedDma,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::NoResult => write!(f, "no latched result to query"),
+            ProtocolError::SizeWhileBusy => write!(f, "Size command while document in flight"),
+            ProtocolError::TruncatedTransfer { received, expected } => {
+                write!(f, "truncated transfer: {received}/{expected} words")
+            }
+            ProtocolError::UnexpectedDma => write!(f, "DMA data with no Size announcement"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum State {
+    Idle,
+    Receiving { expected_words: u32, bytes: u32 },
+}
+
+/// The FPGA-side protocol engine wrapping the classifier datapath.
+#[derive(Clone, Debug)]
+pub struct FpgaProtocol {
+    hw: HardwareClassifier,
+    state: State,
+    buffer: Vec<u64>,
+    /// Commands that arrived while words were still outstanding.
+    pending: VecDeque<Command>,
+    latched: Option<QueryResult>,
+    /// Simulated time of the last DMA word (for the watchdog).
+    last_activity: SimTime,
+    /// Watchdog timeout.
+    watchdog: SimTime,
+    /// Count of watchdog resets (diagnostics).
+    watchdog_resets: u64,
+}
+
+impl FpgaProtocol {
+    /// Default watchdog period: 1 ms of simulated time.
+    pub const DEFAULT_WATCHDOG: SimTime = SimTime(1_000_000);
+
+    /// Wrap a placed classifier.
+    pub fn new(hw: HardwareClassifier) -> Self {
+        Self {
+            hw,
+            state: State::Idle,
+            buffer: Vec::new(),
+            pending: VecDeque::new(),
+            latched: None,
+            last_activity: SimTime::ZERO,
+            watchdog: Self::DEFAULT_WATCHDOG,
+            watchdog_resets: 0,
+        }
+    }
+
+    /// Set the watchdog period.
+    pub fn with_watchdog(mut self, period: SimTime) -> Self {
+        self.watchdog = period;
+        self
+    }
+
+    /// The wrapped hardware classifier.
+    pub fn hardware(&self) -> &HardwareClassifier {
+        &self.hw
+    }
+
+    /// Number of watchdog resets so far.
+    pub fn watchdog_resets(&self) -> u64 {
+        self.watchdog_resets
+    }
+
+    /// Whether a document transfer is in flight.
+    pub fn busy(&self) -> bool {
+        matches!(self.state, State::Receiving { .. })
+    }
+
+    /// Deliver one DMA word at simulated time `now`.
+    pub fn push_dma_word(&mut self, word: u64, now: SimTime) -> Result<(), ProtocolError> {
+        match self.state {
+            State::Idle => Err(ProtocolError::UnexpectedDma),
+            State::Receiving { expected_words, bytes } => {
+                self.buffer.push(word);
+                self.last_activity = now;
+                if self.buffer.len() as u32 == expected_words {
+                    // All words in: drain any queued commands.
+                    self.state = State::Idle;
+                    self.finish_document(bytes, now);
+                    while let Some(cmd) = self.pending.pop_front() {
+                        // Queued commands execute now that data is complete.
+                        let _ = self.execute(cmd, now);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Issue a command at simulated time `now`. Commands arriving while DMA
+    /// words are outstanding are queued (the paper's ordering rule); others
+    /// execute immediately. Returns the query payload for `QueryResult`.
+    pub fn command(
+        &mut self,
+        cmd: Command,
+        now: SimTime,
+    ) -> Result<Option<QueryResult>, ProtocolError> {
+        self.check_watchdog(now);
+        match (&self.state, &cmd) {
+            (State::Receiving { .. }, Command::Size { .. }) => Err(ProtocolError::SizeWhileBusy),
+            (State::Receiving { .. }, Command::Reset) => {
+                self.reset();
+                Ok(None)
+            }
+            (State::Receiving { .. }, _) => {
+                self.pending.push_back(cmd);
+                Ok(None)
+            }
+            (State::Idle, _) => self.execute(cmd, now),
+        }
+    }
+
+    /// Advance simulated time with no activity; fires the watchdog if a
+    /// transfer has stalled past the period. Returns true if a reset fired.
+    pub fn tick(&mut self, now: SimTime) -> bool {
+        self.check_watchdog(now)
+    }
+
+    fn check_watchdog(&mut self, now: SimTime) -> bool {
+        if let State::Receiving { .. } = self.state {
+            if now.0.saturating_sub(self.last_activity.0) > self.watchdog.0 {
+                self.reset();
+                self.watchdog_resets += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn reset(&mut self) {
+        self.state = State::Idle;
+        self.buffer.clear();
+        self.pending.clear();
+        self.latched = None;
+    }
+
+    fn finish_document(&mut self, bytes: u32, _now: SimTime) {
+        let checksum = xor_checksum(&self.buffer);
+        let mut doc = Vec::with_capacity(self.buffer.len() * 8);
+        for w in &self.buffer {
+            doc.extend_from_slice(&w.to_le_bytes());
+        }
+        doc.truncate(bytes as usize);
+        let (result, _compute) = self.hw.classify_timed(&doc);
+        self.latched = Some(QueryResult {
+            result,
+            checksum,
+            valid: true,
+        });
+        self.buffer.clear();
+    }
+
+    fn execute(
+        &mut self,
+        cmd: Command,
+        now: SimTime,
+    ) -> Result<Option<QueryResult>, ProtocolError> {
+        match cmd {
+            Command::Size { words, bytes } => {
+                assert!(
+                    u64::from(bytes) <= u64::from(words) * 8,
+                    "byte length exceeds announced words"
+                );
+                if words == 0 {
+                    // Empty document: classify immediately.
+                    self.buffer.clear();
+                    self.finish_document(0, now);
+                } else {
+                    self.state = State::Receiving {
+                        expected_words: words,
+                        bytes,
+                    };
+                    self.last_activity = now;
+                }
+                Ok(None)
+            }
+            Command::EndOfDocument => {
+                // With all words already in, the latch happened in
+                // push_dma_word; EoD is then a no-op marker.
+                Ok(None)
+            }
+            Command::QueryResult => match self.latched.take() {
+                Some(q) => Ok(Some(q)),
+                None => Err(ProtocolError::NoResult),
+            },
+            Command::ClearFilters => {
+                // Functional model: clearing is handled at (re)programming
+                // time by the host; latch state is dropped.
+                self.latched = None;
+                Ok(None)
+            }
+            Command::Reset => {
+                self.reset();
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::pack_words;
+    use crate::resources::ClassifierConfig;
+    use lc_bloom::BloomParams;
+    use lc_core::ClassifierBuilder;
+    use lc_ngram::NGramSpec;
+
+    fn protocol() -> FpgaProtocol {
+        let mut b = ClassifierBuilder::new(NGramSpec::PAPER, 200);
+        b.add_language("en", [b"the quick brown fox jumps over the lazy dog".as_slice()]);
+        b.add_language("fr", [b"le renard brun saute par dessus le chien".as_slice()]);
+        let clf = b.build_bloom(BloomParams::PAPER_CONSERVATIVE, 1);
+        let cfg = ClassifierConfig {
+            bloom: BloomParams::PAPER_CONSERVATIVE,
+            languages: 2,
+            copies: 4,
+        };
+        FpgaProtocol::new(HardwareClassifier::place(clf, cfg))
+    }
+
+    fn send_document(p: &mut FpgaProtocol, doc: &[u8], t0: SimTime) -> QueryResult {
+        let words = pack_words(doc);
+        p.command(
+            Command::Size {
+                words: words.len() as u32,
+                bytes: doc.len() as u32,
+            },
+            t0,
+        )
+        .unwrap();
+        for (i, &w) in words.iter().enumerate() {
+            p.push_dma_word(w, SimTime(t0.0 + i as u64)).unwrap();
+        }
+        p.command(Command::EndOfDocument, t0).unwrap();
+        p.command(Command::QueryResult, t0).unwrap().unwrap()
+    }
+
+    #[test]
+    fn happy_path_classifies_and_checksums() {
+        let mut p = protocol();
+        let doc = b"the quick brown fox and the dog";
+        let q = send_document(&mut p, doc, SimTime::ZERO);
+        assert!(q.valid);
+        assert_eq!(q.checksum, xor_checksum(&pack_words(doc)));
+        let sw = p.hardware().classifier().classify(doc);
+        assert_eq!(q.result, sw);
+    }
+
+    #[test]
+    fn out_of_order_commands_are_queued() {
+        // EoD and QueryResult issued *before* the last DMA word arrives —
+        // the paper's asynchronous arrival case. They must not execute until
+        // the words are all in.
+        let mut p = protocol();
+        let doc = b"le chien et le renard brun";
+        let words = pack_words(doc);
+        p.command(
+            Command::Size {
+                words: words.len() as u32,
+                bytes: doc.len() as u32,
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // Commands race ahead of the data.
+        p.command(Command::EndOfDocument, SimTime(1)).unwrap();
+        assert!(p.busy());
+        for &w in &words {
+            p.push_dma_word(w, SimTime(2)).unwrap();
+        }
+        let q = p.command(Command::QueryResult, SimTime(3)).unwrap().unwrap();
+        assert!(q.valid);
+        assert_eq!(q.result, p.hardware().classifier().classify(doc));
+    }
+
+    #[test]
+    fn watchdog_resets_stalled_transfer() {
+        let mut p = protocol();
+        p.command(Command::Size { words: 4, bytes: 32 }, SimTime::ZERO)
+            .unwrap();
+        p.push_dma_word(1, SimTime(10)).unwrap();
+        // Stall past the watchdog period.
+        let fired = p.tick(SimTime(10 + FpgaProtocol::DEFAULT_WATCHDOG.0 + 1));
+        assert!(fired);
+        assert_eq!(p.watchdog_resets(), 1);
+        assert!(!p.busy());
+        // After reset the machine accepts a fresh document.
+        let q = send_document(&mut p, b"the quick brown fox", SimTime(20_000_000));
+        assert!(q.valid);
+    }
+
+    #[test]
+    fn dma_without_size_is_rejected() {
+        let mut p = protocol();
+        assert_eq!(
+            p.push_dma_word(42, SimTime::ZERO),
+            Err(ProtocolError::UnexpectedDma)
+        );
+    }
+
+    #[test]
+    fn size_while_busy_is_rejected() {
+        let mut p = protocol();
+        p.command(Command::Size { words: 2, bytes: 16 }, SimTime::ZERO)
+            .unwrap();
+        let err = p
+            .command(Command::Size { words: 2, bytes: 16 }, SimTime(1))
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::SizeWhileBusy);
+    }
+
+    #[test]
+    fn query_without_result_errors() {
+        let mut p = protocol();
+        assert_eq!(
+            p.command(Command::QueryResult, SimTime::ZERO).unwrap_err(),
+            ProtocolError::NoResult
+        );
+    }
+
+    #[test]
+    fn result_is_consumed_once() {
+        let mut p = protocol();
+        let _ = send_document(&mut p, b"the fox", SimTime::ZERO);
+        assert_eq!(
+            p.command(Command::QueryResult, SimTime(1)).unwrap_err(),
+            ProtocolError::NoResult
+        );
+    }
+
+    #[test]
+    fn empty_document_is_legal() {
+        let mut p = protocol();
+        p.command(Command::Size { words: 0, bytes: 0 }, SimTime::ZERO)
+            .unwrap();
+        let q = p.command(Command::QueryResult, SimTime(1)).unwrap().unwrap();
+        assert_eq!(q.result.total_ngrams(), 0);
+        assert_eq!(q.checksum, 0);
+    }
+
+    #[test]
+    fn reset_mid_transfer_discards_document() {
+        let mut p = protocol();
+        p.command(Command::Size { words: 3, bytes: 24 }, SimTime::ZERO)
+            .unwrap();
+        p.push_dma_word(7, SimTime(1)).unwrap();
+        p.command(Command::Reset, SimTime(2)).unwrap();
+        assert!(!p.busy());
+        assert_eq!(
+            p.command(Command::QueryResult, SimTime(3)).unwrap_err(),
+            ProtocolError::NoResult
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # lc-hail — the HAIL baseline
+//!
+//! HAIL (Kastner, Covington, Levine, Lockwood: *"HAIL: a hardware-accelerated
+//! algorithm for language identification"*, FPL 2005) is the competing FPGA
+//! design the paper improves on. Its architecture:
+//!
+//! * n-gram profiles are stored in **direct lookup tables in off-chip SRAM**
+//!   (not on-chip Bloom filters). Each table entry records which languages
+//!   contain the n-gram — exact membership, no false positives, up to 255
+//!   languages.
+//! * the amount of parallelism "is limited by the number of off-chip SRAMs
+//!   available" (the paper's stated scalability critique): one n-gram lookup
+//!   per SRAM bank per cycle.
+//! * the published implementation on a Xilinx XCV2000E reached **324 MB/s**.
+//!
+//! This crate reproduces both halves:
+//!
+//! * [`DirectLookupTable`] / [`HailClassifier`] — functional: a bucketed
+//!   hash table over packed n-grams with per-entry language bitmaps (the
+//!   shape an SRAM direct-lookup design uses), same match-count scoring as
+//!   the paper. Being exact, it doubles as the no-false-positive reference.
+//! * [`SramModel`] — timing: per-bank single-cycle lookups
+//!   at XCV2000E-era clocks. With the published numbers (4 banks × 81 MHz)
+//!   the model reproduces 324 MB/s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sram;
+pub mod table;
+
+pub use sram::{SramModel, XCV2000E_SRAM};
+pub use table::{DirectLookupTable, HailClassifier};

@@ -1,0 +1,106 @@
+//! Off-chip SRAM timing model — HAIL's throughput and its bottleneck.
+//!
+//! The paper's critique (§2): *"An off-chip SRAM is used to store n-gram
+//! profiles... The amount of parallelism that can be exploited is limited by
+//! the number of off-chip SRAMs available, leading to a design that is not
+//! easily scalable."* Each SRAM bank services one n-gram lookup per cycle;
+//! since one byte of input is one n-gram, throughput is
+//! `banks × clock` bytes/sec, independent of how many languages the bitmap
+//! covers.
+
+use serde::{Deserialize, Serialize};
+
+/// An off-chip SRAM subsystem attached to an FPGA.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    /// Number of independent SRAM banks (lookup ports).
+    pub banks: u32,
+    /// SRAM interface clock in MHz.
+    pub clock_mhz: f64,
+    /// Capacity per bank, bytes.
+    pub bytes_per_bank: usize,
+}
+
+/// The FPX/XCV2000E-era SRAM configuration of the published HAIL
+/// implementation: four ZBT SRAM banks at 81 MHz, 4 MB total. With one
+/// n-gram lookup per bank per cycle this yields 4 × 81e6 = 324 MB/s —
+/// exactly the paper's Table 4 figure for HAIL.
+pub const XCV2000E_SRAM: SramModel = SramModel {
+    banks: 4,
+    clock_mhz: 81.0,
+    bytes_per_bank: 1024 * 1024,
+};
+
+impl SramModel {
+    /// Peak classification throughput in bytes/sec (one n-gram per bank per
+    /// cycle; one byte per n-gram).
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        f64::from(self.banks) * self.clock_mhz * 1e6
+    }
+
+    /// Peak throughput in MB/s (decimal, as Table 4 reports).
+    pub fn throughput_mb_s(&self) -> f64 {
+        self.throughput_bytes_per_sec() / 1e6
+    }
+
+    /// Total SRAM capacity in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.banks as usize * self.bytes_per_bank
+    }
+
+    /// Whether a table of `table_bytes` fits in this SRAM.
+    pub fn fits(&self, table_bytes: usize) -> bool {
+        table_bytes <= self.total_bytes()
+    }
+
+    /// Time in seconds to classify `bytes` of input at peak rate.
+    pub fn classify_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.throughput_bytes_per_sec()
+    }
+
+    /// Scaling critique quantified: adding languages does not change
+    /// throughput (the bitmap rides along with the lookup), but adding
+    /// *parallelism* requires physically more banks. Returns the banks
+    /// needed to match a target throughput.
+    pub fn banks_for_throughput(&self, target_bytes_per_sec: f64) -> u32 {
+        (target_bytes_per_sec / (self.clock_mhz * 1e6)).ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_config_reproduces_324_mb_s() {
+        assert!((XCV2000E_SRAM.throughput_mb_s() - 324.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bloom_design_outpaces_hail_by_paper_ratio() {
+        // Paper: 470 / 324 = 1.45×.
+        let ratio = 470.0 / XCV2000E_SRAM.throughput_mb_s();
+        assert!((ratio - 1.45).abs() < 0.01);
+    }
+
+    #[test]
+    fn capacity_and_fit() {
+        assert_eq!(XCV2000E_SRAM.total_bytes(), 4 * 1024 * 1024);
+        assert!(XCV2000E_SRAM.fits(3 * 1024 * 1024));
+        assert!(!XCV2000E_SRAM.fits(5 * 1024 * 1024));
+    }
+
+    #[test]
+    fn matching_1_4_gbs_needs_many_banks() {
+        // The scalability critique: to match the Bloom design's 1.4 GB/s
+        // peak, HAIL would need ≥ 18 SRAM banks at 81 MHz.
+        let banks = XCV2000E_SRAM.banks_for_throughput(1.4e9);
+        assert!(banks >= 18, "{banks}");
+    }
+
+    #[test]
+    fn classify_time_linear() {
+        let t1 = XCV2000E_SRAM.classify_time(324_000_000);
+        assert!((t1 - 1.0).abs() < 1e-9);
+    }
+}

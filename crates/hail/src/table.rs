@@ -1,0 +1,291 @@
+//! Direct lookup tables and the HAIL classifier.
+
+use lc_ngram::{NGram, NGramExtractor, NGramProfile, NGramSpec};
+
+/// Maximum languages a HAIL table supports (the paper: "HAIL is able to
+/// classify up to 255 languages at this rate").
+pub const MAX_LANGUAGES: usize = 255;
+
+/// A direct lookup table mapping packed n-grams to language bitmaps, the
+/// memory image a HAIL-style off-chip SRAM design holds.
+///
+/// Implementation: open addressing with linear probing over a power-of-two
+/// bucket array; each bucket stores the n-gram key and a 256-bit language
+/// bitmap (four u64 words — the per-lookup SRAM burst of the hardware).
+#[derive(Clone, Debug)]
+pub struct DirectLookupTable {
+    keys: Vec<u64>,
+    bitmaps: Vec<[u64; 4]>,
+    occupied: Vec<bool>,
+    mask: usize,
+    entries: usize,
+    languages: usize,
+}
+
+impl DirectLookupTable {
+    /// Create a table with capacity for at least `capacity` n-grams
+    /// (sized to keep load factor ≤ 0.5 so probe chains stay short, as a
+    /// fixed-latency hardware design requires).
+    pub fn new(capacity: usize, languages: usize) -> Self {
+        assert!(languages >= 1 && languages <= MAX_LANGUAGES);
+        let buckets = (capacity.max(8) * 2).next_power_of_two();
+        Self {
+            keys: vec![0; buckets],
+            bitmaps: vec![[0u64; 4]; buckets],
+            occupied: vec![false; buckets],
+            mask: buckets - 1,
+            entries: 0,
+            languages,
+        }
+    }
+
+    /// Number of distinct n-grams stored.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of languages.
+    pub fn languages(&self) -> usize {
+        self.languages
+    }
+
+    /// Table memory footprint in bytes (keys + bitmaps), the quantity that
+    /// must fit in off-chip SRAM.
+    pub fn sram_bytes(&self) -> usize {
+        self.keys.len() * (8 + 32)
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        // Fibonacci hashing to spread packed n-grams.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & self.mask
+    }
+
+    /// Mark `key` as belonging to language `lang`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lang >= languages` or the table is full.
+    pub fn insert(&mut self, key: u64, lang: usize) {
+        assert!(lang < self.languages, "language index out of range");
+        let mut i = self.slot_of(key);
+        loop {
+            if !self.occupied[i] {
+                self.occupied[i] = true;
+                self.keys[i] = key;
+                self.entries += 1;
+                break;
+            }
+            if self.keys[i] == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+            assert!(i != self.slot_of(key), "direct lookup table full");
+        }
+        self.bitmaps[i][lang / 64] |= 1u64 << (lang % 64);
+    }
+
+    /// Look up the language bitmap for `key` (all zeros if absent). This is
+    /// the hardware's single SRAM read (+ burst for the bitmap words).
+    #[inline]
+    pub fn lookup(&self, key: u64) -> [u64; 4] {
+        let mut i = self.slot_of(key);
+        loop {
+            if !self.occupied[i] {
+                return [0; 4];
+            }
+            if self.keys[i] == key {
+                return self.bitmaps[i];
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Whether `key` belongs to language `lang`.
+    pub fn contains(&self, key: u64, lang: usize) -> bool {
+        self.lookup(key)[lang / 64] >> (lang % 64) & 1 == 1
+    }
+}
+
+/// The HAIL classifier: profiles in a direct lookup table, match-count
+/// scoring identical to the paper's step 2–3.
+#[derive(Clone, Debug)]
+pub struct HailClassifier {
+    table: DirectLookupTable,
+    names: Vec<String>,
+    spec: NGramSpec,
+    extractor: NGramExtractor,
+}
+
+impl HailClassifier {
+    /// Build from per-language profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty, exceeds 255 languages, or the shapes
+    /// are inconsistent.
+    pub fn from_profiles(named: &[(String, NGramProfile)]) -> Self {
+        assert!(!named.is_empty(), "need at least one language");
+        assert!(named.len() <= MAX_LANGUAGES, "HAIL supports up to 255 languages");
+        let spec = named[0].1.spec();
+        let capacity: usize = named.iter().map(|(_, p)| p.len()).sum();
+        let mut table = DirectLookupTable::new(capacity, named.len());
+        let mut names = Vec::with_capacity(named.len());
+        for (lang, (name, profile)) in named.iter().enumerate() {
+            assert_eq!(profile.spec(), spec, "profile n-gram shape mismatch");
+            names.push(name.clone());
+            for g in profile.ngrams() {
+                table.insert(g.value(), lang);
+            }
+        }
+        Self {
+            table,
+            names,
+            spec,
+            extractor: NGramExtractor::new(spec),
+        }
+    }
+
+    /// Language names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &DirectLookupTable {
+        &self.table
+    }
+
+    /// The n-gram shape in use.
+    pub fn spec(&self) -> lc_ngram::NGramSpec {
+        self.spec
+    }
+
+    /// Classify a document: per-language match counts (one table lookup per
+    /// n-gram returns the full bitmap, so one lookup updates every
+    /// language's counter — the architectural reason HAIL scales to 255
+    /// languages per SRAM).
+    pub fn classify(&self, text: &[u8]) -> (Vec<u64>, u64) {
+        let mut grams: Vec<NGram> = Vec::new();
+        self.extractor.extract_into(text, &mut grams);
+        let mut counts = vec![0u64; self.names.len()];
+        for g in &grams {
+            let bitmap = self.table.lookup(g.value());
+            for (lang, c) in counts.iter_mut().enumerate() {
+                if bitmap[lang / 64] >> (lang % 64) & 1 == 1 {
+                    *c += 1;
+                }
+            }
+        }
+        (counts, grams.len() as u64)
+    }
+
+    /// Winning language name.
+    pub fn identify(&self, text: &[u8]) -> &str {
+        let (counts, _) = self.classify(text);
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        &self.names[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ngram::NGramProfile;
+
+    fn profiles() -> Vec<(String, NGramProfile)> {
+        vec![
+            (
+                "en".to_string(),
+                NGramProfile::build(
+                    NGramSpec::PAPER,
+                    [b"the quick brown fox jumps over the lazy dog".as_slice()],
+                    200,
+                ),
+            ),
+            (
+                "fr".to_string(),
+                NGramProfile::build(
+                    NGramSpec::PAPER,
+                    [b"le renard brun saute par dessus le chien paresseux".as_slice()],
+                    200,
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn table_insert_lookup_roundtrip() {
+        let mut t = DirectLookupTable::new(100, 3);
+        t.insert(0xABCDE, 0);
+        t.insert(0xABCDE, 2);
+        t.insert(0x12345, 1);
+        assert!(t.contains(0xABCDE, 0));
+        assert!(!t.contains(0xABCDE, 1));
+        assert!(t.contains(0xABCDE, 2));
+        assert!(t.contains(0x12345, 1));
+        assert!(!t.contains(0x99999, 0));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn shared_ngrams_set_multiple_language_bits() {
+        let named = profiles();
+        let c = HailClassifier::from_profiles(&named);
+        // " le " style overlaps may or may not exist; instead verify every
+        // profile entry maps back to its language.
+        for (lang, (_, p)) in named.iter().enumerate() {
+            for e in p.entries() {
+                assert!(
+                    c.table().contains(e.gram.value(), lang),
+                    "profile entry missing from table"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classifies_like_an_exact_classifier() {
+        let c = HailClassifier::from_profiles(&profiles());
+        assert_eq!(c.identify(b"the fox jumps over the dog"), "en");
+        assert_eq!(c.identify(b"le renard et le chien"), "fr");
+    }
+
+    #[test]
+    fn high_language_indices_work() {
+        // Exercise bitmap words beyond the first (languages 64, 130, 254).
+        let mut t = DirectLookupTable::new(16, 255);
+        t.insert(7, 64);
+        t.insert(7, 130);
+        t.insert(7, 254);
+        assert!(t.contains(7, 64) && t.contains(7, 130) && t.contains(7, 254));
+        assert!(!t.contains(7, 63) && !t.contains(7, 129));
+    }
+
+    #[test]
+    fn sram_footprint_accounts_keys_and_bitmaps() {
+        let t = DirectLookupTable::new(5000, 10);
+        // 5000 entries at load factor 0.5 -> 16384 buckets x 40 bytes.
+        assert_eq!(t.sram_bytes(), 16384 * 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 255")]
+    fn more_than_255_languages_rejected() {
+        let p = NGramProfile::build(NGramSpec::PAPER, [b"abcd".as_slice()], 10);
+        let named: Vec<(String, NGramProfile)> =
+            (0..256).map(|i| (format!("l{i}"), p.clone())).collect();
+        let _ = HailClassifier::from_profiles(&named);
+    }
+}

@@ -1,0 +1,109 @@
+//! Multiplicative (Knuth) hashing — the ablation baseline.
+//!
+//! The paper chooses H3 because it maps to an XOR tree in hardware. A natural
+//! software alternative is Knuth's multiplicative method: multiply by an odd
+//! constant and keep the top bits. We carry it as an ablation point so the
+//! benchmark suite can show that the *quality* of the Bloom filter (false
+//! positive behaviour) is insensitive to the hash family while the hardware
+//! cost is not.
+
+use crate::{HashFunction, MAX_INPUT_BITS, MAX_OUTPUT_BITS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A Knuth multiplicative hash: `h(x) = ((x * a) >> (64 - d))` for a random
+/// odd 64-bit multiplier `a`.
+#[derive(Clone, Debug)]
+pub struct MultiplicativeHash {
+    multiplier: u64,
+    input_bits: u32,
+    output_bits: u32,
+}
+
+impl MultiplicativeHash {
+    /// Create a multiplicative hash over `input_bits`-bit keys producing
+    /// `output_bits`-bit addresses, with the multiplier drawn from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same width constraints as [`crate::H3::new`].
+    pub fn new(input_bits: u32, output_bits: u32, seed: u64) -> Self {
+        assert!((1..=MAX_INPUT_BITS).contains(&input_bits));
+        assert!((1..=MAX_OUTPUT_BITS).contains(&output_bits));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Force odd so the map x -> a*x mod 2^64 is a bijection.
+        let multiplier = rng.gen::<u64>() | 1;
+        Self {
+            multiplier,
+            input_bits,
+            output_bits,
+        }
+    }
+
+    /// The odd multiplier in use.
+    pub fn multiplier(&self) -> u64 {
+        self.multiplier
+    }
+}
+
+impl HashFunction for MultiplicativeHash {
+    fn output_bits(&self) -> u32 {
+        self.output_bits
+    }
+
+    fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    #[inline]
+    fn hash(&self, key: u64) -> u32 {
+        let mask = if self.input_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.input_bits) - 1
+        };
+        let x = (key & mask).wrapping_mul(self.multiplier);
+        (x >> (64 - self.output_bits)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn multiplier_is_odd() {
+        for seed in 0..32 {
+            assert_eq!(MultiplicativeHash::new(20, 14, seed).multiplier() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential packed n-grams should not collapse into a few buckets.
+        let h = MultiplicativeHash::new(20, 10, 42);
+        let distinct: HashSet<u32> = (0..1024u64).map(|x| h.hash(x)).collect();
+        assert!(
+            distinct.len() > 500,
+            "only {} distinct addresses out of 1024",
+            distinct.len()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn address_in_range(seed in any::<u64>(), key in any::<u64>(), d in 1u32..=31) {
+            let h = MultiplicativeHash::new(64, d, seed);
+            prop_assert!(h.hash(key) < (1u32 << d));
+        }
+
+        #[test]
+        fn deterministic(seed in any::<u64>(), key in any::<u64>()) {
+            let a = MultiplicativeHash::new(32, 16, seed);
+            let b = MultiplicativeHash::new(32, 16, seed);
+            prop_assert_eq!(a.hash(key), b.hash(key));
+        }
+    }
+}

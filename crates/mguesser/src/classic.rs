@@ -1,0 +1,241 @@
+//! The original Cavnar–Trenkle (1994) method with **mixed-length** n-grams.
+//!
+//! The paper's hardware fixes `n = 4`; Cavnar & Trenkle's original text
+//! categorizer extracts n-grams of every length 1–5 from white-space-
+//! delimited words padded with markers (`_TEXT_`), ranks the top ~300, and
+//! classifies by out-of-place distance. Mguesser descends from this design.
+//! We carry the faithful variant so the benches can quantify what the
+//! hardware's fixed-length simplification costs (empirically: little, which
+//! is why HAIL and this paper could fix n = 4).
+
+use lc_ngram::alphabet::{fold_byte, SPACE_CODE};
+use std::collections::HashMap;
+
+/// Default profile length (Cavnar–Trenkle use ~300).
+pub const CLASSIC_PROFILE_LEN: usize = 300;
+
+/// A mixed-length n-gram, stored as its padded text (≤ 5 bytes + pad).
+pub type MixedGram = Vec<u8>;
+
+/// Extract Cavnar–Trenkle mixed-length n-grams (lengths 1–5) from text:
+/// words are runs of letters (after alphabet folding), padded with `_` on
+/// both sides; every n-gram of every length 1..=5 of the padded word is
+/// emitted.
+pub fn extract_mixed(text: &[u8]) -> Vec<MixedGram> {
+    let mut grams = Vec::new();
+    let mut word: Vec<u8> = Vec::with_capacity(16);
+    let flush = |word: &mut Vec<u8>, grams: &mut Vec<MixedGram>| {
+        if word.is_empty() {
+            return;
+        }
+        // Pad: "_WORD_" (single leading and trailing marker, per CT).
+        let mut padded = Vec::with_capacity(word.len() + 2);
+        padded.push(b'_');
+        padded.extend_from_slice(word);
+        padded.push(b'_');
+        for n in 1..=5usize {
+            if padded.len() >= n {
+                for w in padded.windows(n) {
+                    grams.push(w.to_vec());
+                }
+            }
+        }
+        word.clear();
+    };
+    for &b in text {
+        let code = fold_byte(b);
+        if code == SPACE_CODE {
+            flush(&mut word, &mut grams);
+        } else {
+            word.push(b'A' + code - 1);
+        }
+    }
+    flush(&mut word, &mut grams);
+    grams
+}
+
+/// A ranked mixed-length profile.
+#[derive(Clone, Debug)]
+pub struct MixedProfile {
+    /// gram -> rank (0 = most frequent).
+    ranks: HashMap<MixedGram, u32>,
+    len: usize,
+}
+
+impl MixedProfile {
+    /// Build the top-`t` ranked profile of a document set.
+    pub fn build<'a, I: IntoIterator<Item = &'a [u8]>>(docs: I, t: usize) -> Self {
+        let mut counts: HashMap<MixedGram, u64> = HashMap::new();
+        for d in docs {
+            for g in extract_mixed(d) {
+                *counts.entry(g).or_insert(0) += 1;
+            }
+        }
+        let mut entries: Vec<(MixedGram, u64)> = counts.into_iter().collect();
+        entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(t);
+        let len = entries.len();
+        let ranks = entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (g, _))| (g, i as u32))
+            .collect();
+        Self { ranks, len }
+    }
+
+    /// Profile length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rank of a gram, if present.
+    pub fn rank(&self, g: &[u8]) -> Option<u32> {
+        self.ranks.get(g).copied()
+    }
+
+    /// Out-of-place distance from a document profile (also rank-ordered).
+    pub fn out_of_place(&self, doc: &MixedProfile) -> u64 {
+        let max = self.len as u64;
+        let mut doc_entries: Vec<(&MixedGram, u32)> =
+            doc.ranks.iter().map(|(g, &r)| (g, r)).collect();
+        doc_entries.sort_unstable_by_key(|&(_, r)| r);
+        doc_entries
+            .iter()
+            .map(|(g, doc_rank)| match self.rank(g) {
+                Some(r) => (i64::from(r) - i64::from(*doc_rank)).unsigned_abs(),
+                None => max,
+            })
+            .sum()
+    }
+}
+
+/// The original Cavnar–Trenkle classifier: mixed-length ranked profiles.
+#[derive(Clone, Debug)]
+pub struct ClassicCavnarTrenkle {
+    names: Vec<String>,
+    profiles: Vec<MixedProfile>,
+    doc_profile_len: usize,
+}
+
+impl ClassicCavnarTrenkle {
+    /// Train from named document sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `training` is empty.
+    pub fn train(training: &[(String, Vec<&[u8]>)], t: usize) -> Self {
+        assert!(!training.is_empty(), "need at least one language");
+        let mut names = Vec::with_capacity(training.len());
+        let mut profiles = Vec::with_capacity(training.len());
+        for (name, docs) in training {
+            names.push(name.clone());
+            profiles.push(MixedProfile::build(docs.iter().copied(), t));
+        }
+        Self {
+            names,
+            profiles,
+            doc_profile_len: t,
+        }
+    }
+
+    /// Language names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Distances of a document to every language.
+    pub fn distances(&self, text: &[u8]) -> Vec<u64> {
+        let doc = MixedProfile::build([text], self.doc_profile_len);
+        self.profiles.iter().map(|p| p.out_of_place(&doc)).collect()
+    }
+
+    /// Index of the closest language.
+    pub fn classify(&self, text: &[u8]) -> usize {
+        self.distances(text)
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, d)| d)
+            .map(|(i, _)| i)
+            .expect("at least one language")
+    }
+
+    /// Name of the closest language.
+    pub fn identify(&self, text: &[u8]) -> &str {
+        &self.names[self.classify(text)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_corpus::{Corpus, CorpusConfig};
+
+    #[test]
+    fn mixed_extraction_shapes() {
+        let grams = extract_mixed(b"cat");
+        // "_CAT_": lengths 1..=5 -> 5 + 4 + 3 + 2 + 1 = 15 windows.
+        assert_eq!(grams.len(), 15);
+        assert!(grams.contains(&b"_".to_vec()));
+        assert!(grams.contains(&b"_CAT".to_vec()));
+        assert!(grams.contains(&b"_CAT_".to_vec()));
+        assert!(grams.contains(&b"AT_".to_vec()));
+    }
+
+    #[test]
+    fn folding_applies_before_padding() {
+        let a = extract_mixed(b"CAT");
+        let b = extract_mixed(b"cat");
+        let c = extract_mixed(&[b'c', 0xE1, b't']); // cát
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn multiple_words_split_on_nonletters() {
+        let grams = extract_mixed(b"a b");
+        // Two one-letter words: "_A_" and "_B_", 6 windows each.
+        assert_eq!(grams.len(), 12);
+    }
+
+    #[test]
+    fn empty_and_nonletter_input() {
+        assert!(extract_mixed(b"").is_empty());
+        assert!(extract_mixed(b"123 ,.!").is_empty());
+    }
+
+    #[test]
+    fn classic_ct_classifies_synthetic_corpus() {
+        let corpus = Corpus::generate(CorpusConfig::test_scale());
+        let split = corpus.split();
+        let training: Vec<(String, Vec<&[u8]>)> = corpus
+            .languages()
+            .iter()
+            .map(|&l| {
+                (
+                    l.code().to_string(),
+                    split.train(l).map(|d| d.text.as_slice()).collect(),
+                )
+            })
+            .collect();
+        let ct = ClassicCavnarTrenkle::train(&training, CLASSIC_PROFILE_LEN);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for d in split.test_all().take(40) {
+            total += 1;
+            correct += usize::from(ct.classify(&d.text) == d.language.index());
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.9, "classic CT accuracy {acc:.2}");
+    }
+
+    #[test]
+    fn out_of_place_zero_against_self() {
+        let p = MixedProfile::build([b"some words for a profile here".as_slice()], 100);
+        assert_eq!(p.out_of_place(&p), 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Sliding-window n-gram extraction.
+//!
+//! The paper (§3.3): *"An input word containing multiple translated
+//! characters is buffered and an n-gram is generated at each character
+//! position."* and *"Our implementation is currently oblivious to word
+//! boundaries and simply treats the input as a continuous stream of
+//! characters."*
+//!
+//! Two extractors are provided:
+//!
+//! * [`NGramExtractor`] — whole-buffer extraction: yields one packed n-gram
+//!   per input position starting at position `n - 1` (the window must fill
+//!   before the first n-gram emerges, exactly like the hardware shift
+//!   register warming up).
+//! * [`StreamingExtractor`] — carries the shift-register state across chunk
+//!   boundaries, so feeding a document in arbitrary 64-bit-word-sized pieces
+//!   (as the DMA engine does) yields the identical n-gram sequence.
+//!
+//! Both support **sub-sampling**: testing only every `s`-th n-gram, the
+//! bandwidth-saving fallback the paper inherits from HAIL (§3.3, §5.2).
+
+use crate::alphabet::fold_byte;
+use crate::ngram::{NGram, NGramSpec};
+
+/// Whole-buffer sliding-window extractor.
+#[derive(Clone, Copy, Debug)]
+pub struct NGramExtractor {
+    spec: NGramSpec,
+    /// Emit every `subsample`-th n-gram (1 = all of them, the default).
+    subsample: usize,
+}
+
+impl NGramExtractor {
+    /// Extractor emitting every n-gram (the paper's primary configuration).
+    pub fn new(spec: NGramSpec) -> Self {
+        Self { spec, subsample: 1 }
+    }
+
+    /// Extractor emitting only every `s`-th n-gram (HAIL-style sub-sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0`.
+    pub fn with_subsampling(spec: NGramSpec, s: usize) -> Self {
+        assert!(s >= 1, "subsample factor must be >= 1");
+        Self { spec, subsample: s }
+    }
+
+    /// The n-gram shape in use.
+    pub fn spec(&self) -> NGramSpec {
+        self.spec
+    }
+
+    /// The sub-sampling factor.
+    pub fn subsample(&self) -> usize {
+        self.subsample
+    }
+
+    /// Extract all (sub-sampled) n-grams of `text` (raw ISO-8859-1 bytes) into
+    /// `out`, clearing it first. Returns the number of n-grams produced.
+    ///
+    /// Allocation-free when `out` has capacity (workhorse-buffer pattern).
+    pub fn extract_into(&self, text: &[u8], out: &mut Vec<NGram>) -> usize {
+        out.clear();
+        let n = self.spec.n();
+        if text.len() < n {
+            return 0;
+        }
+        out.reserve(text.len() / self.subsample + 1);
+        let mask = self.spec.mask();
+        let mut state = 0u64;
+        // Warm up the shift register with the first n-1 characters.
+        for &b in &text[..n - 1] {
+            state = (state << 5) | u64::from(fold_byte(b));
+        }
+        let mut phase = 0usize;
+        for &b in &text[n - 1..] {
+            state = ((state << 5) | u64::from(fold_byte(b))) & mask;
+            if phase == 0 {
+                out.push(NGram(state));
+            }
+            phase += 1;
+            if phase == self.subsample {
+                phase = 0;
+            }
+        }
+        out.len()
+    }
+
+    /// Convenience: extract into a fresh vector.
+    pub fn extract(&self, text: &[u8]) -> Vec<NGram> {
+        let mut out = Vec::new();
+        self.extract_into(text, &mut out);
+        out
+    }
+
+    /// Number of n-grams a `len`-byte input produces (before sub-sampling
+    /// this is `len - n + 1`; the paper equates bytes and n-grams because
+    /// every byte past the warm-up yields one).
+    pub fn count_for_len(&self, len: usize) -> usize {
+        let n = self.spec.n();
+        if len < n {
+            0
+        } else {
+            (len - n + 1).div_ceil(self.subsample)
+        }
+    }
+}
+
+/// Streaming extractor: identical output to [`NGramExtractor`] no matter how
+/// the input is chunked. This mirrors the hardware, where the DMA engine
+/// delivers 64-bit words and the shift register never "sees" chunk
+/// boundaries.
+#[derive(Clone, Debug)]
+pub struct StreamingExtractor {
+    spec: NGramSpec,
+    subsample: usize,
+    state: u64,
+    /// Folded characters consumed so far in the current document.
+    chars_seen: usize,
+    phase: usize,
+}
+
+impl StreamingExtractor {
+    /// Create a streaming extractor with no sub-sampling.
+    pub fn new(spec: NGramSpec) -> Self {
+        Self::with_subsampling(spec, 1)
+    }
+
+    /// Create a streaming extractor emitting every `s`-th n-gram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0`.
+    pub fn with_subsampling(spec: NGramSpec, s: usize) -> Self {
+        assert!(s >= 1, "subsample factor must be >= 1");
+        Self {
+            spec,
+            subsample: s,
+            state: 0,
+            chars_seen: 0,
+            phase: 0,
+        }
+    }
+
+    /// Feed a chunk, appending produced n-grams to `out` (not cleared).
+    /// Returns the number of n-grams appended.
+    pub fn feed(&mut self, chunk: &[u8], out: &mut Vec<NGram>) -> usize {
+        let n = self.spec.n();
+        let mask = self.spec.mask();
+        let before = out.len();
+        for &b in chunk {
+            self.state = ((self.state << 5) | u64::from(fold_byte(b))) & mask;
+            self.chars_seen += 1;
+            if self.chars_seen >= n {
+                if self.phase == 0 {
+                    out.push(NGram(self.state));
+                }
+                self.phase += 1;
+                if self.phase == self.subsample {
+                    self.phase = 0;
+                }
+            }
+        }
+        out.len() - before
+    }
+
+    /// Reset for a new document (the hardware's End-of-Document clears the
+    /// shift register).
+    pub fn reset(&mut self) {
+        self.state = 0;
+        self.chars_seen = 0;
+        self.phase = 0;
+    }
+
+    /// Total characters consumed since the last reset.
+    pub fn chars_seen(&self) -> usize {
+        self.chars_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec4() -> NGramSpec {
+        NGramSpec::new(4)
+    }
+
+    #[test]
+    fn short_input_yields_nothing() {
+        let ex = NGramExtractor::new(spec4());
+        assert!(ex.extract(b"abc").is_empty());
+        assert!(ex.extract(b"").is_empty());
+        assert_eq!(ex.extract(b"abcd").len(), 1);
+    }
+
+    #[test]
+    fn one_ngram_per_position() {
+        let ex = NGramExtractor::new(spec4());
+        let grams = ex.extract(b"hello world");
+        assert_eq!(grams.len(), 11 - 4 + 1);
+        // First window is "hell", second "ello".
+        assert_eq!(spec4().render(grams[0]), "HELL");
+        assert_eq!(spec4().render(grams[1]), "ELLO");
+        // Window crossing the space keeps the space code.
+        assert_eq!(spec4().render(grams[4]), "O WO");
+    }
+
+    #[test]
+    fn case_and_accents_fold_before_windowing() {
+        let ex = NGramExtractor::new(spec4());
+        let a = ex.extract(b"CAFE");
+        let b = ex.extract(&[b'c', b'a', b'f', 0xE9]); // "café" in Latin-1
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn count_for_len_matches_extraction() {
+        for s in [1usize, 2, 3] {
+            let ex = NGramExtractor::with_subsampling(spec4(), s);
+            for len in 0..40 {
+                let text: Vec<u8> = (0..len).map(|i| b'a' + (i % 26) as u8).collect();
+                assert_eq!(
+                    ex.extract(&text).len(),
+                    ex.count_for_len(len),
+                    "len={len}, s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subsampling_takes_every_sth() {
+        let full = NGramExtractor::new(spec4()).extract(b"abcdefghij");
+        let half = NGramExtractor::with_subsampling(spec4(), 2).extract(b"abcdefghij");
+        let expected: Vec<_> = full.iter().copied().step_by(2).collect();
+        assert_eq!(half, expected);
+    }
+
+    #[test]
+    fn streaming_reset_starts_fresh_document() {
+        let mut ex = StreamingExtractor::new(spec4());
+        let mut out = Vec::new();
+        ex.feed(b"abcdef", &mut out);
+        ex.reset();
+        let mut out2 = Vec::new();
+        ex.feed(b"abcdef", &mut out2);
+        // After reset the second document yields the same grams from scratch.
+        assert_eq!(out, out2);
+        assert_eq!(ex.chars_seen(), 6);
+    }
+
+    #[test]
+    fn streaming_does_not_bridge_documents_without_reset_awareness() {
+        // Feeding two documents *without* reset bridges the boundary —
+        // exactly what the hardware avoids via End-of-Document. This test
+        // pins the behaviour difference.
+        let mut ex = StreamingExtractor::new(spec4());
+        let mut bridged = Vec::new();
+        ex.feed(b"abcd", &mut bridged);
+        ex.feed(b"wxyz", &mut bridged);
+        assert_eq!(bridged.len(), 5); // 1 + 4 (bridging windows)
+        let mut ex2 = StreamingExtractor::new(spec4());
+        let mut clean = Vec::new();
+        ex2.feed(b"abcd", &mut clean);
+        ex2.reset();
+        ex2.feed(b"wxyz", &mut clean);
+        assert_eq!(clean.len(), 2);
+    }
+
+    proptest! {
+        /// Chunked streaming output equals whole-buffer output for any
+        /// chunking of any input.
+        #[test]
+        fn streaming_equals_whole_buffer(
+            text in proptest::collection::vec(any::<u8>(), 0..200),
+            cuts in proptest::collection::vec(0usize..200, 0..8),
+            n in 1usize..=8,
+            s in 1usize..=4,
+        ) {
+            let spec = NGramSpec::new(n);
+            let whole = NGramExtractor::with_subsampling(spec, s).extract(&text);
+
+            let mut cut_points: Vec<usize> =
+                cuts.into_iter().map(|c| c % (text.len() + 1)).collect();
+            cut_points.push(0);
+            cut_points.push(text.len());
+            cut_points.sort_unstable();
+            cut_points.dedup();
+
+            let mut streamed = Vec::new();
+            let mut ex = StreamingExtractor::with_subsampling(spec, s);
+            for w in cut_points.windows(2) {
+                ex.feed(&text[w[0]..w[1]], &mut streamed);
+            }
+            prop_assert_eq!(streamed, whole);
+        }
+
+        /// Every produced gram fits in the spec's bit width.
+        #[test]
+        fn grams_within_mask(text in proptest::collection::vec(any::<u8>(), 0..100),
+                             n in 1usize..=12) {
+            let spec = NGramSpec::new(n);
+            for g in NGramExtractor::new(spec).extract(&text) {
+                prop_assert!(g.value() <= spec.mask());
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Packed n-gram representation.
+//!
+//! A folded character is 5 bits; an n-gram of `n` characters is packed into a
+//! `u64` with the **oldest character in the most significant position**, the
+//! same layout a hardware shift register produces as characters stream in.
+//! With the paper's `n = 4` an n-gram is a 20-bit value — the width of the
+//! input to each H3 hash function.
+
+use crate::alphabet::{code_to_char, FoldedChar, ALPHABET_SIZE, BITS_PER_CHAR};
+use serde::{Deserialize, Serialize};
+
+/// Static description of an n-gram shape: the window length `n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NGramSpec {
+    n: usize,
+}
+
+impl NGramSpec {
+    /// Maximum window length such that `n * 5` bits fit in a `u64`.
+    pub const MAX_N: usize = 12;
+
+    /// The paper's configuration: 4-grams (20-bit packed values).
+    pub const PAPER: NGramSpec = NGramSpec { n: 4 };
+
+    /// Create a spec for `n`-grams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_N`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1 && n <= Self::MAX_N, "n must be in 1..={}, got {n}", Self::MAX_N);
+        Self { n }
+    }
+
+    /// Window length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total packed width in bits (`n * 5`).
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.n as u32 * BITS_PER_CHAR
+    }
+
+    /// Mask covering the packed value.
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        (1u64 << self.bits()) - 1
+    }
+
+    /// Pack a window of folded characters (oldest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != n` or any code is out of range.
+    pub fn pack(&self, window: &[FoldedChar]) -> NGram {
+        assert_eq!(window.len(), self.n, "window length must equal n");
+        let mut v = 0u64;
+        for &c in window {
+            assert!(c < ALPHABET_SIZE, "folded code {c} out of range");
+            v = (v << BITS_PER_CHAR) | u64::from(c);
+        }
+        NGram(v)
+    }
+
+    /// Unpack an n-gram into folded characters (oldest first).
+    pub fn unpack(&self, g: NGram) -> Vec<FoldedChar> {
+        let mut out = vec![0u8; self.n];
+        let mut v = g.0;
+        for slot in out.iter_mut().rev() {
+            *slot = (v & 0x1F) as u8;
+            v >>= BITS_PER_CHAR;
+        }
+        out
+    }
+
+    /// Shift-register step: append `c` to `state`, dropping the oldest
+    /// character. This is exactly the per-clock datapath operation.
+    #[inline]
+    pub fn shift(&self, state: u64, c: FoldedChar) -> u64 {
+        ((state << BITS_PER_CHAR) | u64::from(c)) & self.mask()
+    }
+
+    /// Render an n-gram as printable text (spaces and upper-case letters).
+    pub fn render(&self, g: NGram) -> String {
+        self.unpack(g).into_iter().map(code_to_char).collect()
+    }
+}
+
+/// A packed n-gram value. The shape (window length) lives in [`NGramSpec`];
+/// this is just the payload handed to the hash functions — deliberately a
+/// thin wrapper so hot loops stay allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NGram(pub u64);
+
+impl NGram {
+    /// The raw packed value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for NGram {
+    fn from(v: u64) -> Self {
+        NGram(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::fold_byte;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_spec_is_4_grams_20_bits() {
+        assert_eq!(NGramSpec::PAPER.n(), 4);
+        assert_eq!(NGramSpec::PAPER.bits(), 20);
+        assert_eq!(NGramSpec::PAPER.mask(), 0xF_FFFF);
+    }
+
+    #[test]
+    fn pack_layout_oldest_char_most_significant() {
+        let spec = NGramSpec::new(4);
+        // "ABCD" -> codes 1,2,3,4 -> 0b00001_00010_00011_00100
+        let g = spec.pack(&[1, 2, 3, 4]);
+        assert_eq!(g.value(), (1 << 15) | (2 << 10) | (3 << 5) | 4);
+    }
+
+    #[test]
+    fn shift_matches_pack() {
+        let spec = NGramSpec::new(4);
+        let mut state = 0u64;
+        for &c in &[1u8, 2, 3, 4] {
+            state = spec.shift(state, c);
+        }
+        assert_eq!(state, spec.pack(&[1, 2, 3, 4]).value());
+        // One more shift drops the oldest character.
+        state = spec.shift(state, 5);
+        assert_eq!(state, spec.pack(&[2, 3, 4, 5]).value());
+    }
+
+    #[test]
+    fn render_round_trips_text() {
+        let spec = NGramSpec::new(4);
+        let window: Vec<u8> = b"WORD".iter().map(|&b| fold_byte(b)).collect();
+        let g = spec.pack(&window);
+        assert_eq!(spec.render(g), "WORD");
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in 1..=")]
+    fn zero_n_rejected() {
+        let _ = NGramSpec::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in 1..=")]
+    fn oversize_n_rejected() {
+        let _ = NGramSpec::new(13);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn wrong_window_length_rejected() {
+        let _ = NGramSpec::new(4).pack(&[1, 2, 3]);
+    }
+
+    proptest! {
+        /// pack . unpack is the identity on valid windows.
+        #[test]
+        fn pack_unpack_roundtrip(n in 1usize..=12,
+                                 raw in proptest::collection::vec(0u8..ALPHABET_SIZE, 12)) {
+            let spec = NGramSpec::new(n);
+            let window = &raw[..n];
+            let g = spec.pack(window);
+            prop_assert_eq!(spec.unpack(g), window.to_vec());
+            prop_assert!(g.value() <= spec.mask());
+        }
+
+        /// Shifting n characters into an empty state equals packing them.
+        #[test]
+        fn n_shifts_equal_pack(n in 1usize..=12,
+                               raw in proptest::collection::vec(0u8..ALPHABET_SIZE, 12)) {
+            let spec = NGramSpec::new(n);
+            let window = &raw[..n];
+            let mut state = 0u64;
+            for &c in window {
+                state = spec.shift(state, c);
+            }
+            prop_assert_eq!(state, spec.pack(window).value());
+        }
+    }
+}

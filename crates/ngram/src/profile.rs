@@ -1,0 +1,533 @@
+//! N-gram frequency counting and top-t language profiles.
+//!
+//! The paper (§4): *"We use the top t = 5,000 most frequently occurring
+//! n-grams from a language training set to generate a profile."* A profile is
+//! a *set* for the Bloom-filter classifier (membership is all that matters)
+//! and a *ranked list* for the Cavnar–Trenkle software baseline.
+
+use crate::extract::NGramExtractor;
+use crate::ngram::{NGram, NGramSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast multiplicative hasher for packed n-gram keys. N-grams are already
+/// well-mixed small integers and this is an internal (non-adversarial)
+/// counting table, so we trade SipHash's DoS resistance for speed — the hot
+/// path of profile building hashes every n-gram of the training set.
+#[derive(Default)]
+pub struct NGramKeyHasher(u64);
+
+impl Hasher for NGramKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only used via write_u64 in practice; fold arbitrary bytes anyway.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+/// `BuildHasher` for [`NGramKeyHasher`].
+pub type NGramKeyBuildHasher = BuildHasherDefault<NGramKeyHasher>;
+
+/// Streaming n-gram frequency counter.
+#[derive(Clone, Debug)]
+pub struct NGramCounter {
+    spec: NGramSpec,
+    extractor: NGramExtractor,
+    counts: HashMap<u64, u64, NGramKeyBuildHasher>,
+    total: u64,
+    /// Workhorse buffer reused across documents.
+    scratch: Vec<NGram>,
+}
+
+impl NGramCounter {
+    /// New counter for the given n-gram shape.
+    pub fn new(spec: NGramSpec) -> Self {
+        Self {
+            spec,
+            extractor: NGramExtractor::new(spec),
+            counts: HashMap::default(),
+            total: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Count all n-grams of a document (raw ISO-8859-1 bytes).
+    pub fn add_document(&mut self, text: &[u8]) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.extractor.extract_into(text, &mut scratch);
+        for g in &scratch {
+            *self.counts.entry(g.value()).or_insert(0) += 1;
+        }
+        self.total += scratch.len() as u64;
+        self.scratch = scratch;
+    }
+
+    /// Count a pre-extracted n-gram sequence.
+    pub fn add_ngrams(&mut self, grams: &[NGram]) {
+        for g in grams {
+            *self.counts.entry(g.value()).or_insert(0) += 1;
+        }
+        self.total += grams.len() as u64;
+    }
+
+    /// Number of distinct n-grams seen.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total n-grams counted (with multiplicity).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for one n-gram.
+    pub fn count(&self, g: NGram) -> u64 {
+        self.counts.get(&g.value()).copied().unwrap_or(0)
+    }
+
+    /// The n-gram shape.
+    pub fn spec(&self) -> NGramSpec {
+        self.spec
+    }
+
+    /// Build the top-`t` profile. Ties at the cut-off are broken by packed
+    /// value (ascending) so profile construction is fully deterministic.
+    pub fn top_t(&self, t: usize) -> NGramProfile {
+        // (count desc, value asc) ordering; select_nth avoids a full sort of
+        // the distinct-gram population when t is much smaller.
+        let mut entries: Vec<(u64, u64)> =
+            self.counts.iter().map(|(&v, &c)| (v, c)).collect();
+        let key = |e: &(u64, u64)| (std::cmp::Reverse(e.1), e.0);
+        let t_eff = t.min(entries.len());
+        if t_eff > 0 && t_eff < entries.len() {
+            entries.select_nth_unstable_by_key(t_eff - 1, key);
+        }
+        entries.truncate(t_eff);
+        entries.sort_unstable_by_key(key);
+        NGramProfile {
+            spec: self.spec,
+            entries: entries
+                .into_iter()
+                .map(|(v, c)| ProfileEntry { gram: NGram(v), count: c })
+                .collect(),
+            trained_total: self.total,
+        }
+    }
+}
+
+/// One profile entry: an n-gram and its training-set frequency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    /// The packed n-gram.
+    pub gram: NGram,
+    /// Its count in the training set.
+    pub count: u64,
+}
+
+/// A language profile: the `t` most frequent n-grams of a training set,
+/// ordered by descending frequency. This is what gets programmed into a
+/// Bloom filter (as a set) or used by the rank-order baseline (as a list).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NGramProfile {
+    spec: NGramSpec,
+    entries: Vec<ProfileEntry>,
+    trained_total: u64,
+}
+
+impl NGramProfile {
+    /// Build directly from documents: count then take the top `t`.
+    pub fn build<'a, I: IntoIterator<Item = &'a [u8]>>(
+        spec: NGramSpec,
+        docs: I,
+        t: usize,
+    ) -> Self {
+        let mut counter = NGramCounter::new(spec);
+        for d in docs {
+            counter.add_document(d);
+        }
+        counter.top_t(t)
+    }
+
+    /// The n-gram shape.
+    pub fn spec(&self) -> NGramSpec {
+        self.spec
+    }
+
+    /// Profile size (≤ requested `t`; smaller if the training set had fewer
+    /// distinct n-grams).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in rank order (most frequent first).
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Iterator over the packed n-grams in rank order.
+    pub fn ngrams(&self) -> impl Iterator<Item = NGram> + '_ {
+        self.entries.iter().map(|e| e.gram)
+    }
+
+    /// Total n-grams in the training material this profile was built from.
+    pub fn trained_total(&self) -> u64 {
+        self.trained_total
+    }
+
+    /// Serialize to a simple length-prefixed binary stream:
+    /// magic "LCNP", version u32, n u32, trained_total u64, count u64,
+    /// then (gram u64, count u64) pairs — all little-endian. A dependency-
+    /// free on-disk format for the CLI and for shipping profiles between
+    /// host and (simulated) device.
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(b"LCNP")?;
+        w.write_all(&1u32.to_le_bytes())?;
+        w.write_all(&(self.spec.n() as u32).to_le_bytes())?;
+        w.write_all(&self.trained_total.to_le_bytes())?;
+        w.write_all(&(self.entries.len() as u64).to_le_bytes())?;
+        for e in &self.entries {
+            w.write_all(&e.gram.value().to_le_bytes())?;
+            w.write_all(&e.count.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize a profile written by [`Self::write_to`].
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"LCNP" {
+            return Err(Error::new(ErrorKind::InvalidData, "bad profile magic"));
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        if u32::from_le_bytes(u32buf) != 1 {
+            return Err(Error::new(ErrorKind::InvalidData, "unsupported profile version"));
+        }
+        r.read_exact(&mut u32buf)?;
+        let n = u32::from_le_bytes(u32buf) as usize;
+        if n == 0 || n > NGramSpec::MAX_N {
+            return Err(Error::new(ErrorKind::InvalidData, "invalid n-gram length"));
+        }
+        let mut u64buf = [0u8; 8];
+        r.read_exact(&mut u64buf)?;
+        let trained_total = u64::from_le_bytes(u64buf);
+        r.read_exact(&mut u64buf)?;
+        let len = u64::from_le_bytes(u64buf);
+        if len > 100_000_000 {
+            return Err(Error::new(ErrorKind::InvalidData, "implausible profile size"));
+        }
+        let spec = NGramSpec::new(n);
+        let mut entries = Vec::with_capacity(len as usize);
+        let mut prev_count = u64::MAX;
+        for _ in 0..len {
+            r.read_exact(&mut u64buf)?;
+            let gram = u64::from_le_bytes(u64buf);
+            if gram > spec.mask() {
+                return Err(Error::new(ErrorKind::InvalidData, "gram exceeds spec width"));
+            }
+            r.read_exact(&mut u64buf)?;
+            let count = u64::from_le_bytes(u64buf);
+            if count > prev_count {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    "profile entries not in rank order",
+                ));
+            }
+            prev_count = count;
+            entries.push(ProfileEntry {
+                gram: NGram(gram),
+                count,
+            });
+        }
+        Ok(Self {
+            spec,
+            entries,
+            trained_total,
+        })
+    }
+
+    /// Membership test against the profile as a set (reference semantics for
+    /// the Bloom filter; O(len) — build a `HashSet` or Bloom filter for bulk
+    /// testing).
+    pub fn contains(&self, g: NGram) -> bool {
+        self.entries.iter().any(|e| e.gram == g)
+    }
+}
+
+/// A Cavnar–Trenkle style ranked profile with out-of-place distance.
+///
+/// Used by the `lc-mguesser` software baseline: classification picks the
+/// language whose ranked profile has the smallest total rank displacement
+/// relative to the document's own ranked profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RankedProfile {
+    spec: NGramSpec,
+    /// gram -> rank (0 = most frequent).
+    ranks: HashMap<u64, u32, NGramKeyBuildHasher>,
+    len: usize,
+}
+
+impl RankedProfile {
+    /// Build from an [`NGramProfile`] (which is already rank-ordered).
+    pub fn from_profile(p: &NGramProfile) -> Self {
+        let mut ranks = HashMap::default();
+        for (i, e) in p.entries().iter().enumerate() {
+            ranks.insert(e.gram.value(), i as u32);
+        }
+        Self {
+            spec: p.spec(),
+            len: p.len(),
+            ranks,
+        }
+    }
+
+    /// Profile length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rank of an n-gram, if present.
+    pub fn rank(&self, g: NGram) -> Option<u32> {
+        self.ranks.get(&g.value()).copied()
+    }
+
+    /// Out-of-place distance between this profile and a document profile.
+    /// Grams missing from this profile incur the maximum displacement
+    /// (`self.len`), per Cavnar–Trenkle.
+    pub fn out_of_place(&self, doc: &NGramProfile) -> u64 {
+        let max = self.len as u64;
+        doc.entries()
+            .iter()
+            .enumerate()
+            .map(|(doc_rank, e)| match self.rank(e.gram) {
+                Some(r) => (i64::from(r) - doc_rank as i64).unsigned_abs(),
+                None => max,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec4() -> NGramSpec {
+        NGramSpec::new(4)
+    }
+
+    #[test]
+    fn counter_counts_with_multiplicity() {
+        let mut c = NGramCounter::new(spec4());
+        c.add_document(b"aaaaaa"); // 3 occurrences of AAAA
+        let g = spec4().pack(&[1, 1, 1, 1]);
+        assert_eq!(c.count(g), 3);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.distinct(), 1);
+    }
+
+    #[test]
+    fn top_t_orders_by_count_then_value() {
+        let mut c = NGramCounter::new(spec4());
+        c.add_document(b"abcdabcdabcdxyzw");
+        let p = c.top_t(3);
+        assert_eq!(p.len(), 3);
+        // ABCD occurs 3x and must be first.
+        assert_eq!(spec4().render(p.entries()[0].gram), "ABCD");
+        assert_eq!(p.entries()[0].count, 3);
+        // Remaining counts are non-increasing.
+        assert!(p.entries()[1].count >= p.entries()[2].count);
+    }
+
+    #[test]
+    fn top_t_larger_than_population_returns_all() {
+        let mut c = NGramCounter::new(spec4());
+        c.add_document(b"abcde");
+        let p = c.top_t(5000);
+        assert_eq!(p.len(), 2); // ABCD, BCDE
+    }
+
+    #[test]
+    fn top_t_zero_is_empty() {
+        let mut c = NGramCounter::new(spec4());
+        c.add_document(b"abcdef");
+        assert!(c.top_t(0).is_empty());
+    }
+
+    #[test]
+    fn profile_build_matches_manual_counter() {
+        let docs: Vec<&[u8]> = vec![b"the quick brown fox", b"the lazy dog"];
+        let p1 = NGramProfile::build(spec4(), docs.iter().copied(), 10);
+        let mut c = NGramCounter::new(spec4());
+        for d in &docs {
+            c.add_document(d);
+        }
+        let p2 = c.top_t(10);
+        assert_eq!(p1.entries(), p2.entries());
+    }
+
+    #[test]
+    fn profile_contains_its_own_entries() {
+        let p = NGramProfile::build(spec4(), [b"hello world hello".as_slice()], 8);
+        for e in p.entries() {
+            assert!(p.contains(e.gram));
+        }
+        assert!(!p.contains(NGram(0xF_FFFF))); // "____" with codes 31 — never extracted
+    }
+
+    #[test]
+    fn ranked_profile_rank_matches_order() {
+        let p = NGramProfile::build(spec4(), [b"abcdabcdxyzw".as_slice()], 10);
+        let r = RankedProfile::from_profile(&p);
+        for (i, e) in p.entries().iter().enumerate() {
+            assert_eq!(r.rank(e.gram), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn out_of_place_zero_against_self() {
+        let p = NGramProfile::build(spec4(), [b"some training text here".as_slice()], 50);
+        let r = RankedProfile::from_profile(&p);
+        assert_eq!(r.out_of_place(&p), 0);
+    }
+
+    #[test]
+    fn out_of_place_penalizes_missing_grams() {
+        let train = NGramProfile::build(spec4(), [b"aaaa bbbb cccc".as_slice()], 50);
+        let r = RankedProfile::from_profile(&train);
+        let other = NGramProfile::build(spec4(), [b"zzzz yyyy xxxx".as_slice()], 50);
+        let d = r.out_of_place(&other);
+        // Every doc gram is missing -> each costs len(train).
+        assert_eq!(d, (train.len() as u64) * other.len() as u64);
+    }
+
+    #[test]
+    fn profile_clone_is_structural() {
+        let p = NGramProfile::build(spec4(), [b"serialize me please".as_slice()], 16);
+        let clone = p.clone();
+        assert_eq!(clone.entries(), p.entries());
+        assert_eq!(clone.spec(), p.spec());
+        assert_eq!(clone.trained_total(), p.trained_total());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let p = NGramProfile::build(
+            spec4(),
+            [b"the quick brown fox jumps over the lazy dog repeatedly".as_slice()],
+            64,
+        );
+        let mut buf = Vec::new();
+        p.write_to(&mut buf).unwrap();
+        let q = NGramProfile::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(q.entries(), p.entries());
+        assert_eq!(q.spec(), p.spec());
+        assert_eq!(q.trained_total(), p.trained_total());
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let p = NGramProfile::build(spec4(), [b"some profile text".as_slice()], 16);
+        let mut buf = Vec::new();
+        p.write_to(&mut buf).unwrap();
+
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(NGramProfile::read_from(&mut bad.as_slice()).is_err());
+
+        // Bad version.
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(NGramProfile::read_from(&mut bad.as_slice()).is_err());
+
+        // Truncated stream.
+        let bad = &buf[..buf.len() - 3];
+        assert!(NGramProfile::read_from(&mut &bad[..]).is_err());
+
+        // Out-of-width gram: set high bits in the first gram.
+        let mut bad = buf.clone();
+        let gram_off = 4 + 4 + 4 + 8 + 8;
+        bad[gram_off + 7] = 0xFF;
+        assert!(NGramProfile::read_from(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_unsorted_entries() {
+        let p = NGramProfile::build(spec4(), [b"abcd abcd xyzw".as_slice()], 8);
+        let mut buf = Vec::new();
+        p.write_to(&mut buf).unwrap();
+        // Swap the counts of the first two entries to break rank order.
+        let base = 4 + 4 + 4 + 8 + 8;
+        if p.len() >= 2 {
+            let c0: [u8; 8] = buf[base + 8..base + 16].try_into().unwrap();
+            let c1: [u8; 8] = buf[base + 24..base + 32].try_into().unwrap();
+            if u64::from_le_bytes(c0) != u64::from_le_bytes(c1) {
+                buf[base + 8..base + 16].copy_from_slice(&c1);
+                buf[base + 24..base + 32].copy_from_slice(&c0);
+                assert!(NGramProfile::read_from(&mut buf.as_slice()).is_err());
+            }
+        }
+    }
+
+    proptest! {
+        /// top_t equals a naive full sort with the same tie-break.
+        #[test]
+        fn top_t_matches_naive_sort(
+            text in proptest::collection::vec(any::<u8>(), 0..400),
+            t in 0usize..64,
+        ) {
+            let mut c = NGramCounter::new(spec4());
+            c.add_document(&text);
+            let fast = c.top_t(t);
+
+            let mut naive: Vec<(u64, u64)> =
+                c.counts.iter().map(|(&v, &n)| (v, n)).collect();
+            naive.sort_unstable_by_key(|e| (std::cmp::Reverse(e.1), e.0));
+            naive.truncate(t);
+            let naive_grams: Vec<u64> = naive.iter().map(|e| e.0).collect();
+            let fast_grams: Vec<u64> =
+                fast.entries().iter().map(|e| e.gram.value()).collect();
+            prop_assert_eq!(fast_grams, naive_grams);
+        }
+
+        /// Counter totals are additive over documents.
+        #[test]
+        fn totals_additive(a in proptest::collection::vec(any::<u8>(), 0..100),
+                           b in proptest::collection::vec(any::<u8>(), 0..100)) {
+            let mut c1 = NGramCounter::new(spec4());
+            c1.add_document(&a);
+            let t_a = c1.total();
+            c1.add_document(&b);
+            let mut c2 = NGramCounter::new(spec4());
+            c2.add_document(&b);
+            prop_assert_eq!(c1.total(), t_a + c2.total());
+        }
+    }
+}

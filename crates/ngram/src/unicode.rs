@@ -1,0 +1,323 @@
+//! The 16-bit Unicode extension (§3.3).
+//!
+//! The paper: *"While our current implementation is limited to common
+//! European languages representable with extended ASCII, it can be extended
+//! to other encodings such as 16-bit Unicode that have a larger alphabet.
+//! The hash functions of the Bloom Filter would simply operate on a larger
+//! sized input n-gram, with the rest of the Bloom Filter remaining the
+//! same."*
+//!
+//! This module implements that extension:
+//!
+//! * [`fold_scalar`] — the wide alphabet conversion: BMP letters keep their
+//!   (case-folded, Latin-diacritic-folded) 16-bit code point; everything
+//!   else folds to a single white-space code, mirroring the 5-bit module's
+//!   behaviour.
+//! * [`WideNGramSpec`] — n-grams packed at 16 bits per symbol; the paper's
+//!   `n = 4` makes a 64-bit key, exactly the width the H3 hash accepts,
+//!   which is the paper's point: only the hash input width changes.
+//! * [`WideExtractor`] — sliding-window extraction over `char` streams.
+//!
+//! In contrast, a direct-lookup table over a 16-bit alphabet would need
+//! `2^64` entries for 4-grams — "grows exponentially in the size of the
+//! alphabet" — which is the argument for Bloom filters here.
+
+use crate::alphabet::fold_byte;
+use crate::ngram::NGram;
+
+/// The wide white-space/other code (mirrors the 5-bit module's 0).
+pub const WIDE_SPACE: u16 = 0;
+
+/// Bits per folded wide symbol.
+pub const WIDE_BITS_PER_CHAR: u32 = 16;
+
+/// Fold a Unicode scalar to a 16-bit symbol:
+///
+/// * Latin-1 and Latin Extended letters fold through the same
+///   case/diacritic rules as the 8-bit path (so ASCII text produces the
+///   upper-case base letter codes `'A'..='Z'`).
+/// * Other BMP alphabetic scalars are case-folded (simple uppercase) and
+///   kept as their code point — Greek, Cyrillic, Hebrew, Arabic, CJK and
+///   every other BMP script get distinct symbols.
+/// * Everything else (digits, punctuation, controls, non-BMP) becomes
+///   [`WIDE_SPACE`].
+pub fn fold_scalar(c: char) -> u16 {
+    let cp = c as u32;
+    if cp < 0x100 {
+        // Latin-1: reuse the hardware table, mapping the 5-bit letter code
+        // back to its ASCII letter so wide and narrow paths agree on ASCII.
+        let code = fold_byte(cp as u8);
+        return if code == 0 {
+            WIDE_SPACE
+        } else {
+            u16::from(b'A' + code - 1)
+        };
+    }
+    if cp > 0xFFFF {
+        return WIDE_SPACE; // the paper's extension is 16-bit Unicode (BMP)
+    }
+    if !c.is_alphabetic() {
+        return WIDE_SPACE;
+    }
+    // Latin Extended A/B: strip to the base letter where the 8-bit
+    // transliteration path knows one, to stay consistent with the narrow
+    // classifier on European text.
+    if (0x100..0x250).contains(&cp) {
+        if let Some(base) = latin_ext_base(c) {
+            return u16::from(base);
+        }
+    }
+    // Simple case folding: use the first uppercase mapping when it is a
+    // single BMP scalar; otherwise keep the scalar.
+    let mut upper = c.to_uppercase();
+    match (upper.next(), upper.next()) {
+        (Some(u), None) if (u as u32) <= 0xFFFF => u as u16,
+        _ => cp as u16,
+    }
+}
+
+/// Base letter for Latin Extended scalars (subset sufficient for the
+/// European languages in `lc-corpus`); `None` keeps the scalar.
+fn latin_ext_base(c: char) -> Option<u8> {
+    let up = c.to_uppercase().next().unwrap_or(c);
+    Some(match up {
+        'Ā' | 'Ă' | 'Ą' => b'A',
+        'Ć' | 'Ĉ' | 'Ċ' | 'Č' => b'C',
+        'Ď' | 'Đ' => b'D',
+        'Ē' | 'Ĕ' | 'Ė' | 'Ę' | 'Ě' => b'E',
+        'Ĝ' | 'Ğ' | 'Ġ' | 'Ģ' => b'G',
+        'Ĥ' | 'Ħ' => b'H',
+        'Ĩ' | 'Ī' | 'Ĭ' | 'Į' | 'İ' => b'I',
+        'Ĵ' => b'J',
+        'Ķ' => b'K',
+        'Ĺ' | 'Ļ' | 'Ľ' | 'Ŀ' | 'Ł' => b'L',
+        'Ń' | 'Ņ' | 'Ň' | 'Ŋ' => b'N',
+        'Ō' | 'Ŏ' | 'Ő' | 'Œ' => b'O',
+        'Ŕ' | 'Ŗ' | 'Ř' => b'R',
+        'Ś' | 'Ŝ' | 'Ş' | 'Š' | 'Ș' => b'S',
+        'Ţ' | 'Ť' | 'Ŧ' | 'Ț' => b'T',
+        'Ũ' | 'Ū' | 'Ŭ' | 'Ů' | 'Ű' | 'Ų' => b'U',
+        'Ŵ' => b'W',
+        'Ŷ' => b'Y',
+        'Ź' | 'Ż' | 'Ž' => b'Z',
+        _ => return None,
+    })
+}
+
+/// Wide n-gram shape: `n` symbols at 16 bits each packed in a `u64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WideNGramSpec {
+    n: usize,
+}
+
+impl WideNGramSpec {
+    /// Maximum window length (`4 × 16 = 64` bits).
+    pub const MAX_N: usize = 4;
+
+    /// The paper-equivalent configuration: 4-grams, 64-bit keys.
+    pub const PAPER_WIDE: WideNGramSpec = WideNGramSpec { n: 4 };
+
+    /// Create a wide spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 4`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1 && n <= Self::MAX_N, "n must be in 1..=4 for 16-bit symbols");
+        Self { n }
+    }
+
+    /// Window length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packed width in bits (`16n`) — the H3 input width.
+    pub fn bits(&self) -> u32 {
+        self.n as u32 * WIDE_BITS_PER_CHAR
+    }
+
+    /// Mask covering the packed value.
+    pub fn mask(&self) -> u64 {
+        if self.bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits()) - 1
+        }
+    }
+
+    /// Pack a window (oldest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != n`.
+    pub fn pack(&self, window: &[u16]) -> NGram {
+        assert_eq!(window.len(), self.n);
+        let mut v = 0u64;
+        for &s in window {
+            v = (v << WIDE_BITS_PER_CHAR) | u64::from(s);
+        }
+        NGram(v)
+    }
+
+    /// Unpack to symbols (oldest first).
+    pub fn unpack(&self, g: NGram) -> Vec<u16> {
+        let mut out = vec![0u16; self.n];
+        let mut v = g.value();
+        for slot in out.iter_mut().rev() {
+            *slot = (v & 0xFFFF) as u16;
+            v >>= WIDE_BITS_PER_CHAR;
+        }
+        out
+    }
+
+    /// Shift-register step.
+    #[inline]
+    pub fn shift(&self, state: u64, s: u16) -> u64 {
+        ((state << WIDE_BITS_PER_CHAR) | u64::from(s)) & self.mask()
+    }
+}
+
+/// Sliding-window extractor over Unicode text.
+#[derive(Clone, Copy, Debug)]
+pub struct WideExtractor {
+    spec: WideNGramSpec,
+}
+
+impl WideExtractor {
+    /// New extractor.
+    pub fn new(spec: WideNGramSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The shape in use.
+    pub fn spec(&self) -> WideNGramSpec {
+        self.spec
+    }
+
+    /// Extract all wide n-grams of `text` into `out` (cleared first).
+    pub fn extract_into(&self, text: &str, out: &mut Vec<NGram>) -> usize {
+        out.clear();
+        let n = self.spec.n;
+        let mask = self.spec.mask();
+        let mut state = 0u64;
+        let mut seen = 0usize;
+        for c in text.chars() {
+            state = ((state << WIDE_BITS_PER_CHAR) | u64::from(fold_scalar(c))) & mask;
+            seen += 1;
+            if seen >= n {
+                out.push(NGram(state));
+            }
+        }
+        out.len()
+    }
+
+    /// Convenience allocation variant.
+    pub fn extract(&self, text: &str) -> Vec<NGram> {
+        let mut out = Vec::new();
+        self.extract_into(text, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ascii_agrees_with_narrow_path() {
+        // On plain ASCII the wide symbols are the upper-case letters, so the
+        // wide 4-grams of "word" spell WORD in 16-bit symbols.
+        let spec = WideNGramSpec::PAPER_WIDE;
+        let grams = WideExtractor::new(spec).extract("word");
+        assert_eq!(grams.len(), 1);
+        let syms = spec.unpack(grams[0]);
+        assert_eq!(syms, vec![b'W' as u16, b'O' as u16, b'R' as u16, b'D' as u16]);
+    }
+
+    #[test]
+    fn greek_and_cyrillic_get_distinct_symbols() {
+        let a = fold_scalar('α'); // Greek alpha -> Α
+        let b = fold_scalar('а'); // Cyrillic a -> А
+        assert_ne!(a, b);
+        assert_eq!(a, 'Α' as u16);
+        assert_eq!(b, 'А' as u16);
+        assert_ne!(a, WIDE_SPACE);
+    }
+
+    #[test]
+    fn case_folding_across_scripts() {
+        assert_eq!(fold_scalar('δ'), fold_scalar('Δ'));
+        assert_eq!(fold_scalar('ж'), fold_scalar('Ж'));
+        assert_eq!(fold_scalar('é'), fold_scalar('E'));
+        assert_eq!(fold_scalar('š'), fold_scalar('S'));
+        assert_eq!(fold_scalar('ș'), u16::from(b'S'));
+    }
+
+    #[test]
+    fn cjk_symbols_survive() {
+        assert_ne!(fold_scalar('語'), WIDE_SPACE);
+        assert_ne!(fold_scalar('語'), fold_scalar('言'));
+    }
+
+    #[test]
+    fn non_letters_fold_to_space() {
+        for c in ['0', '9', '!', ' ', '\n', '€', '∑'] {
+            assert_eq!(fold_scalar(c), WIDE_SPACE, "{c}");
+        }
+        // Non-BMP (astral) scalars fold to space in the 16-bit model.
+        assert_eq!(fold_scalar('😀'), WIDE_SPACE);
+        assert_eq!(fold_scalar('𝕏'), WIDE_SPACE);
+    }
+
+    #[test]
+    fn four_gram_key_is_full_64_bits() {
+        let spec = WideNGramSpec::PAPER_WIDE;
+        assert_eq!(spec.bits(), 64);
+        assert_eq!(spec.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn extraction_counts() {
+        let ex = WideExtractor::new(WideNGramSpec::PAPER_WIDE);
+        assert_eq!(ex.extract("").len(), 0);
+        assert_eq!(ex.extract("abc").len(), 0);
+        assert_eq!(ex.extract("abcd").len(), 1);
+        assert_eq!(ex.extract("καλημέρα").len(), 8 - 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in 1..=4")]
+    fn oversize_wide_n_rejected() {
+        let _ = WideNGramSpec::new(5);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip(n in 1usize..=4,
+                                 raw in proptest::collection::vec(any::<u16>(), 4)) {
+            let spec = WideNGramSpec::new(n);
+            let window = &raw[..n];
+            let g = spec.pack(window);
+            prop_assert_eq!(spec.unpack(g), window.to_vec());
+        }
+
+        #[test]
+        fn shift_matches_pack(n in 1usize..=4,
+                              raw in proptest::collection::vec(any::<u16>(), 4)) {
+            let spec = WideNGramSpec::new(n);
+            let window = &raw[..n];
+            let mut state = 0u64;
+            for &s in window {
+                state = spec.shift(state, s);
+            }
+            prop_assert_eq!(state, spec.pack(window).value());
+        }
+
+        #[test]
+        fn fold_total_over_chars(c in any::<char>()) {
+            let _ = fold_scalar(c); // must never panic
+        }
+    }
+}

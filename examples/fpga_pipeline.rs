@@ -1,0 +1,88 @@
+//! End-to-end XD1000 simulation: program profiles over DMA, stream documents
+//! under both host protocols, and report throughput the way §5.4 does.
+//!
+//! ```sh
+//! cargo run --release --example fpga_pipeline
+//! ```
+
+use lcbloom::fpga::resources::{estimate_device, ClassifierConfig};
+use lcbloom::prelude::*;
+
+fn main() {
+    let corpus = Corpus::generate(CorpusConfig {
+        docs_per_language: 60,
+        mean_doc_bytes: 10 * 1024, // the paper's ~10 KB average file
+        ..CorpusConfig::default()
+    });
+
+    // Train and place the 10-language, k=4/m=16K, 8-n-grams-per-clock design.
+    let classifier =
+        lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_CONSERVATIVE, 7);
+    let config = ClassifierConfig::paper_ten_languages();
+    let estimate = estimate_device(&config);
+    println!("placed design on {}:", EP2S180.name);
+    println!(
+        "  logic {} ({:.0}% of device), registers {}, M512 {}, M4K {}, M-RAM {}, Fmax {:.0} MHz",
+        estimate.logic,
+        EP2S180.logic_fraction(estimate.logic) * 100.0,
+        estimate.registers,
+        estimate.m512,
+        estimate.m4k,
+        estimate.mram,
+        estimate.fmax_mhz,
+    );
+
+    // Use the paper's placed-and-routed 194 MHz rather than the model's
+    // estimate, as §5.4 does.
+    let hw = HardwareClassifier::place(classifier, config).with_clock_mhz(194.0);
+    println!(
+        "  peak datapath rate: {:.2} GB/s ({:.0} Mn-grams/s)",
+        hw.peak_bytes_per_sec() / 1e9,
+        hw.peak_bytes_per_sec() / 1e6,
+    );
+
+    let docs: Vec<&[u8]> = corpus
+        .split()
+        .test_all()
+        .map(|d| d.text.as_slice())
+        .collect();
+    let total_mb = docs.iter().map(|d| d.len()).sum::<usize>() as f64 / 1e6;
+    println!("\nstreaming {:.1} MB in {} documents:", total_mb, docs.len());
+
+    // Measured board revision: 500 MB/s link cap.
+    let mut sys = Xd1000::new(hw.clone());
+    let sync = sys.run(&docs, HostProtocol::Synchronous);
+    let asyn = sys.run(&docs, HostProtocol::Asynchronous);
+    assert_eq!(sync.results, asyn.results, "protocols must agree bit-for-bit");
+    println!(
+        "  synchronous  (interrupt per document): {:>6.0} MB/s",
+        sync.throughput_mb_s()
+    );
+    println!(
+        "  asynchronous (pipelined, two threads):  {:>6.0} MB/s",
+        asyn.throughput_mb_s()
+    );
+    println!(
+        "  asynchronous incl. profile programming: {:>6.0} MB/s (programming {:.0} ms)",
+        asyn.throughput_with_programming_mb_s(),
+        asyn.programming_time.as_secs_f64() * 1e3,
+    );
+
+    // Projected improved communication infrastructure (§5.4 / §6).
+    let mut improved = Xd1000::with_link(hw, LinkModel::xd1000_improved());
+    let fast = improved.run(&docs, HostProtocol::Asynchronous);
+    println!(
+        "  asynchronous @ full HyperTransport:     {:>6.0} MB/s ({:.2} GB/s)",
+        fast.throughput_mb_s(),
+        fast.throughput_mb_s() / 1e3,
+    );
+
+    // Sanity: classification results agree with the pure-software path.
+    let sw = lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_CONSERVATIVE, 7);
+    let mismatches = docs
+        .iter()
+        .zip(&asyn.results)
+        .filter(|(d, r)| &sw.classify(d) != *r)
+        .count();
+    println!("\nhardware vs software result mismatches: {mismatches} (must be 0)");
+}

@@ -1,0 +1,80 @@
+//! Quickstart: train the paper's classifier on a synthetic multilingual
+//! corpus and classify some documents.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lcbloom::prelude::*;
+
+fn main() {
+    // 1. A synthetic stand-in for the JRC-Acquis corpus: 10 languages,
+    //    deterministic generation, 10% train / 90% test split.
+    let corpus = Corpus::generate(CorpusConfig::default());
+    println!(
+        "corpus: {} documents, {:.1} MB across {} languages",
+        corpus.documents().len(),
+        corpus.total_bytes() as f64 / 1e6,
+        corpus.languages().len()
+    );
+
+    // 2. Train the paper's configuration: 4-gram profiles (top 5000),
+    //    Parallel Bloom Filters with k = 4 hashes over m = 16 Kbit vectors.
+    let classifier = lcbloom::train_bloom_classifier(
+        &corpus,
+        5000,
+        BloomParams::PAPER_CONSERVATIVE,
+        42,
+    );
+    println!(
+        "classifier: {} languages, k = {}, m = {} Kbit, expected FP = {:.1}/1000",
+        classifier.num_languages(),
+        classifier.params().k,
+        classifier.params().m_kbits(),
+        lcbloom::bloom::analysis::false_positives_per_thousand(5000, classifier.params()),
+    );
+
+    // 3. Classify a few test documents.
+    println!("\n{:<12} {:<12} {:>8} {:>10}", "truth", "predicted", "margin", "n-grams");
+    for &lang in corpus.languages() {
+        let doc = corpus.split().test(lang).next().expect("test doc");
+        let result = classifier.classify(&doc.text);
+        let predicted = &classifier.names()[result.best()];
+        println!(
+            "{:<12} {:<12} {:>8.3} {:>10}",
+            lang.code(),
+            predicted,
+            result.margin(),
+            result.total_ngrams()
+        );
+    }
+
+    // 4. Full evaluation over the test split.
+    let docs: Vec<(usize, &[u8])> = corpus
+        .split()
+        .test_all()
+        .map(|d| (d.language.index(), d.text.as_slice()))
+        .collect();
+    let labels: Vec<String> = corpus.languages().iter().map(|l| l.code().to_string()).collect();
+    let summary = lcbloom::core::eval::evaluate(labels, &docs, |body| {
+        let r = classifier.classify(body);
+        (r.best(), r.margin())
+    });
+    let (lo, hi) = summary.confusion.class_accuracy_range().unwrap();
+    println!(
+        "\naccuracy: avg {:.2}% (range {:.2}%..{:.2}%) over {} documents; mean top-2 margin {:.3}",
+        summary.confusion.average_class_accuracy() * 100.0,
+        lo * 100.0,
+        hi * 100.0,
+        summary.documents,
+        summary.mean_margin,
+    );
+    if let Some((t, p, n)) = summary.confusion.worst_confusion() {
+        println!(
+            "worst confusion: {} -> {} ({} documents)",
+            summary.confusion.labels()[t],
+            summary.confusion.labels()[p],
+            n
+        );
+    }
+}

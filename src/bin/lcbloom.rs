@@ -1,0 +1,323 @@
+//! `lcbloom` — command-line front end for the reproduction.
+//!
+//! ```text
+//! lcbloom generate --out DIR [--docs N] [--bytes N] [--extended] [--seed S]
+//! lcbloom train    --out FILE.lcp [--t N] DIR...
+//! lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K] FILE...
+//! lcbloom simulate --profiles FILE.lcp [--async|--sync] FILE...
+//! lcbloom demo
+//! ```
+//!
+//! * `generate` writes a synthetic corpus to disk, one subdirectory per
+//!   language code, `train/` and `test/` splits inside.
+//! * `train` builds top-t 4-gram profiles from language-named directories
+//!   (each containing text files) and saves them to a profile store.
+//! * `classify` programs Bloom filters from a store and labels files.
+//! * `simulate` streams files through the XD1000 simulator and reports
+//!   hardware-model throughput alongside the labels.
+
+use lcbloom::prelude::*;
+use lcbloom::profile_store::ProfileStore;
+use lcbloom::fpga::resources::ClassifierConfig;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("demo") => cmd_demo(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try `lcbloom help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "lcbloom — n-gram language classification with (simulated) FPGA Bloom filters\n\
+         \n\
+         USAGE:\n\
+         \x20 lcbloom generate --out DIR [--docs N] [--bytes N] [--extended] [--seed S]\n\
+         \x20 lcbloom train    --out FILE.lcp [--t N] DIR...\n\
+         \x20 lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K] FILE...\n\
+         \x20 lcbloom simulate --profiles FILE.lcp [--sync] FILE...\n\
+         \x20 lcbloom demo\n\
+         \n\
+         `train` expects one directory per language, named by its code (en, fr, ...),\n\
+         each containing plain-text files."
+    );
+}
+
+/// Minimal flag parser: returns (flags-with-values, positional args).
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(std::collections::HashMap<String, String>, Vec<String>), String> {
+    let mut flags = std::collections::HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if bool_flags.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+            } else if value_flags.contains(&name) {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), v.clone());
+            } else {
+                return Err(format!("unknown flag --{name}"));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok((flags, positional))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &std::collections::HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{name}: {v}")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args, &["out", "docs", "bytes", "seed"], &["extended"])?;
+    let out = PathBuf::from(flags.get("out").ok_or("generate requires --out DIR")?);
+    let docs = parse_num(&flags, "docs", 40usize)?;
+    let bytes = parse_num(&flags, "bytes", 4096usize)?;
+    let seed = parse_num(&flags, "seed", 0x5EED_1CB1u64)?;
+    let langs: &[Language] = if flags.contains_key("extended") {
+        &Language::EXTENDED
+    } else {
+        &Language::ALL
+    };
+
+    let config = CorpusConfig {
+        docs_per_language: docs,
+        mean_doc_bytes: bytes,
+        seed,
+        ..CorpusConfig::default()
+    };
+    let corpus = Corpus::generate_for(langs, config);
+    let split = corpus.split();
+    let mut written = 0usize;
+    for &lang in corpus.languages() {
+        let groups: [(&str, Vec<&Document>); 2] = [
+            ("train", split.train(lang).collect()),
+            ("test", split.test(lang).collect()),
+        ];
+        for (sub, docs_vec) in groups {
+            let dir = out.join(lang.code()).join(sub);
+            std::fs::create_dir_all(&dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+            for d in docs_vec {
+                let path = dir.join(format!("doc{:05}.txt", d.index));
+                std::fs::write(&path, &d.text).map_err(|e| format!("writing {path:?}: {e}"))?;
+                written += 1;
+            }
+        }
+    }
+    println!(
+        "wrote {written} documents ({:.1} MB) for {} languages under {}",
+        corpus.total_bytes() as f64 / 1e6,
+        corpus.languages().len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn read_dir_texts(dir: &Path) -> Result<Vec<Vec<u8>>, String> {
+    let mut texts = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = std::fs::read_dir(&d).map_err(|e| format!("reading {d:?}: {e}"))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                texts.push(std::fs::read(&path).map_err(|e| format!("reading {path:?}: {e}"))?);
+            }
+        }
+    }
+    texts.sort(); // deterministic training order
+    Ok(texts)
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let (flags, dirs) = parse_flags(args, &["out", "t"], &[])?;
+    let out = PathBuf::from(flags.get("out").ok_or("train requires --out FILE")?);
+    let t = parse_num(&flags, "t", 5000usize)?;
+    if dirs.is_empty() {
+        return Err("train requires at least one language directory".into());
+    }
+
+    let mut store = ProfileStore::new();
+    for dir in &dirs {
+        let dir = PathBuf::from(dir);
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("cannot derive language name from {dir:?}"))?
+            .to_string();
+        // Prefer a train/ subdirectory when present (generate's layout).
+        let train_dir = if dir.join("train").is_dir() {
+            dir.join("train")
+        } else {
+            dir.clone()
+        };
+        let texts = read_dir_texts(&train_dir)?;
+        if texts.is_empty() {
+            return Err(format!("no training files under {train_dir:?}"));
+        }
+        let profile = NGramProfile::build(
+            NGramSpec::PAPER,
+            texts.iter().map(|t| t.as_slice()),
+            t,
+        );
+        println!(
+            "{name}: {} files, {} profile n-grams",
+            texts.len(),
+            profile.len()
+        );
+        store.push(name, profile);
+    }
+    store
+        .save(&out)
+        .map_err(|e| format!("saving {out:?}: {e}"))?;
+    println!("saved {} language profiles to {}", store.len(), out.display());
+    Ok(())
+}
+
+fn load_classifier(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<(ProfileStore, MultiLanguageClassifier), String> {
+    let path = PathBuf::from(
+        flags
+            .get("profiles")
+            .ok_or("this command requires --profiles FILE")?,
+    );
+    let store = ProfileStore::load(&path).map_err(|e| format!("loading {path:?}: {e}"))?;
+    if store.is_empty() {
+        return Err("profile store is empty".into());
+    }
+    let m = parse_num(flags, "m", 16usize)?;
+    let k = parse_num(flags, "k", 4usize)?;
+    let params = BloomParams::from_kbits(m, k);
+    let classifier =
+        MultiLanguageClassifier::from_profiles(store.profiles(), NGramSpec::PAPER, params, 42);
+    Ok((store, classifier))
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let (flags, files) = parse_flags(args, &["profiles", "m", "k"], &[])?;
+    let (_, classifier) = load_classifier(&flags)?;
+    if files.is_empty() {
+        return Err("classify requires at least one file".into());
+    }
+    println!("{:<40} {:<8} {:>8} {:>10}", "file", "language", "margin", "n-grams");
+    for f in &files {
+        let text = std::fs::read(f).map_err(|e| format!("reading {f}: {e}"))?;
+        let r = classifier.classify(&text);
+        println!(
+            "{:<40} {:<8} {:>8.3} {:>10}",
+            f,
+            classifier.names()[r.best()],
+            r.margin(),
+            r.total_ngrams()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (flags, files) = parse_flags(args, &["profiles", "m", "k"], &["sync"])?;
+    let (store, classifier) = load_classifier(&flags)?;
+    if files.is_empty() {
+        return Err("simulate requires at least one file".into());
+    }
+    let texts: Vec<Vec<u8>> = files
+        .iter()
+        .map(|f| std::fs::read(f).map_err(|e| format!("reading {f}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let docs: Vec<&[u8]> = texts.iter().map(|t| t.as_slice()).collect();
+
+    let config = ClassifierConfig {
+        bloom: classifier.params(),
+        languages: store.len(),
+        copies: 4,
+    };
+    let hw = HardwareClassifier::place(classifier, config).with_clock_mhz(194.0);
+    let mut sys = Xd1000::new(hw);
+    let protocol = if flags.contains_key("sync") {
+        HostProtocol::Synchronous
+    } else {
+        HostProtocol::Asynchronous
+    };
+    let report = sys.run(&docs, protocol);
+
+    for (f, r) in files.iter().zip(&report.results) {
+        println!("{:<40} {}", f, sys.hardware().classifier().names()[r.best()]);
+    }
+    println!(
+        "\n{} documents, {:.2} MB in {:.2} ms simulated ({:?}): {:.0} MB/s",
+        report.documents,
+        report.total_bytes as f64 / 1e6,
+        report.sim_time.as_secs_f64() * 1e3,
+        protocol,
+        report.throughput_mb_s()
+    );
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    println!("training on a synthetic 10-language corpus...");
+    let corpus = Corpus::generate(CorpusConfig::default());
+    let classifier =
+        lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_CONSERVATIVE, 42);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for d in corpus.split().test_all() {
+        total += 1;
+        correct += usize::from(classifier.classify(&d.text).best() == d.language.index());
+    }
+    println!(
+        "accuracy on {} held-out documents: {:.2}%",
+        total,
+        correct as f64 / total as f64 * 100.0
+    );
+    for (&lang, sample) in Language::ALL.iter().zip([
+        "tous les êtres humains naissent libres",
+        "all human beings are born free and equal",
+    ]) {
+        let _ = lang;
+        let latin1 = lcbloom::corpus::translit::to_latin1(sample);
+        println!("  \"{sample}\" -> {}", classifier.identify(&latin1));
+    }
+    Ok(())
+}

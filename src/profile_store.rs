@@ -1,0 +1,191 @@
+//! On-disk container for a set of named language profiles.
+//!
+//! The hardware flow programs profiles once and streams documents forever
+//! (§5.4 amortization); persisting trained profiles makes that flow real for
+//! the CLI: train once (`lcbloom train`), classify many times
+//! (`lcbloom classify`). Format: magic `LCPS`, version, entry count, then
+//! per entry a length-prefixed UTF-8 name and an `lc_ngram::NGramProfile`
+//! binary blob.
+
+use lc_core::LanguageProfile;
+use lc_ngram::NGramProfile;
+use std::io::{Error, ErrorKind, Read, Write};
+
+const MAGIC: &[u8; 4] = b"LCPS";
+const VERSION: u32 = 1;
+
+/// A named set of trained profiles, ready to program into any classifier
+/// family.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileStore {
+    profiles: Vec<LanguageProfile>,
+}
+
+impl ProfileStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from named profiles.
+    pub fn from_profiles(profiles: Vec<LanguageProfile>) -> Self {
+        Self { profiles }
+    }
+
+    /// Add a named profile.
+    pub fn push(&mut self, name: impl Into<String>, profile: NGramProfile) {
+        self.profiles.push(LanguageProfile {
+            name: name.into(),
+            profile,
+        });
+    }
+
+    /// The stored profiles.
+    pub fn profiles(&self) -> &[LanguageProfile] {
+        &self.profiles
+    }
+
+    /// Number of languages.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Named `(name, profile)` pairs for the baseline constructors.
+    pub fn named_pairs(&self) -> Vec<(String, NGramProfile)> {
+        self.profiles
+            .iter()
+            .map(|p| (p.name.clone(), p.profile.clone()))
+            .collect()
+    }
+
+    /// Serialize the store.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.profiles.len() as u32).to_le_bytes())?;
+        for p in &self.profiles {
+            let name = p.name.as_bytes();
+            if name.len() > u16::MAX as usize {
+                return Err(Error::new(ErrorKind::InvalidInput, "language name too long"));
+            }
+            w.write_all(&(name.len() as u16).to_le_bytes())?;
+            w.write_all(name)?;
+            p.profile.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize a store written by [`Self::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> std::io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(Error::new(ErrorKind::InvalidData, "bad profile-store magic"));
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        if u32::from_le_bytes(u32buf) != VERSION {
+            return Err(Error::new(ErrorKind::InvalidData, "unsupported store version"));
+        }
+        r.read_exact(&mut u32buf)?;
+        let count = u32::from_le_bytes(u32buf);
+        if count > 100_000 {
+            return Err(Error::new(ErrorKind::InvalidData, "implausible language count"));
+        }
+        let mut profiles = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut u16buf = [0u8; 2];
+            r.read_exact(&mut u16buf)?;
+            let name_len = u16::from_le_bytes(u16buf) as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| Error::new(ErrorKind::InvalidData, "name not UTF-8"))?;
+            let profile = NGramProfile::read_from(r)?;
+            profiles.push(LanguageProfile { name, profile });
+        }
+        Ok(Self { profiles })
+    }
+
+    /// Save to a file path.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Load from a file path.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ngram::NGramSpec;
+
+    fn sample_store() -> ProfileStore {
+        let mut s = ProfileStore::new();
+        s.push(
+            "en",
+            NGramProfile::build(NGramSpec::PAPER, [b"english text sample here".as_slice()], 32),
+        );
+        s.push(
+            "fr",
+            NGramProfile::build(NGramSpec::PAPER, [b"exemple de texte francais".as_slice()], 32),
+        );
+        s
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        let loaded = ProfileStore::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        for (a, b) in loaded.profiles().iter().zip(store.profiles()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.profile.entries(), b.profile.entries());
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join(format!("lcbloom-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profiles.lcp");
+        store.save(&path).unwrap();
+        let loaded = ProfileStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'Z';
+        assert!(ProfileStore::read_from(&mut bad.as_slice()).is_err());
+        let bad = &buf[..buf.len() / 2];
+        assert!(ProfileStore::read_from(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = ProfileStore::new();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        let loaded = ProfileStore::read_from(&mut buf.as_slice()).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration: corpus generation → training → classification →
+//! evaluation, across crates.
+
+use lcbloom::prelude::*;
+
+fn corpus() -> Corpus {
+    Corpus::generate(CorpusConfig {
+        docs_per_language: 40,
+        mean_doc_bytes: 3 * 1024,
+        ..CorpusConfig::default()
+    })
+}
+
+#[test]
+fn paper_configuration_reaches_high_accuracy() {
+    let corpus = corpus();
+    let classifier =
+        lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_CONSERVATIVE, 42);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for d in corpus.split().test_all() {
+        total += 1;
+        if classifier.classify(&d.text).best() == d.language.index() {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / total as f64;
+    assert!(
+        acc > 0.97,
+        "paper configuration should exceed 97% on clean synthetic corpus, got {acc:.3}"
+    );
+}
+
+#[test]
+fn compact_configuration_matches_conservative_on_clean_corpus() {
+    // §5.2: k=6/m=4K keeps >99% accuracy — the compact config should not be
+    // measurably worse than the conservative one here.
+    let corpus = corpus();
+    let cons = lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_CONSERVATIVE, 1);
+    let comp = lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_COMPACT, 1);
+    let (mut a_cons, mut a_comp, mut total) = (0usize, 0usize, 0usize);
+    for d in corpus.split().test_all() {
+        total += 1;
+        a_cons += usize::from(cons.classify(&d.text).best() == d.language.index());
+        a_comp += usize::from(comp.classify(&d.text).best() == d.language.index());
+    }
+    let diff = (a_cons as f64 - a_comp as f64).abs() / total as f64;
+    assert!(diff < 0.02, "configs diverge by {diff:.3}");
+}
+
+#[test]
+fn classification_is_deterministic_across_runs_and_threads() {
+    let corpus = corpus();
+    let c1 = lcbloom::train_bloom_classifier(&corpus, 2000, BloomParams::PAPER_CONSERVATIVE, 9);
+    let c2 = lcbloom::train_bloom_classifier(&corpus, 2000, BloomParams::PAPER_CONSERVATIVE, 9);
+    let docs: Vec<&[u8]> = corpus
+        .split()
+        .test_all()
+        .map(|d| d.text.as_slice())
+        .collect();
+    // Same seeds -> identical classifiers.
+    let r1 = classify_batch(&c1, &docs);
+    let r2: Vec<ClassificationResult> = docs.iter().map(|d| c2.classify(d)).collect();
+    assert_eq!(r1, r2, "parallel batch must equal sequential on a clone");
+
+    // A single-thread pool must agree with the default pool.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let r3 = pool.install(|| classify_batch(&c1, &docs));
+    assert_eq!(r1, r3, "thread count must not affect results");
+}
+
+#[test]
+fn exact_and_bloom_agree_at_conservative_parameters() {
+    // FP = 5e-3 per n-gram; decisions agree on essentially every clean doc.
+    let corpus = corpus();
+    let bloom = lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_CONSERVATIVE, 3);
+    let exact = lcbloom::train_exact_classifier(&corpus, 5000);
+    let mut disagreements = 0usize;
+    let mut total = 0usize;
+    for d in corpus.split().test_all() {
+        total += 1;
+        if bloom.classify(&d.text).best() != exact.classify(&d.text).best() {
+            disagreements += 1;
+        }
+    }
+    assert!(
+        (disagreements as f64 / total as f64) < 0.01,
+        "{disagreements}/{total} disagreements"
+    );
+}
+
+#[test]
+fn all_classifier_families_agree_on_clear_documents() {
+    let corpus = corpus();
+    let profiles = lcbloom::train_profiles(&corpus, 5000);
+    let bloom = lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_CONSERVATIVE, 5);
+    let hail = HailClassifier::from_profiles(&profiles);
+    let ct = CavnarTrenkle::from_profiles(&profiles);
+    let hs = HashSetClassifier::from_profiles(&profiles);
+
+    let mut full_agreement = 0usize;
+    let mut total = 0usize;
+    for d in corpus.split().test_all().take(60) {
+        total += 1;
+        let b = bloom.identify(&d.text).to_string();
+        let h = hail.identify(&d.text).to_string();
+        let c = ct.identify(&d.text).to_string();
+        let s = hs.identify(&d.text).to_string();
+        if b == h && h == c && c == s && b == d.language.code() {
+            full_agreement += 1;
+        }
+    }
+    assert!(
+        full_agreement as f64 / total as f64 > 0.9,
+        "only {full_agreement}/{total} documents classified identically by all families"
+    );
+}
+
+#[test]
+fn margins_exceed_false_positive_rate() {
+    // §5.1's observation, verified over the test split.
+    let corpus = corpus();
+    let classifier =
+        lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_CONSERVATIVE, 2);
+    let fp = lcbloom::bloom::analysis::false_positive_rate(5000, BloomParams::PAPER_CONSERVATIVE);
+    let mut below = 0usize;
+    let mut total = 0usize;
+    for d in corpus.split().test_all() {
+        total += 1;
+        if classifier.classify(&d.text).margin() <= fp {
+            below += 1;
+        }
+    }
+    assert!(
+        (below as f64 / total as f64) < 0.05,
+        "{below}/{total} documents with margin below the FP rate"
+    );
+}

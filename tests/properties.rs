@@ -1,0 +1,103 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! documents, not just corpus-shaped ones.
+
+use lcbloom::prelude::*;
+use proptest::prelude::*;
+
+fn small_classifiers() -> (MultiLanguageClassifier, ExactClassifier) {
+    let corpus = Corpus::generate(CorpusConfig::test_scale());
+    let bloom = lcbloom::train_bloom_classifier(&corpus, 800, BloomParams::from_kbits(4, 2), 77);
+    let exact = lcbloom::train_exact_classifier(&corpus, 800);
+    (bloom, exact)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bloom match counts dominate exact counts on *any* byte sequence
+    /// (false positives only ever add).
+    #[test]
+    fn bloom_counts_dominate_exact(doc in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let (bloom, exact) = small_classifiers();
+        let rb = bloom.classify(&doc);
+        let re = exact.classify(&doc);
+        prop_assert_eq!(rb.total_ngrams(), re.total_ngrams());
+        for (b, e) in rb.counts().iter().zip(re.counts()) {
+            prop_assert!(b >= e, "bloom {b} < exact {e}");
+        }
+    }
+
+    /// Classification is a pure function of the document bytes.
+    #[test]
+    fn classification_is_pure(doc in proptest::collection::vec(any::<u8>(), 0..1500)) {
+        let (bloom, _) = small_classifiers();
+        prop_assert_eq!(bloom.classify(&doc), bloom.classify(&doc));
+    }
+
+    /// The hardware lane-split datapath equals sequential classification on
+    /// arbitrary input, for any copy count.
+    #[test]
+    fn lane_split_invariant(doc in proptest::collection::vec(any::<u8>(), 0..1200),
+                            copies in 1usize..6) {
+        let (bloom, _) = small_classifiers();
+        let par = ParallelClassifier::new(bloom.clone(), copies);
+        prop_assert_eq!(par.classify(&doc), bloom.classify(&doc));
+    }
+
+    /// Case folding invariance: classification ignores ASCII case.
+    #[test]
+    fn case_insensitive(doc in proptest::collection::vec(any::<u8>(), 0..800)) {
+        let (bloom, _) = small_classifiers();
+        let upper: Vec<u8> = doc.iter().map(|b| b.to_ascii_uppercase()).collect();
+        let lower: Vec<u8> = doc.iter().map(|b| b.to_ascii_lowercase()).collect();
+        prop_assert_eq!(bloom.classify(&upper), bloom.classify(&lower));
+    }
+
+    /// Concatenating whitespace runs does not change which n-grams exist
+    /// beyond the window-local effects: total count differs, but the
+    /// decision on text with collapsed whitespace equals the decision on
+    /// the original for documents with clear margins. (Weak form: the
+    /// classifier never panics and reports consistent totals.)
+    #[test]
+    fn totals_track_length(doc in proptest::collection::vec(any::<u8>(), 0..1000)) {
+        let (bloom, _) = small_classifiers();
+        let r = bloom.classify(&doc);
+        let expected = doc.len().saturating_sub(3) as u64;
+        prop_assert_eq!(r.total_ngrams(), expected);
+        for &c in r.counts() {
+            prop_assert!(c <= r.total_ngrams());
+        }
+    }
+
+    /// DMA packing: the protocol path classifies arbitrary bytes exactly
+    /// like the software path (full system equivalence on junk input).
+    #[test]
+    fn protocol_equivalence_on_arbitrary_bytes(
+        doc in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        use lcbloom::fpga::link::{pack_words, SimTime};
+        use lcbloom::fpga::protocol::{Command, FpgaProtocol};
+        use lcbloom::fpga::resources::ClassifierConfig;
+
+        let corpus = Corpus::generate(CorpusConfig::test_scale());
+        let bloom = lcbloom::train_bloom_classifier(
+            &corpus, 500, BloomParams::PAPER_COMPACT, 31,
+        );
+        let cfg = ClassifierConfig {
+            bloom: BloomParams::PAPER_COMPACT,
+            languages: 10,
+            copies: 4,
+        };
+        let mut p = FpgaProtocol::new(HardwareClassifier::place(bloom.clone(), cfg));
+        let words = pack_words(&doc);
+        p.command(Command::Size {
+            words: words.len() as u32,
+            bytes: doc.len() as u32,
+        }, SimTime::ZERO).unwrap();
+        for &w in &words {
+            p.push_dma_word(w, SimTime(1)).unwrap();
+        }
+        let q = p.command(Command::QueryResult, SimTime(2)).unwrap().unwrap();
+        prop_assert_eq!(q.result, bloom.classify(&doc));
+    }
+}

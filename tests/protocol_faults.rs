@@ -1,0 +1,183 @@
+//! Fault injection against the XD1000 protocol engine: truncated DMA,
+//! watchdog recovery, checksum verification, command/data reordering.
+
+use lcbloom::fpga::link::{pack_words, xor_checksum, SimTime};
+use lcbloom::fpga::protocol::{Command, FpgaProtocol, ProtocolError};
+use lcbloom::fpga::resources::ClassifierConfig;
+use lcbloom::prelude::*;
+
+fn protocol() -> FpgaProtocol {
+    let corpus = Corpus::generate(CorpusConfig {
+        docs_per_language: 12,
+        mean_doc_bytes: 1024,
+        ..CorpusConfig::default()
+    });
+    let classifier =
+        lcbloom::train_bloom_classifier(&corpus, 1000, BloomParams::PAPER_CONSERVATIVE, 21);
+    FpgaProtocol::new(HardwareClassifier::place(
+        classifier,
+        ClassifierConfig::paper_ten_languages(),
+    ))
+}
+
+#[test]
+fn truncated_transfer_recovers_via_watchdog_and_reclassifies() {
+    let mut p = protocol();
+    // Announce 100 words but deliver only 3 — a lost DMA burst.
+    p.command(Command::Size { words: 100, bytes: 800 }, SimTime::ZERO)
+        .unwrap();
+    p.push_dma_word(1, SimTime(100)).unwrap();
+    p.push_dma_word(2, SimTime(200)).unwrap();
+    p.push_dma_word(3, SimTime(300)).unwrap();
+    assert!(p.busy());
+
+    // Host notices nothing came back and the watchdog fires.
+    let fired = p.tick(SimTime(300 + FpgaProtocol::DEFAULT_WATCHDOG.0 + 1));
+    assert!(fired, "watchdog must reset the stalled transfer");
+    assert_eq!(p.watchdog_resets(), 1);
+
+    // The engine accepts the retransmission cleanly.
+    let doc = b"the committee shall deliver its opinion on the draft measures";
+    let words = pack_words(doc);
+    let t0 = SimTime(10_000_000);
+    p.command(
+        Command::Size {
+            words: words.len() as u32,
+            bytes: doc.len() as u32,
+        },
+        t0,
+    )
+    .unwrap();
+    for &w in &words {
+        p.push_dma_word(w, t0).unwrap();
+    }
+    let q = p.command(Command::QueryResult, t0).unwrap().unwrap();
+    assert!(q.valid);
+    assert_eq!(q.checksum, xor_checksum(&words));
+}
+
+#[test]
+fn checksum_mismatch_detectable_by_host() {
+    // The hardware checksums what it *received*; if the host's own checksum
+    // of what it *sent* differs, the transfer was corrupted. Simulate a
+    // corrupted word by sending different data than intended.
+    let mut p = protocol();
+    let intended = b"the quick brown fox jumps over the lazy dog again and again";
+    let mut words = pack_words(intended);
+    let host_checksum = xor_checksum(&words);
+    words[2] ^= 0xFF00; // corruption on the wire
+
+    p.command(
+        Command::Size {
+            words: words.len() as u32,
+            bytes: intended.len() as u32,
+        },
+        SimTime::ZERO,
+    )
+    .unwrap();
+    for &w in &words {
+        p.push_dma_word(w, SimTime(1)).unwrap();
+    }
+    let q = p.command(Command::QueryResult, SimTime(2)).unwrap().unwrap();
+    assert_ne!(
+        q.checksum, host_checksum,
+        "host must detect the corrupted transfer via checksum mismatch"
+    );
+}
+
+#[test]
+fn commands_racing_ahead_of_dma_still_produce_correct_results() {
+    // §4: commands and DMA arrive asynchronously and potentially out of
+    // order; commands must wait for the announced words.
+    let mut p = protocol();
+    let doc = b"le conseil de l'union europeenne a arrete le present reglement";
+    let words = pack_words(doc);
+
+    p.command(
+        Command::Size {
+            words: words.len() as u32,
+            bytes: doc.len() as u32,
+        },
+        SimTime::ZERO,
+    )
+    .unwrap();
+    // Both EoD and QueryResult race ahead of every data word.
+    p.command(Command::EndOfDocument, SimTime(1)).unwrap();
+    assert_eq!(p.command(Command::QueryResult, SimTime(2)).unwrap(), None);
+    for &w in &words {
+        p.push_dma_word(w, SimTime(3)).unwrap();
+    }
+    // The queued QueryResult executed on completion and consumed the latch;
+    // but since queued commands cannot return payloads, the host re-issues.
+    // (The latch was consumed by the queued query; a fresh transfer shows
+    // the engine is healthy.)
+    let doc2 = b"this regulation shall be binding in its entirety";
+    let words2 = pack_words(doc2);
+    p.command(
+        Command::Size {
+            words: words2.len() as u32,
+            bytes: doc2.len() as u32,
+        },
+        SimTime(10),
+    )
+    .unwrap();
+    for &w in &words2 {
+        p.push_dma_word(w, SimTime(11)).unwrap();
+    }
+    let q = p.command(Command::QueryResult, SimTime(12)).unwrap().unwrap();
+    assert!(q.valid);
+    assert_eq!(q.result, p.hardware().classifier().classify(doc2));
+}
+
+#[test]
+fn dma_before_any_size_command_is_a_protocol_error() {
+    let mut p = protocol();
+    assert_eq!(
+        p.push_dma_word(0xDEAD, SimTime::ZERO),
+        Err(ProtocolError::UnexpectedDma)
+    );
+}
+
+#[test]
+fn back_to_back_documents_share_no_state() {
+    let mut p = protocol();
+    let docs: [&[u8]; 3] = [
+        b"the quick brown fox jumps over the lazy dog",
+        b"le renard brun saute par dessus le chien paresseux",
+        b"todos los seres humanos nacen libres e iguales en dignidad",
+    ];
+    let mut results = Vec::new();
+    for (i, doc) in docs.iter().enumerate() {
+        let words = pack_words(doc);
+        let t = SimTime(i as u64 * 1000);
+        p.command(
+            Command::Size {
+                words: words.len() as u32,
+                bytes: doc.len() as u32,
+            },
+            t,
+        )
+        .unwrap();
+        for &w in &words {
+            p.push_dma_word(w, t).unwrap();
+        }
+        results.push(p.command(Command::QueryResult, t).unwrap().unwrap());
+    }
+    // Each result equals an isolated software classification — no state
+    // leaks across documents (the End-of-Document reset works).
+    for (doc, q) in docs.iter().zip(&results) {
+        assert_eq!(q.result, p.hardware().classifier().classify(doc));
+    }
+}
+
+#[test]
+fn watchdog_counts_accumulate() {
+    let mut p = protocol();
+    for round in 0..3u64 {
+        let t0 = SimTime(round * 100_000_000);
+        p.command(Command::Size { words: 10, bytes: 80 }, t0).unwrap();
+        p.push_dma_word(round, t0).unwrap();
+        assert!(p.tick(SimTime(t0.0 + FpgaProtocol::DEFAULT_WATCHDOG.0 + 1)));
+    }
+    assert_eq!(p.watchdog_resets(), 3);
+}

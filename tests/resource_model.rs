@@ -1,0 +1,105 @@
+//! The resource model against the paper's published synthesis results, and
+//! the fabric placement limits against the paper's capacity claims.
+
+use lcbloom::fpga::fabric::RamInventory;
+use lcbloom::fpga::resources::{
+    estimate_device, estimate_module, max_languages, ClassifierConfig, PAPER_TABLE2, PAPER_TABLE3,
+};
+use lcbloom::prelude::*;
+
+#[test]
+fn table2_m4k_counts_are_exact() {
+    for (m, k, _, _, m4k, _) in PAPER_TABLE2 {
+        let cfg = ClassifierConfig {
+            bloom: BloomParams::from_kbits(m, k),
+            languages: 2,
+            copies: 4,
+        };
+        assert_eq!(cfg.module_m4ks(), m4k, "m={m}K k={k}");
+    }
+}
+
+#[test]
+fn table2_logic_and_registers_within_2_percent() {
+    for (m, k, logic, regs, _, _) in PAPER_TABLE2 {
+        let cfg = ClassifierConfig {
+            bloom: BloomParams::from_kbits(m, k),
+            languages: 2,
+            copies: 4,
+        };
+        let e = estimate_module(&cfg);
+        let le = (f64::from(e.logic) - f64::from(logic)).abs() / f64::from(logic);
+        let re = (f64::from(e.registers) - f64::from(regs)).abs() / f64::from(regs);
+        assert!(le < 0.02, "m={m}K k={k} logic err {le:.3}");
+        assert!(re < 0.01, "m={m}K k={k} register err {re:.3}");
+    }
+}
+
+#[test]
+fn table3_ram_columns_are_exact() {
+    for (m, k, p, _, _, m512, m4k, mram, _) in PAPER_TABLE3 {
+        let cfg = ClassifierConfig {
+            bloom: BloomParams::from_kbits(m, k),
+            languages: p,
+            copies: 4,
+        };
+        let e = estimate_device(&cfg);
+        assert_eq!(e.m512, m512);
+        assert_eq!(e.m4k, m4k);
+        assert_eq!(e.mram, mram);
+    }
+}
+
+#[test]
+fn paper_designs_place_on_the_ep2s180_and_stress_cases_fail() {
+    for cfg in [
+        ClassifierConfig::paper_ten_languages(),
+        ClassifierConfig::paper_thirty_languages(),
+    ] {
+        let mut inv = RamInventory::new(EP2S180, cfg.languages);
+        assert!(inv.place_classifier(&cfg).is_ok(), "{cfg:?} must fit");
+    }
+    // One language past the compact limit must fail.
+    let over = ClassifierConfig {
+        bloom: BloomParams::PAPER_COMPACT,
+        languages: 31,
+        copies: 4,
+    };
+    let mut inv = RamInventory::new(EP2S180, over.languages);
+    assert!(inv.place_classifier(&over).is_err());
+}
+
+#[test]
+fn capacity_claims_match_the_paper() {
+    assert_eq!(max_languages(&EP2S180, BloomParams::PAPER_COMPACT, 4), 30);
+    let cons = max_languages(&EP2S180, BloomParams::PAPER_CONSERVATIVE, 4);
+    assert!((11..=12).contains(&cons));
+    // Sub-sampling (halved copies) roughly doubles capacity (§5.2).
+    let doubled = max_languages(&EP2S180, BloomParams::PAPER_COMPACT, 2);
+    assert!(doubled >= 59, "{doubled}");
+}
+
+#[test]
+fn fmax_trends_match_the_routing_observation() {
+    // Fewer embedded RAMs per bit-vector -> higher clock (§5.2).
+    let f = |m: usize| {
+        estimate_module(&ClassifierConfig {
+            bloom: BloomParams::from_kbits(m, 4),
+            languages: 2,
+            copies: 4,
+        })
+        .fmax_mhz
+    };
+    assert!(f(4) > f(8));
+    assert!(f(8) > f(16));
+}
+
+#[test]
+fn hail_sram_model_reproduces_published_throughput() {
+    assert!((XCV2000E_SRAM.throughput_mb_s() - 324.0).abs() < 1e-9);
+    // A 10-language, t=5000 table fits comfortably in the 4 MB SRAM.
+    let corpus = Corpus::generate(CorpusConfig::test_scale());
+    let profiles = lcbloom::train_profiles(&corpus, 5000);
+    let hail = HailClassifier::from_profiles(&profiles);
+    assert!(XCV2000E_SRAM.fits(hail.table().sram_bytes()));
+}
