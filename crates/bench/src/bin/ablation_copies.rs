@@ -44,9 +44,13 @@ fn main() {
         let peak = hw.peak_bytes_per_sec() / 1e9;
 
         let mut slow = Xd1000::new(hw.clone());
-        let slow_rate = slow.run(&docs, HostProtocol::Asynchronous).throughput_mb_s();
+        let slow_rate = slow
+            .run(&docs, HostProtocol::Asynchronous)
+            .throughput_mb_s();
         let mut fast = Xd1000::with_link(hw, LinkModel::xd1000_improved());
-        let fast_rate = fast.run(&docs, HostProtocol::Asynchronous).throughput_mb_s();
+        let fast_rate = fast
+            .run(&docs, HostProtocol::Asynchronous)
+            .throughput_mb_s();
 
         println!(
             "{:>6} {:>12} {:>8} {:>12.2} {:>11.0} MB/s {:>11.0} MB/s",

@@ -33,7 +33,11 @@ fn measure_fp(hashers: &[Box<dyn HashFunction>], params: BloomParams, keys: &Has
             continue;
         }
         tested += 1;
-        if hashers.iter().zip(&vectors).all(|(h, v)| v.get(h.hash(key))) {
+        if hashers
+            .iter()
+            .zip(&vectors)
+            .all(|(h, v)| v.get(h.hash(key)))
+        {
             fp += 1;
         }
     }
@@ -61,8 +65,11 @@ fn main() {
             .collect();
         let mult: Vec<Box<dyn HashFunction>> = (0..params.k)
             .map(|i| {
-                Box::new(MultiplicativeHash::new(20, params.address_bits, 7000 + i as u64))
-                    as Box<dyn HashFunction>
+                Box::new(MultiplicativeHash::new(
+                    20,
+                    params.address_bits,
+                    7000 + i as u64,
+                )) as Box<dyn HashFunction>
             })
             .collect();
         println!(

@@ -52,10 +52,7 @@ fn main() {
     };
 
     rule("ablation: fixed n=4 vs mixed-length 1..5 n-grams");
-    println!(
-        "{:<34} {:>9}",
-        "method", "accuracy"
-    );
+    println!("{:<34} {:>9}", "method", "accuracy");
     println!(
         "{:<34} {:>8.2}%",
         "Bloom match-count, n=4 (hardware)",

@@ -18,7 +18,10 @@ fn main() {
     let params = BloomParams::PAPER_CONSERVATIVE;
 
     rule("ablation: n-gram length vs accuracy (k=4, m=16 Kbit, t=5000)");
-    println!("{:>3} | {:>9} {:>8} | {:>10}", "n", "accuracy", "margin", "bits/gram");
+    println!(
+        "{:>3} | {:>9} {:>8} | {:>10}",
+        "n", "accuracy", "margin", "bits/gram"
+    );
     for n in 2usize..=6 {
         let spec = NGramSpec::new(n);
         let split = corpus.split();

@@ -1,0 +1,103 @@
+//! `BENCH_classify.json` emitter: measures the naive (per-language filter
+//! walk) vs banked (bit-sliced `FilterBank`) classify hot paths on the
+//! paper's 8-language × (k = 4, m = 16 Kbit) configuration and writes the
+//! numbers to `BENCH_classify.json` so the perf trajectory is recorded in
+//! the repository.
+//!
+//! Run from the workspace root with:
+//!
+//! ```text
+//! cargo run --release -p lc-bench --bin bench_classify
+//! ```
+//!
+//! The workload is [`lc_bench::ClassifyFixture::paper_8lang`] — the same
+//! fixture the criterion bench (`benches/classify.rs`) measures. Knobs:
+//! `LC_BENCH_DOCS`, `LC_BENCH_DOC_BYTES`, and `LC_BENCH_OUT` (output path,
+//! default `BENCH_classify.json`).
+
+use std::time::Instant;
+
+use lc_bench::ClassifyFixture;
+
+/// Median of `samples` timed runs of `f`, in nanoseconds.
+fn median_ns<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let fixture = ClassifyFixture::paper_8lang();
+    let classifier = &fixture.classifier;
+    let total_bytes = fixture.total_bytes();
+    let total_ngrams = fixture.total_ngrams();
+    eprintln!(
+        "measuring: {} languages, k={}, m={} Kbit, {} docs, {:.1} MB, {} n-grams",
+        classifier.num_languages(),
+        fixture.params.k,
+        fixture.params.m_kbits(),
+        fixture.docs.len(),
+        total_bytes as f64 / 1e6,
+        total_ngrams,
+    );
+
+    // Warm-up both paths once before timing.
+    for (_, grams) in &fixture.docs {
+        std::hint::black_box(classifier.classify_ngrams_naive(grams));
+        std::hint::black_box(classifier.classify_ngrams(grams));
+    }
+
+    let samples = 7;
+    let naive_ns = median_ns(samples, || {
+        let mut acc = 0usize;
+        for (_, grams) in &fixture.docs {
+            acc ^= classifier.classify_ngrams_naive(grams).best();
+        }
+        acc
+    });
+    let banked_ns = median_ns(samples, || {
+        let mut acc = 0usize;
+        for (_, grams) in &fixture.docs {
+            acc ^= classifier.classify_ngrams(grams).best();
+        }
+        acc
+    });
+
+    let report = |ns: f64| {
+        (
+            ns / total_ngrams as f64,              // ns per n-gram
+            total_bytes as f64 / 1e6 / (ns / 1e9), // MB/s
+        )
+    };
+    let (naive_ns_gram, naive_mbs) = report(naive_ns);
+    let (banked_ns_gram, banked_mbs) = report(banked_ns);
+    let speedup = naive_ns / banked_ns;
+
+    let json = format!(
+        "{{\n  \"bench\": \"classify\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"ngram\": {}, \"profile_size\": {} }},\n  \"workload\": {{ \"documents\": {}, \"bytes\": {}, \"ngrams\": {} }},\n  \"naive\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }},\n  \"banked\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }},\n  \"speedup\": {:.2}\n}}\n",
+        classifier.num_languages(),
+        fixture.params.k,
+        fixture.params.m_kbits(),
+        classifier.spec().n(),
+        fixture.profile_size,
+        fixture.docs.len(),
+        total_bytes,
+        total_ngrams,
+        naive_ns_gram,
+        naive_mbs,
+        banked_ns_gram,
+        banked_mbs,
+        speedup,
+    );
+    print!("{json}");
+
+    let out = std::env::var("LC_BENCH_OUT").unwrap_or_else(|_| "BENCH_classify.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    eprintln!("wrote {out} (banked is {speedup:.2}x naive)");
+}

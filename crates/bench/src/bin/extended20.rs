@@ -69,7 +69,9 @@ fn main() {
         copies: 4,
     };
     let mut inv = RamInventory::new(EP2S180, hw_cfg.languages);
-    let placed = inv.place_classifier(&hw_cfg).expect("20 languages must fit");
+    let placed = inv
+        .place_classifier(&hw_cfg)
+        .expect("20 languages must fit");
     let est = estimate_device(&hw_cfg);
     println!(
         "placed {} bit-vectors on {} M4Ks; device estimate: logic {} ({:.0}%), Fmax {:.0} MHz",

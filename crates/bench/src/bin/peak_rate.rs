@@ -62,7 +62,10 @@ fn main() {
     let mut fast = Xd1000::with_link(hw, LinkModel::xd1000_improved());
     let rf = fast.run(&docs, HostProtocol::Asynchronous);
     let gbs = rf.throughput_mb_s() / 1000.0;
-    println!("async streaming: {:.2} GB/s (paper projection: ~1.4 GB/s)", gbs);
+    println!(
+        "async streaming: {:.2} GB/s (paper projection: ~1.4 GB/s)",
+        gbs
+    );
     println!(
         "at this rate: {:.0}x the 2007 software baseline (paper: 260x), {:.1}x HAIL (paper: 4.4x)",
         rf.throughput_mb_s() / PAPER_MGUESSER_MB_S,

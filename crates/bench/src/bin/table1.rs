@@ -18,7 +18,7 @@
 //! | 4  | 6 | 123 | 99.41% |
 //! | 4  | 5 | 174 | 96.44% |
 
-use lc_bench::{accuracy_corpus, evaluate_classifier, run_accuracy_config, rule};
+use lc_bench::{accuracy_corpus, evaluate_classifier, rule, run_accuracy_config};
 use lc_bloom::analysis::{false_positives_per_thousand, PAPER_TABLE1};
 use lc_bloom::BloomParams;
 use lc_core::PAPER_PROFILE_SIZE;
@@ -26,11 +26,7 @@ use lc_core::PAPER_PROFILE_SIZE;
 /// Fraction of test documents whose predicted label differs across five
 /// independently seeded filter banks — a direct measurement of
 /// false-positive-induced decision noise, isolated from corpus margins.
-fn decision_instability(
-    corpus: &lc_corpus::Corpus,
-    t: usize,
-    params: BloomParams,
-) -> f64 {
+fn decision_instability(corpus: &lc_corpus::Corpus, t: usize, params: BloomParams) -> f64 {
     use rayon::prelude::*;
     let classifiers: Vec<_> = (100u64..105)
         .map(|seed| lc_bench::builder_for(corpus, t).build_bloom(params, seed))
@@ -44,7 +40,9 @@ fn decision_instability(
         .par_iter()
         .filter(|d| {
             let first = classifiers[0].classify(d).best();
-            classifiers[1..].iter().any(|c| c.classify(d).best() != first)
+            classifiers[1..]
+                .iter()
+                .any(|c| c.classify(d).best() != first)
         })
         .count();
     unstable as f64 / docs.len() as f64
@@ -114,8 +112,7 @@ fn main() {
     }
 
     rule("§5.1 detail for the conservative configuration (k=4, m=16 Kbit)");
-    let (summary, classifier) =
-        run_accuracy_config(&corpus, t, BloomParams::PAPER_CONSERVATIVE, 1);
+    let (summary, classifier) = run_accuracy_config(&corpus, t, BloomParams::PAPER_CONSERVATIVE, 1);
     let (lo, hi) = summary.confusion.class_accuracy_range().unwrap();
     println!(
         "accuracy range {:.2}%..{:.2}% (paper: 99.05%..99.76%), average {:.2}% (paper: 99.45%)",

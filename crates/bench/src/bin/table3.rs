@@ -15,8 +15,20 @@ fn main() {
     rule("Table 3: full-device utilization on the EP2S180");
     println!(
         "{:>10} {:>5} | {:>7} {:>7} {:>5} {:>5} {:>6} {:>6} | {:>7} {:>7} {:>5} {:>5} {:>6} {:>6}",
-        "k,m", "langs", "logic", "regs", "M512", "M4K", "M-RAM", "Fmax", "logicP", "regsP",
-        "M512P", "M4KP", "MRAMP", "FmaxP"
+        "k,m",
+        "langs",
+        "logic",
+        "regs",
+        "M512",
+        "M4K",
+        "M-RAM",
+        "Fmax",
+        "logicP",
+        "regsP",
+        "M512P",
+        "M4KP",
+        "MRAMP",
+        "FmaxP"
     );
     for (m, k, p, p_logic, p_regs, p_m512, p_m4k, p_mram, p_fmax) in PAPER_TABLE3 {
         let cfg = ClassifierConfig {

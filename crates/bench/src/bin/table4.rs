@@ -38,7 +38,10 @@ fn main() {
         .map(|d| d.text.as_slice())
         .collect();
     let total_mb = docs.iter().map(|d| d.len()).sum::<usize>() as f64 / 1e6;
-    println!("workload: {} documents, {total_mb:.1} MB, 10 languages, t = 5000", docs.len());
+    println!(
+        "workload: {} documents, {total_mb:.1} MB, 10 languages, t = 5000",
+        docs.len()
+    );
 
     // Software baselines (measured on this machine).
     let ct = CavnarTrenkle::from_profiles(&profiles);
@@ -88,11 +91,26 @@ fn main() {
 
     rule("Table 4: comparison of n-gram based language classifiers");
     println!("{:<26} {:<34} {:>10}", "System", "Type", "MB/s");
-    println!("{:<26} {:<34} {:>10.1}", "Mguesser (paper)", "AMD Opteron workstation (2007)", PAPER_MGUESSER_MB_S);
-    println!("{:<26} {:<34} {:>10.1}", "Cavnar-Trenkle (ours)", "this machine, measured", ct_rate);
-    println!("{:<26} {:<34} {:>10.1}", "HashSet scorer (ours)", "this machine, measured", hs_rate);
-    println!("{:<26} {:<34} {:>10.1}", "HAIL", "Xilinx XCV2000E-8 FPGA (model)", hail_rate);
-    println!("{:<26} {:<34} {:>10.1}", "BloomFilter (this work)", "Altera EP2S180 FPGA (simulated)", bloom_rate);
+    println!(
+        "{:<26} {:<34} {:>10.1}",
+        "Mguesser (paper)", "AMD Opteron workstation (2007)", PAPER_MGUESSER_MB_S
+    );
+    println!(
+        "{:<26} {:<34} {:>10.1}",
+        "Cavnar-Trenkle (ours)", "this machine, measured", ct_rate
+    );
+    println!(
+        "{:<26} {:<34} {:>10.1}",
+        "HashSet scorer (ours)", "this machine, measured", hs_rate
+    );
+    println!(
+        "{:<26} {:<34} {:>10.1}",
+        "HAIL", "Xilinx XCV2000E-8 FPGA (model)", hail_rate
+    );
+    println!(
+        "{:<26} {:<34} {:>10.1}",
+        "BloomFilter (this work)", "Altera EP2S180 FPGA (simulated)", bloom_rate
+    );
 
     rule("headline ratios");
     println!(

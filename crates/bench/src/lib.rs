@@ -30,7 +30,68 @@
 use lc_bloom::BloomParams;
 use lc_core::{ClassifierBuilder, EvalSummary, MultiLanguageClassifier};
 use lc_corpus::{Corpus, CorpusConfig, Language};
-use lc_ngram::{NGramProfile, NGramSpec};
+use lc_ngram::{NGram, NGramExtractor, NGramProfile, NGramSpec};
+
+/// The naive-vs-banked classify comparison workload: the paper's 8-language
+/// × (k = 4, m = 16 Kbit) configuration with every test document's n-gram
+/// stream pre-extracted, so measured loops compare pure membership-test
+/// throughput. Shared by the criterion bench and the `bench_classify` JSON
+/// emitter so both always measure the identical workload (same languages,
+/// seed, profile size, and corpus shape).
+pub struct ClassifyFixture {
+    /// The trained classifier (8 languages, `PAPER_CONSERVATIVE` params).
+    pub classifier: MultiLanguageClassifier,
+    /// Bloom parameters used (k = 4, m = 16 Kbit).
+    pub params: BloomParams,
+    /// Profile size `t` used for training.
+    pub profile_size: usize,
+    /// Per test document: (byte length, pre-extracted n-grams).
+    pub docs: Vec<(usize, Vec<NGram>)>,
+}
+
+impl ClassifyFixture {
+    /// Build the paper-configuration fixture. Honors `LC_BENCH_DOCS` /
+    /// `LC_BENCH_DOC_BYTES` like the experiment binaries.
+    pub fn paper_8lang() -> Self {
+        let params = BloomParams::PAPER_CONSERVATIVE;
+        let profile_size = 5000;
+        let corpus = Corpus::generate_for(
+            &Language::ALL[..8],
+            CorpusConfig {
+                docs_per_language: docs_per_language(12),
+                mean_doc_bytes: mean_doc_bytes(10 * 1024),
+                ..CorpusConfig::default()
+            },
+        );
+        let classifier = builder_for(&corpus, profile_size).build_bloom(params, 7);
+        let extractor = NGramExtractor::new(classifier.spec());
+        let docs = corpus
+            .split()
+            .test_all()
+            .map(|d| {
+                let mut grams = Vec::new();
+                extractor.extract_into(&d.text, &mut grams);
+                (d.text.len(), grams)
+            })
+            .collect();
+        Self {
+            classifier,
+            params,
+            profile_size,
+            docs,
+        }
+    }
+
+    /// Total payload bytes across the fixture's documents.
+    pub fn total_bytes(&self) -> usize {
+        self.docs.iter().map(|(len, _)| len).sum()
+    }
+
+    /// Total n-grams across the fixture's documents.
+    pub fn total_ngrams(&self) -> usize {
+        self.docs.iter().map(|(_, g)| g.len()).sum()
+    }
+}
 
 /// Documents per language for experiment binaries (override with
 /// `LC_BENCH_DOCS`).

@@ -41,9 +41,8 @@ pub fn min_k_for_target(
     target: f64,
     max_k: usize,
 ) -> Option<usize> {
-    (1..=max_k).find(|&k| {
-        false_positive_rate(n_programmed, BloomParams::new(k, address_bits)) <= target
-    })
+    (1..=max_k)
+        .find(|&k| false_positive_rate(n_programmed, BloomParams::new(k, address_bits)) <= target)
 }
 
 /// Paper Table 1 rows: (m Kbits, k, paper-reported FP per thousand, paper

@@ -1,0 +1,607 @@
+//! The bit-sliced filter bank: all languages' Bloom vectors fused so one
+//! n-gram tests against **every** language with `k` loads and one AND.
+//!
+//! # Why
+//!
+//! In the paper's hardware, one n-gram register fans out to every language's
+//! bit-vectors simultaneously: testing `p` languages costs the same cycle as
+//! testing one. The naive software transcription
+//! ([`crate::ParallelBloomFilter`] per language) inverts that shape — each
+//! n-gram walks `p` filters × `k` vectors, a scattered random load (plus a
+//! bounds check) per *(language, hash)* pair, `p·k` loads per n-gram.
+//!
+//! # Layout
+//!
+//! All language filters in a classifier share one [`H3Family`] (the hardware
+//! replicates the hash circuits, not the randomness), so the `k` addresses of
+//! an n-gram are the same for every language. The bank exploits that: for
+//! each hash function `i` it stores ONE address-indexed array `slices[i]`
+//! whose entry at address `a` is a `p`-bit **language mask** — bit `j` set
+//! iff language `j`'s vector-`i` bit at `a` is set.
+//!
+//! Mask entries are stored at the narrowest power-of-two width that holds
+//! `p` bits (`u8`/`u16`/`u32`/`u64`), which keeps the hot arrays small — the
+//! paper's 8-language configuration packs each mask into one byte, an 8×
+//! smaller working set than uniform `u64` words, small enough to stay
+//! cache-resident. `p > 64` uses `ceil(p/64)` little-endian `u64` words per
+//! mask, so any language count works transparently.
+//!
+//! A membership test of one n-gram against all `p` languages becomes:
+//!
+//! 1. compute the `k` addresses once (fused H3 evaluation),
+//! 2. load `k` masks — one contiguous load per hash function,
+//! 3. AND-reduce them (languages whose every per-hash bit was set survive),
+//! 4. scatter-add the surviving mask bits into per-language counters
+//!    (`trailing_zeros` loop, one increment per matching language).
+//!
+//! That is `k` loads + one AND per n-gram instead of `p·k` loads — the same
+//! fan-out the paper's datapath gets from wiring.
+//!
+//! # Invariants
+//!
+//! * Bit-for-bit equivalent to testing each [`crate::ParallelBloomFilter`]
+//!   independently (property-tested for every mask width, any `p`, any
+//!   input).
+//! * Addresses produced by the shared hash family are `< m` by construction
+//!   (H3 output width equals the vector address width), so the hot path
+//!   performs no per-language assertions; this is checked once at
+//!   construction and with `debug_assert!` in debug builds.
+
+use crate::params::BloomParams;
+use crate::ParallelBloomFilter;
+use lc_hash::H3Family;
+
+/// A mask storage element: the bit-sliced arrays hold language masks at the
+/// narrowest width that fits `p`.
+trait MaskWord: Copy {
+    /// Bits per element.
+    const BITS: usize;
+    /// All-zero element.
+    const ZERO: Self;
+    /// Set bit `j` (`j < BITS`).
+    fn set_bit(&mut self, j: usize);
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+    /// Widen to u64 for the scatter-add loop.
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! impl_mask_word {
+    ($($t:ty),*) => {$(
+        impl MaskWord for $t {
+            const BITS: usize = <$t>::BITS as usize;
+            const ZERO: Self = 0;
+
+            #[inline]
+            fn set_bit(&mut self, j: usize) {
+                *self |= 1 << j;
+            }
+
+            #[inline]
+            fn and(self, other: Self) -> Self {
+                self & other
+            }
+
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+        }
+    )*};
+}
+impl_mask_word!(u8, u16, u32, u64);
+
+/// Width-specialized bit-sliced arrays (one per hash function).
+#[derive(Clone, Debug)]
+enum MaskSlices {
+    /// `p <= 8`: one byte per (hash, address) entry.
+    W8(Vec<Box<[u8]>>),
+    /// `p <= 16`.
+    W16(Vec<Box<[u16]>>),
+    /// `p <= 32`.
+    W32(Vec<Box<[u32]>>),
+    /// `p <= 64`, or `p > 64` with `ceil(p/64)` words per mask. Also used
+    /// for `k > 8` (beyond the const-generic dispatch table; the paper's
+    /// largest k is 6).
+    W64(Vec<Box<[u64]>>),
+}
+
+/// Bit-sliced multi-language Bloom engine. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct FilterBank {
+    params: BloomParams,
+    hashes: H3Family,
+    /// Number of languages `p`.
+    languages: usize,
+    /// `ceil(p / 64)`: u64 words per language mask in the widened
+    /// ([`Self::match_mask`]) representation.
+    words_per_mask: usize,
+    slices: MaskSlices,
+}
+
+impl FilterBank {
+    /// Transpose per-language [`ParallelBloomFilter`]s into the bit-sliced
+    /// layout. The filters remain the canonical per-language representation;
+    /// the bank is the derived query-optimized image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filters` is empty, or the filters disagree on parameters or
+    /// hash family (all languages must share one family, exactly as all
+    /// hardware classifiers are fed by the same hash circuits).
+    pub fn from_filters(filters: &[ParallelBloomFilter]) -> Self {
+        assert!(!filters.is_empty(), "need at least one language filter");
+        let params = filters[0].params();
+        let hashes = filters[0].hashes().clone();
+        for f in &filters[1..] {
+            assert_eq!(f.params(), params, "filters disagree on Bloom parameters");
+            assert_eq!(
+                f.hashes(),
+                &hashes,
+                "filters must share one hash family (same seed) to be banked"
+            );
+        }
+        let p = filters.len();
+        let words_per_mask = p.div_ceil(64);
+        // Narrow widths only where the const-K dispatch covers them; the
+        // runtime-k and multi-word paths stay on u64.
+        let slices = if p <= 8 && params.k <= 8 {
+            MaskSlices::W8(Self::build_slices::<u8>(filters, params, 1))
+        } else if p <= 16 && params.k <= 8 {
+            MaskSlices::W16(Self::build_slices::<u16>(filters, params, 1))
+        } else if p <= 32 && params.k <= 8 {
+            MaskSlices::W32(Self::build_slices::<u32>(filters, params, 1))
+        } else {
+            MaskSlices::W64(Self::build_slices::<u64>(filters, params, words_per_mask))
+        };
+        Self {
+            params,
+            hashes,
+            languages: p,
+            words_per_mask,
+            slices,
+        }
+    }
+
+    /// Build the `k` bit-sliced arrays at element width `W` (`wpm` elements
+    /// per address; > 1 only for the u64 multi-word case).
+    fn build_slices<W: MaskWord>(
+        filters: &[ParallelBloomFilter],
+        params: BloomParams,
+        wpm: usize,
+    ) -> Vec<Box<[W]>> {
+        let m = params.m_bits();
+        let mut slices = Vec::with_capacity(params.k);
+        for i in 0..params.k {
+            let mut slice = vec![W::ZERO; m * wpm].into_boxed_slice();
+            for (j, f) in filters.iter().enumerate() {
+                let (word_idx, bit) = (j / W::BITS, j % W::BITS);
+                // Walk the language's set bits word-by-word instead of
+                // testing all m addresses: profiles are sparse.
+                for (w, &word) in f.vectors()[i].words().iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let a = w * 64 + word.trailing_zeros() as usize;
+                        slice[a * wpm + word_idx].set_bit(bit);
+                        word &= word - 1;
+                    }
+                }
+            }
+            slices.push(slice);
+        }
+        slices
+    }
+
+    /// Bloom parameters shared by every banked language.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of languages `p`.
+    pub fn languages(&self) -> usize {
+        self.languages
+    }
+
+    /// `u64` words per language mask (`ceil(p / 64)`) in the widened
+    /// representation returned by [`Self::match_mask`].
+    pub fn words_per_mask(&self) -> usize {
+        self.words_per_mask
+    }
+
+    /// Storage bits per (hash, address) mask entry (8/16/32 for narrow
+    /// banks, `64 × words_per_mask` otherwise).
+    pub fn mask_entry_bits(&self) -> usize {
+        match &self.slices {
+            MaskSlices::W8(_) => 8,
+            MaskSlices::W16(_) => 16,
+            MaskSlices::W32(_) => 32,
+            MaskSlices::W64(_) => 64 * self.words_per_mask,
+        }
+    }
+
+    /// The shared hash family.
+    pub fn hashes(&self) -> &H3Family {
+        &self.hashes
+    }
+
+    /// Total bank memory in bits (`k × m × mask_entry_bits`).
+    pub fn memory_bits(&self) -> usize {
+        self.params.k * self.params.m_bits() * self.mask_entry_bits()
+    }
+
+    /// Match mask for one key: word `w`, bit `b` set iff language `64w + b`
+    /// matches. Convenience wrapper (allocates); hot paths use
+    /// [`Self::accumulate_keys`].
+    pub fn match_mask(&self, key: u64) -> Vec<u64> {
+        match &self.slices {
+            MaskSlices::W8(s) => vec![self.mask_one(s, key)],
+            MaskSlices::W16(s) => vec![self.mask_one(s, key)],
+            MaskSlices::W32(s) => vec![self.mask_one(s, key)],
+            MaskSlices::W64(s) => {
+                if self.words_per_mask == 1 {
+                    vec![self.mask_one(s, key)]
+                } else {
+                    let mut addrs = vec![0u32; self.params.k];
+                    let mut mask = vec![0u64; self.words_per_mask];
+                    self.hashes.hash_all_into(key, &mut addrs);
+                    Self::and_reduce(s, self.words_per_mask, &addrs, &mut mask);
+                    mask
+                }
+            }
+        }
+    }
+
+    /// Single-key AND-reduce over single-element masks, widened to u64.
+    fn mask_one<W: MaskWord>(&self, slices: &[Box<[W]>], key: u64) -> u64 {
+        let mut addrs = vec![0u32; self.params.k];
+        self.hashes.hash_all_into(key, &mut addrs);
+        let mut mask = slices[0][addrs[0] as usize];
+        for (i, &a) in addrs.iter().enumerate().skip(1) {
+            mask = mask.and(slices[i][a as usize]);
+        }
+        mask.to_u64()
+    }
+
+    /// Test one key against every language, returning matching indices.
+    pub fn matching_languages(&self, key: u64) -> Vec<usize> {
+        let mask = self.match_mask(key);
+        let mut out = Vec::new();
+        for (w, &word) in mask.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                out.push(w * 64 + word.trailing_zeros() as usize);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Scatter-add one mask word's set bits into the counters: bit `b` of
+    /// `mask` increments `counts[bit_base + b]`. The single place the
+    /// count-on-match semantics live; every accumulate path inlines this.
+    #[inline]
+    fn scatter_add(mask: u64, bit_base: usize, counts: &mut [u64]) {
+        let mut mask = mask;
+        while mask != 0 {
+            counts[bit_base + mask.trailing_zeros() as usize] += 1;
+            mask &= mask - 1;
+        }
+    }
+
+    /// The classify hot loop: for every key, increment `counts[j]` for each
+    /// matching language `j`. Exactly equivalent to testing each language's
+    /// filter independently, but `k` loads + one AND-reduce per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != self.languages()`.
+    pub fn accumulate_keys<I: IntoIterator<Item = u64>>(&self, keys: I, counts: &mut [u64]) {
+        assert_eq!(
+            counts.len(),
+            self.languages,
+            "one counter per banked language"
+        );
+        match &self.slices {
+            MaskSlices::W8(s) => self.dispatch_k(s, keys, counts),
+            MaskSlices::W16(s) => self.dispatch_k(s, keys, counts),
+            MaskSlices::W32(s) => self.dispatch_k(s, keys, counts),
+            MaskSlices::W64(s) => {
+                if self.words_per_mask == 1 {
+                    self.dispatch_k(s, keys, counts);
+                } else {
+                    self.accumulate_multiword(s, keys, counts);
+                }
+            }
+        }
+    }
+
+    /// Dispatch once per batch to a loop with `k` fixed at compile time:
+    /// the fused hash unrolls and the `k` mask loads issue back-to-back
+    /// with no loop-carried control flow. `k > 8` falls back to the
+    /// runtime-`k` loop (identical results).
+    fn dispatch_k<W: MaskWord, I: IntoIterator<Item = u64>>(
+        &self,
+        slices: &[Box<[W]>],
+        keys: I,
+        counts: &mut [u64],
+    ) {
+        match self.params.k {
+            1 => self.accumulate_const_k::<1, W, I>(slices, keys, counts),
+            2 => self.accumulate_const_k::<2, W, I>(slices, keys, counts),
+            3 => self.accumulate_const_k::<3, W, I>(slices, keys, counts),
+            4 => self.accumulate_const_k::<4, W, I>(slices, keys, counts),
+            5 => self.accumulate_const_k::<5, W, I>(slices, keys, counts),
+            6 => self.accumulate_const_k::<6, W, I>(slices, keys, counts),
+            7 => self.accumulate_const_k::<7, W, I>(slices, keys, counts),
+            8 => self.accumulate_const_k::<8, W, I>(slices, keys, counts),
+            _ => self.accumulate_runtime_k(slices, keys, counts),
+        }
+    }
+
+    /// Hot loop for single-element masks with compile-time `K`.
+    fn accumulate_const_k<const K: usize, W: MaskWord, I: IntoIterator<Item = u64>>(
+        &self,
+        slices: &[Box<[W]>],
+        keys: I,
+        counts: &mut [u64],
+    ) {
+        // Hoist the Vec<Box<..>> double indirection: K flat slice views,
+        // loaded once per batch instead of twice per key.
+        let slices: [&[W]; K] = std::array::from_fn(|i| &*slices[i]);
+        // Resolve the fused hash view once per batch: no per-key lazy-init
+        // check inside the loop.
+        let hashes = self.hashes.fused_evaluator();
+        for key in keys {
+            let addrs: [u32; K] = hashes.hash_all_array::<K>(key);
+            let mut mask = slices[0][addrs[0] as usize];
+            for i in 1..K {
+                mask = mask.and(slices[i][addrs[i] as usize]);
+            }
+            Self::scatter_add(mask.to_u64(), 0, counts);
+        }
+    }
+
+    /// Single-element masks with runtime `k` (`k > 8`).
+    fn accumulate_runtime_k<W: MaskWord, I: IntoIterator<Item = u64>>(
+        &self,
+        slices: &[Box<[W]>],
+        keys: I,
+        counts: &mut [u64],
+    ) {
+        let mut addrs = vec![0u32; self.params.k];
+        let hashes = self.hashes.fused_evaluator();
+        for key in keys {
+            hashes.hash_all_into(key, &mut addrs);
+            let mut mask = slices[0][addrs[0] as usize];
+            for (i, &a) in addrs.iter().enumerate().skip(1) {
+                mask = mask.and(slices[i][a as usize]);
+            }
+            Self::scatter_add(mask.to_u64(), 0, counts);
+        }
+    }
+
+    /// Multi-word masks (`p > 64`), runtime `k`.
+    fn accumulate_multiword<I: IntoIterator<Item = u64>>(
+        &self,
+        slices: &[Box<[u64]>],
+        keys: I,
+        counts: &mut [u64],
+    ) {
+        let wpm = self.words_per_mask;
+        let mut addrs = vec![0u32; self.params.k];
+        let mut mask = vec![0u64; wpm];
+        let hashes = self.hashes.fused_evaluator();
+        for key in keys {
+            hashes.hash_all_into(key, &mut addrs);
+            if Self::and_reduce(slices, wpm, &addrs, &mut mask) {
+                for (w, &word) in mask.iter().enumerate() {
+                    Self::scatter_add(word, w * 64, counts);
+                }
+            }
+        }
+    }
+
+    /// AND-reduce the `k` per-hash multi-word masks at `addrs` into `mask`;
+    /// returns whether any language survived.
+    #[inline]
+    fn and_reduce(slices: &[Box<[u64]>], wpm: usize, addrs: &[u32], mask: &mut [u64]) -> bool {
+        debug_assert_eq!(mask.len(), wpm);
+        let base = addrs[0] as usize * wpm;
+        mask.copy_from_slice(&slices[0][base..base + wpm]);
+        let mut alive = mask.iter().any(|&w| w != 0);
+        for (i, &addr) in addrs.iter().enumerate().skip(1) {
+            if !alive {
+                break;
+            }
+            let base = addr as usize * wpm;
+            alive = false;
+            for (m, &s) in mask.iter_mut().zip(&slices[i][base..base + wpm]) {
+                *m &= s;
+                alive |= *m != 0;
+            }
+        }
+        alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BloomParams;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Build `p` filters over a shared hash family, each programmed with its
+    /// own random keys, plus the bank transposed from them.
+    fn bank_fixture(
+        p: usize,
+        params: BloomParams,
+        keys_per_lang: usize,
+        seed: u64,
+    ) -> (Vec<ParallelBloomFilter>, FilterBank) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let filters: Vec<ParallelBloomFilter> = (0..p)
+            .map(|_| {
+                let mut f = ParallelBloomFilter::new(params, 20, seed);
+                f.program_all((0..keys_per_lang).map(|_| rng.gen::<u64>() & 0xF_FFFF));
+                f
+            })
+            .collect();
+        let bank = FilterBank::from_filters(&filters);
+        (filters, bank)
+    }
+
+    fn naive_counts(filters: &[ParallelBloomFilter], keys: &[u64]) -> Vec<u64> {
+        let k = filters[0].params().k;
+        let mut addrs = vec![0u32; k];
+        let mut counts = vec![0u64; filters.len()];
+        for &key in keys {
+            filters[0].addresses_into(key, &mut addrs);
+            for (c, f) in counts.iter_mut().zip(filters) {
+                if f.test_with_addresses(&addrs) {
+                    *c += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let (_, bank) = bank_fixture(8, BloomParams::PAPER_CONSERVATIVE, 100, 1);
+        assert_eq!(bank.languages(), 8);
+        assert_eq!(bank.words_per_mask(), 1);
+        assert_eq!(bank.params(), BloomParams::PAPER_CONSERVATIVE);
+        // 8 languages pack into one byte per (hash, address) entry.
+        assert_eq!(bank.mask_entry_bits(), 8);
+        assert_eq!(bank.memory_bits(), 4 * 16384 * 8);
+
+        // Each width boundary picks the narrowest fitting storage.
+        let cases = [(1, 8), (9, 16), (16, 16), (17, 32), (33, 64), (64, 64)];
+        for (p, bits) in cases {
+            let (_, b) = bank_fixture(p, BloomParams::from_kbits(4, 2), 5, 2);
+            assert_eq!(b.mask_entry_bits(), bits, "p = {p}");
+        }
+
+        let (_, wide) = bank_fixture(65, BloomParams::from_kbits(4, 2), 10, 2);
+        assert_eq!(wide.words_per_mask(), 2);
+        assert_eq!(wide.mask_entry_bits(), 128);
+    }
+
+    #[test]
+    fn empty_bank_matches_nothing() {
+        let filters = vec![ParallelBloomFilter::new(BloomParams::from_kbits(4, 3), 20, 5); 4];
+        let bank = FilterBank::from_filters(&filters);
+        for key in 0..1000u64 {
+            assert!(bank.matching_languages(key).is_empty());
+        }
+    }
+
+    #[test]
+    fn programmed_keys_match_their_language() {
+        let params = BloomParams::PAPER_CONSERVATIVE;
+        let mut filters: Vec<ParallelBloomFilter> = (0..5)
+            .map(|_| ParallelBloomFilter::new(params, 20, 9))
+            .collect();
+        for (j, f) in filters.iter_mut().enumerate() {
+            f.program_all((0..200u64).map(|i| (i * 5 + j as u64 * 7919) & 0xF_FFFF));
+        }
+        let bank = FilterBank::from_filters(&filters);
+        for (j, f) in filters.iter().enumerate() {
+            for i in 0..200u64 {
+                let key = (i * 5 + j as u64 * 7919) & 0xF_FFFF;
+                assert!(f.test(key));
+                assert!(
+                    bank.matching_languages(key).contains(&j),
+                    "bank lost language {j} for key {key:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one hash family")]
+    fn mismatched_seeds_rejected() {
+        let a = ParallelBloomFilter::new(BloomParams::from_kbits(4, 2), 20, 1);
+        let b = ParallelBloomFilter::new(BloomParams::from_kbits(4, 2), 20, 2);
+        let _ = FilterBank::from_filters(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on Bloom parameters")]
+    fn mismatched_params_rejected() {
+        // Same seed stream, different vector sizes.
+        let a = ParallelBloomFilter::new(BloomParams::from_kbits(4, 2), 20, 1);
+        let b = ParallelBloomFilter::new(BloomParams::from_kbits(8, 2), 20, 1);
+        let _ = FilterBank::from_filters(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one language")]
+    fn empty_filter_list_rejected() {
+        let _ = FilterBank::from_filters(&[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Banked accumulation must equal the naive per-language loop for
+        /// any p — every mask width (u8/u16/u32/u64) and the multi-word
+        /// boundary (p > 64) — any key set, and any query set.
+        #[test]
+        fn banked_counts_equal_naive(
+            p in prop_p(), seed in any::<u64>(),
+            queries in proptest::collection::vec(any::<u64>(), 0..200),
+        ) {
+            // Small vectors (m = 256) so collisions and partial matches are
+            // common — the interesting regime for equivalence.
+            let params = BloomParams::new(3, 8);
+            let (filters, bank) = bank_fixture(p, params, 60, seed);
+            let mut banked = vec![0u64; p];
+            bank.accumulate_keys(queries.iter().copied(), &mut banked);
+            prop_assert_eq!(banked, naive_counts(&filters, &queries));
+        }
+
+        /// match_mask agrees with per-language test_with_addresses bit by bit.
+        #[test]
+        fn match_mask_is_exact(p in prop_p(), seed in any::<u64>(), key in any::<u64>()) {
+            let params = BloomParams::new(2, 8);
+            let (filters, bank) = bank_fixture(p, params, 80, seed);
+            let mask = bank.match_mask(key);
+            let mut addrs = vec![0u32; params.k];
+            filters[0].addresses_into(key, &mut addrs);
+            for (j, f) in filters.iter().enumerate() {
+                let expect = f.test_with_addresses(&addrs);
+                let got = mask[j / 64] >> (j % 64) & 1 == 1;
+                prop_assert_eq!(got, expect, "language {} of {}", j, p);
+            }
+        }
+    }
+
+    /// Language counts that exercise every mask representation: u8 (1, 8),
+    /// u16 (12), u32 (20), single-word u64 (33, 64), and multi-word
+    /// (65..=100).
+    fn prop_p() -> impl Strategy<Value = usize> {
+        PChoices
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    struct PChoices;
+
+    impl Strategy for PChoices {
+        type Value = usize;
+
+        fn sample(&self, rng: &mut proptest::TestRng) -> usize {
+            match rng.next_u64() % 7 {
+                0 => 1,
+                1 => 8,
+                2 => 12,
+                3 => 20,
+                4 => 33,
+                5 => 64,
+                _ => 65 + (rng.next_u64() % 36) as usize, // 65..=100
+            }
+        }
+    }
+}

@@ -1,11 +1,9 @@
 //! A power-of-two-length bit-vector: the software image of one (or several
 //! cascaded) embedded RAM block(s) configured as a 1-bit-wide memory.
 
-use serde::{Deserialize, Serialize};
-
 /// An `m`-bit vector, `m` a power of two (embedded RAMs are address-decoded,
 /// so the paper's bit-vector lengths are 4/8/16 Kbit).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BitVector {
     words: Vec<u64>,
     bits: u32, // log2(m)
@@ -48,25 +46,29 @@ impl BitVector {
 
     /// Set the bit at `addr` (the Bloom "program" write port).
     ///
-    /// # Panics
-    ///
-    /// Panics if `addr >= len()`.
+    /// Addresses come from H3 functions whose output width equals this
+    /// vector's address width, so `addr < len()` **by construction** — the
+    /// hardware's address decoder cannot even express an out-of-range
+    /// address. Release builds therefore mask the address (mirroring the
+    /// decoder truncation) instead of branch-checking it on the hot path;
+    /// debug builds still panic on violation.
     #[inline]
     pub fn set(&mut self, addr: u32) {
         let addr = addr as usize;
-        assert!(addr < self.len(), "address {addr} out of range");
+        debug_assert!(addr < self.len(), "address {addr} out of range");
+        let addr = addr & (self.len() - 1);
         self.words[addr / 64] |= 1u64 << (addr % 64);
     }
 
     /// Read the bit at `addr` (one read port).
     ///
-    /// # Panics
-    ///
-    /// Panics if `addr >= len()`.
+    /// Same invariant and release-mode masking as [`Self::set`]: H3
+    /// addresses are `< len()` by construction.
     #[inline]
     pub fn get(&self, addr: u32) -> bool {
         let addr = addr as usize;
-        assert!(addr < self.len(), "address {addr} out of range");
+        debug_assert!(addr < self.len(), "address {addr} out of range");
+        let addr = addr & (self.len() - 1);
         (self.words[addr / 64] >> (addr % 64)) & 1 == 1
     }
 
@@ -92,6 +94,14 @@ impl BitVector {
     /// Fraction of set bits in `[0, 1]`.
     pub fn occupancy(&self) -> f64 {
         self.count_ones() as f64 / self.len() as f64
+    }
+
+    /// The backing 64-bit words, LSB-first (bit `a` of the vector is bit
+    /// `a % 64` of word `a / 64`). Crate-internal: only
+    /// [`crate::FilterBank`] transposes this layout, and keeping it private
+    /// leaves the packing free to change (e.g. for SIMD AND-reduce).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 
@@ -149,8 +159,11 @@ mod tests {
         assert!(a && b);
     }
 
+    // Out-of-range detection is a debug_assert (H3 addresses are in range by
+    // construction; release builds mask like a hardware address decoder).
     #[test]
     #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
     fn out_of_range_get_panics() {
         let v = BitVector::new(4);
         let _ = v.get(16);
@@ -158,6 +171,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
     fn out_of_range_set_panics() {
         let mut v = BitVector::new(4);
         v.set(16);

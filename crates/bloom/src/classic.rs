@@ -41,9 +41,21 @@ impl ClassicBloomFilter {
     /// Create a classic filter with the same total memory as a Parallel
     /// Bloom Filter with the given params (k × m bits, rounded up to the
     /// next power of two if k is not a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rounded-up total exceeds [`BitVector`]'s 2^32-bit cap
+    /// (e.g. `k = 2, address_bits = 32`): a single vector of that size is
+    /// not constructible, and silently shrinking it would break the
+    /// "equivalent memory" contract this comparison rests on.
     pub fn with_equivalent_memory(params: BloomParams, input_bits: u32, seed: u64) -> Self {
         let total = params.total_bits();
         let address_bits = (total as u64).next_power_of_two().trailing_zeros();
+        assert!(
+            address_bits <= 32,
+            "equivalent-memory vector needs {address_bits} address bits \
+             (total {total} bits), beyond the 32-bit BitVector cap"
+        );
         Self::new(params.k, address_bits, input_bits, seed)
     }
 
@@ -151,6 +163,15 @@ mod tests {
             (0.2..5.0).contains(&ratio),
             "expected FP rates diverge: classic {ec:.6} vs parallel {ep:.6}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the 32-bit BitVector cap")]
+    fn equivalent_memory_beyond_bitvector_cap_rejected() {
+        // k = 2 vectors of 2^32 bits each: total 2^33 bits rounds to a
+        // 33-address-bit single vector, which BitVector cannot represent.
+        let p = BloomParams::new(2, 32);
+        let _ = ClassicBloomFilter::with_equivalent_memory(p, 20, 1);
     }
 
     #[test]

@@ -116,7 +116,6 @@ impl CountingBloomFilter {
             })
             .collect()
     }
-
 }
 
 #[cfg(test)]
@@ -187,7 +186,11 @@ mod tests {
             assert!(f.test(k));
         }
         assert_eq!(f.programmed(), 1000);
-        assert_eq!(f.saturated(), 0, "paper-scale loads must not saturate 4-bit counters");
+        assert_eq!(
+            f.saturated(),
+            0,
+            "paper-scale loads must not saturate 4-bit counters"
+        );
     }
 
     #[test]

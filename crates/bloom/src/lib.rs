@@ -14,7 +14,11 @@
 //!   address-decoded embedded RAM), with dual-port read pairs mirroring the
 //!   paper's use of dual-ported M4K blocks to test two n-grams per clock.
 //! * [`ParallelBloomFilter`] — the paper's structure: `k` H3 functions, `k`
-//!   bit-vectors.
+//!   bit-vectors. One per language; the canonical representation.
+//! * [`FilterBank`] — the **bit-sliced** multi-language query engine: all
+//!   languages' vectors transposed so one n-gram tests against every
+//!   language with `k` loads and one AND, mirroring the hardware's fan-out
+//!   (see the [`bank`](FilterBank) module docs).
 //! * [`ClassicBloomFilter`] — the textbook single-vector construction, kept
 //!   as a comparison point.
 //! * [`BloomParams`] / [`analysis`] — parameter handling and the paper's
@@ -27,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod bank;
 mod bitvec;
 mod classic;
 mod counting;
 mod parallel;
 mod params;
 
+pub use bank::FilterBank;
 pub use bitvec::BitVector;
 pub use classic::ClassicBloomFilter;
 pub use counting::{CountingBloomFilter, COUNTER_BITS, COUNTER_MAX};

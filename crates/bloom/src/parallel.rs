@@ -76,16 +76,22 @@ impl ParallelBloomFilter {
     /// replicated hash circuits fed by one n-gram register — the addresses
     /// can be computed once and tested against every language's vectors.
     ///
+    /// Addresses must come from this filter's hash family (`addrs.len() ==
+    /// k`, each `addrs[i] < m` by H3 construction). The length check is a
+    /// `debug_assert!` (this sits on the per-(language, n-gram) hot path);
+    /// indexing `addrs` still panics loudly in release if the slice is too
+    /// short, so a mismatched caller can never get a vacuous `true`.
+    ///
     /// # Panics
     ///
-    /// Panics if `addrs.len() != k`.
+    /// Panics if `addrs.len() < k`.
     #[inline]
     pub fn test_with_addresses(&self, addrs: &[u32]) -> bool {
-        assert_eq!(addrs.len(), self.vectors.len());
+        debug_assert_eq!(addrs.len(), self.vectors.len());
         self.vectors
             .iter()
-            .zip(addrs)
-            .all(|(v, &a)| v.get(a))
+            .enumerate()
+            .all(|(i, v)| v.get(addrs[i]))
     }
 
     /// Compute the `k` hash addresses for `key` into `out` (for use with
@@ -102,7 +108,10 @@ impl ParallelBloomFilter {
         let mut a = true;
         let mut b = true;
         for (i, v) in self.vectors.iter().enumerate() {
-            let (ra, rb) = v.get_pair(self.hashes.hash_one(i, key_a), self.hashes.hash_one(i, key_b));
+            let (ra, rb) = v.get_pair(
+                self.hashes.hash_one(i, key_a),
+                self.hashes.hash_one(i, key_b),
+            );
             a &= ra;
             b &= rb;
         }

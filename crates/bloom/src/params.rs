@@ -1,7 +1,5 @@
 //! Bloom-filter parameters and their embedded-RAM footprint.
 
-use serde::{Deserialize, Serialize};
-
 /// Capacity of one Altera M4K embedded RAM block, in bits. The paper maps
 /// each bit-vector onto one or more M4Ks ("the 768 4 Kbit embedded RAMs
 /// available on the FPGA").
@@ -9,7 +7,7 @@ pub const M4K_BITS: usize = 4 * 1024;
 
 /// Parameters of one (Parallel) Bloom filter: `k` hash functions, each
 /// addressing an `m = 2^address_bits`-bit vector.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BloomParams {
     /// Number of hash functions / bit-vectors.
     pub k: usize,
@@ -19,11 +17,17 @@ pub struct BloomParams {
 
 impl BloomParams {
     /// The paper's most conservative configuration: `k = 4`, `m = 16 Kbit`.
-    pub const PAPER_CONSERVATIVE: BloomParams = BloomParams { k: 4, address_bits: 14 };
+    pub const PAPER_CONSERVATIVE: BloomParams = BloomParams {
+        k: 4,
+        address_bits: 14,
+    };
 
     /// The paper's most space-efficient ≥99%-accuracy configuration:
     /// `k = 6`, `m = 4 Kbit` (one M4K per bit-vector, 24 Kbit per language).
-    pub const PAPER_COMPACT: BloomParams = BloomParams { k: 6, address_bits: 12 };
+    pub const PAPER_COMPACT: BloomParams = BloomParams {
+        k: 6,
+        address_bits: 12,
+    };
 
     /// Create parameters.
     ///
@@ -82,10 +86,19 @@ impl BloomParams {
     /// The eight configurations evaluated in the paper's Tables 1 and 2, in
     /// table order: (16K,4) (16K,3) (16K,2) (8K,4) (8K,3) (8K,2) (4K,6) (4K,5).
     pub fn paper_table_configs() -> Vec<BloomParams> {
-        [(16, 4), (16, 3), (16, 2), (8, 4), (8, 3), (8, 2), (4, 6), (4, 5)]
-            .into_iter()
-            .map(|(m, k)| BloomParams::from_kbits(m, k))
-            .collect()
+        [
+            (16, 4),
+            (16, 3),
+            (16, 2),
+            (8, 4),
+            (8, 3),
+            (8, 2),
+            (4, 6),
+            (4, 5),
+        ]
+        .into_iter()
+        .map(|(m, k)| BloomParams::from_kbits(m, k))
+        .collect()
     }
 }
 

@@ -6,8 +6,14 @@
 //! against every filter "in parallel" and per-language match counters are
 //! incremented; at end-of-document the counters are read and the highest
 //! count wins.
+//!
+//! The per-language filters are the canonical representation (the FPGA
+//! fabric model places their bit-vectors onto RAM blocks); the classify hot
+//! path runs on a bit-sliced [`FilterBank`] transposed from them, so each
+//! n-gram costs `k` loads + one AND for **all** languages instead of `p·k`
+//! scattered bit-reads — the software image of the hardware's fan-out.
 
-use lc_bloom::{BloomParams, ParallelBloomFilter};
+use lc_bloom::{BloomParams, FilterBank, ParallelBloomFilter};
 use lc_ngram::{NGram, NGramExtractor, NGramSpec};
 use std::collections::HashSet;
 
@@ -19,6 +25,7 @@ use crate::result::ClassificationResult;
 pub struct MultiLanguageClassifier {
     names: Vec<String>,
     filters: Vec<ParallelBloomFilter>,
+    bank: FilterBank,
     spec: NGramSpec,
     extractor: NGramExtractor,
     params: BloomParams,
@@ -49,9 +56,11 @@ impl MultiLanguageClassifier {
             names.push(p.name.clone());
             filters.push(f);
         }
+        let bank = FilterBank::from_filters(&filters);
         Self {
             names,
             filters,
+            bank,
             spec,
             extractor: NGramExtractor::new(spec),
             params,
@@ -97,6 +106,11 @@ impl MultiLanguageClassifier {
         &self.filters
     }
 
+    /// Borrow the bit-sliced query engine the hot path runs on.
+    pub fn bank(&self) -> &FilterBank {
+        &self.bank
+    }
+
     /// Classify a document given as raw ISO-8859-1 bytes.
     pub fn classify(&self, text: &[u8]) -> ClassificationResult {
         let mut grams = Vec::new();
@@ -104,10 +118,35 @@ impl MultiLanguageClassifier {
         self.classify_ngrams(&grams)
     }
 
-    /// Classify a pre-extracted n-gram stream. Hash addresses are computed
-    /// once per n-gram and fanned out to all language filters, exactly as
-    /// the shared n-gram register feeds every classifier in hardware.
+    /// Classify a pre-extracted n-gram stream on the bit-sliced bank: the
+    /// `k` hash addresses are computed once per n-gram and one AND-reduce
+    /// tests all languages simultaneously, exactly as the shared n-gram
+    /// register feeds every classifier in hardware.
     pub fn classify_ngrams(&self, grams: &[NGram]) -> ClassificationResult {
+        let mut counts = vec![0u64; self.filters.len()];
+        self.accumulate_ngrams(grams, &mut counts);
+        ClassificationResult::new(counts, grams.len() as u64)
+    }
+
+    /// Add each n-gram's language matches into `counts` (one counter per
+    /// language) without building a result. This is the shared hot loop of
+    /// [`Self::classify_ngrams`], the streaming classifier, and the
+    /// datapath lane model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != self.num_languages()`.
+    #[inline]
+    pub fn accumulate_ngrams(&self, grams: &[NGram], counts: &mut [u64]) {
+        self.bank
+            .accumulate_keys(grams.iter().map(|g| g.value()), counts);
+    }
+
+    /// Reference implementation of [`Self::classify_ngrams`] over the
+    /// per-language filters (`p × k` scattered bit-reads per n-gram). Kept
+    /// for equivalence property tests and as the benchmark baseline; the
+    /// banked path must produce identical results for any input.
+    pub fn classify_ngrams_naive(&self, grams: &[NGram]) -> ClassificationResult {
         let mut counts = vec![0u64; self.filters.len()];
         let mut addrs = vec![0u32; self.params.k];
         for g in grams {

@@ -74,17 +74,21 @@ impl ParallelClassifier {
     /// the hardware's physical counters hold before the adder tree fires at
     /// end-of-document; the FPGA model uses it to apply counter-width
     /// saturation per lane.
+    ///
+    /// Round-robin dealing means lane `l` sees grams `l, l+2c, l+4c, …`; each
+    /// lane accumulates its strided sub-stream through the classifier's
+    /// bit-sliced bank in one pass (the old shape re-ran the full classifier
+    /// for every single gram, allocating a result per gram per lane).
     pub fn lane_counts(&self, grams: &[NGram]) -> Vec<Vec<u64>> {
         let lanes = self.ngrams_per_clock();
         let p = self.inner.num_languages();
         let mut lane_counts = vec![vec![0u64; p]; lanes];
-        for chunk in grams.chunks(lanes) {
-            for (lane, g) in chunk.iter().enumerate() {
-                let r = self.inner.classify_ngrams(std::slice::from_ref(g));
-                for (acc, &c) in lane_counts[lane].iter_mut().zip(r.counts()) {
-                    *acc += c;
-                }
-            }
+        let bank = self.inner.bank();
+        for (lane, counts) in lane_counts.iter_mut().enumerate() {
+            bank.accumulate_keys(
+                grams.iter().skip(lane).step_by(lanes).map(|g| g.value()),
+                counts,
+            );
         }
         lane_counts
     }
@@ -191,10 +195,7 @@ mod tests {
 
     #[test]
     fn adder_tree_handles_odd_lane_counts_and_empty() {
-        let merged = ParallelClassifier::adder_tree(
-            vec![vec![1, 2], vec![3, 4], vec![5, 6]],
-            2,
-        );
+        let merged = ParallelClassifier::adder_tree(vec![vec![1, 2], vec![3, 4], vec![5, 6]], 2);
         assert_eq!(merged, vec![9, 12]);
         assert_eq!(ParallelClassifier::adder_tree(vec![], 3), vec![0, 0, 0]);
     }

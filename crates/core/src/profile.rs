@@ -4,7 +4,6 @@
 
 use lc_bloom::BloomParams;
 use lc_ngram::{NGramProfile, NGramSpec};
-use serde::{Deserialize, Serialize};
 
 use crate::classifier::{ExactClassifier, MultiLanguageClassifier};
 
@@ -12,7 +11,7 @@ use crate::classifier::{ExactClassifier, MultiLanguageClassifier};
 pub const PAPER_PROFILE_SIZE: usize = 5000;
 
 /// A named language profile.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LanguageProfile {
     /// Display name / code of the language.
     pub name: String,
@@ -150,7 +149,10 @@ mod tests {
     #[test]
     fn builder_trains_profiles_of_requested_size() {
         let mut b = ClassifierBuilder::new(NGramSpec::PAPER, 50);
-        b.add_language("en", [b"the quick brown fox jumps over the lazy dog".as_slice()]);
+        b.add_language(
+            "en",
+            [b"the quick brown fox jumps over the lazy dog".as_slice()],
+        );
         assert_eq!(b.len(), 1);
         assert!(b.profiles()[0].profile.len() <= 50);
         assert!(!b.profiles()[0].profile.is_empty());

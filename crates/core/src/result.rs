@@ -1,10 +1,8 @@
 //! Classification results: per-language match counts and derived decisions.
 
-use serde::{Deserialize, Serialize};
-
 /// The outcome of classifying one document: one match counter per language,
 /// as read back from the hardware's Query Result command.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClassificationResult {
     counts: Vec<u64>,
     total_ngrams: u64,

@@ -22,7 +22,6 @@ pub struct StreamingClassifier<'c> {
     total_ngrams: u64,
     /// Workhorse buffer reused across feeds.
     grams: Vec<NGram>,
-    addrs: Vec<u32>,
 }
 
 impl<'c> StreamingClassifier<'c> {
@@ -34,23 +33,17 @@ impl<'c> StreamingClassifier<'c> {
             counts: vec![0u64; classifier.num_languages()],
             total_ngrams: 0,
             grams: Vec::new(),
-            addrs: vec![0u32; classifier.params().k],
         }
     }
 
     /// Feed the next chunk of the document (any size, including empty).
+    /// Matches accumulate through the classifier's bit-sliced bank, exactly
+    /// as whole-buffer classification does.
     pub fn feed(&mut self, chunk: &[u8]) {
         self.grams.clear();
         self.extractor.feed(chunk, &mut self.grams);
-        let filters = self.classifier.filters();
-        for g in &self.grams {
-            filters[0].addresses_into(g.value(), &mut self.addrs);
-            for (c, f) in self.counts.iter_mut().zip(filters) {
-                if f.test_with_addresses(&self.addrs) {
-                    *c += 1;
-                }
-            }
-        }
+        self.classifier
+            .accumulate_ngrams(&self.grams, &mut self.counts);
         self.total_ngrams += self.grams.len() as u64;
     }
 
@@ -69,7 +62,10 @@ impl<'c> StreamingClassifier<'c> {
     /// latch). The session resets and can be reused for the next document.
     pub fn finish(&mut self) -> ClassificationResult {
         let result = ClassificationResult::new(
-            std::mem::replace(&mut self.counts, vec![0u64; self.classifier.num_languages()]),
+            std::mem::replace(
+                &mut self.counts,
+                vec![0u64; self.classifier.num_languages()],
+            ),
             self.total_ngrams,
         );
         self.total_ngrams = 0;
@@ -121,7 +117,8 @@ mod tests {
     fn standings_are_monotone_and_final() {
         let c = classifier();
         let mut s = StreamingClassifier::new(c);
-        let doc = b"the committee shall deliver its opinion on the draft measures within a time limit";
+        let doc =
+            b"the committee shall deliver its opinion on the draft measures within a time limit";
         let mut prev_total = 0u64;
         for chunk in doc.chunks(10) {
             s.feed(chunk);
@@ -141,8 +138,14 @@ mod tests {
         let first = s.finish();
         s.feed(b"the second document in english with other words");
         let second = s.finish();
-        assert_eq!(first, c.classify(b"le premier document francais avec quelques mots"));
-        assert_eq!(second, c.classify(b"the second document in english with other words"));
+        assert_eq!(
+            first,
+            c.classify(b"le premier document francais avec quelques mots")
+        );
+        assert_eq!(
+            second,
+            c.classify(b"the second document in english with other words")
+        );
     }
 
     #[test]

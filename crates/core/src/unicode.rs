@@ -9,7 +9,7 @@
 //! without any per-script tables, which a direct-lookup design could never
 //! afford (a 16-bit alphabet's 4-gram space has 2^64 slots).
 
-use lc_bloom::{BloomParams, ParallelBloomFilter};
+use lc_bloom::{BloomParams, FilterBank, ParallelBloomFilter};
 use lc_ngram::unicode::{WideExtractor, WideNGramSpec};
 use lc_ngram::{NGram, NGramCounter, NGramProfile, NGramSpec};
 
@@ -40,6 +40,7 @@ pub fn build_wide_profile<'a, I: IntoIterator<Item = &'a str>>(
 pub struct WideClassifier {
     names: Vec<String>,
     filters: Vec<ParallelBloomFilter>,
+    bank: FilterBank,
     spec: WideNGramSpec,
     extractor: WideExtractor,
     params: BloomParams,
@@ -67,9 +68,11 @@ impl WideClassifier {
             names.push(name.clone());
             filters.push(f);
         }
+        let bank = FilterBank::from_filters(&filters);
         Self {
             names,
             filters,
+            bank,
             spec,
             extractor: WideExtractor::new(spec),
             params,
@@ -92,20 +95,14 @@ impl WideClassifier {
         self.params
     }
 
-    /// Classify Unicode text.
+    /// Classify Unicode text (wide n-grams through the same bit-sliced bank
+    /// as the narrow classifier — only the hash input width differs).
     pub fn classify(&self, text: &str) -> ClassificationResult {
         let mut grams = Vec::new();
         self.extractor.extract_into(text, &mut grams);
         let mut counts = vec![0u64; self.filters.len()];
-        let mut addrs = vec![0u32; self.params.k];
-        for g in &grams {
-            self.filters[0].addresses_into(g.value(), &mut addrs);
-            for (c, f) in counts.iter_mut().zip(&self.filters) {
-                if f.test_with_addresses(&addrs) {
-                    *c += 1;
-                }
-            }
-        }
+        self.bank
+            .accumulate_keys(grams.iter().map(|g| g.value()), &mut counts);
         ClassificationResult::new(counts, grams.len() as u64)
     }
 
@@ -152,9 +149,18 @@ enter into force on the twentieth day following that of its publication";
     #[test]
     fn classifies_non_latin_scripts() {
         let c = classifier();
-        assert_eq!(c.identify("οι άνθρωποι γεννιούνται ελεύθεροι και ίσοι"), "el");
-        assert_eq!(c.identify("люди рождаются свободными и равными в правах"), "ru");
-        assert_eq!(c.identify("human beings are born free and equal in rights"), "en");
+        assert_eq!(
+            c.identify("οι άνθρωποι γεννιούνται ελεύθεροι και ίσοι"),
+            "el"
+        );
+        assert_eq!(
+            c.identify("люди рождаются свободными и равными в правах"),
+            "ru"
+        );
+        assert_eq!(
+            c.identify("human beings are born free and equal in rights"),
+            "en"
+        );
     }
 
     #[test]
@@ -165,15 +171,26 @@ enter into force on the twentieth day following that of its publication";
         // 16-bit symbol ranges cannot collide except through Bloom FPs.
         let ru = r.counts()[1];
         assert!(ru > 0);
-        assert!(r.counts()[0] < ru / 4, "Greek count suspiciously high: {:?}", r.counts());
-        assert!(r.counts()[2] < ru / 4, "English count suspiciously high: {:?}", r.counts());
+        assert!(
+            r.counts()[0] < ru / 4,
+            "Greek count suspiciously high: {:?}",
+            r.counts()
+        );
+        assert!(
+            r.counts()[2] < ru / 4,
+            "English count suspiciously high: {:?}",
+            r.counts()
+        );
     }
 
     #[test]
     fn memory_footprint_identical_to_narrow() {
         // The §3.3 claim: only the hash width changes.
         let c = classifier();
-        assert_eq!(c.params().total_bits(), BloomParams::PAPER_CONSERVATIVE.total_bits());
+        assert_eq!(
+            c.params().total_bits(),
+            BloomParams::PAPER_CONSERVATIVE.total_bits()
+        );
         for f in &c.filters {
             assert_eq!(f.params(), BloomParams::PAPER_CONSERVATIVE);
         }

@@ -196,7 +196,11 @@ impl Corpus {
             .map(|&l| (l, MarkovModel::train(&to_latin1(seed_text(l)))))
             .collect();
         let model_of = |l: Language| -> &MarkovModel {
-            &models.iter().find(|(ml, _)| *ml == l).expect("model trained").1
+            &models
+                .iter()
+                .find(|(ml, _)| *ml == l)
+                .expect("model trained")
+                .1
         };
 
         let documents: Vec<Document> = languages

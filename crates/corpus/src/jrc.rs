@@ -90,9 +90,7 @@ pub fn extract_body(xml: &[u8]) -> Option<Vec<u8>> {
 }
 
 fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 fn decode_entities(text: &[u8], out: &mut Vec<u8>) {

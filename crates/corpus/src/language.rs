@@ -163,7 +163,10 @@ impl Language {
 
     /// Parse an ISO code.
     pub fn from_code(code: &str) -> Option<Language> {
-        Language::EXTENDED.iter().copied().find(|l| l.code() == code)
+        Language::EXTENDED
+            .iter()
+            .copied()
+            .find(|l| l.code() == code)
     }
 
     /// The paper's observed confusable partner, if any (§5.2: "consistently

@@ -95,7 +95,10 @@ impl MarkovModel {
             })
             .collect();
 
-        Self { transitions, starts }
+        Self {
+            transitions,
+            starts,
+        }
     }
 
     /// Number of distinct contexts learned.
@@ -235,7 +238,10 @@ mod tests {
         let gen = fr.generate(3000, 5);
         let hits = gen.windows(4).filter(|w| fi_4grams.contains(*w)).count();
         let frac = hits as f64 / (gen.len() - 3) as f64;
-        assert!(frac < 0.5, "French output overlaps Finnish too much: {frac:.3}");
+        assert!(
+            frac < 0.5,
+            "French output overlaps Finnish too much: {frac:.3}"
+        );
     }
 
     proptest! {

@@ -243,7 +243,6 @@ prvom pododseku znižujú v rovnakých etapách. Ak členský štát usúdi, že
 oznámi to ostatným členským štátom a komisii a uvedie dôvody navrhovanej zmeny ako aj \
 očakávané účinky na obchod medzi dotknutými krajinami.";
 
-
 const DE: &str = "\
 Alle Menschen sind frei und gleich an Würde und Rechten geboren. Sie sind mit Vernunft und \
 Gewissen begabt und sollen einander im Geiste der Brüderlichkeit begegnen. Jeder hat Anspruch \
@@ -472,19 +471,42 @@ mod tests {
     #[test]
     fn seeds_carry_language_specific_characters() {
         assert!(seed_text(Language::French).contains('é'));
-        assert!(seed_text(Language::Spanish).contains('ñ') || seed_text(Language::Spanish).contains('ó'));
-        assert!(seed_text(Language::Danish).contains('æ') || seed_text(Language::Danish).contains('ø'));
-        assert!(seed_text(Language::Swedish).contains('ä') || seed_text(Language::Swedish).contains('å'));
+        assert!(
+            seed_text(Language::Spanish).contains('ñ')
+                || seed_text(Language::Spanish).contains('ó')
+        );
+        assert!(
+            seed_text(Language::Danish).contains('æ') || seed_text(Language::Danish).contains('ø')
+        );
+        assert!(
+            seed_text(Language::Swedish).contains('ä')
+                || seed_text(Language::Swedish).contains('å')
+        );
         assert!(seed_text(Language::Finnish).contains('ä'));
         assert!(seed_text(Language::Estonian).contains('õ'));
         assert!(seed_text(Language::Czech).contains('ř'));
-        assert!(seed_text(Language::Slovak).contains('ľ') || seed_text(Language::Slovak).contains('ť'));
+        assert!(
+            seed_text(Language::Slovak).contains('ľ') || seed_text(Language::Slovak).contains('ť')
+        );
         assert!(seed_text(Language::Portuguese).contains('ã'));
-        assert!(seed_text(Language::German).contains('ü') || seed_text(Language::German).contains('ß'));
-        assert!(seed_text(Language::Polish).contains('ł') || seed_text(Language::Polish).contains('ą'));
+        assert!(
+            seed_text(Language::German).contains('ü') || seed_text(Language::German).contains('ß')
+        );
+        assert!(
+            seed_text(Language::Polish).contains('ł') || seed_text(Language::Polish).contains('ą')
+        );
         assert!(seed_text(Language::Romanian).contains('ă'));
-        assert!(seed_text(Language::Hungarian).contains('ő') || seed_text(Language::Hungarian).contains('é'));
-        assert!(seed_text(Language::Lithuanian).contains('ė') || seed_text(Language::Lithuanian).contains('ž'));
-        assert!(seed_text(Language::Catalan).contains('ò') || seed_text(Language::Catalan).contains('ç'));
+        assert!(
+            seed_text(Language::Hungarian).contains('ő')
+                || seed_text(Language::Hungarian).contains('é')
+        );
+        assert!(
+            seed_text(Language::Lithuanian).contains('ė')
+                || seed_text(Language::Lithuanian).contains('ž')
+        );
+        assert!(
+            seed_text(Language::Catalan).contains('ò')
+                || seed_text(Language::Catalan).contains('ç')
+        );
     }
 }

@@ -61,7 +61,10 @@ impl HardwareClassifier {
     ///
     /// Panics if `bits` is 0 or greater than 64.
     pub fn with_counter_width(mut self, bits: u32) -> Self {
-        assert!((1..=64).contains(&bits), "counter width must be 1..=64 bits");
+        assert!(
+            (1..=64).contains(&bits),
+            "counter width must be 1..=64 bits"
+        );
         self.counter_bits = bits;
         self
     }
@@ -115,10 +118,7 @@ impl HardwareClassifier {
                 }
             }
             let p = self.datapath.inner().num_languages();
-            ClassificationResult::new(
-                ParallelClassifier::adder_tree(lanes, p),
-                grams.len() as u64,
-            )
+            ClassificationResult::new(ParallelClassifier::adder_tree(lanes, p), grams.len() as u64)
         };
         let cycles = self.datapath.cycles_for_len(text.len());
         let ns = cycles as f64 / self.fmax_hz * 1e9;
@@ -142,8 +142,9 @@ impl HardwareClassifier {
         let program_cycles = (self.config.languages * entries_per_language) as u64;
         let hw = (clear_cycles + program_cycles) as f64 / self.fmax_hz * 1e9;
         let driver_per_language = SimTime::from_micros(25_000.0); // 25 ms
-        SimTime::from_nanos(hw.round() as u64)
-            .add(SimTime(driver_per_language.0 * self.config.languages as u64))
+        SimTime::from_nanos(hw.round() as u64).saturating_add(SimTime(
+            driver_per_language.0 * self.config.languages as u64,
+        ))
     }
 }
 
@@ -227,8 +228,7 @@ mod tests {
         // 8-bit lane counters: cap 255 per lane, 8 lanes -> total caps at
         // ~2040 per language. A long self-matching document overflows.
         let narrow = hw.clone().with_counter_width(8);
-        let text: Vec<u8> = std::iter::repeat(b"the committee shall deliver its opinion ")
-            .take(2000)
+        let text: Vec<u8> = std::iter::repeat_n(b"the committee shall deliver its opinion ", 2000)
             .flatten()
             .copied()
             .collect();
@@ -237,7 +237,10 @@ mod tests {
         let max_clipped = clipped.counts().iter().max().copied().unwrap();
         let max_full = full.counts().iter().max().copied().unwrap();
         assert!(max_full > 2040, "document too small to exercise saturation");
-        assert!(max_clipped <= 8 * 255, "clipped count {max_clipped} above cap");
+        assert!(
+            max_clipped <= 8 * 255,
+            "clipped count {max_clipped} above cap"
+        );
         assert!(max_clipped < max_full);
     }
 

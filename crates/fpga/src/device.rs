@@ -6,10 +6,8 @@
 //! (4 Kbit — the paper: "the 768 4 Kbit embedded RAMs available on the
 //! FPGA"), and 9 M-RAM blocks (512 Kbit).
 
-use serde::{Deserialize, Serialize};
-
 /// An FPGA device's resource inventory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DeviceModel {
     /// Device name.
     pub name: &'static str,

@@ -239,10 +239,15 @@ mod tests {
         // One compact bit-vector (4 Kbit) takes 8 blocks.
         let blocks = inv.allocate_vector_m512(4 * 1024).unwrap();
         assert_eq!(blocks.len(), 8);
-        assert!(blocks.iter().all(|&b| b >= 1_000_000), "ids disjoint from M4K ids");
+        assert!(
+            blocks.iter().all(|&b| b >= 1_000_000),
+            "ids disjoint from M4K ids"
+        );
         assert_eq!(inv.available_m512s(), avail - 8);
         // Exhaustion reports precisely.
-        let err = inv.allocate_vector_m512((avail as usize + 1) * 512).unwrap_err();
+        let err = inv
+            .allocate_vector_m512((avail as usize + 1) * 512)
+            .unwrap_err();
         assert_eq!(err.available, avail - 8);
     }
 

@@ -10,10 +10,8 @@
 //! and packs/unpacks documents into 64-bit words with the XOR checksum the
 //! hardware returns for transfer validation.
 
-use serde::{Deserialize, Serialize};
-
 /// Simulated time in nanoseconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -35,8 +33,9 @@ impl SimTime {
         self.0 as f64 / 1e9
     }
 
-    /// Saturating addition.
-    pub fn add(self, other: SimTime) -> SimTime {
+    /// Saturating addition (named to avoid shadowing `std::ops::Add`,
+    /// which panics on overflow in debug builds like plain `+`).
+    pub fn saturating_add(self, other: SimTime) -> SimTime {
         SimTime(self.0.saturating_add(other.0))
     }
 
@@ -61,12 +60,12 @@ impl std::ops::AddAssign for SimTime {
 
 impl std::iter::Sum for SimTime {
     fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
-        iter.fold(SimTime::ZERO, SimTime::add)
+        iter.fold(SimTime::ZERO, SimTime::saturating_add)
     }
 }
 
 /// Link bandwidth model.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkModel {
     /// Peak HyperTransport bandwidth per direction, bytes/sec.
     pub peak_bytes_per_sec: f64,

@@ -152,7 +152,10 @@ impl FpgaProtocol {
     pub fn push_dma_word(&mut self, word: u64, now: SimTime) -> Result<(), ProtocolError> {
         match self.state {
             State::Idle => Err(ProtocolError::UnexpectedDma),
-            State::Receiving { expected_words, bytes } => {
+            State::Receiving {
+                expected_words,
+                bytes,
+            } => {
                 self.buffer.push(word);
                 self.last_activity = now;
                 if self.buffer.len() as u32 == expected_words {
@@ -290,8 +293,14 @@ mod tests {
 
     fn protocol() -> FpgaProtocol {
         let mut b = ClassifierBuilder::new(NGramSpec::PAPER, 200);
-        b.add_language("en", [b"the quick brown fox jumps over the lazy dog".as_slice()]);
-        b.add_language("fr", [b"le renard brun saute par dessus le chien".as_slice()]);
+        b.add_language(
+            "en",
+            [b"the quick brown fox jumps over the lazy dog".as_slice()],
+        );
+        b.add_language(
+            "fr",
+            [b"le renard brun saute par dessus le chien".as_slice()],
+        );
         let clf = b.build_bloom(BloomParams::PAPER_CONSERVATIVE, 1);
         let cfg = ClassifierConfig {
             bloom: BloomParams::PAPER_CONSERVATIVE,
@@ -351,7 +360,10 @@ mod tests {
         for &w in &words {
             p.push_dma_word(w, SimTime(2)).unwrap();
         }
-        let q = p.command(Command::QueryResult, SimTime(3)).unwrap().unwrap();
+        let q = p
+            .command(Command::QueryResult, SimTime(3))
+            .unwrap()
+            .unwrap();
         assert!(q.valid);
         assert_eq!(q.result, p.hardware().classifier().classify(doc));
     }
@@ -359,8 +371,14 @@ mod tests {
     #[test]
     fn watchdog_resets_stalled_transfer() {
         let mut p = protocol();
-        p.command(Command::Size { words: 4, bytes: 32 }, SimTime::ZERO)
-            .unwrap();
+        p.command(
+            Command::Size {
+                words: 4,
+                bytes: 32,
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
         p.push_dma_word(1, SimTime(10)).unwrap();
         // Stall past the watchdog period.
         let fired = p.tick(SimTime(10 + FpgaProtocol::DEFAULT_WATCHDOG.0 + 1));
@@ -384,10 +402,22 @@ mod tests {
     #[test]
     fn size_while_busy_is_rejected() {
         let mut p = protocol();
-        p.command(Command::Size { words: 2, bytes: 16 }, SimTime::ZERO)
-            .unwrap();
+        p.command(
+            Command::Size {
+                words: 2,
+                bytes: 16,
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
         let err = p
-            .command(Command::Size { words: 2, bytes: 16 }, SimTime(1))
+            .command(
+                Command::Size {
+                    words: 2,
+                    bytes: 16,
+                },
+                SimTime(1),
+            )
             .unwrap_err();
         assert_eq!(err, ProtocolError::SizeWhileBusy);
     }
@@ -416,7 +446,10 @@ mod tests {
         let mut p = protocol();
         p.command(Command::Size { words: 0, bytes: 0 }, SimTime::ZERO)
             .unwrap();
-        let q = p.command(Command::QueryResult, SimTime(1)).unwrap().unwrap();
+        let q = p
+            .command(Command::QueryResult, SimTime(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(q.result.total_ngrams(), 0);
         assert_eq!(q.checksum, 0);
     }
@@ -424,8 +457,14 @@ mod tests {
     #[test]
     fn reset_mid_transfer_discards_document() {
         let mut p = protocol();
-        p.command(Command::Size { words: 3, bytes: 24 }, SimTime::ZERO)
-            .unwrap();
+        p.command(
+            Command::Size {
+                words: 3,
+                bytes: 24,
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
         p.push_dma_word(7, SimTime(1)).unwrap();
         p.command(Command::Reset, SimTime(2)).unwrap();
         assert!(!p.busy());

@@ -24,10 +24,9 @@
 
 use crate::device::DeviceModel;
 use lc_bloom::BloomParams;
-use serde::{Deserialize, Serialize};
 
 /// A full classifier hardware configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ClassifierConfig {
     /// Bloom parameters per language filter.
     pub bloom: BloomParams,
@@ -73,7 +72,7 @@ impl ClassifierConfig {
 }
 
 /// Estimated resources for a configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ResourceEstimate {
     /// Logic elements (ALUTs).
     pub logic: u32,
@@ -92,8 +91,8 @@ pub struct ResourceEstimate {
 // Least-squares coefficients over [1, k*lanes, k*lanes*log2(m_bits), p*k*lanes, p].
 // Fit offline against Table 2 (p=2, c=4) and Table 3 (infra share removed);
 // see module docs. Residuals: logic ≤1.8%, registers ≤0.5% on fit points.
-const LOGIC_COEF: [f64; 5] = [-10_315.3406, 10.9855, 17.5678, -72.0103, 6_049.2190];
-const REG_COEF: [f64; 5] = [-6_145.5346, 77.9664, 4.7764, -39.0388, 3_935.6837];
+const LOGIC_COEF: [f64; 5] = [-10315.3406, 10.9855, 17.5678, -72.0103, 6049.2190];
+const REG_COEF: [f64; 5] = [-6145.5346, 77.9664, 4.7764, -39.0388, 3935.6837];
 // Fmax over [1, m4ks_per_vector, p, k] (MHz).
 const FMAX_COEF: [f64; 4] = [214.8901, -3.7080, -0.7869, -2.3881];
 
@@ -190,9 +189,12 @@ pub const PAPER_TABLE2: [(usize, usize, u32, u32, u32, u32); 8] = [
     (4, 5, 4983, 4006, 40, 198),
 ];
 
-/// Paper Table 3 rows: (m Kbits, k, languages, logic, registers, M512, M4K,
-/// M-RAM, Fmax MHz), full designs including infrastructure.
-pub const PAPER_TABLE3: [(usize, usize, usize, u32, u32, u32, u32, u32, u32); 2] = [
+/// One paper Table 3 row: (m Kbits, k, languages, logic, registers, M512,
+/// M4K, M-RAM, Fmax MHz).
+pub type Table3Row = (usize, usize, usize, u32, u32, u32, u32, u32, u32);
+
+/// Paper Table 3 rows, full designs including infrastructure.
+pub const PAPER_TABLE3: [Table3Row; 2] = [
     (16, 4, 10, 38_891, 27_889, 36, 680, 9, 194),
     (4, 6, 30, 85_924, 68_423, 66, 768, 6, 170),
 ];
@@ -234,8 +236,16 @@ mod tests {
             let e = estimate_module(&cfg(m, k, 2));
             let logic_err = (f64::from(e.logic) - f64::from(logic)).abs() / f64::from(logic);
             let reg_err = (f64::from(e.registers) - f64::from(regs)).abs() / f64::from(regs);
-            assert!(logic_err < 0.02, "m={m}K k={k}: logic {} vs {logic}", e.logic);
-            assert!(reg_err < 0.01, "m={m}K k={k}: regs {} vs {regs}", e.registers);
+            assert!(
+                logic_err < 0.02,
+                "m={m}K k={k}: logic {} vs {logic}",
+                e.logic
+            );
+            assert!(
+                reg_err < 0.01,
+                "m={m}K k={k}: regs {} vs {regs}",
+                e.registers
+            );
         }
     }
 

@@ -96,7 +96,7 @@ impl RunReport {
     /// Throughput including profile-programming time (§5.4's 378 MB/s
     /// figure).
     pub fn throughput_with_programming_mb_s(&self) -> f64 {
-        let t = self.sim_time.add(self.programming_time);
+        let t = self.sim_time.saturating_add(self.programming_time);
         if t == SimTime::ZERO {
             return 0.0;
         }
@@ -164,7 +164,7 @@ impl Xd1000 {
         let reads = p * u64::from(self.timing.readback_reads_per_language);
         self.timing
             .interrupt_latency
-            .add(SimTime(self.dma.link().register_access.0 * reads))
+            .saturating_add(SimTime(self.dma.link().register_access.0 * reads))
     }
 
     /// Run a batch of documents under the chosen protocol. Results are
@@ -212,10 +212,10 @@ impl Xd1000 {
             let (_, compute) = self.fpga.hardware().classify_timed(doc);
             // Serialized: commands, transfer, compute, interrupt, readback.
             clock = clock
-                .add(self.command_cost())
-                .add(packet_time)
-                .add(compute)
-                .add(self.sync_readback_cost());
+                .saturating_add(self.command_cost())
+                .saturating_add(packet_time)
+                .saturating_add(compute)
+                .saturating_add(self.sync_readback_cost());
             total_bytes += doc.len() as u64;
             results.push(q.result);
         }
@@ -262,7 +262,9 @@ impl Xd1000 {
                 for (i, doc) in doc_rx.iter() {
                     let packet = dma.pack(doc);
                     let transfer = dma.transfer_time(&packet);
-                    transfer_done = transfer_done.add(cmd_cost).add(transfer);
+                    transfer_done = transfer_done
+                        .saturating_add(cmd_cost)
+                        .saturating_add(transfer);
 
                     fpga.command(
                         Command::Size {
@@ -273,7 +275,8 @@ impl Xd1000 {
                     )
                     .expect("clean transfer");
                     for &w in &packet.words {
-                        fpga.push_dma_word(w, transfer_done).expect("clean transfer");
+                        fpga.push_dma_word(w, transfer_done)
+                            .expect("clean transfer");
                     }
                     fpga.command(Command::EndOfDocument, transfer_done)
                         .expect("clean transfer");
@@ -283,7 +286,7 @@ impl Xd1000 {
                         .expect("result latched");
 
                     let (_, compute) = fpga.hardware().classify_timed(doc);
-                    compute_done = transfer_done.max(compute_done).add(compute);
+                    compute_done = transfer_done.max(compute_done).saturating_add(compute);
 
                     res_tx.send((i, q.result)).expect("collector alive");
                 }
@@ -300,7 +303,10 @@ impl Xd1000 {
         });
 
         RunReport {
-            results: results.into_iter().map(|r| r.expect("all docs classified")).collect(),
+            results: results
+                .into_iter()
+                .map(|r| r.expect("all docs classified"))
+                .collect(),
             total_bytes,
             sim_time: final_clock,
             programming_time: self.programming_time(),
@@ -407,7 +413,10 @@ mod tests {
         let docs: Vec<&[u8]> = (0..64).map(|_| doc.as_slice()).collect();
         let r = sys.run(&docs, HostProtocol::Asynchronous);
         let gbs = r.throughput_mb_s() / 1000.0;
-        assert!((1.2..1.5).contains(&gbs), "improved-link throughput {gbs:.2} GB/s");
+        assert!(
+            (1.2..1.5).contains(&gbs),
+            "improved-link throughput {gbs:.2} GB/s"
+        );
     }
 
     #[test]
@@ -444,10 +453,17 @@ mod tests {
         let large = vec![b'b'; 512 * 1024];
         let docs_small: Vec<&[u8]> = (0..128).map(|_| small.as_slice()).collect();
         let docs_large: Vec<&[u8]> = (0..4).map(|_| large.as_slice()).collect();
-        let ts = sys.run(&docs_small, HostProtocol::Asynchronous).throughput_mb_s();
-        let tl = sys.run(&docs_large, HostProtocol::Asynchronous).throughput_mb_s();
+        let ts = sys
+            .run(&docs_small, HostProtocol::Asynchronous)
+            .throughput_mb_s();
+        let tl = sys
+            .run(&docs_large, HostProtocol::Asynchronous)
+            .throughput_mb_s();
         let ratio = ts / tl;
-        assert!((0.8..1.2).contains(&ratio), "small {ts:.0} vs large {tl:.0} MB/s");
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "small {ts:.0} vs large {tl:.0} MB/s"
+        );
     }
 
     #[test]
@@ -456,16 +472,15 @@ mod tests {
         let (mut sys, corpus) = system();
         let mut rates = Vec::new();
         for &l in &[Language::Czech, Language::Finnish, Language::English] {
-            let docs: Vec<&[u8]> = corpus
-                .split()
-                .test(l)
-                .map(|d| d.text.as_slice())
-                .collect();
+            let docs: Vec<&[u8]> = corpus.split().test(l).map(|d| d.text.as_slice()).collect();
             let r = sys.run(&docs, HostProtocol::Asynchronous);
             rates.push(r.throughput_mb_s());
         }
         let max = rates.iter().cloned().fold(f64::MIN, f64::max);
         let min = rates.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max / min < 1.1, "per-language rates spread too far: {rates:?}");
+        assert!(
+            max / min < 1.1,
+            "per-language rates spread too far: {rates:?}"
+        );
     }
 }

@@ -8,10 +8,8 @@
 //! `banks × clock` bytes/sec, independent of how many languages the bitmap
 //! covers.
 
-use serde::{Deserialize, Serialize};
-
 /// An off-chip SRAM subsystem attached to an FPGA.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SramModel {
     /// Number of independent SRAM banks (lookup ports).
     pub banks: u32,

@@ -27,7 +27,7 @@ impl DirectLookupTable {
     /// (sized to keep load factor ≤ 0.5 so probe chains stay short, as a
     /// fixed-latency hardware design requires).
     pub fn new(capacity: usize, languages: usize) -> Self {
-        assert!(languages >= 1 && languages <= MAX_LANGUAGES);
+        assert!((1..=MAX_LANGUAGES).contains(&languages));
         let buckets = (capacity.max(8) * 2).next_power_of_two();
         Self {
             keys: vec![0; buckets],
@@ -132,7 +132,10 @@ impl HailClassifier {
     /// are inconsistent.
     pub fn from_profiles(named: &[(String, NGramProfile)]) -> Self {
         assert!(!named.is_empty(), "need at least one language");
-        assert!(named.len() <= MAX_LANGUAGES, "HAIL supports up to 255 languages");
+        assert!(
+            named.len() <= MAX_LANGUAGES,
+            "HAIL supports up to 255 languages"
+        );
         let spec = named[0].1.spec();
         let capacity: usize = named.iter().map(|(_, p)| p.len()).sum();
         let mut table = DirectLookupTable::new(capacity, named.len());

@@ -169,9 +169,29 @@ impl HashFunction for H3 {
 /// its own bit-vector; this type is the software image of that bank of XOR
 /// trees. Each Bloom filter instance (one per language) gets its own family,
 /// seeded deterministically so classification runs are reproducible.
+///
+/// Besides the per-function evaluators the family keeps a **fused** table
+/// layout: the `k` byte-sliced tables interleaved so that all `k` entries for
+/// one input byte value sit in one contiguous run. [`Self::hash_all_into`]
+/// walks the key's bytes **once**, XOR-folding `k` accumulators per byte —
+/// the software image of the hardware's `k` XOR trees all fed by the same
+/// n-gram register in the same cycle — instead of re-walking the key per
+/// function.
+///
+/// The fused table is built lazily on first k-way evaluation: every
+/// per-language filter in a classifier carries an identically-seeded family,
+/// but only the filter bank's copy runs the fused hot path, so eager
+/// construction would duplicate the table `p` times for nothing.
 #[derive(Clone, Debug)]
 pub struct H3Family {
     functions: Vec<H3>,
+    /// Interleaved tables, built on first use:
+    /// `fused[(byte_idx * 256 + byte_value) * k + i]` is
+    /// `functions[i].tables[byte_idx][byte_value]`.
+    fused: std::sync::OnceLock<Vec<u32>>,
+    /// Number of key bytes covered (`ceil(input_bits / 8)`).
+    n_bytes: usize,
+    key_mask: u64,
 }
 
 impl H3Family {
@@ -184,10 +204,38 @@ impl H3Family {
     pub fn new(k: usize, input_bits: u32, output_bits: u32, seed: u64) -> Self {
         assert!(k > 0, "a hash family needs at least one function");
         let mut rng = SmallRng::seed_from_u64(seed);
-        let functions = (0..k)
+        let functions: Vec<H3> = (0..k)
             .map(|_| H3::from_rng(input_bits, output_bits, &mut rng))
             .collect();
-        Self { functions }
+        Self::from_functions(functions)
+    }
+
+    fn from_functions(functions: Vec<H3>) -> Self {
+        let n_bytes = (functions[0].input_bits().div_ceil(8)) as usize;
+        let key_mask = functions[0].key_mask();
+        Self {
+            functions,
+            fused: std::sync::OnceLock::new(),
+            n_bytes,
+            key_mask,
+        }
+    }
+
+    /// The interleaved fused table, built on first use.
+    #[inline]
+    fn fused(&self) -> &[u32] {
+        self.fused.get_or_init(|| {
+            let k = self.functions.len();
+            let mut fused = vec![0u32; self.n_bytes * 256 * k];
+            for (i, f) in self.functions.iter().enumerate() {
+                for (byte_idx, table) in f.tables.iter().enumerate() {
+                    for (v, &entry) in table.iter().enumerate() {
+                        fused[(byte_idx * 256 + v) * k + i] = entry;
+                    }
+                }
+            }
+            fused
+        })
     }
 
     /// Number of hash functions `k`.
@@ -200,17 +248,17 @@ impl H3Family {
         &self.functions
     }
 
-    /// Evaluate all `k` functions on `key`, writing addresses into `out`.
+    /// Evaluate all `k` functions on `key` in one fused pass over the key's
+    /// bytes, writing addresses into `out`. Bit-exact with calling
+    /// [`Self::hash_one`] `k` times, but touches each input byte once and
+    /// reads its `k` table entries from one contiguous run.
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.k()`.
     #[inline]
     pub fn hash_all_into(&self, key: u64, out: &mut [u32]) {
-        assert_eq!(out.len(), self.functions.len());
-        for (slot, f) in out.iter_mut().zip(&self.functions) {
-            *slot = f.hash(key);
-        }
+        self.fused_evaluator().hash_all_into(key, out);
     }
 
     /// Evaluate all `k` functions, allocating the result vector. Convenience
@@ -226,7 +274,116 @@ impl H3Family {
     pub fn hash_one(&self, i: usize, key: u64) -> u32 {
         self.functions[i].hash(key)
     }
+
+    /// Fused evaluation with the family size `K` known at compile time.
+    /// Convenience wrapper over [`Self::fused_evaluator`]; batch loops
+    /// should hold the evaluator instead so the lazy-init check runs once
+    /// per batch, not per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `K != self.k()`.
+    #[inline]
+    pub fn hash_all_array<const K: usize>(&self, key: u64) -> [u32; K] {
+        self.fused_evaluator().hash_all_array::<K>(key)
+    }
+
+    /// Resolve the (lazily built) fused table into a view that evaluates
+    /// keys with no per-call initialization check — the handle hot loops
+    /// hold for a whole batch.
+    #[inline]
+    pub fn fused_evaluator(&self) -> FusedEvaluator<'_> {
+        FusedEvaluator {
+            fused: self.fused(),
+            n_bytes: self.n_bytes,
+            key_mask: self.key_mask,
+            k: self.functions.len(),
+        }
+    }
 }
+
+/// A resolved view of a family's fused tables: evaluates all `k` functions
+/// per key with zero per-call setup. Obtained from
+/// [`H3Family::fused_evaluator`]; borrows the family.
+#[derive(Clone, Copy, Debug)]
+pub struct FusedEvaluator<'a> {
+    fused: &'a [u32],
+    n_bytes: usize,
+    key_mask: u64,
+    k: usize,
+}
+
+impl FusedEvaluator<'_> {
+    /// Number of hash functions `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Fused evaluation with `K` fixed at compile time, so the per-byte XOR
+    /// fold fully unrolls (for the paper's `k = 4` the four accumulators fit
+    /// one SIMD register). Bit-exact with evaluating each family member
+    /// independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `K != self.k()`.
+    #[inline]
+    pub fn hash_all_array<const K: usize>(&self, key: u64) -> [u32; K] {
+        assert_eq!(K, self.k);
+        let mut acc = [0u32; K];
+        let key = key & self.key_mask;
+        for byte_idx in 0..self.n_bytes {
+            let byte = ((key >> (8 * byte_idx)) & 0xFF) as usize;
+            let base = (byte_idx * 256 + byte) * K;
+            let entries = &self.fused[base..base + K];
+            for i in 0..K {
+                acc[i] ^= entries[i];
+            }
+        }
+        acc
+    }
+
+    /// Fused evaluation with runtime `k`, writing addresses into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.k()`.
+    #[inline]
+    pub fn hash_all_into(&self, key: u64, out: &mut [u32]) {
+        assert_eq!(out.len(), self.k);
+        out.fill(0);
+        let key = key & self.key_mask;
+        for byte_idx in 0..self.n_bytes {
+            let byte = ((key >> (8 * byte_idx)) & 0xFF) as usize;
+            let base = (byte_idx * 256 + byte) * self.k;
+            for (acc, &entry) in out.iter_mut().zip(&self.fused[base..base + self.k]) {
+                *acc ^= entry;
+            }
+        }
+    }
+}
+
+impl PartialEq for H3 {
+    /// Two H3 functions are equal iff they compute the same map: same widths,
+    /// same matrix rows (tables are derived from rows).
+    fn eq(&self, other: &Self) -> bool {
+        self.input_bits == other.input_bits
+            && self.output_bits == other.output_bits
+            && self.rows == other.rows
+    }
+}
+
+impl Eq for H3 {}
+
+impl PartialEq for H3Family {
+    /// Families are equal iff they hold the same functions in the same order
+    /// (the fused tables are derived data).
+    fn eq(&self, other: &Self) -> bool {
+        self.functions == other.functions
+    }
+}
+
+impl Eq for H3Family {}
 
 #[cfg(test)]
 mod tests {
@@ -347,6 +504,21 @@ mod tests {
         fn address_in_range(seed in any::<u64>(), key in any::<u64>(), d in 1u32..=31) {
             let h = H3::new(64, d, seed);
             prop_assert!(h.hash(key) < (1u32 << d));
+        }
+
+        /// The fused k-way evaluation must be bit-exact with evaluating each
+        /// family member independently, for every (k, width, key).
+        #[test]
+        fn fused_family_matches_per_function(
+            seed in any::<u64>(), key in any::<u64>(),
+            k in 1usize..=8, input_bits in 1u32..=64, output_bits in 1u32..=32,
+        ) {
+            let fam = H3Family::new(k, input_bits, output_bits, seed);
+            let mut fused = vec![0u32; k];
+            fam.hash_all_into(key, &mut fused);
+            for (i, &v) in fused.iter().enumerate() {
+                prop_assert_eq!(v, fam.hash_one(i, key));
+            }
         }
     }
 }

@@ -36,7 +36,7 @@
 mod h3;
 mod mult;
 
-pub use h3::{H3Family, H3};
+pub use h3::{FusedEvaluator, H3Family, H3};
 pub use mult::MultiplicativeHash;
 
 /// A hash function from `u64` keys to bit-vector addresses in `[0, 1 << out_bits)`.

@@ -163,7 +163,9 @@ mod tests {
 
     #[test]
     fn non_letters_fold_to_space() {
-        for b in [b' ', b'\n', b'\t', b'0', b'9', b'.', b',', b'!', 0x00, 0x7F, 0xD7, 0xF7] {
+        for b in [
+            b' ', b'\n', b'\t', b'0', b'9', b'.', b',', b'!', 0x00, 0x7F, 0xD7, 0xF7,
+        ] {
             assert_eq!(fold_byte(b), SPACE_CODE, "byte {b:#x} should be space");
         }
     }
@@ -208,7 +210,11 @@ mod tests {
             if c == 0xD7 {
                 continue; // × operator
             }
-            assert_eq!(fold_byte(c), fold_byte(c + 0x20), "block mismatch at {c:#x}");
+            assert_eq!(
+                fold_byte(c),
+                fold_byte(c + 0x20),
+                "block mismatch at {c:#x}"
+            );
         }
     }
 
@@ -231,7 +237,10 @@ mod tests {
     fn utf8_to_latin1_preserves_latin1_and_replaces_rest() {
         let s = "Café 字 øl";
         let bytes = utf8_to_latin1(s);
-        assert_eq!(bytes, vec![b'C', b'a', b'f', 0xE9, b' ', b' ', b' ', 0xF8, b'l']);
+        assert_eq!(
+            bytes,
+            vec![b'C', b'a', b'f', 0xE9, b' ', b' ', b' ', 0xF8, b'l']
+        );
     }
 
     #[test]

@@ -7,10 +7,9 @@
 //! input to each H3 hash function.
 
 use crate::alphabet::{code_to_char, FoldedChar, ALPHABET_SIZE, BITS_PER_CHAR};
-use serde::{Deserialize, Serialize};
 
 /// Static description of an n-gram shape: the window length `n`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NGramSpec {
     n: usize,
 }
@@ -28,7 +27,11 @@ impl NGramSpec {
     ///
     /// Panics if `n == 0` or `n > MAX_N`.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= Self::MAX_N, "n must be in 1..={}, got {n}", Self::MAX_N);
+        assert!(
+            (1..=Self::MAX_N).contains(&n),
+            "n must be in 1..={}, got {n}",
+            Self::MAX_N
+        );
         Self { n }
     }
 
@@ -92,7 +95,7 @@ impl NGramSpec {
 /// A packed n-gram value. The shape (window length) lives in [`NGramSpec`];
 /// this is just the payload handed to the hash functions — deliberately a
 /// thin wrapper so hot loops stay allocation-free.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NGram(pub u64);
 
 impl NGram {

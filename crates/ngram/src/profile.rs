@@ -7,7 +7,6 @@
 
 use crate::extract::NGramExtractor;
 use crate::ngram::{NGram, NGramSpec};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -109,8 +108,7 @@ impl NGramCounter {
     pub fn top_t(&self, t: usize) -> NGramProfile {
         // (count desc, value asc) ordering; select_nth avoids a full sort of
         // the distinct-gram population when t is much smaller.
-        let mut entries: Vec<(u64, u64)> =
-            self.counts.iter().map(|(&v, &c)| (v, c)).collect();
+        let mut entries: Vec<(u64, u64)> = self.counts.iter().map(|(&v, &c)| (v, c)).collect();
         let key = |e: &(u64, u64)| (std::cmp::Reverse(e.1), e.0);
         let t_eff = t.min(entries.len());
         if t_eff > 0 && t_eff < entries.len() {
@@ -122,7 +120,10 @@ impl NGramCounter {
             spec: self.spec,
             entries: entries
                 .into_iter()
-                .map(|(v, c)| ProfileEntry { gram: NGram(v), count: c })
+                .map(|(v, c)| ProfileEntry {
+                    gram: NGram(v),
+                    count: c,
+                })
                 .collect(),
             trained_total: self.total,
         }
@@ -130,7 +131,7 @@ impl NGramCounter {
 }
 
 /// One profile entry: an n-gram and its training-set frequency.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProfileEntry {
     /// The packed n-gram.
     pub gram: NGram,
@@ -141,7 +142,7 @@ pub struct ProfileEntry {
 /// A language profile: the `t` most frequent n-grams of a training set,
 /// ordered by descending frequency. This is what gets programmed into a
 /// Bloom filter (as a set) or used by the rank-order baseline (as a list).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NGramProfile {
     spec: NGramSpec,
     entries: Vec<ProfileEntry>,
@@ -150,11 +151,7 @@ pub struct NGramProfile {
 
 impl NGramProfile {
     /// Build directly from documents: count then take the top `t`.
-    pub fn build<'a, I: IntoIterator<Item = &'a [u8]>>(
-        spec: NGramSpec,
-        docs: I,
-        t: usize,
-    ) -> Self {
+    pub fn build<'a, I: IntoIterator<Item = &'a [u8]>>(spec: NGramSpec, docs: I, t: usize) -> Self {
         let mut counter = NGramCounter::new(spec);
         for d in docs {
             counter.add_document(d);
@@ -222,7 +219,10 @@ impl NGramProfile {
         let mut u32buf = [0u8; 4];
         r.read_exact(&mut u32buf)?;
         if u32::from_le_bytes(u32buf) != 1 {
-            return Err(Error::new(ErrorKind::InvalidData, "unsupported profile version"));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "unsupported profile version",
+            ));
         }
         r.read_exact(&mut u32buf)?;
         let n = u32::from_le_bytes(u32buf) as usize;
@@ -235,7 +235,10 @@ impl NGramProfile {
         r.read_exact(&mut u64buf)?;
         let len = u64::from_le_bytes(u64buf);
         if len > 100_000_000 {
-            return Err(Error::new(ErrorKind::InvalidData, "implausible profile size"));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "implausible profile size",
+            ));
         }
         let spec = NGramSpec::new(n);
         let mut entries = Vec::with_capacity(len as usize);
@@ -244,7 +247,10 @@ impl NGramProfile {
             r.read_exact(&mut u64buf)?;
             let gram = u64::from_le_bytes(u64buf);
             if gram > spec.mask() {
-                return Err(Error::new(ErrorKind::InvalidData, "gram exceeds spec width"));
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    "gram exceeds spec width",
+                ));
             }
             r.read_exact(&mut u64buf)?;
             let count = u64::from_le_bytes(u64buf);
@@ -280,7 +286,7 @@ impl NGramProfile {
 /// Used by the `lc-mguesser` software baseline: classification picks the
 /// language whose ranked profile has the smallest total rank displacement
 /// relative to the document's own ranked profile.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RankedProfile {
     spec: NGramSpec,
     /// gram -> rank (0 = most frequent).
@@ -310,6 +316,11 @@ impl RankedProfile {
     /// Whether the profile is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The n-gram shape this profile was built from.
+    pub fn spec(&self) -> NGramSpec {
+        self.spec
     }
 
     /// Rank of an n-gram, if present.

@@ -123,7 +123,10 @@ impl WideNGramSpec {
     ///
     /// Panics if `n == 0` or `n > 4`.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= Self::MAX_N, "n must be in 1..=4 for 16-bit symbols");
+        assert!(
+            (1..=Self::MAX_N).contains(&n),
+            "n must be in 1..=4 for 16-bit symbols"
+        );
         Self { n }
     }
 
@@ -233,7 +236,10 @@ mod tests {
         let grams = WideExtractor::new(spec).extract("word");
         assert_eq!(grams.len(), 1);
         let syms = spec.unpack(grams[0]);
-        assert_eq!(syms, vec![b'W' as u16, b'O' as u16, b'R' as u16, b'D' as u16]);
+        assert_eq!(
+            syms,
+            vec![b'W' as u16, b'O' as u16, b'R' as u16, b'D' as u16]
+        );
     }
 
     #[test]

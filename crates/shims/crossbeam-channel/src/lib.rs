@@ -1,0 +1,34 @@
+//! Offline stand-in for the subset of `crossbeam-channel` this workspace
+//! uses: [`bounded`] MPSC channels with blocking `send`/`recv` and receiver
+//! iteration. Backed by `std::sync::mpsc::sync_channel`, which provides the
+//! same bounded-buffer blocking semantics for the single-producer
+//! single-consumer pipelines the FPGA system simulator builds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use std::sync::mpsc::{Receiver, SendError, SyncSender as Sender};
+
+/// Create a bounded channel with capacity `cap`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::sync_channel(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bounded;
+
+    #[test]
+    fn pipeline_roundtrip() {
+        let (tx, rx) = bounded::<usize>(4);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..32 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let got: Vec<usize> = rx.iter().collect();
+            assert_eq!(got, (0..32).collect::<Vec<_>>());
+        });
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of the `rayon` crate this workspace uses.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! `par_iter()` / `into_par_iter()` adapter surface the workspace calls —
+//! executed **sequentially**. Results are bit-identical to real rayon (the
+//! workspace's parallel paths are all order-preserving and side-effect free);
+//! only wall-clock parallelism is lost. Swapping the real crate back in is a
+//! one-line manifest change, which is why the API mirrors rayon exactly.
+//!
+//! ROADMAP has an open item to give this shim a real work-stealing pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// The adapter and consumer surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A "parallel" iterator: a sequential iterator with rayon's adapter names.
+#[derive(Clone, Debug)]
+pub struct ParallelIterator<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParallelIterator<I> {
+    /// Map each item.
+    pub fn map<F, R>(self, f: F) -> ParallelIterator<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParallelIterator {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Keep items matching the predicate.
+    pub fn filter<P>(self, p: P) -> ParallelIterator<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParallelIterator {
+            inner: self.inner.filter(p),
+        }
+    }
+
+    /// Map each item to a nested parallel iterator and flatten.
+    pub fn flat_map<F, J>(
+        self,
+        f: F,
+    ) -> ParallelIterator<std::iter::FlatMap<I, ParallelIterator<J>, F>>
+    where
+        F: FnMut(I::Item) -> ParallelIterator<J>,
+        J: Iterator,
+    {
+        ParallelIterator {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    /// Collect into any `FromIterator` container (input order preserved).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Run a function on each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParallelIterator<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+
+    fn into_iter(self) -> I {
+        self.inner
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The wrapped sequential iterator type.
+    type Iter: Iterator;
+
+    /// Borrowing "parallel" iterator.
+    fn par_iter(&'a self) -> ParallelIterator<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParallelIterator<Self::Iter> {
+        ParallelIterator { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParallelIterator<Self::Iter> {
+        ParallelIterator { inner: self.iter() }
+    }
+}
+
+/// `into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The wrapped sequential iterator type.
+    type Iter: Iterator;
+
+    /// Consuming "parallel" iterator.
+    fn into_par_iter(self) -> ParallelIterator<Self::Iter>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = Range<usize>;
+
+    fn into_par_iter(self) -> ParallelIterator<Self::Iter> {
+        ParallelIterator { inner: self }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> ParallelIterator<Self::Iter> {
+        ParallelIterator {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Number of threads the "pool" would use (reports hardware parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`. Thread count is recorded but
+/// execution is sequential.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a thread count (recorded only).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, BuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                current_num_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// Error type for pool construction (never produced by the shim).
+#[derive(Debug)]
+pub struct BuildError;
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A "thread pool": runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v = vec![1, 2, 3, 4];
+        let out: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn filter_count_and_flat_map() {
+        let n = (0..10usize).into_par_iter().filter(|x| x % 2 == 0).count();
+        assert_eq!(n, 5);
+        let v: Vec<usize> = vec![1usize, 2]
+            .par_iter()
+            .flat_map(|&base| (0..base).into_par_iter().map(move |i| base * 10 + i))
+            .collect();
+        assert_eq!(v, vec![10, 20, 21]);
+    }
+
+    #[test]
+    fn pool_installs() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 1);
+    }
+}

@@ -47,13 +47,20 @@ fn main() {
         .map(|d| d.text.as_slice())
         .collect();
     let total_mb = docs.iter().map(|d| d.len()).sum::<usize>() as f64 / 1e6;
-    println!("\nstreaming {:.1} MB in {} documents:", total_mb, docs.len());
+    println!(
+        "\nstreaming {:.1} MB in {} documents:",
+        total_mb,
+        docs.len()
+    );
 
     // Measured board revision: 500 MB/s link cap.
     let mut sys = Xd1000::new(hw.clone());
     let sync = sys.run(&docs, HostProtocol::Synchronous);
     let asyn = sys.run(&docs, HostProtocol::Asynchronous);
-    assert_eq!(sync.results, asyn.results, "protocols must agree bit-for-bit");
+    assert_eq!(
+        sync.results, asyn.results,
+        "protocols must agree bit-for-bit"
+    );
     println!(
         "  synchronous  (interrupt per document): {:>6.0} MB/s",
         sync.throughput_mb_s()

@@ -52,7 +52,10 @@ fn main() {
     let report = sys.run(&docs, HostProtocol::Asynchronous);
     let bloom_rate = report.throughput_mb_s();
 
-    println!("Table-4-style comparison over {:.1} MB, 10 languages:\n", mb);
+    println!(
+        "Table-4-style comparison over {:.1} MB, 10 languages:\n",
+        mb
+    );
     println!("{:<24} {:<30} {:>12}", "System", "Type", "MB/s");
     println!(
         "{:<24} {:<30} {:>12.1}",

@@ -20,12 +20,8 @@ fn main() {
 
     // 2. Train the paper's configuration: 4-gram profiles (top 5000),
     //    Parallel Bloom Filters with k = 4 hashes over m = 16 Kbit vectors.
-    let classifier = lcbloom::train_bloom_classifier(
-        &corpus,
-        5000,
-        BloomParams::PAPER_CONSERVATIVE,
-        42,
-    );
+    let classifier =
+        lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_CONSERVATIVE, 42);
     println!(
         "classifier: {} languages, k = {}, m = {} Kbit, expected FP = {:.1}/1000",
         classifier.num_languages(),
@@ -35,7 +31,10 @@ fn main() {
     );
 
     // 3. Classify a few test documents.
-    println!("\n{:<12} {:<12} {:>8} {:>10}", "truth", "predicted", "margin", "n-grams");
+    println!(
+        "\n{:<12} {:<12} {:>8} {:>10}",
+        "truth", "predicted", "margin", "n-grams"
+    );
     for &lang in corpus.languages() {
         let doc = corpus.split().test(lang).next().expect("test doc");
         let result = classifier.classify(&doc.text);
@@ -55,7 +54,11 @@ fn main() {
         .test_all()
         .map(|d| (d.language.index(), d.text.as_slice()))
         .collect();
-    let labels: Vec<String> = corpus.languages().iter().map(|l| l.code().to_string()).collect();
+    let labels: Vec<String> = corpus
+        .languages()
+        .iter()
+        .map(|l| l.code().to_string())
+        .collect();
     let summary = lcbloom::core::eval::evaluate(labels, &docs, |body| {
         let r = classifier.classify(body);
         (r.best(), r.margin())

@@ -17,8 +17,7 @@ fn main() {
         mean_doc_bytes: 8 * 1024,
         ..CorpusConfig::default()
     });
-    let classifier =
-        lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_COMPACT, 99);
+    let classifier = lcbloom::train_bloom_classifier(&corpus, 5000, BloomParams::PAPER_COMPACT, 99);
 
     // Interleave documents round-robin across languages to make a stream.
     let mut stream: Vec<&Document> = corpus.split().test_all().collect();
@@ -51,7 +50,10 @@ fn main() {
 
     // Routing table: how many documents went to each language bucket, and
     // how often the route was correct.
-    println!("\n{:<12} {:>8} {:>8} {:>10}", "bucket", "routed", "correct", "precision");
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>10}",
+        "bucket", "routed", "correct", "precision"
+    );
     for (i, name) in classifier.names().iter().enumerate() {
         let routed: Vec<(&&Document, &ClassificationResult)> = stream
             .iter()

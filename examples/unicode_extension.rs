@@ -78,7 +78,10 @@ fn main() {
         classifier.params().m_kbits()
     );
 
-    println!("{:<10} {:<10} {:>8} {:>9}", "truth", "predicted", "margin", "n-grams");
+    println!(
+        "{:<10} {:<10} {:>8} {:>9}",
+        "truth", "predicted", "margin", "n-grams"
+    );
     for (code, text) in samples {
         let (_, test) = split_at(text);
         let r = classifier.classify(test);

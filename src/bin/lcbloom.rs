@@ -16,9 +16,9 @@
 //! * `simulate` streams files through the XD1000 simulator and reports
 //!   hardware-model throughput alongside the labels.
 
+use lcbloom::fpga::resources::ClassifierConfig;
 use lcbloom::prelude::*;
 use lcbloom::profile_store::ProfileStore;
-use lcbloom::fpga::resources::ClassifierConfig;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -195,11 +195,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         if texts.is_empty() {
             return Err(format!("no training files under {train_dir:?}"));
         }
-        let profile = NGramProfile::build(
-            NGramSpec::PAPER,
-            texts.iter().map(|t| t.as_slice()),
-            t,
-        );
+        let profile = NGramProfile::build(NGramSpec::PAPER, texts.iter().map(|t| t.as_slice()), t);
         println!(
             "{name}: {} files, {} profile n-grams",
             texts.len(),
@@ -210,7 +206,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     store
         .save(&out)
         .map_err(|e| format!("saving {out:?}: {e}"))?;
-    println!("saved {} language profiles to {}", store.len(), out.display());
+    println!(
+        "saved {} language profiles to {}",
+        store.len(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -240,7 +240,10 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err("classify requires at least one file".into());
     }
-    println!("{:<40} {:<8} {:>8} {:>10}", "file", "language", "margin", "n-grams");
+    println!(
+        "{:<40} {:<8} {:>8} {:>10}",
+        "file", "language", "margin", "n-grams"
+    );
     for f in &files {
         let text = std::fs::read(f).map_err(|e| format!("reading {f}: {e}"))?;
         let r = classifier.classify(&text);
@@ -282,7 +285,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let report = sys.run(&docs, protocol);
 
     for (f, r) in files.iter().zip(&report.results) {
-        println!("{:<40} {}", f, sys.hardware().classifier().names()[r.best()]);
+        println!(
+            "{:<40} {}",
+            f,
+            sys.hardware().classifier().names()[r.best()]
+        );
     }
     println!(
         "\n{} documents, {:.2} MB in {:.2} ms simulated ({:?}): {:.0} MB/s",

@@ -61,8 +61,8 @@ pub mod profile_store;
 pub mod prelude {
     pub use lc_bloom::{BloomParams, ClassicBloomFilter, ParallelBloomFilter};
     pub use lc_core::{
-        classify_batch, ClassificationResult, ClassifierBuilder, ConfusionMatrix,
-        ExactClassifier, MultiLanguageClassifier, ParallelClassifier,
+        classify_batch, ClassificationResult, ClassifierBuilder, ConfusionMatrix, ExactClassifier,
+        MultiLanguageClassifier, ParallelClassifier,
     };
     pub use lc_corpus::{Corpus, CorpusConfig, Document, Language};
     pub use lc_fpga::{

@@ -71,7 +71,10 @@ impl ProfileStore {
         for p in &self.profiles {
             let name = p.name.as_bytes();
             if name.len() > u16::MAX as usize {
-                return Err(Error::new(ErrorKind::InvalidInput, "language name too long"));
+                return Err(Error::new(
+                    ErrorKind::InvalidInput,
+                    "language name too long",
+                ));
             }
             w.write_all(&(name.len() as u16).to_le_bytes())?;
             w.write_all(name)?;
@@ -85,17 +88,26 @@ impl ProfileStore {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(Error::new(ErrorKind::InvalidData, "bad profile-store magic"));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "bad profile-store magic",
+            ));
         }
         let mut u32buf = [0u8; 4];
         r.read_exact(&mut u32buf)?;
         if u32::from_le_bytes(u32buf) != VERSION {
-            return Err(Error::new(ErrorKind::InvalidData, "unsupported store version"));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "unsupported store version",
+            ));
         }
         r.read_exact(&mut u32buf)?;
         let count = u32::from_le_bytes(u32buf);
         if count > 100_000 {
-            return Err(Error::new(ErrorKind::InvalidData, "implausible language count"));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "implausible language count",
+            ));
         }
         let mut profiles = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -134,11 +146,19 @@ mod tests {
         let mut s = ProfileStore::new();
         s.push(
             "en",
-            NGramProfile::build(NGramSpec::PAPER, [b"english text sample here".as_slice()], 32),
+            NGramProfile::build(
+                NGramSpec::PAPER,
+                [b"english text sample here".as_slice()],
+                32,
+            ),
         );
         s.push(
             "fr",
-            NGramProfile::build(NGramSpec::PAPER, [b"exemple de texte francais".as_slice()], 32),
+            NGramProfile::build(
+                NGramSpec::PAPER,
+                [b"exemple de texte francais".as_slice()],
+                32,
+            ),
         );
         s
     }

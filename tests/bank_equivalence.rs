@@ -1,0 +1,168 @@
+//! Equivalence of the bit-sliced `FilterBank` classify path with the naive
+//! per-language reference path, end to end through the public classifier
+//! API: identical `ClassificationResult`s for arbitrary inputs, any
+//! chunking, and language counts spanning every mask storage width and the
+//! multi-word boundary (p ∈ {1, 8, 12, 20, 64, 100}).
+
+use lcbloom::core::StreamingClassifier;
+use lcbloom::ngram::NGramExtractor;
+use lcbloom::prelude::*;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-text so profiles differ per language without
+/// needing a real corpus: a language-seeded LCG over the Latin-1 range.
+fn synthetic_doc(lang: usize, bytes: usize) -> Vec<u8> {
+    let mut state = (lang as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..bytes)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Mostly letters with some spaces, so extraction finds words.
+            let v = (state >> 33) as u8;
+            if v.is_multiple_of(7) {
+                b' '
+            } else {
+                b'a' + (v % 26)
+            }
+        })
+        .collect()
+}
+
+/// A classifier over `p` synthetic languages. Small vectors (m = 1 Kbit)
+/// keep false positives frequent — the regime where the banked and naive
+/// paths could plausibly diverge.
+fn synthetic_classifier(p: usize) -> MultiLanguageClassifier {
+    let mut b = ClassifierBuilder::new(NGramSpec::PAPER, 400);
+    for lang in 0..p {
+        b.add_language(format!("l{lang}"), [synthetic_doc(lang, 4000).as_slice()]);
+    }
+    b.build_bloom(BloomParams::from_kbits(1, 3), 1234)
+}
+
+fn classifier_for(p: usize) -> &'static MultiLanguageClassifier {
+    // One shared instance per boundary-interesting p (100 crosses the
+    // 64-language single-word mask limit).
+    static BANKS: std::sync::OnceLock<Vec<(usize, MultiLanguageClassifier)>> =
+        std::sync::OnceLock::new();
+    let banks = BANKS.get_or_init(|| {
+        [1usize, 8, 12, 20, 64, 100]
+            .into_iter()
+            .map(|p| (p, synthetic_classifier(p)))
+            .collect()
+    });
+    &banks.iter().find(|(n, _)| *n == p).expect("known p").1
+}
+
+/// Strategy choosing a language count on each side of the u64 mask boundary.
+fn any_p() -> impl Strategy<Value = usize> {
+    PStrategy
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PStrategy;
+
+impl Strategy for PStrategy {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut proptest::TestRng) -> usize {
+        [1usize, 8, 12, 20, 64, 100][(rng.next_u64() % 6) as usize]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Banked and naive classification agree exactly on arbitrary documents
+    /// for every language count, including p > 64 (multi-word masks).
+    #[test]
+    fn banked_equals_naive_for_arbitrary_documents(
+        p in any_p(),
+        doc in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let c = classifier_for(p);
+        let mut grams = Vec::new();
+        NGramExtractor::new(c.spec()).extract_into(&doc, &mut grams);
+        prop_assert_eq!(c.classify_ngrams(&grams), c.classify_ngrams_naive(&grams));
+    }
+
+    /// The subsampled extractor path feeds the same bank: banked == naive on
+    /// whatever gram stream subsampling produces.
+    #[test]
+    fn banked_equals_naive_under_subsampling(
+        p in any_p(),
+        s in 1usize..=6,
+        doc in proptest::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let c = classifier_for(p);
+        let mut grams = Vec::new();
+        lcbloom::ngram::NGramExtractor::with_subsampling(c.spec(), s)
+            .extract_into(&doc, &mut grams);
+        prop_assert_eq!(c.classify_ngrams(&grams), c.classify_ngrams_naive(&grams));
+
+        // And end-to-end: a subsampling classifier still matches the naive
+        // path over its own extracted stream.
+        let mut sub = c.clone();
+        sub.set_subsampling(s);
+        let banked = sub.classify(&doc);
+        prop_assert_eq!(banked, sub.classify_ngrams_naive(&grams));
+    }
+
+    /// Streaming (banked) equals whole-buffer (banked) equals naive, for any
+    /// chunking of any document, at every language count.
+    #[test]
+    fn streaming_banked_equals_naive_any_chunking(
+        p in any_p(),
+        doc in proptest::collection::vec(any::<u8>(), 0..900),
+        cuts in proptest::collection::vec(0usize..900, 0..5),
+    ) {
+        let c = classifier_for(p);
+        let mut cut_points: Vec<usize> = cuts.into_iter().map(|x| x % (doc.len() + 1)).collect();
+        cut_points.push(0);
+        cut_points.push(doc.len());
+        cut_points.sort_unstable();
+        cut_points.dedup();
+
+        let mut s = StreamingClassifier::new(c);
+        for w in cut_points.windows(2) {
+            s.feed(&doc[w[0]..w[1]]);
+        }
+        let streamed = s.finish();
+
+        let mut grams = Vec::new();
+        NGramExtractor::new(c.spec()).extract_into(&doc, &mut grams);
+        prop_assert_eq!(&streamed, &c.classify(&doc));
+        prop_assert_eq!(streamed, c.classify_ngrams_naive(&grams));
+    }
+
+    /// The lane-split datapath model (which now strides the bank per lane)
+    /// stays count-exact against naive classification.
+    #[test]
+    fn lane_split_banked_equals_naive(
+        p in any_p(),
+        copies in 1usize..5,
+        doc in proptest::collection::vec(any::<u8>(), 0..900),
+    ) {
+        let c = classifier_for(p);
+        let par = ParallelClassifier::new(c.clone(), copies);
+        let mut grams = Vec::new();
+        NGramExtractor::new(c.spec()).extract_into(&doc, &mut grams);
+        prop_assert_eq!(par.classify(&doc), c.classify_ngrams_naive(&grams));
+    }
+}
+
+#[test]
+fn bank_shape_reflects_language_count() {
+    for (p, wpm) in [
+        (1usize, 1usize),
+        (8, 1),
+        (12, 1),
+        (20, 1),
+        (64, 1),
+        (100, 2),
+    ] {
+        let c = classifier_for(p);
+        assert_eq!(c.bank().languages(), p);
+        assert_eq!(c.bank().words_per_mask(), wpm);
+    }
+}

@@ -53,7 +53,10 @@ fn unicode_classifier_handles_mixed_scripts_with_narrow_memory() {
     assert_eq!(c.identify("οι άνθρωποι και τα δικαιώματα"), "el");
     assert_eq!(c.identify("люди рождаются свободными и равными"), "ru");
     // Memory identical to the narrow classifier (the §3.3 claim).
-    assert_eq!(c.params().total_bits(), BloomParams::PAPER_COMPACT.total_bits());
+    assert_eq!(
+        c.params().total_bits(),
+        BloomParams::PAPER_COMPACT.total_bits()
+    );
 }
 
 #[test]
@@ -96,15 +99,13 @@ fn profile_store_roundtrip_preserves_classification() {
     let loaded = ProfileStore::read_from(&mut buf.as_slice()).unwrap();
 
     let original = MultiLanguageClassifier::from_profiles(
-        &store
-            .profiles()
-            .to_vec(),
+        store.profiles(),
         NGramSpec::PAPER,
         BloomParams::PAPER_CONSERVATIVE,
         5,
     );
     let restored = MultiLanguageClassifier::from_profiles(
-        &loaded.profiles().to_vec(),
+        loaded.profiles(),
         NGramSpec::PAPER,
         BloomParams::PAPER_CONSERVATIVE,
         5,

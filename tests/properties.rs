@@ -4,11 +4,16 @@
 use lcbloom::prelude::*;
 use proptest::prelude::*;
 
-fn small_classifiers() -> (MultiLanguageClassifier, ExactClassifier) {
-    let corpus = Corpus::generate(CorpusConfig::test_scale());
-    let bloom = lcbloom::train_bloom_classifier(&corpus, 800, BloomParams::from_kbits(4, 2), 77);
-    let exact = lcbloom::train_exact_classifier(&corpus, 800);
-    (bloom, exact)
+fn small_classifiers() -> &'static (MultiLanguageClassifier, ExactClassifier) {
+    static CLASSIFIERS: std::sync::OnceLock<(MultiLanguageClassifier, ExactClassifier)> =
+        std::sync::OnceLock::new();
+    CLASSIFIERS.get_or_init(|| {
+        let corpus = Corpus::generate(CorpusConfig::test_scale());
+        let bloom =
+            lcbloom::train_bloom_classifier(&corpus, 800, BloomParams::from_kbits(4, 2), 77);
+        let exact = lcbloom::train_exact_classifier(&corpus, 800);
+        (bloom, exact)
+    })
 }
 
 proptest! {

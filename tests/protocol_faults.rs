@@ -24,8 +24,14 @@ fn protocol() -> FpgaProtocol {
 fn truncated_transfer_recovers_via_watchdog_and_reclassifies() {
     let mut p = protocol();
     // Announce 100 words but deliver only 3 — a lost DMA burst.
-    p.command(Command::Size { words: 100, bytes: 800 }, SimTime::ZERO)
-        .unwrap();
+    p.command(
+        Command::Size {
+            words: 100,
+            bytes: 800,
+        },
+        SimTime::ZERO,
+    )
+    .unwrap();
     p.push_dma_word(1, SimTime(100)).unwrap();
     p.push_dma_word(2, SimTime(200)).unwrap();
     p.push_dma_word(3, SimTime(300)).unwrap();
@@ -78,7 +84,10 @@ fn checksum_mismatch_detectable_by_host() {
     for &w in &words {
         p.push_dma_word(w, SimTime(1)).unwrap();
     }
-    let q = p.command(Command::QueryResult, SimTime(2)).unwrap().unwrap();
+    let q = p
+        .command(Command::QueryResult, SimTime(2))
+        .unwrap()
+        .unwrap();
     assert_ne!(
         q.checksum, host_checksum,
         "host must detect the corrupted transfer via checksum mismatch"
@@ -124,7 +133,10 @@ fn commands_racing_ahead_of_dma_still_produce_correct_results() {
     for &w in &words2 {
         p.push_dma_word(w, SimTime(11)).unwrap();
     }
-    let q = p.command(Command::QueryResult, SimTime(12)).unwrap().unwrap();
+    let q = p
+        .command(Command::QueryResult, SimTime(12))
+        .unwrap()
+        .unwrap();
     assert!(q.valid);
     assert_eq!(q.result, p.hardware().classifier().classify(doc2));
 }
@@ -175,7 +187,14 @@ fn watchdog_counts_accumulate() {
     let mut p = protocol();
     for round in 0..3u64 {
         let t0 = SimTime(round * 100_000_000);
-        p.command(Command::Size { words: 10, bytes: 80 }, t0).unwrap();
+        p.command(
+            Command::Size {
+                words: 10,
+                bytes: 80,
+            },
+            t0,
+        )
+        .unwrap();
         p.push_dma_word(round, t0).unwrap();
         assert!(p.tick(SimTime(t0.0 + FpgaProtocol::DEFAULT_WATCHDOG.0 + 1)));
     }
