@@ -1,0 +1,234 @@
+//! `BENCH_service.json` emitter: aggregate served throughput of the TCP
+//! classification service on the paper's 8-language × (k = 4, m = 16 Kbit)
+//! configuration, at 1 worker and at 4 workers, with concurrent pipelined
+//! clients over localhost. The ratio shows the worker-pool sharding paying
+//! off: one worker is one match engine; four workers are the §3.3
+//! replication.
+//!
+//! Clients keep a small window of documents in flight per connection
+//! (Size/Data/EoD/Query for document *n+1* may follow document *n*'s Query
+//! immediately — the protocol consumes the latch in order), so the bench
+//! measures engine capacity, not round-trip latency. Each configuration is
+//! measured in five interleaved rounds and reported as the median, which
+//! cancels slow-container drift.
+//!
+//! Run from the workspace root with:
+//!
+//! ```text
+//! cargo run --release -p lc-bench --bin bench_service
+//! ```
+//!
+//! Knobs: `LC_BENCH_SERVICE_DOCS` (measured documents per round, default
+//! 600), `LC_BENCH_DOC_BYTES` (mean document size, default 10 KiB),
+//! `LC_BENCH_SERVICE_CLIENTS` (concurrent clients, default 8), and
+//! `LC_BENCH_OUT` (output path, default `BENCH_service.json`).
+//!
+//! Two effects compound in the 1-worker column: the lone engine is a
+//! single *shard* — every connection feeds one bounded queue, so its lock
+//! is the service's hot spot — and it can use at most one core of the
+//! machine. Replication removes both, which is the paper's §3.3 argument.
+
+use lc_bloom::BloomParams;
+use lc_core::MultiLanguageClassifier;
+use lc_corpus::{Corpus, CorpusConfig, Language};
+use lc_service::{serve, ServiceConfig};
+use lc_wire::{read_frame, write_data_frame, WireCommand, WireResponse};
+use std::io::{BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Documents in flight per connection.
+const PIPELINE_DEPTH: usize = 4;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn send_doc<W: Write>(w: &mut W, doc: &[u8]) {
+    let words = (doc.len() as u64).div_ceil(8);
+    WireCommand::Size {
+        words: words as u32,
+        bytes: doc.len() as u32,
+    }
+    .encode(w)
+    .expect("send Size");
+    let whole = doc.len() / 8 * 8;
+    write_data_frame(w, &doc[..whole]).expect("send Data");
+    if whole < doc.len() {
+        let mut tail = [0u8; 8];
+        tail[..doc.len() - whole].copy_from_slice(&doc[whole..]);
+        write_data_frame(w, &tail).expect("send tail Data");
+    }
+    WireCommand::EndOfDocument.encode(w).expect("send EoD");
+    WireCommand::QueryResult.encode(w).expect("send Query");
+}
+
+fn read_result(stream: &mut TcpStream) {
+    let (kind, payload) = read_frame(stream)
+        .expect("read response")
+        .expect("response before EOF");
+    match WireResponse::decode(kind, &payload).expect("decode response") {
+        WireResponse::Result { valid, .. } => assert!(valid),
+        other => panic!("expected Result, got {other:?}"),
+    }
+}
+
+/// One measured round: serve with `workers`, hammer with `clients`, return
+/// (docs/sec, MB/s) over `measure_docs` documents.
+fn run_round(
+    classifier: &Arc<MultiLanguageClassifier>,
+    docs: &[Vec<u8>],
+    workers: usize,
+    clients: usize,
+    measure_docs: usize,
+) -> (f64, f64) {
+    let server = serve(
+        Arc::clone(classifier),
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = server.addr();
+
+    let budget = AtomicUsize::new(measure_docs);
+    let barrier = Barrier::new(clients + 1);
+    let bytes_served = AtomicUsize::new(0);
+
+    let elapsed = std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+                let (kind, payload) = read_frame(&mut stream).unwrap().unwrap();
+                assert!(matches!(
+                    WireResponse::decode(kind, &payload).unwrap(),
+                    WireResponse::Hello { .. }
+                ));
+                // Warmup: one windowful through the engine.
+                for i in 0..PIPELINE_DEPTH {
+                    send_doc(&mut writer, &docs[i % docs.len()]);
+                }
+                writer.flush().unwrap();
+                for _ in 0..PIPELINE_DEPTH {
+                    read_result(&mut stream);
+                }
+                barrier.wait();
+
+                let mut outstanding = 0usize;
+                loop {
+                    let left = budget.fetch_sub(1, Ordering::Relaxed) as isize;
+                    if left <= 0 {
+                        break;
+                    }
+                    let doc = &docs[left as usize % docs.len()];
+                    send_doc(&mut writer, doc);
+                    writer.flush().unwrap();
+                    bytes_served.fetch_add(doc.len(), Ordering::Relaxed);
+                    outstanding += 1;
+                    if outstanding >= PIPELINE_DEPTH {
+                        read_result(&mut stream);
+                        outstanding -= 1;
+                    }
+                }
+                for _ in 0..outstanding {
+                    read_result(&mut stream);
+                }
+            });
+        }
+        barrier.wait();
+        // The scope joins every client before returning, so `elapsed` on
+        // the returned instant spans release → last document served.
+        Instant::now()
+    })
+    .elapsed();
+
+    server.shutdown();
+    let secs = elapsed.as_secs_f64();
+    (
+        measure_docs as f64 / secs,
+        bytes_served.load(Ordering::Relaxed) as f64 / 1e6 / secs,
+    )
+}
+
+fn median(mut xs: Vec<(f64, f64)>) -> (f64, f64) {
+    xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let params = BloomParams::PAPER_CONSERVATIVE;
+    let profile_size = 5000;
+    let mean_doc_bytes = env_usize("LC_BENCH_DOC_BYTES", 10 * 1024);
+    let measure_docs = env_usize("LC_BENCH_SERVICE_DOCS", 600);
+    let clients = env_usize("LC_BENCH_SERVICE_CLIENTS", 8).max(4);
+
+    let corpus = Corpus::generate_for(
+        &Language::ALL[..8],
+        CorpusConfig {
+            docs_per_language: 12,
+            mean_doc_bytes,
+            ..CorpusConfig::default()
+        },
+    );
+    let builder = lc_bench::builder_for(&corpus, profile_size);
+    let classifier = Arc::new(builder.build_bloom(params, 7));
+    let docs: Vec<Vec<u8>> = corpus.split().test_all().map(|d| d.text.clone()).collect();
+    let mean_measured = docs.iter().map(Vec::len).sum::<usize>() / docs.len();
+    eprintln!(
+        "serving {} languages, k={}, m={} Kbit; {} docs/round of ~{} bytes, {} clients × window {}",
+        classifier.num_languages(),
+        params.k,
+        params.m_kbits(),
+        measure_docs,
+        mean_measured,
+        clients,
+        PIPELINE_DEPTH,
+    );
+
+    const ROUNDS: usize = 5;
+    let worker_configs = [1usize, 4];
+    let mut samples: Vec<Vec<(f64, f64)>> = vec![Vec::new(); worker_configs.len()];
+    for round in 0..ROUNDS {
+        for (ci, &workers) in worker_configs.iter().enumerate() {
+            let (docs_s, mb_s) = run_round(&classifier, &docs, workers, clients, measure_docs);
+            eprintln!("round {round}, workers={workers}: {docs_s:.0} docs/s, {mb_s:.1} MB/s");
+            samples[ci].push((docs_s, mb_s));
+        }
+    }
+    let one = median(samples[0].clone());
+    let four = median(samples[1].clone());
+    let speedup = four.0 / one.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"speedup_1_to_4\": {:.2}\n}}\n",
+        classifier.num_languages(),
+        params.k,
+        params.m_kbits(),
+        profile_size,
+        mean_measured,
+        clients,
+        PIPELINE_DEPTH,
+        measure_docs,
+        ROUNDS,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        one.0,
+        one.1,
+        four.0,
+        four.1,
+        speedup,
+    );
+    print!("{json}");
+
+    let out = std::env::var("LC_BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    eprintln!("wrote {out} (4 workers serve {speedup:.2}x the documents of 1 worker)");
+}

@@ -38,5 +38,5 @@ pub use eval::{ConfusionMatrix, EvalSummary};
 pub use parallel::{classify_batch, ParallelClassifier};
 pub use profile::{ClassifierBuilder, LanguageProfile, PAPER_PROFILE_SIZE};
 pub use result::ClassificationResult;
-pub use streaming::StreamingClassifier;
+pub use streaming::{StreamingClassifier, StreamingSession};
 pub use unicode::{build_wide_profile, WideClassifier};

@@ -13,10 +13,14 @@ use lc_ngram::{NGram, StreamingExtractor};
 use crate::classifier::MultiLanguageClassifier;
 use crate::result::ClassificationResult;
 
-/// A streaming classification session over one document.
+/// The per-document state of a streaming session, held separately from the
+/// classifier reference so long-lived owners (a server worker holding an
+/// `Arc<MultiLanguageClassifier>`, one session per connection) need no
+/// self-referential borrow. Every call takes the classifier explicitly;
+/// [`StreamingClassifier`] wraps the pair back up for the common
+/// borrow-based use.
 #[derive(Clone, Debug)]
-pub struct StreamingClassifier<'c> {
-    classifier: &'c MultiLanguageClassifier,
+pub struct StreamingSession {
     extractor: StreamingExtractor,
     counts: Vec<u64>,
     total_ngrams: u64,
@@ -24,11 +28,11 @@ pub struct StreamingClassifier<'c> {
     grams: Vec<NGram>,
 }
 
-impl<'c> StreamingClassifier<'c> {
-    /// Start a session against a programmed classifier.
-    pub fn new(classifier: &'c MultiLanguageClassifier) -> Self {
+impl StreamingSession {
+    /// Start a session shaped for `classifier` (its n-gram spec and
+    /// language count).
+    pub fn new(classifier: &MultiLanguageClassifier) -> Self {
         Self {
-            classifier,
             extractor: StreamingExtractor::new(classifier.spec()),
             counts: vec![0u64; classifier.num_languages()],
             total_ngrams: 0,
@@ -38,12 +42,18 @@ impl<'c> StreamingClassifier<'c> {
 
     /// Feed the next chunk of the document (any size, including empty).
     /// Matches accumulate through the classifier's bit-sliced bank, exactly
-    /// as whole-buffer classification does.
-    pub fn feed(&mut self, chunk: &[u8]) {
+    /// as whole-buffer classification does. `classifier` must be the one
+    /// the session was created for (checked in debug builds).
+    pub fn feed(&mut self, classifier: &MultiLanguageClassifier, chunk: &[u8]) {
+        debug_assert_eq!(self.counts.len(), classifier.num_languages());
+        debug_assert_eq!(
+            self.extractor.spec(),
+            classifier.spec(),
+            "session fed with a different classifier than it was created for"
+        );
         self.grams.clear();
         self.extractor.feed(chunk, &mut self.grams);
-        self.classifier
-            .accumulate_ngrams(&self.grams, &mut self.counts);
+        classifier.accumulate_ngrams(&self.grams, &mut self.counts);
         self.total_ngrams += self.grams.len() as u64;
     }
 
@@ -61,16 +71,53 @@ impl<'c> StreamingClassifier<'c> {
     /// End the document and return the final result (the End-of-Document
     /// latch). The session resets and can be reused for the next document.
     pub fn finish(&mut self) -> ClassificationResult {
+        let fresh = vec![0u64; self.counts.len()];
         let result = ClassificationResult::new(
-            std::mem::replace(
-                &mut self.counts,
-                vec![0u64; self.classifier.num_languages()],
-            ),
+            std::mem::replace(&mut self.counts, fresh),
             self.total_ngrams,
         );
         self.total_ngrams = 0;
         self.extractor.reset();
         result
+    }
+}
+
+/// A streaming classification session over one document, borrowing the
+/// classifier for its lifetime. Thin wrapper over [`StreamingSession`].
+#[derive(Clone, Debug)]
+pub struct StreamingClassifier<'c> {
+    classifier: &'c MultiLanguageClassifier,
+    session: StreamingSession,
+}
+
+impl<'c> StreamingClassifier<'c> {
+    /// Start a session against a programmed classifier.
+    pub fn new(classifier: &'c MultiLanguageClassifier) -> Self {
+        Self {
+            classifier,
+            session: StreamingSession::new(classifier),
+        }
+    }
+
+    /// Feed the next chunk of the document (any size, including empty).
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.session.feed(self.classifier, chunk);
+    }
+
+    /// Current standings (partial counts) without ending the document.
+    pub fn standings(&self) -> ClassificationResult {
+        self.session.standings()
+    }
+
+    /// Bytes consumed so far in this document.
+    pub fn bytes_seen(&self) -> usize {
+        self.session.bytes_seen()
+    }
+
+    /// End the document and return the final result (the End-of-Document
+    /// latch). The session resets and can be reused for the next document.
+    pub fn finish(&mut self) -> ClassificationResult {
+        self.session.finish()
     }
 }
 

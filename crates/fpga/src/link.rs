@@ -146,12 +146,7 @@ impl DmaEngine {
 
     /// Unpack a packet back to bytes (the FPGA side of the transfer).
     pub fn unpack(&self, packet: &DmaPacket) -> Vec<u8> {
-        let mut out = Vec::with_capacity(packet.bytes);
-        for w in &packet.words {
-            out.extend_from_slice(&w.to_le_bytes());
-        }
-        out.truncate(packet.bytes);
-        out
+        lc_wire::dma::unpack_bytes(&packet.words, packet.bytes)
     }
 
     /// Transfer time for a packet (word-granular payload).
@@ -160,22 +155,10 @@ impl DmaEngine {
     }
 }
 
-/// Pack bytes into little-endian 64-bit words, zero-padding the tail.
-pub fn pack_words(doc: &[u8]) -> Vec<u64> {
-    doc.chunks(8)
-        .map(|c| {
-            let mut b = [0u8; 8];
-            b[..c.len()].copy_from_slice(c);
-            u64::from_le_bytes(b)
-        })
-        .collect()
-}
-
-/// XOR checksum over 64-bit words (§4: "the hardware sends an xor data
-/// checksum ... used to verify a valid document transfer").
-pub fn xor_checksum(words: &[u64]) -> u64 {
-    words.iter().fold(0u64, |acc, &w| acc ^ w)
-}
+// Word packing and the transfer-validation checksum live in `lc-wire` so
+// the TCP service speaks bit-identical framing; re-exported here because
+// they are part of this link model's API.
+pub use lc_wire::dma::{pack_words, xor_checksum};
 
 #[cfg(test)]
 mod tests {

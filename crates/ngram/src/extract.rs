@@ -127,6 +127,11 @@ impl StreamingExtractor {
         Self::with_subsampling(spec, 1)
     }
 
+    /// The n-gram shape this extractor emits.
+    pub fn spec(&self) -> NGramSpec {
+        self.spec
+    }
+
     /// Create a streaming extractor emitting every `s`-th n-gram.
     ///
     /// # Panics

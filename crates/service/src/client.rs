@@ -1,0 +1,231 @@
+//! Blocking client for the classification service.
+//!
+//! Speaks the host side of the Size/Data/EoD/QueryResult flow: announce the
+//! document, stream its words in bounded bursts, latch, query, and verify
+//! the echoed XOR checksum against the locally computed one (the paper's
+//! transfer-validation step, performed by the host).
+
+use lc_core::ClassificationResult;
+use lc_wire::{read_frame, write_data_frame, ErrorCode, FrameError, WireCommand, WireResponse};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Words per Data frame when streaming (64 KiB payloads).
+const CHUNK_WORDS: usize = 8 * 1024;
+
+/// Everything the engine returns for one document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServedResult {
+    /// Per-language counters + total n-grams.
+    pub result: ClassificationResult,
+    /// XOR checksum echoed by the engine (already verified by the client).
+    pub checksum: u64,
+    /// Engine status bit.
+    pub valid: bool,
+}
+
+/// Client-visible failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The engine answered with a protocol fault.
+    Remote {
+        /// Fault class.
+        code: ErrorCode,
+        /// Engine-provided detail.
+        detail: String,
+    },
+    /// Transfer corruption: the engine's checksum of what it received does
+    /// not match the checksum of what was sent.
+    ChecksumMismatch {
+        /// Checksum of the words the client sent.
+        sent: u64,
+        /// Checksum the engine echoed.
+        received: u64,
+    },
+    /// The engine said something the protocol does not allow here.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Remote { code, detail } if detail.is_empty() => {
+                write!(f, "engine fault: {code}")
+            }
+            ClientError::Remote { code, detail } => {
+                write!(f, "engine fault: {code} ({detail})")
+            }
+            ClientError::ChecksumMismatch { sent, received } => write!(
+                f,
+                "transfer corrupted: sent checksum {sent:#018x}, engine saw {received:#018x}"
+            ),
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Io(e.into())
+    }
+}
+
+/// A connected classification client.
+#[derive(Debug)]
+pub struct ClassifyClient {
+    stream: TcpStream,
+    languages: Vec<String>,
+    /// XOR checksum of the words sent for the document in flight.
+    checksum: u64,
+}
+
+impl ClassifyClient {
+    /// Connect and read the server's Hello banner.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Self {
+            stream,
+            languages: Vec::new(),
+            checksum: 0,
+        };
+        match client.read_response()? {
+            WireResponse::Hello { languages } => {
+                client.languages = languages;
+                Ok(client)
+            }
+            other => Err(ClientError::UnexpectedResponse(format!(
+                "expected Hello banner, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The programmed language names, index-aligned with result counters.
+    pub fn languages(&self) -> &[String] {
+        &self.languages
+    }
+
+    /// Classify one in-memory document.
+    pub fn classify(&mut self, doc: &[u8]) -> Result<ServedResult, ClientError> {
+        self.classify_reader(&mut io::Cursor::new(doc), doc.len() as u64)
+    }
+
+    /// Classify a document streamed from `reader` in bounded chunks; `len`
+    /// must be its exact byte length (the Size announcement — the paper's
+    /// protocol declares sizes up front). Memory use is O(chunk), not
+    /// O(document).
+    pub fn classify_reader<R: Read>(
+        &mut self,
+        reader: &mut R,
+        len: u64,
+    ) -> Result<ServedResult, ClientError> {
+        // Both Size fields are u32: the byte length is the binding limit.
+        if len > u64::from(u32::MAX) {
+            return Err(ClientError::Io(io::Error::other(
+                "document exceeds the 4 GiB Size announcement limit",
+            )));
+        }
+        let words = len.div_ceil(8);
+        if let Err(e) = self.send_document(reader, len, words) {
+            // The server session is mid-transfer; a Reset re-arms it so
+            // this client stays usable after a local reader failure.
+            let _ = WireCommand::Reset.encode(&mut self.stream);
+            return Err(e);
+        }
+        let checksum = self.checksum;
+
+        match self.read_response()? {
+            WireResponse::Result {
+                counts,
+                total_ngrams,
+                checksum: echoed,
+                valid,
+            } => {
+                if echoed != checksum {
+                    return Err(ClientError::ChecksumMismatch {
+                        sent: checksum,
+                        received: echoed,
+                    });
+                }
+                Ok(ServedResult {
+                    result: ClassificationResult::new(counts, total_ngrams),
+                    checksum: echoed,
+                    valid,
+                })
+            }
+            WireResponse::Error { code, detail } => Err(ClientError::Remote { code, detail }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Stream Size + Data frames + EoD + Query for one document, leaving
+    /// the XOR checksum of the sent words in `self.checksum`.
+    fn send_document<R: Read>(
+        &mut self,
+        reader: &mut R,
+        len: u64,
+        words: u64,
+    ) -> Result<(), ClientError> {
+        self.checksum = 0;
+        let mut w = BufWriter::new(&self.stream);
+        WireCommand::Size {
+            words: words as u32,
+            bytes: len as u32,
+        }
+        .encode(&mut w)?;
+
+        let mut remaining = len;
+        let mut chunk = vec![0u8; CHUNK_WORDS * 8];
+        while remaining > 0 {
+            let want = (remaining.min(chunk.len() as u64)) as usize;
+            let mut got = 0usize;
+            while got < want {
+                let n = reader.read(&mut chunk[got..want])?;
+                if n == 0 {
+                    return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
+                }
+                got += n;
+            }
+            // Zero-pad the tail of the final word and ship the chunk as
+            // one word-aligned Data frame, no repacking.
+            let padded = got.next_multiple_of(8);
+            chunk[got..padded].fill(0);
+            for word in chunk[..padded].chunks_exact(8) {
+                self.checksum ^= u64::from_le_bytes(word.try_into().unwrap());
+            }
+            write_data_frame(&mut w, &chunk[..padded])?;
+            remaining -= got as u64;
+        }
+        WireCommand::EndOfDocument.encode(&mut w)?;
+        WireCommand::QueryResult.encode(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Send a raw command (testing and diagnostics).
+    pub fn send_command(&mut self, cmd: &WireCommand) -> Result<(), ClientError> {
+        cmd.encode(&mut self.stream)?;
+        Ok(())
+    }
+
+    /// Blocking-read the next response frame (testing and diagnostics).
+    pub fn read_response(&mut self) -> Result<WireResponse, ClientError> {
+        match read_frame(&mut self.stream)? {
+            Some((kind, payload)) => Ok(WireResponse::decode(kind, &payload)?),
+            None => Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into())),
+        }
+    }
+}

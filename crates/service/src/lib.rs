@@ -1,0 +1,50 @@
+//! # lc-service — the classification service
+//!
+//! The paper frames classification as a host↔accelerator service: framed
+//! documents stream in under a Size / End-of-Document / Query-Result
+//! command flow, replicated match engines chew through many documents
+//! concurrently, and a watchdog recovers stalled transfers (§4). This crate
+//! is that service over TCP:
+//!
+//! ```text
+//!  client            connection thread      bounded      worker shard
+//!  ──────            (read + decode)        queue        (match engine)
+//!  Size ─────frame──▶ FrameAccumulator ──▶ Job::Command ─▶ Session
+//!  Data ─────frame──▶   (lc-wire)      ──▶ Job::Command ─▶  ├─ checksum ^= w
+//!  Data ─────frame──▶                  ──▶ Job::Command ─▶  ├─ StreamingSession::feed
+//!  EoD  ─────frame──▶                  ──▶ Job::Command ─▶  └─ latch on last word
+//!  Query ────frame──▶                  ──▶ Job::Command ─▶ Result{counts,Σ,xor,ok}
+//!        ◀──────────────── response written by the worker ──┘
+//! ```
+//!
+//! * **One wire contract.** Frames carry the exact command set of the
+//!   simulated FPGA protocol (`lc_fpga::protocol`); the shared pieces live
+//!   in `lc-wire` so the two transports cannot drift.
+//! * **Sharded workers.** `session_id % N` pins each connection's streaming
+//!   state to one worker thread — N software match engines sharing one
+//!   programmed `Arc<MultiLanguageClassifier>` (the §3.3 replication:
+//!   same filters, independent execution).
+//! * **Backpressure.** Worker queues are bounded; a full queue blocks the
+//!   connection thread, which stops reading, which fills the TCP window —
+//!   slow consumers slow their producer, never the server.
+//! * **Streaming.** Sessions classify as words arrive via
+//!   [`lc_core::StreamingSession`]; per-session memory is O(counters),
+//!   independent of document size.
+//! * **Faults.** Truncated transfers, data-before-Size, short DMA
+//!   payloads, and stalled sessions (wall-clock watchdog) all map to the
+//!   same error taxonomy the hardware model uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod session;
+pub mod worker;
+
+pub use client::{ClassifyClient, ClientError, ServedResult};
+pub use metrics::{MetricsSnapshot, ServiceMetrics, LATENCY_BOUNDS_US};
+pub use server::{serve, ServerHandle, ServiceConfig};
+pub use session::Session;
+pub use worker::WorkerPool;

@@ -1,0 +1,175 @@
+//! Lock-free per-server metrics.
+//!
+//! Everything a serving deployment wants on a dashboard: documents, bytes
+//! and n-grams served, per-language wins (which languages the traffic
+//! actually is), protocol faults, watchdog resets, and a fixed-bucket
+//! latency histogram of document service time (Size seen → result latched).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds of the latency histogram buckets, in microseconds; one
+/// implicit overflow bucket follows the last bound.
+pub const LATENCY_BOUNDS_US: [u64; 8] = [100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000];
+
+/// Shared counters, updated by connection handlers and workers.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Currently open connections.
+    pub active_connections: AtomicU64,
+    /// Documents classified (results latched).
+    pub documents: AtomicU64,
+    /// Document payload bytes classified.
+    pub bytes: AtomicU64,
+    /// N-grams tested.
+    pub ngrams: AtomicU64,
+    /// Protocol faults answered with an Error response.
+    pub protocol_errors: AtomicU64,
+    /// Stalled sessions reset by the watchdog.
+    pub watchdog_resets: AtomicU64,
+    /// Wins per language, index-aligned with the classifier's names.
+    lang_wins: Vec<AtomicU64>,
+    /// Latency histogram: `LATENCY_BOUNDS_US` buckets + overflow.
+    latency: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+}
+
+impl ServiceMetrics {
+    /// Fresh zeroed metrics for `num_languages` counters.
+    pub fn new(num_languages: usize) -> Self {
+        Self {
+            connections: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            documents: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            ngrams: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            watchdog_resets: AtomicU64::new(0),
+            lang_wins: (0..num_languages).map(|_| AtomicU64::new(0)).collect(),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one latched document.
+    pub fn record_document(&self, winner: usize, doc_bytes: u64, ngrams: u64, latency: Duration) {
+        self.documents.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(doc_bytes, Ordering::Relaxed);
+        self.ngrams.fetch_add(ngrams, Ordering::Relaxed);
+        if let Some(w) = self.lang_wins.get(winner) {
+            w.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros() as u64;
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            documents: self.documents.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            ngrams: self.ngrams.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            watchdog_resets: self.watchdog_resets.load(Ordering::Relaxed),
+            lang_wins: self
+                .lang_wins
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+            latency: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data copy of [`ServiceMetrics`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Currently open connections.
+    pub active_connections: u64,
+    /// Documents classified.
+    pub documents: u64,
+    /// Document payload bytes classified.
+    pub bytes: u64,
+    /// N-grams tested.
+    pub ngrams: u64,
+    /// Protocol faults answered with an Error response.
+    pub protocol_errors: u64,
+    /// Stalled sessions reset by the watchdog.
+    pub watchdog_resets: u64,
+    /// Wins per language.
+    pub lang_wins: Vec<u64>,
+    /// Latency histogram counts (`LATENCY_BOUNDS_US` buckets + overflow).
+    pub latency: [u64; LATENCY_BOUNDS_US.len() + 1],
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conns {}/{} docs {} bytes {} ngrams {} errors {} watchdog {} | latency(µs)",
+            self.active_connections,
+            self.connections,
+            self.documents,
+            self.bytes,
+            self.ngrams,
+            self.protocol_errors,
+            self.watchdog_resets,
+        )?;
+        for (i, count) in self.latency.iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            match LATENCY_BOUNDS_US.get(i) {
+                Some(b) => write!(f, " ≤{b}:{count}")?,
+                None => write!(f, " >{}:{count}", LATENCY_BOUNDS_US[i - 1])?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_land_in_the_right_bucket() {
+        let m = ServiceMetrics::new(3);
+        m.record_document(1, 100, 97, Duration::from_micros(50));
+        m.record_document(1, 200, 197, Duration::from_micros(2_000));
+        m.record_document(2, 300, 297, Duration::from_secs(10));
+        let s = m.snapshot();
+        assert_eq!(s.documents, 3);
+        assert_eq!(s.bytes, 600);
+        assert_eq!(s.ngrams, 591);
+        assert_eq!(s.lang_wins, vec![0, 2, 1]);
+        assert_eq!(s.latency[0], 1); // ≤ 100 µs
+        assert_eq!(s.latency[3], 1); // ≤ 3 ms
+        assert_eq!(s.latency[LATENCY_BOUNDS_US.len()], 1); // overflow
+    }
+
+    #[test]
+    fn out_of_range_winner_is_ignored() {
+        let m = ServiceMetrics::new(2);
+        m.record_document(9, 1, 1, Duration::ZERO);
+        assert_eq!(m.snapshot().lang_wins, vec![0, 0]);
+        assert_eq!(m.snapshot().documents, 1);
+    }
+
+    #[test]
+    fn snapshot_displays_compactly() {
+        let m = ServiceMetrics::new(1);
+        m.record_document(0, 10, 7, Duration::from_micros(80));
+        let line = m.snapshot().to_string();
+        assert!(line.contains("docs 1"));
+        assert!(line.contains("≤100:1"));
+    }
+}

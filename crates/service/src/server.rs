@@ -1,0 +1,284 @@
+//! The TCP front end: accept loop, connection handlers, graceful shutdown.
+//!
+//! Each accepted connection gets a session id, a Hello banner (the
+//! programmed language names), and a reader loop that decodes frames and
+//! forwards commands to the session's worker shard. Reads run under a
+//! timeout so a silent connection still generates watchdog ticks and
+//! notices server shutdown.
+
+use lc_core::MultiLanguageClassifier;
+use lc_wire::{ErrorCode, FrameAccumulator, WireCommand, WireResponse};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::metrics::ServiceMetrics;
+use crate::worker::{write_response, Job, WorkerPool};
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker (match-engine) count; 0 means one per available core.
+    pub workers: usize,
+    /// Bounded queue depth per worker (jobs, not bytes).
+    pub queue_depth: usize,
+    /// Watchdog period: a session stalled mid-document longer than this is
+    /// reset.
+    pub watchdog: Duration,
+    /// Socket read buffer size.
+    pub read_buffer: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_depth: 64,
+            watchdog: Duration::from_secs(5),
+            read_buffer: 64 * 1024,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads running detached.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared metrics.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// Stop accepting, drain connections and workers, join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection. An unspecified
+        // bind address (0.0.0.0 / ::) is not connectable on every
+        // platform; aim at loopback on the bound port instead.
+        let mut target = self.addr;
+        if target.ip().is_unspecified() {
+            target.set_ip(match target {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&target, Duration::from_secs(1));
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind and serve `classifier` on `addr` (e.g. `"127.0.0.1:0"`).
+pub fn serve(
+    classifier: Arc<MultiLanguageClassifier>,
+    addr: impl ToSocketAddrs,
+    config: ServiceConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = Arc::new(ServiceMetrics::new(classifier.num_languages()));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let pool = WorkerPool::new(
+        Arc::clone(&classifier),
+        Arc::clone(&metrics),
+        config.effective_workers(),
+        config.queue_depth,
+        config.watchdog,
+    );
+
+    let accept_metrics = Arc::clone(&metrics);
+    let accept_shutdown = Arc::clone(&shutdown);
+    let hello = Arc::new(WireResponse::Hello {
+        languages: classifier.names().to_vec(),
+    });
+    let accept_thread = std::thread::Builder::new()
+        .name("lc-accept".into())
+        .spawn(move || {
+            let next_session = AtomicU64::new(0);
+            let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let session = next_session.fetch_add(1, Ordering::Relaxed);
+                let tx = pool.sender_for(session);
+                let conn = ConnectionCtx {
+                    metrics: Arc::clone(&accept_metrics),
+                    shutdown: Arc::clone(&accept_shutdown),
+                    hello: Arc::clone(&hello),
+                    watchdog: config.watchdog,
+                    read_buffer: config.read_buffer,
+                };
+                conn_threads.retain(|h| !h.is_finished());
+                if let Ok(h) = std::thread::Builder::new()
+                    .name(format!("lc-conn-{session}"))
+                    .spawn(move || handle_connection(stream, session, tx, conn))
+                {
+                    conn_threads.push(h);
+                }
+            }
+            for h in conn_threads {
+                let _ = h.join();
+            }
+            pool.shutdown();
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        metrics,
+    })
+}
+
+struct ConnectionCtx {
+    metrics: Arc<ServiceMetrics>,
+    shutdown: Arc<AtomicBool>,
+    hello: Arc<WireResponse>,
+    watchdog: Duration,
+    read_buffer: usize,
+}
+
+fn handle_connection(stream: TcpStream, session: u64, tx: SyncSender<Job>, ctx: ConnectionCtx) {
+    ctx.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    ctx.metrics
+        .active_connections
+        .fetch_add(1, Ordering::Relaxed);
+    run_connection(stream, session, &tx, &ctx);
+    let _ = tx.send(Job::Close { session });
+    ctx.metrics
+        .active_connections
+        .fetch_sub(1, Ordering::Relaxed);
+}
+
+fn run_connection(mut stream: TcpStream, session: u64, tx: &SyncSender<Job>, ctx: &ConnectionCtx) {
+    let _ = stream.set_nodelay(true);
+    // Wake often enough for shutdown and a timely watchdog: the tick
+    // granularity bounds how late past its period the watchdog can fire.
+    let tick = (ctx.watchdog / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // A peer that stops reading must not wedge a worker on a blocked write.
+    let _ = write_half.set_write_timeout(Some(Duration::from_secs(30)));
+    let sink: Arc<Mutex<TcpStream>> = Arc::new(Mutex::new(write_half));
+    if write_response(&sink, &ctx.hello).is_err() {
+        return;
+    }
+    if tx
+        .send(Job::Open {
+            session,
+            sink: Arc::clone(&sink),
+            now: Instant::now(),
+        })
+        .is_err()
+    {
+        return;
+    }
+
+    let mut acc = FrameAccumulator::new();
+    let read_chunk = ctx.read_buffer.max(512);
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Bytes land straight in the accumulator (no scratch-buffer copy).
+        match acc.fill_from(&mut stream, read_chunk) {
+            Ok(0) => {
+                // Clean close — unless it cut a frame in half.
+                if acc.mid_frame() {
+                    ctx.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            Ok(_) => {
+                let now = Instant::now();
+                loop {
+                    match acc.next_frame() {
+                        Ok(Some((kind, payload))) => {
+                            match WireCommand::decode(kind, payload) {
+                                Ok(cmd) => {
+                                    if tx.send(Job::Command { session, cmd, now }).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(e) => {
+                                    // Unframeable garbage may follow; answer
+                                    // and drop the connection.
+                                    ctx.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    let _ = write_response(
+                                        &sink,
+                                        &WireResponse::Error {
+                                            code: ErrorCode::MalformedFrame,
+                                            detail: e.to_string(),
+                                        },
+                                    );
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            ctx.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = write_response(
+                                &sink,
+                                &WireResponse::Error {
+                                    code: ErrorCode::MalformedFrame,
+                                    detail: e.to_string(),
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if tx
+                    .send(Job::Tick {
+                        session,
+                        now: Instant::now(),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! The per-connection protocol state machine.
+//!
+//! One network session is one simulated match engine: it obeys the same
+//! Size / Data / End-of-Document / Query-Result command semantics as
+//! `lc_fpga::protocol::FpgaProtocol`, with two differences born of the
+//! transport:
+//!
+//! * TCP delivers commands and data **in order**, so the out-of-order
+//!   command queue of the DMA model is unnecessary — an End-of-Document
+//!   that arrives before all announced words is a *truncated transfer*
+//!   fault, not something to queue behind.
+//! * Classification is **streaming**: data words feed an
+//!   [`lc_core::StreamingSession`] as they arrive, so a session holds
+//!   O(counters) state regardless of document size instead of buffering
+//!   whole documents.
+//!
+//! The watchdog is wall-clock: a session stalled mid-document past the
+//! configured period is reset (and the host told so), exactly the recovery
+//! path `tests/protocol_faults.rs` exercises against the simulated engine.
+//! After any mid-document abort — watchdog reset, truncated transfer,
+//! excess words — the session *drains*: frames still in flight for the
+//! aborted document are discarded silently until the next Size re-arms it,
+//! so a pipelined host's one-response-per-document pairing stays intact
+//! (the error or unsolicited notice was the aborted document's response).
+
+use lc_core::{ClassificationResult, MultiLanguageClassifier, StreamingSession};
+use lc_wire::{ErrorCode, WireCommand, WireResponse};
+use std::time::{Duration, Instant};
+
+use crate::metrics::ServiceMetrics;
+
+/// A latched Query-Result payload (consumed by the first query, like the
+/// hardware latch).
+#[derive(Clone, Debug)]
+pub struct LatchedResult {
+    /// The classification outcome.
+    pub result: ClassificationResult,
+    /// XOR checksum over the received data words.
+    pub checksum: u64,
+    /// Status bit: transfer completed and classification valid.
+    pub valid: bool,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum State {
+    Idle,
+    Receiving {
+        expected_words: u32,
+        received_words: u32,
+        doc_bytes: u32,
+        bytes_fed: u32,
+    },
+    /// A fault or watchdog reset aborted an in-flight document. The error
+    /// (or unsolicited reset notice) already took that document's response
+    /// slot, so frames still in flight for it (Data, EoD, Query) are
+    /// discarded silently — otherwise each would generate another response
+    /// and desynchronize the client's one-response-per-document pairing.
+    /// The next Size (or Reset) re-arms the session.
+    Draining,
+}
+
+/// One connection's protocol engine, driven by decoded [`WireCommand`]s.
+#[derive(Debug)]
+pub struct Session {
+    state: State,
+    stream: StreamingSession,
+    checksum: u64,
+    latched: Option<LatchedResult>,
+    watchdog: Duration,
+    last_activity: Instant,
+    doc_started: Instant,
+}
+
+impl Session {
+    /// New idle session for one connection.
+    pub fn new(classifier: &MultiLanguageClassifier, watchdog: Duration, now: Instant) -> Self {
+        Self {
+            state: State::Idle,
+            stream: StreamingSession::new(classifier),
+            checksum: 0,
+            latched: None,
+            watchdog,
+            last_activity: now,
+            doc_started: now,
+        }
+    }
+
+    /// Whether a document transfer is in flight.
+    pub fn busy(&self) -> bool {
+        matches!(self.state, State::Receiving { .. })
+    }
+
+    /// Apply one command; returns the response to send, if any. Only
+    /// `QueryResult` and faults produce responses — data flow is silent,
+    /// like the register interface.
+    pub fn apply(
+        &mut self,
+        classifier: &MultiLanguageClassifier,
+        metrics: &ServiceMetrics,
+        cmd: WireCommand,
+        now: Instant,
+    ) -> Option<WireResponse> {
+        match cmd {
+            WireCommand::Size { words, bytes } => {
+                if self.busy() {
+                    return Some(self.fault(metrics, ErrorCode::SizeWhileBusy, String::new()));
+                }
+                // A fresh announcement re-arms a draining session.
+                self.state = State::Idle;
+                self.doc_started = now;
+                self.last_activity = now;
+                self.checksum = 0;
+                if words == 0 {
+                    self.latch(metrics, 0, now);
+                } else {
+                    self.state = State::Receiving {
+                        expected_words: words,
+                        received_words: 0,
+                        doc_bytes: bytes,
+                        bytes_fed: 0,
+                    };
+                }
+                None
+            }
+            WireCommand::Data(data) => self.accept_words(classifier, metrics, &data, now),
+            WireCommand::EndOfDocument => match self.state {
+                // All words already in: the latch happened on the final
+                // word; EoD is a no-op marker (as in the DMA model).
+                State::Idle => None,
+                // Leftover frame of a watchdog-aborted document.
+                State::Draining => None,
+                State::Receiving {
+                    expected_words,
+                    received_words,
+                    ..
+                } => {
+                    let detail = format!("{received_words}/{expected_words} words");
+                    self.abort_document();
+                    Some(self.fault(metrics, ErrorCode::TruncatedTransfer, detail))
+                }
+            },
+            WireCommand::QueryResult => {
+                if self.state == State::Draining {
+                    // The aborted document's query; its response slot was
+                    // the unsolicited watchdog notice.
+                    return None;
+                }
+                match self.latched.take() {
+                    Some(l) => Some(WireResponse::Result {
+                        counts: l.result.counts().to_vec(),
+                        total_ngrams: l.result.total_ngrams(),
+                        checksum: l.checksum,
+                        valid: l.valid,
+                    }),
+                    None => Some(self.fault(metrics, ErrorCode::NoResult, String::new())),
+                }
+            }
+            WireCommand::Reset => {
+                self.reset_document();
+                self.latched = None;
+                None
+            }
+        }
+    }
+
+    /// Advance wall-clock time with no traffic; fires the watchdog if a
+    /// transfer stalled past the period. Returns the reset notice to send.
+    pub fn tick(&mut self, metrics: &ServiceMetrics, now: Instant) -> Option<WireResponse> {
+        if !self.busy() || now.duration_since(self.last_activity) <= self.watchdog {
+            return None;
+        }
+        self.abort_document();
+        self.latched = None;
+        metrics
+            .watchdog_resets
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(WireResponse::Error {
+            code: ErrorCode::WatchdogReset,
+            detail: "session stalled mid-document".into(),
+        })
+    }
+
+    fn accept_words(
+        &mut self,
+        classifier: &MultiLanguageClassifier,
+        metrics: &ServiceMetrics,
+        data: &[u8],
+        now: Instant,
+    ) -> Option<WireResponse> {
+        debug_assert_eq!(data.len() % 8, 0, "decode guarantees whole words");
+        let n_words = (data.len() / 8) as u64;
+        let State::Receiving {
+            expected_words,
+            received_words,
+            doc_bytes,
+            bytes_fed,
+        } = self.state
+        else {
+            // Leftover data of a watchdog-aborted document is dropped
+            // silently; data with no announcement at all is a fault.
+            if self.state == State::Draining {
+                return None;
+            }
+            return Some(self.fault(
+                metrics,
+                ErrorCode::UnexpectedDma,
+                "data with no Size announcement".into(),
+            ));
+        };
+        if u64::from(received_words) + n_words > u64::from(expected_words) {
+            let detail = format!(
+                "{} words announced, {} delivered",
+                expected_words,
+                u64::from(received_words) + n_words
+            );
+            self.abort_document();
+            return Some(self.fault(metrics, ErrorCode::UnexpectedDma, detail));
+        }
+        self.last_activity = now;
+
+        // Checksum covers the words as transferred (padding included);
+        // the classifier sees only the real document bytes.
+        for w in data.chunks_exact(8) {
+            self.checksum ^= u64::from_le_bytes(w.try_into().unwrap());
+        }
+        let take = (data.len() as u32).min(doc_bytes - bytes_fed);
+        self.stream.feed(classifier, &data[..take as usize]);
+
+        let received_words = received_words + n_words as u32;
+        if received_words == expected_words {
+            self.state = State::Idle;
+            self.latch(metrics, doc_bytes, now);
+        } else {
+            self.state = State::Receiving {
+                expected_words,
+                received_words,
+                doc_bytes,
+                bytes_fed: bytes_fed + take,
+            };
+        }
+        None
+    }
+
+    /// End-of-transfer: classify, latch, and account.
+    fn latch(&mut self, metrics: &ServiceMetrics, doc_bytes: u32, now: Instant) {
+        let result = self.stream.finish();
+        metrics.record_document(
+            result.best(),
+            u64::from(doc_bytes),
+            result.total_ngrams(),
+            now.duration_since(self.doc_started),
+        );
+        self.latched = Some(LatchedResult {
+            result,
+            checksum: self.checksum,
+            valid: true,
+        });
+    }
+
+    /// Drop any in-flight document (keeps the latch unless the caller
+    /// clears it too). `finish` resets the streaming state in place; the
+    /// discarded result is the partial standings of the aborted document.
+    fn reset_document(&mut self) {
+        self.state = State::Idle;
+        self.checksum = 0;
+        let _ = self.stream.finish();
+    }
+
+    /// A mid-document fault answered by an error (or the watchdog notice)
+    /// consumed that document's response slot: drop its state and drain
+    /// the frames still in flight for it so response pairing holds.
+    fn abort_document(&mut self) {
+        self.reset_document();
+        self.state = State::Draining;
+    }
+
+    fn fault(&self, metrics: &ServiceMetrics, code: ErrorCode, detail: String) -> WireResponse {
+        metrics
+            .protocol_errors
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        WireResponse::Error { code, detail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_bloom::BloomParams;
+    use lc_core::ClassifierBuilder;
+    use lc_ngram::NGramSpec;
+    use lc_wire::pack_words;
+
+    fn classifier() -> MultiLanguageClassifier {
+        let mut b = ClassifierBuilder::new(NGramSpec::PAPER, 200);
+        b.add_language(
+            "en",
+            [b"the quick brown fox jumps over the lazy dog".as_slice()],
+        );
+        b.add_language(
+            "fr",
+            [b"le renard brun saute par dessus le chien".as_slice()],
+        );
+        b.build_bloom(BloomParams::PAPER_CONSERVATIVE, 1)
+    }
+
+    fn send_doc(
+        s: &mut Session,
+        c: &MultiLanguageClassifier,
+        m: &ServiceMetrics,
+        doc: &[u8],
+    ) -> LatchedResult {
+        let now = Instant::now();
+        let words = pack_words(doc);
+        assert_eq!(
+            s.apply(
+                c,
+                m,
+                WireCommand::Size {
+                    words: words.len() as u32,
+                    bytes: doc.len() as u32,
+                },
+                now,
+            ),
+            None
+        );
+        for chunk in words.chunks(3) {
+            assert_eq!(s.apply(c, m, WireCommand::data_words(chunk), now), None);
+        }
+        assert_eq!(s.apply(c, m, WireCommand::EndOfDocument, now), None);
+        match s.apply(c, m, WireCommand::QueryResult, now) {
+            Some(WireResponse::Result {
+                counts,
+                total_ngrams,
+                checksum,
+                valid,
+            }) => LatchedResult {
+                result: ClassificationResult::new(counts, total_ngrams),
+                checksum,
+                valid,
+            },
+            other => panic!("expected Result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn happy_path_matches_direct_classification() {
+        let c = classifier();
+        let m = ServiceMetrics::new(c.num_languages());
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        let doc = b"the quick brown fox and the dog";
+        let l = send_doc(&mut s, &c, &m, doc);
+        assert!(l.valid);
+        assert_eq!(l.checksum, lc_wire::xor_checksum(&pack_words(doc)));
+        assert_eq!(l.result, c.classify(doc));
+        assert_eq!(m.snapshot().documents, 1);
+        assert_eq!(m.snapshot().bytes, doc.len() as u64);
+    }
+
+    #[test]
+    fn result_is_consumed_once() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        let _ = send_doc(&mut s, &c, &m, b"the fox");
+        match s.apply(&c, &m, WireCommand::QueryResult, Instant::now()) {
+            Some(WireResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::NoResult),
+            other => panic!("expected NoResult, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eod_before_all_words_is_truncated_transfer() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        let now = Instant::now();
+        s.apply(
+            &c,
+            &m,
+            WireCommand::Size {
+                words: 100,
+                bytes: 800,
+            },
+            now,
+        );
+        s.apply(&c, &m, WireCommand::data_words(&[1, 2, 3]), now);
+        match s.apply(&c, &m, WireCommand::EndOfDocument, now) {
+            Some(WireResponse::Error { code, detail }) => {
+                assert_eq!(code, ErrorCode::TruncatedTransfer);
+                assert!(detail.contains("3/100"));
+            }
+            other => panic!("expected TruncatedTransfer, got {other:?}"),
+        }
+        // Session recovered: a full document classifies cleanly.
+        let doc = b"the quick brown fox jumps";
+        assert_eq!(send_doc(&mut s, &c, &m, doc).result, c.classify(doc));
+    }
+
+    #[test]
+    fn data_without_size_is_unexpected_dma() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        match s.apply(&c, &m, WireCommand::data_words(&[42]), Instant::now()) {
+            Some(WireResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::UnexpectedDma),
+            other => panic!("expected UnexpectedDma, got {other:?}"),
+        }
+        assert_eq!(m.snapshot().protocol_errors, 1);
+    }
+
+    #[test]
+    fn excess_words_are_unexpected_dma() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        let now = Instant::now();
+        s.apply(
+            &c,
+            &m,
+            WireCommand::Size {
+                words: 2,
+                bytes: 16,
+            },
+            now,
+        );
+        match s.apply(&c, &m, WireCommand::data_words(&[1, 2, 3]), now) {
+            Some(WireResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::UnexpectedDma),
+            other => panic!("expected UnexpectedDma, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_while_busy_is_rejected() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        let now = Instant::now();
+        s.apply(
+            &c,
+            &m,
+            WireCommand::Size {
+                words: 2,
+                bytes: 16,
+            },
+            now,
+        );
+        match s.apply(
+            &c,
+            &m,
+            WireCommand::Size {
+                words: 2,
+                bytes: 16,
+            },
+            now,
+        ) {
+            Some(WireResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::SizeWhileBusy),
+            other => panic!("expected SizeWhileBusy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_resets_stalled_session_and_recovers() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let t0 = Instant::now();
+        let mut s = Session::new(&c, Duration::from_millis(10), t0);
+        s.apply(
+            &c,
+            &m,
+            WireCommand::Size {
+                words: 4,
+                bytes: 32,
+            },
+            t0,
+        );
+        s.apply(&c, &m, WireCommand::data_words(&[7]), t0);
+        // No traffic past the period.
+        assert_eq!(s.tick(&m, t0 + Duration::from_millis(5)), None);
+        match s.tick(&m, t0 + Duration::from_millis(11)) {
+            Some(WireResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::WatchdogReset),
+            other => panic!("expected WatchdogReset, got {other:?}"),
+        }
+        assert!(!s.busy());
+        assert_eq!(m.snapshot().watchdog_resets, 1);
+        let doc = b"the quick brown fox";
+        assert_eq!(send_doc(&mut s, &c, &m, doc).result, c.classify(doc));
+    }
+
+    #[test]
+    fn watchdog_drain_keeps_response_pairing() {
+        // A pipelined host stalls mid-document, then its remaining frames
+        // arrive after the reset. They must be discarded silently — the
+        // unsolicited notice was that document's one response — and the
+        // next Size must re-arm the session.
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let t0 = Instant::now();
+        let mut s = Session::new(&c, Duration::from_millis(10), t0);
+        s.apply(
+            &c,
+            &m,
+            WireCommand::Size {
+                words: 4,
+                bytes: 32,
+            },
+            t0,
+        );
+        s.apply(&c, &m, WireCommand::data_words(&[1]), t0);
+        assert!(matches!(
+            s.tick(&m, t0 + Duration::from_millis(11)),
+            Some(WireResponse::Error {
+                code: ErrorCode::WatchdogReset,
+                ..
+            })
+        ));
+        // The aborted document's leftovers: all silent.
+        let late = t0 + Duration::from_millis(12);
+        assert_eq!(
+            s.apply(&c, &m, WireCommand::data_words(&[2, 3, 4]), late),
+            None
+        );
+        assert_eq!(s.apply(&c, &m, WireCommand::EndOfDocument, late), None);
+        assert_eq!(s.apply(&c, &m, WireCommand::QueryResult, late), None);
+        // Next document is served normally.
+        let doc = b"the quick brown fox jumps over the lazy dog";
+        assert_eq!(send_doc(&mut s, &c, &m, doc).result, c.classify(doc));
+        assert_eq!(m.snapshot().protocol_errors, 0);
+    }
+
+    #[test]
+    fn empty_document_is_legal() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        let now = Instant::now();
+        s.apply(&c, &m, WireCommand::Size { words: 0, bytes: 0 }, now);
+        match s.apply(&c, &m, WireCommand::QueryResult, now) {
+            Some(WireResponse::Result {
+                total_ngrams,
+                checksum,
+                ..
+            }) => {
+                assert_eq!(total_ngrams, 0);
+                assert_eq!(checksum, 0);
+            }
+            other => panic!("expected Result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_mid_transfer_discards_document() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        let now = Instant::now();
+        s.apply(
+            &c,
+            &m,
+            WireCommand::Size {
+                words: 3,
+                bytes: 24,
+            },
+            now,
+        );
+        s.apply(&c, &m, WireCommand::data_words(&[7]), now);
+        assert_eq!(s.apply(&c, &m, WireCommand::Reset, now), None);
+        assert!(!s.busy());
+        match s.apply(&c, &m, WireCommand::QueryResult, now) {
+            Some(WireResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::NoResult),
+            other => panic!("expected NoResult, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn padding_is_checksummed_but_not_classified() {
+        // A 9-byte document occupies 2 words; the 7 padding zero bytes must
+        // not reach the classifier.
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        let doc = b"the fox j";
+        let l = send_doc(&mut s, &c, &m, doc);
+        assert_eq!(l.result, c.classify(doc));
+        assert_eq!(l.checksum, lc_wire::xor_checksum(&pack_words(doc)));
+    }
+}

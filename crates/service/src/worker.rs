@@ -1,0 +1,164 @@
+//! The sharded classification worker pool.
+//!
+//! N workers, each holding an `Arc` of the one programmed
+//! [`MultiLanguageClassifier`] (the replicated match engines of §3.3 —
+//! same filters, independent execution). A session is pinned to the worker
+//! `session_id % N`, so its streaming state lives on exactly one thread and
+//! needs no locking. Queues are **bounded**: when a worker falls behind,
+//! `send` blocks the connection thread, which stops reading its socket —
+//! backpressure propagates to the client through TCP flow control, the
+//! network image of the DMA engine refusing words it has no buffer for.
+
+use lc_core::MultiLanguageClassifier;
+use lc_wire::WireCommand;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::metrics::ServiceMetrics;
+use crate::session::Session;
+
+/// Where a session's responses go: the connection's write half, shared
+/// with the connection thread (which writes its own decode-fault replies).
+pub type ResponseSink = Arc<Mutex<TcpStream>>;
+
+/// One unit of work for a worker.
+#[derive(Debug)]
+pub enum Job {
+    /// Register a session and its response sink.
+    Open {
+        /// Session id (also selects the worker shard).
+        session: u64,
+        /// Write half of the connection.
+        sink: ResponseSink,
+        /// Registration time.
+        now: Instant,
+    },
+    /// Apply a decoded command to a session.
+    Command {
+        /// Session id.
+        session: u64,
+        /// The command.
+        cmd: WireCommand,
+        /// Receive time.
+        now: Instant,
+    },
+    /// Idle-time heartbeat; lets the watchdog examine a silent session.
+    Tick {
+        /// Session id.
+        session: u64,
+        /// Tick time.
+        now: Instant,
+    },
+    /// Connection closed; drop the session.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+}
+
+/// The pool: bounded queues in, worker threads out.
+#[derive(Debug)]
+pub struct WorkerPool {
+    senders: Vec<SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads sharing `classifier`.
+    pub fn new(
+        classifier: Arc<MultiLanguageClassifier>,
+        metrics: Arc<ServiceMetrics>,
+        workers: usize,
+        queue_depth: usize,
+        watchdog: std::time::Duration,
+    ) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = sync_channel::<Job>(queue_depth.max(1));
+            let classifier = Arc::clone(&classifier);
+            let metrics = Arc::clone(&metrics);
+            let handle = std::thread::Builder::new()
+                .name(format!("lc-worker-{i}"))
+                .spawn(move || {
+                    let mut sessions: HashMap<u64, (Session, ResponseSink)> = HashMap::new();
+                    for job in rx {
+                        match job {
+                            Job::Open { session, sink, now } => {
+                                sessions.insert(
+                                    session,
+                                    (Session::new(&classifier, watchdog, now), sink),
+                                );
+                            }
+                            Job::Command { session, cmd, now } => {
+                                if let Some((s, sink)) = sessions.get_mut(&session) {
+                                    if let Some(resp) = s.apply(&classifier, &metrics, cmd, now) {
+                                        respond(sink, &resp);
+                                    }
+                                }
+                            }
+                            Job::Tick { session, now } => {
+                                if let Some((s, sink)) = sessions.get_mut(&session) {
+                                    if let Some(resp) = s.tick(&metrics, now) {
+                                        respond(sink, &resp);
+                                    }
+                                }
+                            }
+                            Job::Close { session } => {
+                                sessions.remove(&session);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The bounded sender feeding the worker that owns `session`.
+    pub fn sender_for(&self, session: u64) -> SyncSender<Job> {
+        self.senders[(session % self.senders.len() as u64) as usize].clone()
+    }
+
+    /// Drop the pool's own senders and join the workers. Workers exit once
+    /// every connection's sender clone is gone too.
+    pub fn shutdown(self) {
+        drop(self.senders);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Write one response frame under the sink lock (shared by workers and
+/// connection threads).
+pub(crate) fn write_response(
+    sink: &ResponseSink,
+    resp: &lc_wire::WireResponse,
+) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(64);
+    resp.encode(&mut buf)?;
+    let mut stream = sink
+        .lock()
+        .map_err(|_| std::io::Error::other("response sink poisoned"))?;
+    stream.write_all(&buf)
+}
+
+/// Worker-side response write; a failed write means the client is gone,
+/// which the connection thread will notice on its next read.
+fn respond(sink: &ResponseSink, resp: &lc_wire::WireResponse) {
+    let _ = write_response(sink, resp);
+}

@@ -1,17 +1,21 @@
 //! Offline stand-in for the subset of the `rayon` crate this workspace uses.
 //!
 //! The build environment has no registry access, so this shim provides the
-//! `par_iter()` / `into_par_iter()` adapter surface the workspace calls —
-//! executed **sequentially**. Results are bit-identical to real rayon (the
-//! workspace's parallel paths are all order-preserving and side-effect free);
-//! only wall-clock parallelism is lost. Swapping the real crate back in is a
-//! one-line manifest change, which is why the API mirrors rayon exactly.
-//!
-//! ROADMAP has an open item to give this shim a real work-stealing pool.
+//! `par_iter()` / `into_par_iter()` adapter surface the workspace calls.
+//! Unlike real rayon's lazy work-stealing, execution here is **eager
+//! fixed-chunk parallelism**: `map`, `filter`, and `flat_map` materialize
+//! their input, split it into one contiguous chunk per available core, and
+//! run the closure on scoped threads, reassembling results in input order.
+//! Results are bit-identical to real rayon (the workspace's parallel paths
+//! are all order-preserving and side-effect free); only the scheduling
+//! strategy differs. Swapping the real crate back in is a one-line manifest
+//! change, which is why the API mirrors rayon (closures take rayon's
+//! `Fn + Sync` bounds).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::ops::Range;
 
 /// The adapter and consumer surface, mirroring `rayon::prelude`.
@@ -19,44 +23,103 @@ pub mod prelude {
     pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// A "parallel" iterator: a sequential iterator with rayon's adapter names.
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn effective_threads() -> usize {
+    POOL_THREADS
+        .with(|t| t.get())
+        .unwrap_or_else(current_num_threads)
+        .max(1)
+}
+
+/// Apply `f` to every item on a fixed-chunk scoped-thread pool, preserving
+/// input order. Falls back to the calling thread for trivial inputs or a
+/// single-thread pool.
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = effective_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// A parallel iterator: adapters run eagerly on the chunked pool; the
+/// already-computed results are then consumed sequentially.
 #[derive(Clone, Debug)]
 pub struct ParallelIterator<I> {
     inner: I,
 }
 
 impl<I: Iterator> ParallelIterator<I> {
-    /// Map each item.
-    pub fn map<F, R>(self, f: F) -> ParallelIterator<std::iter::Map<I, F>>
+    /// Map each item, in parallel across fixed chunks.
+    pub fn map<F, R>(self, f: F) -> ParallelIterator<std::vec::IntoIter<R>>
     where
-        F: FnMut(I::Item) -> R,
+        F: Fn(I::Item) -> R + Sync,
+        I::Item: Send,
+        R: Send,
     {
+        let items: Vec<I::Item> = self.inner.collect();
         ParallelIterator {
-            inner: self.inner.map(f),
+            inner: run_chunked(items, f).into_iter(),
         }
     }
 
-    /// Keep items matching the predicate.
-    pub fn filter<P>(self, p: P) -> ParallelIterator<std::iter::Filter<I, P>>
+    /// Keep items matching the predicate; the predicate runs in parallel.
+    pub fn filter<P>(self, p: P) -> ParallelIterator<std::vec::IntoIter<I::Item>>
     where
-        P: FnMut(&I::Item) -> bool,
+        P: Fn(&I::Item) -> bool + Sync,
+        I::Item: Send,
     {
+        let items: Vec<I::Item> = self.inner.collect();
+        let kept: Vec<Option<I::Item>> =
+            run_chunked(items, |item| if p(&item) { Some(item) } else { None });
         ParallelIterator {
-            inner: self.inner.filter(p),
+            inner: kept.into_iter().flatten().collect::<Vec<_>>().into_iter(),
         }
     }
 
-    /// Map each item to a nested parallel iterator and flatten.
-    pub fn flat_map<F, J>(
-        self,
-        f: F,
-    ) -> ParallelIterator<std::iter::FlatMap<I, ParallelIterator<J>, F>>
+    /// Map each item to a nested parallel iterator and flatten, preserving
+    /// order. The outer closure runs in parallel.
+    pub fn flat_map<F, J>(self, f: F) -> ParallelIterator<std::vec::IntoIter<J::Item>>
     where
-        F: FnMut(I::Item) -> ParallelIterator<J>,
+        F: Fn(I::Item) -> ParallelIterator<J> + Sync,
         J: Iterator,
+        I::Item: Send,
+        J::Item: Send,
     {
+        let items: Vec<I::Item> = self.inner.collect();
+        let nested: Vec<Vec<J::Item>> = run_chunked(items, |item| f(item).inner.collect());
         ParallelIterator {
-            inner: self.inner.flat_map(f),
+            inner: nested.into_iter().flatten().collect::<Vec<_>>().into_iter(),
         }
     }
 
@@ -75,9 +138,14 @@ impl<I: Iterator> ParallelIterator<I> {
         self.inner.sum()
     }
 
-    /// Run a function on each item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.inner.for_each(f)
+    /// Run a function on each item, in parallel across fixed chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I::Item) + Sync,
+        I::Item: Send,
+    {
+        let items: Vec<I::Item> = self.inner.collect();
+        run_chunked(items, f);
     }
 }
 
@@ -95,7 +163,7 @@ pub trait IntoParallelRefIterator<'a> {
     /// The wrapped sequential iterator type.
     type Iter: Iterator;
 
-    /// Borrowing "parallel" iterator.
+    /// Borrowing parallel iterator.
     fn par_iter(&'a self) -> ParallelIterator<Self::Iter>;
 }
 
@@ -120,7 +188,7 @@ pub trait IntoParallelIterator {
     /// The wrapped sequential iterator type.
     type Iter: Iterator;
 
-    /// Consuming "parallel" iterator.
+    /// Consuming parallel iterator.
     fn into_par_iter(self) -> ParallelIterator<Self::Iter>;
 }
 
@@ -142,15 +210,14 @@ impl<T> IntoParallelIterator for Vec<T> {
     }
 }
 
-/// Number of threads the "pool" would use (reports hardware parallelism).
+/// Number of threads the pool uses by default (hardware parallelism).
 pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-/// Builder mirroring `rayon::ThreadPoolBuilder`. Thread count is recorded but
-/// execution is sequential.
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -162,7 +229,7 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Request a thread count (recorded only).
+    /// Request a thread count (0 = hardware parallelism).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
@@ -192,16 +259,21 @@ impl std::fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
-/// A "thread pool": runs closures on the calling thread.
+/// A thread pool with a fixed chunk count. `install` makes parallel
+/// adapters called inside `op` split work into this pool's thread count.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Run `op` "inside" the pool.
+    /// Run `op` inside the pool: parallel adapters on the calling thread
+    /// use this pool's thread count while `op` runs.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        op()
+        let prev = POOL_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        let result = op();
+        POOL_THREADS.with(|t| t.set(prev));
+        result
     }
 
     /// The configured thread count.
@@ -213,12 +285,39 @@ impl ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
         let v = vec![1, 2, 3, 4];
         let out: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(out, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn large_map_preserves_order_across_chunks() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..4096).collect();
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|&x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                x
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(threads > 1, "expected parallel execution, saw {threads}");
+        }
     }
 
     #[test]
@@ -233,12 +332,25 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs() {
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn pool_installs_and_pins_thread_count() {
         let pool = super::ThreadPoolBuilder::new()
             .num_threads(1)
             .build()
             .unwrap();
-        assert_eq!(pool.install(|| 7), 7);
         assert_eq!(pool.current_num_threads(), 1);
+        let out: Vec<usize> = pool.install(|| {
+            let v: Vec<usize> = (0..100).collect();
+            v.par_iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
     }
 }

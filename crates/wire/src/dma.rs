@@ -1,0 +1,65 @@
+//! DMA word packing and the transfer-validation checksum.
+//!
+//! Bulk document data moves as little-endian 64-bit words (the
+//! HyperTransport DMA granularity); the final word is zero-padded and the
+//! exact byte length travels out-of-band in the Size command. The hardware
+//! echoes an XOR checksum of the received words with Query Result so the
+//! host can verify the transfer (§4).
+
+/// Pack bytes into little-endian 64-bit words, zero-padding the tail.
+pub fn pack_words(doc: &[u8]) -> Vec<u64> {
+    doc.chunks(8)
+        .map(|c| {
+            let mut b = [0u8; 8];
+            b[..c.len()].copy_from_slice(c);
+            u64::from_le_bytes(b)
+        })
+        .collect()
+}
+
+/// XOR checksum over 64-bit words (§4: "the hardware sends an xor data
+/// checksum ... used to verify a valid document transfer").
+pub fn xor_checksum(words: &[u64]) -> u64 {
+    words.iter().fold(0u64, |acc, &w| acc ^ w)
+}
+
+/// Unpack little-endian words back to bytes, truncated to `bytes` (drops
+/// the final word's zero padding).
+pub fn unpack_bytes(words: &[u64], bytes: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.truncate(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_pads_final_word() {
+        let words = pack_words(b"ABCDEFGHIJ"); // 10 bytes -> 2 words
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0], u64::from_le_bytes(*b"ABCDEFGH"));
+        assert_eq!(words[1], u64::from_le_bytes([b'I', b'J', 0, 0, 0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn checksum_is_xor() {
+        assert_eq!(xor_checksum(&[]), 0);
+        assert_eq!(xor_checksum(&[0xFF, 0x0F]), 0xF0);
+        assert_eq!(xor_checksum(&[42, 42]), 0);
+    }
+
+    proptest! {
+        /// pack → unpack is the identity on any document.
+        #[test]
+        fn pack_unpack_roundtrip(doc in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let words = pack_words(&doc);
+            prop_assert_eq!(unpack_bytes(&words, doc.len()), doc);
+        }
+    }
+}

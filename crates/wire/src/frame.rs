@@ -1,0 +1,669 @@
+//! Length-framed messages carrying the Size/EoD/QueryResult command flow.
+//!
+//! Every message is one frame: a 5-byte header (`kind: u8`, `payload_len:
+//! u32` little-endian) followed by `payload_len` payload bytes. Commands
+//! flow host→engine, responses engine→host; both directions use the same
+//! header so a single incremental decoder ([`FrameAccumulator`]) serves
+//! client and server.
+//!
+//! | kind | direction | message | payload |
+//! |---|---|---|---|
+//! | `0x01` | →engine | Size | `words: u32`, `bytes: u32` |
+//! | `0x02` | →engine | Data | packed LE 64-bit DMA words (len ≡ 0 mod 8) |
+//! | `0x03` | →engine | EndOfDocument | empty |
+//! | `0x04` | →engine | QueryResult | empty |
+//! | `0x05` | →engine | Reset | empty |
+//! | `0x81` | engine→ | Hello | `count: u16`, then per language `len: u16` + UTF-8 name |
+//! | `0x82` | engine→ | Result | `valid: u8`, `checksum: u64`, `total_ngrams: u64`, `p: u16`, `p × count: u64` |
+//! | `0x83` | engine→ | Error | `code: u8`, `len: u16` + UTF-8 detail |
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload; larger announcements are a protocol
+/// error (a malicious or corrupted peer), not an allocation request.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// Frame kind bytes. Command kinds have the high bit clear, response kinds
+/// have it set.
+pub mod kind {
+    /// Size command.
+    pub const SIZE: u8 = 0x01;
+    /// Data (DMA words) frame.
+    pub const DATA: u8 = 0x02;
+    /// End-of-Document command.
+    pub const END_OF_DOCUMENT: u8 = 0x03;
+    /// Query Result command.
+    pub const QUERY_RESULT: u8 = 0x04;
+    /// Reset command.
+    pub const RESET: u8 = 0x05;
+    /// Hello response (server banner: language names).
+    pub const HELLO: u8 = 0x81;
+    /// Result response (counters + checksum + status).
+    pub const RESULT: u8 = 0x82;
+    /// Error response.
+    pub const ERROR: u8 = 0x83;
+}
+
+/// Decode-level failures: the byte stream does not form a valid frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Announced payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversize(u32),
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// A Data payload whose length is not a whole number of 64-bit words.
+    ShortDmaPayload(usize),
+    /// Structurally invalid payload for the frame kind.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            FrameError::ShortDmaPayload(n) => {
+                write!(f, "data payload of {n} bytes is not whole 64-bit words")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Error codes carried by Error response frames. Each mirrors a
+/// `lc_fpga::protocol::ProtocolError` variant (or the watchdog event) so
+/// the network service and the simulated hardware fail identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Query issued but no result latched.
+    NoResult = 1,
+    /// Size command while a document is in flight.
+    SizeWhileBusy = 2,
+    /// EndOfDocument before all announced words arrived.
+    TruncatedTransfer = 3,
+    /// DMA words with no Size announcement (or beyond the announced count).
+    UnexpectedDma = 4,
+    /// The watchdog reset a stalled session.
+    WatchdogReset = 5,
+    /// The peer sent bytes that do not decode as a valid frame.
+    MalformedFrame = 6,
+}
+
+impl ErrorCode {
+    /// Parse a wire byte.
+    pub fn from_byte(b: u8) -> Result<Self, FrameError> {
+        Ok(match b {
+            1 => ErrorCode::NoResult,
+            2 => ErrorCode::SizeWhileBusy,
+            3 => ErrorCode::TruncatedTransfer,
+            4 => ErrorCode::UnexpectedDma,
+            5 => ErrorCode::WatchdogReset,
+            6 => ErrorCode::MalformedFrame,
+            _ => return Err(FrameError::Malformed("unknown error code")),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::NoResult => "no latched result to query",
+            ErrorCode::SizeWhileBusy => "Size command while document in flight",
+            ErrorCode::TruncatedTransfer => "truncated transfer",
+            ErrorCode::UnexpectedDma => "DMA data with no Size announcement",
+            ErrorCode::WatchdogReset => "watchdog reset a stalled session",
+            ErrorCode::MalformedFrame => "malformed frame",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Host-issued commands — the register-interface flow of
+/// `lc_fpga::protocol::Command`, carried as network frames. Data words ride
+/// inside the same framing (TCP is the DMA channel).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireCommand {
+    /// Announce an incoming document: number of 64-bit data words and the
+    /// exact byte length (≤ 8 × words).
+    Size {
+        /// 64-bit words to expect via Data frames.
+        words: u32,
+        /// Exact document length in bytes.
+        bytes: u32,
+    },
+    /// A burst of packed document words, kept as word-aligned raw bytes
+    /// (`len % 8 == 0`) so the payload crosses client → socket → worker
+    /// without repacking. [`WireCommand::data_words`] builds one from
+    /// words; iterate words back out with `payload.chunks_exact(8)`.
+    Data(Vec<u8>),
+    /// Final word of the document has been sent; classify and latch.
+    EndOfDocument,
+    /// Read back the latched result.
+    QueryResult,
+    /// Reset the session state machine.
+    Reset,
+}
+
+impl WireCommand {
+    /// Build a Data frame from 64-bit words (tests and word-level hosts;
+    /// the streaming client writes byte payloads directly).
+    pub fn data_words(words: &[u64]) -> Self {
+        let mut payload = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        WireCommand::Data(payload)
+    }
+
+    /// Write this command as one frame.
+    pub fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            WireCommand::Size { words, bytes } => {
+                let mut payload = [0u8; 8];
+                payload[..4].copy_from_slice(&words.to_le_bytes());
+                payload[4..].copy_from_slice(&bytes.to_le_bytes());
+                write_frame(w, kind::SIZE, &payload)
+            }
+            WireCommand::Data(payload) => {
+                debug_assert_eq!(payload.len() % 8, 0, "data payload must be whole words");
+                write_frame(w, kind::DATA, payload)
+            }
+            WireCommand::EndOfDocument => write_frame(w, kind::END_OF_DOCUMENT, &[]),
+            WireCommand::QueryResult => write_frame(w, kind::QUERY_RESULT, &[]),
+            WireCommand::Reset => write_frame(w, kind::RESET, &[]),
+        }
+    }
+
+    /// Decode a command from a frame's kind byte and payload. Takes the
+    /// payload by value: a Data payload is adopted as-is, no repacking.
+    pub fn decode(frame_kind: u8, payload: Vec<u8>) -> Result<Self, FrameError> {
+        match frame_kind {
+            kind::SIZE => {
+                if payload.len() != 8 {
+                    return Err(FrameError::Malformed("Size payload must be 8 bytes"));
+                }
+                let words = u32::from_le_bytes(payload[..4].try_into().unwrap());
+                let bytes = u32::from_le_bytes(payload[4..].try_into().unwrap());
+                if u64::from(bytes) > u64::from(words) * 8 {
+                    return Err(FrameError::Malformed("byte length exceeds announced words"));
+                }
+                Ok(WireCommand::Size { words, bytes })
+            }
+            kind::DATA => {
+                if !payload.len().is_multiple_of(8) {
+                    return Err(FrameError::ShortDmaPayload(payload.len()));
+                }
+                Ok(WireCommand::Data(payload))
+            }
+            kind::END_OF_DOCUMENT => expect_empty(payload, WireCommand::EndOfDocument),
+            kind::QUERY_RESULT => expect_empty(payload, WireCommand::QueryResult),
+            kind::RESET => expect_empty(payload, WireCommand::Reset),
+            other => Err(FrameError::UnknownKind(other)),
+        }
+    }
+}
+
+fn expect_empty(payload: Vec<u8>, cmd: WireCommand) -> Result<WireCommand, FrameError> {
+    if payload.is_empty() {
+        Ok(cmd)
+    } else {
+        Err(FrameError::Malformed("command payload must be empty"))
+    }
+}
+
+/// Engine-issued responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireResponse {
+    /// Server banner sent once per connection: the programmed language
+    /// names, index-aligned with Result counters.
+    Hello {
+        /// Language names in counter order.
+        languages: Vec<String>,
+    },
+    /// The Query Result payload: counters + checksum + status, exactly the
+    /// fields `lc_fpga::protocol::QueryResult` latches.
+    Result {
+        /// Per-language match counters.
+        counts: Vec<u64>,
+        /// Total n-grams tested in the document.
+        total_ngrams: u64,
+        /// XOR checksum of the received data words.
+        checksum: u64,
+        /// Status bit: transfer and classification valid.
+        valid: bool,
+    },
+    /// A protocol fault, with the offended rule and a human-readable detail.
+    Error {
+        /// Which rule was violated.
+        code: ErrorCode,
+        /// Diagnostic detail.
+        detail: String,
+    },
+}
+
+impl WireResponse {
+    /// Write this response as one frame.
+    pub fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            WireResponse::Hello { languages } => {
+                let mut payload = Vec::new();
+                payload.extend_from_slice(&(languages.len() as u16).to_le_bytes());
+                for name in languages {
+                    let b = name.as_bytes();
+                    payload.extend_from_slice(&(b.len() as u16).to_le_bytes());
+                    payload.extend_from_slice(b);
+                }
+                write_frame(w, kind::HELLO, &payload)
+            }
+            WireResponse::Result {
+                counts,
+                total_ngrams,
+                checksum,
+                valid,
+            } => {
+                let mut payload = Vec::with_capacity(19 + counts.len() * 8);
+                payload.push(u8::from(*valid));
+                payload.extend_from_slice(&checksum.to_le_bytes());
+                payload.extend_from_slice(&total_ngrams.to_le_bytes());
+                payload.extend_from_slice(&(counts.len() as u16).to_le_bytes());
+                for c in counts {
+                    payload.extend_from_slice(&c.to_le_bytes());
+                }
+                write_frame(w, kind::RESULT, &payload)
+            }
+            WireResponse::Error { code, detail } => {
+                let b = detail.as_bytes();
+                let mut payload = Vec::with_capacity(3 + b.len());
+                payload.push(*code as u8);
+                payload.extend_from_slice(&(b.len() as u16).to_le_bytes());
+                payload.extend_from_slice(b);
+                write_frame(w, kind::ERROR, &payload)
+            }
+        }
+    }
+
+    /// Decode a response from a frame's kind byte and payload.
+    pub fn decode(frame_kind: u8, payload: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Cursor { buf: payload };
+        match frame_kind {
+            kind::HELLO => {
+                let count = r.u16()?;
+                let mut languages = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let len = r.u16()? as usize;
+                    let name = std::str::from_utf8(r.take(len)?)
+                        .map_err(|_| FrameError::Malformed("language name not UTF-8"))?;
+                    languages.push(name.to_string());
+                }
+                r.done()?;
+                Ok(WireResponse::Hello { languages })
+            }
+            kind::RESULT => {
+                let valid = r.u8()? != 0;
+                let checksum = r.u64()?;
+                let total_ngrams = r.u64()?;
+                let p = r.u16()?;
+                let mut counts = Vec::with_capacity(p as usize);
+                for _ in 0..p {
+                    counts.push(r.u64()?);
+                }
+                r.done()?;
+                Ok(WireResponse::Result {
+                    counts,
+                    total_ngrams,
+                    checksum,
+                    valid,
+                })
+            }
+            kind::ERROR => {
+                let code = ErrorCode::from_byte(r.u8()?)?;
+                let len = r.u16()? as usize;
+                let detail = std::str::from_utf8(r.take(len)?)
+                    .map_err(|_| FrameError::Malformed("error detail not UTF-8"))?
+                    .to_string();
+                r.done()?;
+                Ok(WireResponse::Error { code, detail })
+            }
+            other => Err(FrameError::UnknownKind(other)),
+        }
+    }
+}
+
+/// Minimal checked reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() < n {
+            return Err(FrameError::Malformed("payload shorter than declared"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), FrameError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes in payload"))
+        }
+    }
+}
+
+fn write_header<W: Write>(w: &mut W, frame_kind: u8, len: u32) -> io::Result<()> {
+    let mut header = [0u8; 5];
+    header[0] = frame_kind;
+    header[1..].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header)
+}
+
+/// Write one complete frame.
+pub fn write_frame<W: Write>(w: &mut W, frame_kind: u8, payload: &[u8]) -> io::Result<()> {
+    write_header(w, frame_kind, payload.len() as u32)?;
+    w.write_all(payload)
+}
+
+/// Write one Data frame straight from word-aligned payload bytes (the
+/// zero-copy path for streaming hosts; `payload.len()` must be a multiple
+/// of 8).
+pub fn write_data_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert_eq!(payload.len() % 8, 0, "data payload must be whole words");
+    write_frame(w, kind::DATA, payload)
+}
+
+/// Blocking-read one complete frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; EOF mid-frame is `UnexpectedEof` (a truncated frame).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut header = [0u8; 5];
+    let mut got = 0usize;
+    while got < header.len() {
+        let n = r.read(&mut header[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(header[1..].try_into().unwrap());
+    if len as usize > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversize(len).into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((header[0], payload)))
+}
+
+/// Incremental frame decoder for byte streams that arrive in arbitrary
+/// pieces (socket reads under a read timeout may split frames anywhere).
+/// Push bytes in, pull complete frames out; partial frames stay buffered.
+#[derive(Debug, Default)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+    /// Bytes already consumed from the front of `buf` (compacted lazily).
+    consumed: usize,
+}
+
+impl FrameAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append freshly received bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Read up to `max` bytes from `r` directly into the buffer — one copy
+    /// fewer than reading into scratch space and pushing. Returns the byte
+    /// count from `r.read` (0 = EOF); read errors (including timeouts)
+    /// leave the buffer unchanged.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R, max: usize) -> io::Result<usize> {
+        self.compact();
+        let start = self.buf.len();
+        self.buf.resize(start + max, 0);
+        match r.read(&mut self.buf[start..]) {
+            Ok(n) => {
+                self.buf.truncate(start + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(start);
+                Err(e)
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        } else if self.consumed > 4096 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+
+    /// Pull the next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < 5 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[1..5].try_into().unwrap());
+        if len as usize > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::Oversize(len));
+        }
+        let total = 5 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let frame_kind = pending[0];
+        let payload = pending[5..total].to_vec();
+        self.consumed += total;
+        Ok(Some((frame_kind, payload)))
+    }
+
+    /// Whether a partially received frame is buffered (an EOF now would be
+    /// a truncated frame).
+    pub fn mid_frame(&self) -> bool {
+        self.buf.len() > self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_cmd(cmd: WireCommand) {
+        let mut buf = Vec::new();
+        cmd.encode(&mut buf).unwrap();
+        let (k, payload) = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(WireCommand::decode(k, payload).unwrap(), cmd);
+    }
+
+    fn roundtrip_resp(resp: WireResponse) {
+        let mut buf = Vec::new();
+        resp.encode(&mut buf).unwrap();
+        let (k, payload) = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(WireResponse::decode(k, &payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn commands_roundtrip() {
+        roundtrip_cmd(WireCommand::Size {
+            words: 17,
+            bytes: 130,
+        });
+        roundtrip_cmd(WireCommand::data_words(&[1, 2, 3, u64::MAX]));
+        roundtrip_cmd(WireCommand::data_words(&[]));
+        roundtrip_cmd(WireCommand::EndOfDocument);
+        roundtrip_cmd(WireCommand::QueryResult);
+        roundtrip_cmd(WireCommand::Reset);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(WireResponse::Hello {
+            languages: vec!["en".into(), "fr".into(), "español".into()],
+        });
+        roundtrip_resp(WireResponse::Result {
+            counts: vec![4, 0, 99, u64::MAX],
+            total_ngrams: 1234,
+            checksum: 0xDEAD_BEEF,
+            valid: true,
+        });
+        roundtrip_resp(WireResponse::Error {
+            code: ErrorCode::TruncatedTransfer,
+            detail: "3/100 words".into(),
+        });
+    }
+
+    #[test]
+    fn short_dma_payload_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind::DATA, &[1, 2, 3, 4, 5]).unwrap();
+        let (k, payload) = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(
+            WireCommand::decode(k, payload),
+            Err(FrameError::ShortDmaPayload(5))
+        );
+    }
+
+    #[test]
+    fn size_with_excess_bytes_is_rejected() {
+        let mut payload = [0u8; 8];
+        payload[..4].copy_from_slice(&2u32.to_le_bytes());
+        payload[4..].copy_from_slice(&17u32.to_le_bytes()); // 17 > 2*8
+        assert!(WireCommand::decode(kind::SIZE, payload.to_vec()).is_err());
+    }
+
+    #[test]
+    fn oversize_frame_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, kind::DATA, u32::MAX).unwrap();
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        let mut acc = FrameAccumulator::new();
+        acc.push(&buf);
+        assert!(acc.next_frame().is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        WireCommand::data_words(&[7, 8, 9])
+            .encode(&mut buf)
+            .unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert_eq!(read_frame(&mut [].as_slice()).unwrap(), None);
+    }
+
+    #[test]
+    fn accumulator_handles_byte_at_a_time_delivery() {
+        let mut buf = Vec::new();
+        WireCommand::Size {
+            words: 3,
+            bytes: 20,
+        }
+        .encode(&mut buf)
+        .unwrap();
+        WireCommand::data_words(&[10, 20, 30])
+            .encode(&mut buf)
+            .unwrap();
+        WireCommand::EndOfDocument.encode(&mut buf).unwrap();
+
+        let mut acc = FrameAccumulator::new();
+        let mut frames = Vec::new();
+        for &b in &buf {
+            acc.push(&[b]);
+            while let Some((k, p)) = acc.next_frame().unwrap() {
+                frames.push(WireCommand::decode(k, p).unwrap());
+            }
+        }
+        assert!(!acc.mid_frame());
+        assert_eq!(
+            frames,
+            vec![
+                WireCommand::Size {
+                    words: 3,
+                    bytes: 20
+                },
+                WireCommand::data_words(&[10, 20, 30]),
+                WireCommand::EndOfDocument,
+            ]
+        );
+    }
+
+    #[test]
+    fn accumulator_fills_directly_from_reader() {
+        let mut bytes = Vec::new();
+        WireCommand::Size { words: 1, bytes: 8 }
+            .encode(&mut bytes)
+            .unwrap();
+        WireCommand::data_words(&[99]).encode(&mut bytes).unwrap();
+        let mut reader = bytes.as_slice();
+        let mut acc = FrameAccumulator::new();
+        // Tiny reads split frames arbitrarily.
+        let mut frames = Vec::new();
+        loop {
+            let n = acc.fill_from(&mut reader, 3).unwrap();
+            while let Some((k, p)) = acc.next_frame().unwrap() {
+                frames.push(WireCommand::decode(k, p).unwrap());
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(
+            frames,
+            vec![
+                WireCommand::Size { words: 1, bytes: 8 },
+                WireCommand::data_words(&[99]),
+            ]
+        );
+        assert!(!acc.mid_frame());
+    }
+
+    #[test]
+    fn accumulator_reports_mid_frame() {
+        let mut buf = Vec::new();
+        WireCommand::data_words(&[1, 2]).encode(&mut buf).unwrap();
+        let mut acc = FrameAccumulator::new();
+        acc.push(&buf[..7]);
+        assert_eq!(acc.next_frame().unwrap(), None);
+        assert!(acc.mid_frame());
+    }
+}

@@ -5,6 +5,8 @@
 //! lcbloom train    --out FILE.lcp [--t N] DIR...
 //! lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K] FILE...
 //! lcbloom simulate --profiles FILE.lcp [--async|--sync] FILE...
+//! lcbloom serve    --profiles FILE.lcp [--addr A] [--workers N] [--watchdog-ms N] [--stats-secs N]
+//! lcbloom query    --addr A FILE...
 //! lcbloom demo
 //! ```
 //!
@@ -12,13 +14,17 @@
 //!   language code, `train/` and `test/` splits inside.
 //! * `train` builds top-t 4-gram profiles from language-named directories
 //!   (each containing text files) and saves them to a profile store.
-//! * `classify` programs Bloom filters from a store and labels files.
+//! * `classify` programs Bloom filters from a store and labels files
+//!   (streamed in bounded chunks — constant memory; `-` reads stdin).
 //! * `simulate` streams files through the XD1000 simulator and reports
 //!   hardware-model throughput alongside the labels.
+//! * `serve` runs the sharded TCP classification service on a profile
+//!   store; `query` classifies files against a running server.
 
 use lcbloom::fpga::resources::ClassifierConfig;
 use lcbloom::prelude::*;
 use lcbloom::profile_store::ProfileStore;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -29,6 +35,8 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -54,10 +62,13 @@ fn print_usage() {
          \x20 lcbloom train    --out FILE.lcp [--t N] DIR...\n\
          \x20 lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K] FILE...\n\
          \x20 lcbloom simulate --profiles FILE.lcp [--sync] FILE...\n\
+         \x20 lcbloom serve    --profiles FILE.lcp [--addr HOST:PORT] [--workers N]\n\
+         \x20                  [--watchdog-ms N] [--stats-secs N] [--m KBITS] [--k K]\n\
+         \x20 lcbloom query    --addr HOST:PORT FILE...\n\
          \x20 lcbloom demo\n\
          \n\
          `train` expects one directory per language, named by its code (en, fr, ...),\n\
-         each containing plain-text files."
+         each containing plain-text files. `classify` and `query` accept `-` for stdin."
     );
 }
 
@@ -234,6 +245,10 @@ fn load_classifier(
     Ok((store, classifier))
 }
 
+/// Chunk size for streaming classification: memory use stays constant no
+/// matter how large the input is.
+const CLASSIFY_CHUNK: usize = 64 * 1024;
+
 fn cmd_classify(args: &[String]) -> Result<(), String> {
     let (flags, files) = parse_flags(args, &["profiles", "m", "k"], &[])?;
     let (_, classifier) = load_classifier(&flags)?;
@@ -244,13 +259,123 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
         "{:<40} {:<8} {:>8} {:>10}",
         "file", "language", "margin", "n-grams"
     );
+    let mut session = StreamingClassifier::new(&classifier);
+    let mut buf = vec![0u8; CLASSIFY_CHUNK];
     for f in &files {
-        let text = std::fs::read(f).map_err(|e| format!("reading {f}: {e}"))?;
-        let r = classifier.classify(&text);
+        let mut reader: Box<dyn std::io::Read> = if f == "-" {
+            Box::new(std::io::stdin().lock())
+        } else {
+            Box::new(std::fs::File::open(f).map_err(|e| format!("reading {f}: {e}"))?)
+        };
+        loop {
+            let n = reader
+                .read(&mut buf)
+                .map_err(|e| format!("reading {f}: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            session.feed(&buf[..n]);
+        }
+        let r = session.finish();
         println!(
             "{:<40} {:<8} {:>8.3} {:>10}",
             f,
             classifier.names()[r.best()],
+            r.margin(),
+            r.total_ngrams()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(
+        args,
+        &[
+            "profiles",
+            "m",
+            "k",
+            "addr",
+            "workers",
+            "watchdog-ms",
+            "stats-secs",
+        ],
+        &[],
+    )?;
+    let (_, classifier) = load_classifier(&flags)?;
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:4004")
+        .to_string();
+    let config = ServiceConfig {
+        workers: parse_num(&flags, "workers", 0usize)?,
+        watchdog: std::time::Duration::from_millis(parse_num(&flags, "watchdog-ms", 5000u64)?),
+        ..ServiceConfig::default()
+    };
+    let stats_secs = parse_num(&flags, "stats-secs", 10u64)?;
+    let classifier = std::sync::Arc::new(classifier);
+    let handle = lcbloom::service::serve(
+        std::sync::Arc::clone(&classifier),
+        addr.as_str(),
+        config.clone(),
+    )
+    .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "serving {} languages on {} ({} workers, {:?} watchdog)",
+        classifier.num_languages(),
+        handle.addr(),
+        if config.workers == 0 {
+            "auto".to_string()
+        } else {
+            config.workers.to_string()
+        },
+        config.watchdog,
+    );
+    let metrics = std::sync::Arc::clone(handle.metrics());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(stats_secs.max(1)));
+        eprintln!("{}", metrics.snapshot());
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (flags, files) = parse_flags(args, &["addr"], &[])?;
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:4004");
+    if files.is_empty() {
+        return Err("query requires at least one file".into());
+    }
+    let mut client =
+        ClassifyClient::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    println!(
+        "{:<40} {:<8} {:>8} {:>10}",
+        "file", "language", "margin", "n-grams"
+    );
+    for f in &files {
+        let served = if f == "-" {
+            let mut text = Vec::new();
+            std::io::stdin()
+                .lock()
+                .read_to_end(&mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            client.classify(&text)
+        } else {
+            let mut file = std::fs::File::open(f).map_err(|e| format!("reading {f}: {e}"))?;
+            let len = file
+                .metadata()
+                .map_err(|e| format!("reading {f}: {e}"))?
+                .len();
+            client.classify_reader(&mut file, len)
+        }
+        .map_err(|e| format!("classifying {f}: {e}"))?;
+        let r = &served.result;
+        println!(
+            "{:<40} {:<8} {:>8.3} {:>10}",
+            f,
+            client.languages()[r.best()],
             r.margin(),
             r.total_ngrams()
         );

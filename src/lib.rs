@@ -54,6 +54,8 @@ pub use lc_hail as hail;
 pub use lc_hash as hash;
 pub use lc_mguesser as mguesser;
 pub use lc_ngram as ngram;
+pub use lc_service as service;
+pub use lc_wire as wire;
 
 pub mod profile_store;
 
@@ -62,7 +64,7 @@ pub mod prelude {
     pub use lc_bloom::{BloomParams, ClassicBloomFilter, ParallelBloomFilter};
     pub use lc_core::{
         classify_batch, ClassificationResult, ClassifierBuilder, ConfusionMatrix, ExactClassifier,
-        MultiLanguageClassifier, ParallelClassifier,
+        MultiLanguageClassifier, ParallelClassifier, StreamingClassifier, StreamingSession,
     };
     pub use lc_corpus::{Corpus, CorpusConfig, Document, Language};
     pub use lc_fpga::{
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use lc_hash::{H3Family, HashFunction, H3};
     pub use lc_mguesser::{CavnarTrenkle, HashSetClassifier};
     pub use lc_ngram::{NGram, NGramExtractor, NGramProfile, NGramSpec};
+    pub use lc_service::{ClassifyClient, ServedResult, ServiceConfig};
 }
 
 use lc_bloom::BloomParams;
