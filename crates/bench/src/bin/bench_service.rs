@@ -1,15 +1,25 @@
 //! `BENCH_service.json` emitter: aggregate served throughput of the TCP
 //! classification service on the paper's 8-language × (k = 4, m = 16 Kbit)
-//! configuration, at 1 worker and at 4 workers, with concurrent pipelined
-//! clients over localhost. The ratio shows the worker-pool sharding paying
-//! off: one worker is one match engine; four workers are the §3.3
-//! replication.
+//! configuration, with concurrent pipelined clients over localhost.
+//!
+//! Three scenarios:
+//!
+//! * **Worker scaling** (1 vs 4 workers, 8 clients): the §3.3 replication
+//!   argument — one worker is one match engine, four are the replicated
+//!   fabric.
+//! * **Connections sweep** (8 / 64 / 256 clients, 4 workers): the
+//!   event-driven connection layer must hold its throughput as the
+//!   connection count climbs past what thread-per-connection could carry.
+//! * **Slow reader** (64 clients + 1 peer that never reads a response,
+//!   tight high-water/deadline policy): served throughput must not
+//!   care, and the JSON records the slow-consumer resets that prove the
+//!   policy fired instead of a shard stalling.
 //!
 //! Clients keep a small window of documents in flight per connection
 //! (Size/Data/EoD/Query for document *n+1* may follow document *n*'s Query
 //! immediately — the protocol consumes the latch in order), so the bench
 //! measures engine capacity, not round-trip latency. Each configuration is
-//! measured in five interleaved rounds and reported as the median, which
+//! measured in interleaved rounds and reported as the median, which
 //! cancels slow-container drift.
 //!
 //! Run from the workspace root with:
@@ -20,18 +30,13 @@
 //!
 //! Knobs: `LC_BENCH_SERVICE_DOCS` (measured documents per round, default
 //! 600), `LC_BENCH_DOC_BYTES` (mean document size, default 10 KiB),
-//! `LC_BENCH_SERVICE_CLIENTS` (concurrent clients, default 8), and
-//! `LC_BENCH_OUT` (output path, default `BENCH_service.json`).
-//!
-//! Two effects compound in the 1-worker column: the lone engine is a
-//! single *shard* — every connection feeds one bounded queue, so its lock
-//! is the service's hot spot — and it can use at most one core of the
-//! machine. Replication removes both, which is the paper's §3.3 argument.
+//! `LC_BENCH_SERVICE_CLIENTS` (baseline concurrent clients, default 8),
+//! and `LC_BENCH_OUT` (output path, default `BENCH_service.json`).
 
 use lc_bloom::BloomParams;
 use lc_core::MultiLanguageClassifier;
 use lc_corpus::{Corpus, CorpusConfig, Language};
-use lc_service::{serve, ServiceConfig};
+use lc_service::{raise_nofile_limit, serve, ServiceConfig};
 use lc_wire::{read_frame, write_data_frame, WireCommand, WireResponse};
 use std::io::{BufWriter, Write};
 use std::net::TcpStream;
@@ -78,31 +83,75 @@ fn read_result(stream: &mut TcpStream) {
     }
 }
 
-/// One measured round: serve with `workers`, hammer with `clients`, return
-/// (docs/sec, MB/s) over `measure_docs` documents.
+/// One measured round's outcome.
+#[derive(Clone)]
+struct Round {
+    docs_per_s: f64,
+    mb_per_s: f64,
+    slow_consumer_resets: u64,
+}
+
+/// One measured round: serve with `config`, hammer with `clients` (plus
+/// optionally one peer that never reads a response), return throughput
+/// over `measure_docs` documents served to the *well-behaved* clients.
 fn run_round(
     classifier: &Arc<MultiLanguageClassifier>,
     docs: &[Vec<u8>],
-    workers: usize,
+    config: ServiceConfig,
     clients: usize,
     measure_docs: usize,
-) -> (f64, f64) {
-    let server = serve(
-        Arc::clone(classifier),
-        "127.0.0.1:0",
-        ServiceConfig {
-            workers,
-            ..ServiceConfig::default()
-        },
-    )
-    .expect("bind localhost");
+    slow_reader: bool,
+) -> Round {
+    let server = serve(Arc::clone(classifier), "127.0.0.1:0", config).expect("bind localhost");
     let addr = server.addr();
+    let metrics = Arc::clone(server.metrics());
 
     let budget = AtomicUsize::new(measure_docs);
-    let barrier = Barrier::new(clients + 1);
+    let barrier = Barrier::new(clients + 1 + usize::from(slow_reader));
     let bytes_served = AtomicUsize::new(0);
+    // Last client to drain the budget stamps the finish line, so the
+    // measured span never includes the slow peer's deliberate lingering.
+    let finished: std::sync::Mutex<Option<Instant>> = std::sync::Mutex::new(None);
 
-    let elapsed = std::thread::scope(|s| {
+    let started = std::thread::scope(|s| {
+        if slow_reader {
+            s.spawn(|| {
+                let mut stream = TcpStream::connect(addr).expect("connect slow");
+                let (kind, payload) = read_frame(&mut stream).unwrap().unwrap();
+                assert!(matches!(
+                    WireResponse::decode(kind, &payload).unwrap(),
+                    WireResponse::Hello { .. }
+                ));
+                // Pipeline thousands of tiny documents and never read a
+                // response; nonblocking writes, because once the server
+                // masks this peer nothing drains the socket.
+                let mut burst = Vec::new();
+                for _ in 0..4000 {
+                    send_doc(&mut burst, b"a peer that never reads");
+                }
+                stream.set_nonblocking(true).expect("nonblocking");
+                barrier.wait();
+                let mut written = 0usize;
+                // Stay connected past the measurement until the reset
+                // policy has visibly fired (or a bounded grace expires).
+                let linger = Instant::now() + std::time::Duration::from_secs(5);
+                while metrics.slow_consumer_resets.load(Ordering::Relaxed) == 0
+                    && Instant::now() < linger
+                {
+                    if written < burst.len() {
+                        match stream.write(&burst[written..]) {
+                            Ok(n) => {
+                                written += n;
+                                continue;
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                            Err(_) => written = burst.len(), // reset by the server
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            });
+        }
         for _ in 0..clients {
             s.spawn(|| {
                 let mut stream = TcpStream::connect(addr).expect("connect");
@@ -142,29 +191,46 @@ fn run_round(
                 for _ in 0..outstanding {
                     read_result(&mut stream);
                 }
+                let mut slot = finished.lock().unwrap();
+                let now = Instant::now();
+                if slot.is_none_or(|t| now > t) {
+                    *slot = Some(now);
+                }
             });
         }
         barrier.wait();
-        // The scope joins every client before returning, so `elapsed` on
-        // the returned instant spans release → last document served.
         Instant::now()
-    })
-    .elapsed();
+    });
 
-    server.shutdown();
+    // The scope joined every client, so the finish stamp (last writer
+    // wins, serialized by the lock) is from the last document served.
+    let end = finished
+        .lock()
+        .unwrap()
+        .expect("at least one client finished");
+    let elapsed = end.duration_since(started);
+
+    let snap = server.shutdown();
     let secs = elapsed.as_secs_f64();
-    (
-        measure_docs as f64 / secs,
-        bytes_served.load(Ordering::Relaxed) as f64 / 1e6 / secs,
-    )
+    Round {
+        docs_per_s: measure_docs as f64 / secs,
+        mb_per_s: bytes_served.load(Ordering::Relaxed) as f64 / 1e6 / secs,
+        slow_consumer_resets: snap.slow_consumer_resets,
+    }
 }
 
-fn median(mut xs: Vec<(f64, f64)>) -> (f64, f64) {
-    xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    xs[xs.len() / 2]
+fn median(mut xs: Vec<Round>) -> Round {
+    xs.sort_by(|a, b| a.docs_per_s.partial_cmp(&b.docs_per_s).unwrap());
+    let resets = xs.iter().map(|r| r.slow_consumer_resets).max().unwrap_or(0);
+    let mid = xs.swap_remove(xs.len() / 2);
+    Round {
+        slow_consumer_resets: resets,
+        ..mid
+    }
 }
 
 fn main() {
+    raise_nofile_limit(4096).expect("raise fd limit for the connections sweep");
     let params = BloomParams::PAPER_CONSERVATIVE;
     let profile_size = 5000;
     let mean_doc_bytes = env_usize("LC_BENCH_DOC_BYTES", 10 * 1024);
@@ -194,22 +260,117 @@ fn main() {
         PIPELINE_DEPTH,
     );
 
+    let workers_config = |workers: usize| ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    };
+
+    // Scenario 1: worker scaling at the baseline client count.
     const ROUNDS: usize = 5;
     let worker_configs = [1usize, 4];
-    let mut samples: Vec<Vec<(f64, f64)>> = vec![Vec::new(); worker_configs.len()];
+    let mut samples: Vec<Vec<Round>> = vec![Vec::new(); worker_configs.len()];
     for round in 0..ROUNDS {
         for (ci, &workers) in worker_configs.iter().enumerate() {
-            let (docs_s, mb_s) = run_round(&classifier, &docs, workers, clients, measure_docs);
-            eprintln!("round {round}, workers={workers}: {docs_s:.0} docs/s, {mb_s:.1} MB/s");
-            samples[ci].push((docs_s, mb_s));
+            let r = run_round(
+                &classifier,
+                &docs,
+                workers_config(workers),
+                clients,
+                measure_docs,
+                false,
+            );
+            eprintln!(
+                "round {round}, workers={workers}: {:.0} docs/s, {:.1} MB/s",
+                r.docs_per_s, r.mb_per_s
+            );
+            samples[ci].push(r);
         }
     }
-    let one = median(samples[0].clone());
-    let four = median(samples[1].clone());
-    let speedup = four.0 / one.0;
+    let four = median(samples.pop().expect("workers=4 samples"));
+    let one = median(samples.pop().expect("workers=1 samples"));
+    let speedup = four.docs_per_s / one.docs_per_s;
 
+    // Scenario 2: connections sweep at 4 workers — the event-driven layer
+    // must hold throughput as the connection count climbs. The budget
+    // scales with the client count so the measured span is dominated by
+    // steady-state service, not by draining the last windowful (at 256
+    // clients the pipeline alone holds 1024 documents in flight). Rounds
+    // interleave the client counts so neighbor-load drift hits every
+    // point alike — cross-point comparisons are the whole point here.
+    const SWEEP_ROUNDS: usize = 3;
+    let sweep_clients = [8usize, 64, 256];
+    let sweep_budget = |n: usize| measure_docs.max(n * PIPELINE_DEPTH * 8);
+    // Size shard queues to the offered concurrency, as a deployment at
+    // this connection count would: with default-depth queues the pipeline
+    // (clients × window) saturates them and every command takes the
+    // park-and-retry path.
+    let sweep_config = |n: usize| ServiceConfig {
+        queue_depth: 64.max(n * PIPELINE_DEPTH / 4),
+        ..workers_config(4)
+    };
+    let mut sweep_samples: Vec<Vec<Round>> = vec![Vec::new(); sweep_clients.len()];
+    for round in 0..SWEEP_ROUNDS {
+        for (i, &n) in sweep_clients.iter().enumerate() {
+            let r = run_round(
+                &classifier,
+                &docs,
+                sweep_config(n),
+                n,
+                sweep_budget(n),
+                false,
+            );
+            eprintln!(
+                "sweep round {round}, clients={n}: {:.0} docs/s, {:.1} MB/s",
+                r.docs_per_s, r.mb_per_s
+            );
+            sweep_samples[i].push(r);
+        }
+    }
+    let sweep: Vec<(usize, usize, Round)> = sweep_clients
+        .iter()
+        .zip(sweep_samples)
+        .map(|(&n, rounds)| (n, sweep_budget(n), median(rounds)))
+        .collect();
+
+    // Scenario 3: 64 clients plus one peer that never reads, under a
+    // policy tight enough to observe resets within the round.
+    let slow_config = ServiceConfig {
+        workers: 4,
+        send_buffer: 4096,
+        outbound_high_water: 64 * 1024,
+        slow_consumer_deadline: std::time::Duration::from_millis(500),
+        ..ServiceConfig::default()
+    };
+    let slow_budget = measure_docs.max(64 * PIPELINE_DEPTH * 8);
+    let mut slow_rounds = Vec::new();
+    for round in 0..SWEEP_ROUNDS {
+        let r = run_round(
+            &classifier,
+            &docs,
+            slow_config.clone(),
+            64,
+            slow_budget,
+            true,
+        );
+        eprintln!(
+            "slow-reader round {round}: {:.0} docs/s, {:.1} MB/s, {} resets",
+            r.docs_per_s, r.mb_per_s, r.slow_consumer_resets
+        );
+        slow_rounds.push(r);
+    }
+    let slow = median(slow_rounds);
+
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(n, budget, r)| {
+            format!(
+                "{{ \"clients\": {}, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }}",
+                n, budget, r.docs_per_s, r.mb_per_s
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"speedup_1_to_4\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"speedup_1_to_4\": {:.2},\n  \"connections_sweep\": {{ \"workers\": 4, \"rounds\": {}, \"points\": [\n    {}\n  ] }},\n  \"slow_reader\": {{ \"workers\": 4, \"clients\": 64, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"slow_consumer_resets\": {} }}\n}}\n",
         classifier.num_languages(),
         params.k,
         params.m_kbits(),
@@ -220,11 +381,17 @@ fn main() {
         measure_docs,
         ROUNDS,
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        one.0,
-        one.1,
-        four.0,
-        four.1,
+        one.docs_per_s,
+        one.mb_per_s,
+        four.docs_per_s,
+        four.mb_per_s,
         speedup,
+        SWEEP_ROUNDS,
+        sweep_json.join(",\n    "),
+        slow_budget,
+        slow.docs_per_s,
+        slow.mb_per_s,
+        slow.slow_consumer_resets,
     );
     print!("{json}");
 

@@ -1,0 +1,80 @@
+//! `eventfd`-based cross-thread wakeups for a reactor parked in
+//! `epoll_wait`.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::c_void;
+
+use crate::sys::{self, ffi};
+
+/// A nonblocking eventfd: producers [`notify`](EventFd::notify) after
+/// publishing work, the reactor registers [`raw_fd`](EventFd::raw_fd) for
+/// readability and [`drain`](EventFd::drain)s the counter when woken.
+/// Notifications coalesce — N notifies may wake the reactor once, which
+/// is exactly what a "there is work, look at your queues" signal wants.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// A fresh counter at zero (`EFD_NONBLOCK | EFD_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: eventfd takes no pointers.
+        let fd = sys::cvt(unsafe { ffi::eventfd(0, sys::EFD_NONBLOCK | sys::EFD_CLOEXEC) })?;
+        Ok(Self { fd })
+    }
+
+    /// The fd to register for readable interest.
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Add 1 to the counter, waking any waiter. A full counter
+    /// (`WouldBlock`) still means a wakeup is pending, so it is success.
+    pub fn notify(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: the buffer is 8 live bytes, the length eventfd requires.
+        let n = unsafe { ffi::write(self.fd, (&one as *const u64).cast::<c_void>(), 8) };
+        if n == 8 {
+            return Ok(());
+        }
+        let e = io::Error::last_os_error();
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => Ok(()),
+            _ => Err(e),
+        }
+    }
+
+    /// Reset the counter to zero (one read clears it). Errors — including
+    /// "already zero" — are ignored: drain is best-effort by design.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        // SAFETY: the buffer is 8 live, writable bytes.
+        let _ = unsafe { ffi::read(self.fd, (&mut counter as *mut u64).cast::<c_void>(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notify_coalesces_and_drain_resets() {
+        let efd = EventFd::new().unwrap();
+        for _ in 0..5 {
+            efd.notify().unwrap();
+        }
+        efd.drain();
+        // Counter is zero again: a nonblocking read would block, which
+        // drain swallows; a fresh notify still succeeds.
+        efd.drain();
+        efd.notify().unwrap();
+    }
+}

@@ -4,6 +4,12 @@
 //! document, stream its words in bounded bursts, latch, query, and verify
 //! the echoed XOR checksum against the locally computed one (the paper's
 //! transfer-validation step, performed by the host).
+//!
+//! [`ClassifyClient::classify_many`] pipelines: it keeps a bounded window
+//! of documents in flight on the one connection (the protocol consumes
+//! the latch in order, so responses pair with documents positionally),
+//! which measures engine capacity rather than round-trip latency and is
+//! what the high-concurrency tests and benches drive.
 
 use lc_core::ClassificationResult;
 use lc_wire::{read_frame, write_data_frame, ErrorCode, FrameError, WireCommand, WireResponse};
@@ -145,8 +151,79 @@ impl ClassifyClient {
             let _ = WireCommand::Reset.encode(&mut self.stream);
             return Err(e);
         }
-        let checksum = self.checksum;
+        self.take_result(self.checksum)
+    }
 
+    /// Classify a batch of in-memory documents over this one connection,
+    /// keeping up to `window` documents in flight (a `window` of 1 is the
+    /// stop-and-wait [`ClassifyClient::classify`] loop). Results come back
+    /// in document order, each checksum-verified.
+    pub fn classify_many(
+        &mut self,
+        docs: &[&[u8]],
+        window: usize,
+    ) -> Result<Vec<ServedResult>, ClientError> {
+        let window = window.max(1);
+        let mut results = Vec::with_capacity(docs.len());
+        let mut in_flight: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        for doc in docs {
+            let len = doc.len() as u64;
+            if len > u64::from(u32::MAX) {
+                // Local validation failure, but earlier documents are
+                // still in flight: realign before bailing like every
+                // other error path here.
+                self.drain(in_flight.len());
+                return Err(ClientError::Io(io::Error::other(
+                    "document exceeds the 4 GiB Size announcement limit",
+                )));
+            }
+            let words = len.div_ceil(8);
+            if let Err(e) = self.send_document(&mut io::Cursor::new(doc), len, words) {
+                let _ = WireCommand::Reset.encode(&mut self.stream);
+                self.drain(in_flight.len());
+                return Err(e);
+            }
+            in_flight.push_back(self.checksum);
+            if in_flight.len() >= window {
+                let sent = in_flight.pop_front().expect("window is nonempty");
+                match self.take_result(sent) {
+                    Ok(r) => results.push(r),
+                    Err(e) => {
+                        self.drain(in_flight.len());
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        while let Some(sent) = in_flight.pop_front() {
+            match self.take_result(sent) {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    self.drain(in_flight.len());
+                    return Err(e);
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Consume (and discard) the responses still owed for documents in
+    /// flight, so an error mid-pipeline leaves the connection aligned —
+    /// every announced document pairs with exactly one response, and the
+    /// next classify on this client reads its own result, not a stale one.
+    /// Best-effort: a transport error just stops the drain (the connection
+    /// is broken anyway).
+    fn drain(&mut self, owed: usize) {
+        for _ in 0..owed {
+            if self.read_response().is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Read the next response frame and pair it with the document whose
+    /// sent-words checksum was `sent`.
+    fn take_result(&mut self, sent: u64) -> Result<ServedResult, ClientError> {
         match self.read_response()? {
             WireResponse::Result {
                 counts,
@@ -154,9 +231,9 @@ impl ClassifyClient {
                 checksum: echoed,
                 valid,
             } => {
-                if echoed != checksum {
+                if echoed != sent {
                     return Err(ClientError::ChecksumMismatch {
-                        sent: checksum,
+                        sent,
                         received: echoed,
                     });
                 }

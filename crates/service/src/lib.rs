@@ -4,47 +4,65 @@
 //! documents stream in under a Size / End-of-Document / Query-Result
 //! command flow, replicated match engines chew through many documents
 //! concurrently, and a watchdog recovers stalled transfers (§4). This crate
-//! is that service over TCP:
+//! is that service over TCP, with an event-driven connection layer in
+//! front of the sharded engines:
 //!
 //! ```text
-//!  client            connection thread      bounded      worker shard
-//!  ──────            (read + decode)        queue        (match engine)
-//!  Size ─────frame──▶ FrameAccumulator ──▶ Job::Command ─▶ Session
-//!  Data ─────frame──▶   (lc-wire)      ──▶ Job::Command ─▶  ├─ checksum ^= w
-//!  Data ─────frame──▶                  ──▶ Job::Command ─▶  ├─ StreamingSession::feed
-//!  EoD  ─────frame──▶                  ──▶ Job::Command ─▶  └─ latch on last word
-//!  Query ────frame──▶                  ──▶ Job::Command ─▶ Result{counts,Σ,xor,ok}
-//!        ◀──────────────── response written by the worker ──┘
+//!  clients        reactor threads (lc-reactor epoll)      worker shards
+//!  ───────        ───────────────────────────────────     (match engines)
+//!  Size ──frame──▶ nonblocking read → FrameAccumulator
+//!  Data ──frame──▶   decode → try_send ──────────────────▶ Session
+//!  EoD  ──frame──▶   (full shard queue ⇒ park command,     ├─ checksum ^= w
+//!  Query ─frame──▶    stop reading this conn only)         ├─ Streaming::feed
+//!                                                          └─ latch, respond
+//!        ◀── flush ── per-conn outbound queue ◀─ enqueue + eventfd wake ──┘
 //! ```
 //!
 //! * **One wire contract.** Frames carry the exact command set of the
 //!   simulated FPGA protocol (`lc_fpga::protocol`); the shared pieces live
 //!   in `lc-wire` so the two transports cannot drift.
-//! * **Sharded workers.** `session_id % N` pins each connection's streaming
-//!   state to one worker thread — N software match engines sharing one
-//!   programmed `Arc<MultiLanguageClassifier>` (the §3.3 replication:
-//!   same filters, independent execution).
-//! * **Backpressure.** Worker queues are bounded; a full queue blocks the
-//!   connection thread, which stops reading, which fills the TCP window —
-//!   slow consumers slow their producer, never the server.
+//! * **Event-driven connections.** N reactor threads own all socket I/O
+//!   through an edge-triggered epoll loop (`lc-reactor`, thin FFI, no
+//!   external deps). Reads decode into per-connection `Session` command
+//!   streams; writes drain per-connection outbound queues with
+//!   partial-write resumption.
+//! * **Sharded workers.** `session_id % N` pins each connection's
+//!   streaming state to one worker thread — N software match engines
+//!   sharing one programmed `Arc<MultiLanguageClassifier>` (the §3.3
+//!   replication: same filters, independent execution). Workers never
+//!   touch sockets: responses are enqueued and the owning reactor woken
+//!   via eventfd.
+//! * **No head-of-line blocking.** A peer that stops reading fills only
+//!   its own outbound queue: past the high-water mark its `EPOLLIN` is
+//!   masked, and past the slow-consumer deadline it is reset — the shard
+//!   keeps serving everyone else throughout. A peer that floods stalls
+//!   only its own reads when its shard queue fills (TCP backpressure),
+//!   never its reactor siblings.
 //! * **Streaming.** Sessions classify as words arrive via
 //!   [`lc_core::StreamingSession`]; per-session memory is O(counters),
 //!   independent of document size.
 //! * **Faults.** Truncated transfers, data-before-Size, short DMA
-//!   payloads, and stalled sessions (wall-clock watchdog) all map to the
-//!   same error taxonomy the hardware model uses.
+//!   payloads, and stalled sessions (wall-clock watchdog, swept by the
+//!   workers) all map to the same error taxonomy the hardware model uses.
+//!
+//! All `unsafe` lives behind `lc-reactor`'s safe wrappers; this crate
+//! remains `forbid(unsafe_code)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod metrics;
+mod outbound;
+mod reactor;
 pub mod server;
 pub mod session;
 pub mod worker;
 
 pub use client::{ClassifyClient, ClientError, ServedResult};
+pub use lc_reactor::raise_nofile_limit;
 pub use metrics::{MetricsSnapshot, ServiceMetrics, LATENCY_BOUNDS_US};
+pub use outbound::ResponseSink;
 pub use server::{serve, ServerHandle, ServiceConfig};
 pub use session::Session;
 pub use worker::WorkerPool;

@@ -2,7 +2,9 @@
 //!
 //! Everything a serving deployment wants on a dashboard: documents, bytes
 //! and n-grams served, per-language wins (which languages the traffic
-//! actually is), protocol faults, watchdog resets, and a fixed-bucket
+//! actually is), protocol faults, watchdog resets, connection-level
+//! gauges (current/peak connections, accepts rejected at the cap,
+//! outbound high-water stalls, slow-consumer resets), and a fixed-bucket
 //! latency histogram of document service time (Size seen → result latched).
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,7 +20,17 @@ pub struct ServiceMetrics {
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
     /// Currently open connections.
-    pub active_connections: AtomicU64,
+    pub connections_current: AtomicU64,
+    /// Most connections ever open at once.
+    pub connections_peak: AtomicU64,
+    /// Accepts refused because `connections_current` hit the cap.
+    pub accepts_rejected: AtomicU64,
+    /// Times a connection's outbound queue crossed the high-water mark
+    /// (its `EPOLLIN` was masked until the queue drained).
+    pub outbound_stalls: AtomicU64,
+    /// Connections reset for sitting above high-water past the
+    /// slow-consumer deadline.
+    pub slow_consumer_resets: AtomicU64,
     /// Documents classified (results latched).
     pub documents: AtomicU64,
     /// Document payload bytes classified.
@@ -40,7 +52,11 @@ impl ServiceMetrics {
     pub fn new(num_languages: usize) -> Self {
         Self {
             connections: AtomicU64::new(0),
-            active_connections: AtomicU64::new(0),
+            connections_current: AtomicU64::new(0),
+            connections_peak: AtomicU64::new(0),
+            accepts_rejected: AtomicU64::new(0),
+            outbound_stalls: AtomicU64::new(0),
+            slow_consumer_resets: AtomicU64::new(0),
             documents: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             ngrams: AtomicU64::new(0),
@@ -71,7 +87,11 @@ impl ServiceMetrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
-            active_connections: self.active_connections.load(Ordering::Relaxed),
+            connections_current: self.connections_current.load(Ordering::Relaxed),
+            connections_peak: self.connections_peak.load(Ordering::Relaxed),
+            accepts_rejected: self.accepts_rejected.load(Ordering::Relaxed),
+            outbound_stalls: self.outbound_stalls.load(Ordering::Relaxed),
+            slow_consumer_resets: self.slow_consumer_resets.load(Ordering::Relaxed),
             documents: self.documents.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             ngrams: self.ngrams.load(Ordering::Relaxed),
@@ -93,7 +113,15 @@ pub struct MetricsSnapshot {
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
     /// Currently open connections.
-    pub active_connections: u64,
+    pub connections_current: u64,
+    /// Most connections ever open at once.
+    pub connections_peak: u64,
+    /// Accepts refused at the `max_connections` cap.
+    pub accepts_rejected: u64,
+    /// Outbound queues that crossed the high-water mark.
+    pub outbound_stalls: u64,
+    /// Connections reset by the slow-consumer policy.
+    pub slow_consumer_resets: u64,
     /// Documents classified.
     pub documents: u64,
     /// Document payload bytes classified.
@@ -114,15 +142,26 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "conns {}/{} docs {} bytes {} ngrams {} errors {} watchdog {} | latency(µs)",
-            self.active_connections,
+            "conns {}/{} (peak {}) docs {} bytes {} ngrams {} errors {} watchdog {}",
+            self.connections_current,
             self.connections,
+            self.connections_peak,
             self.documents,
             self.bytes,
             self.ngrams,
             self.protocol_errors,
             self.watchdog_resets,
         )?;
+        if self.accepts_rejected > 0 {
+            write!(f, " rejected {}", self.accepts_rejected)?;
+        }
+        if self.outbound_stalls > 0 {
+            write!(f, " stalls {}", self.outbound_stalls)?;
+        }
+        if self.slow_consumer_resets > 0 {
+            write!(f, " slow-resets {}", self.slow_consumer_resets)?;
+        }
+        write!(f, " | latency(µs)")?;
         for (i, count) in self.latency.iter().enumerate() {
             if *count == 0 {
                 continue;
@@ -171,5 +210,35 @@ mod tests {
         let line = m.snapshot().to_string();
         assert!(line.contains("docs 1"));
         assert!(line.contains("≤100:1"));
+        // Zero-valued fault gauges stay out of the line...
+        assert!(!line.contains("stalls"));
+        assert!(!line.contains("rejected"));
+        assert!(!line.contains("slow-resets"));
+    }
+
+    #[test]
+    fn connection_gauges_appear_once_nonzero() {
+        use std::sync::atomic::Ordering;
+        let m = ServiceMetrics::new(1);
+        m.connections_current.store(3, Ordering::Relaxed);
+        m.connections_peak.store(9, Ordering::Relaxed);
+        m.accepts_rejected.store(2, Ordering::Relaxed);
+        m.outbound_stalls.store(4, Ordering::Relaxed);
+        m.slow_consumer_resets.store(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(
+            (
+                s.connections_current,
+                s.connections_peak,
+                s.accepts_rejected
+            ),
+            (3, 9, 2)
+        );
+        assert_eq!((s.outbound_stalls, s.slow_consumer_resets), (4, 1));
+        let line = s.to_string();
+        assert!(line.contains("(peak 9)"));
+        assert!(line.contains("rejected 2"));
+        assert!(line.contains("stalls 4"));
+        assert!(line.contains("slow-resets 1"));
     }
 }

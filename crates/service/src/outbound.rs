@@ -1,0 +1,196 @@
+//! Per-connection outbound queues and the worker→reactor wake channel.
+//!
+//! In the threaded design, worker threads wrote responses straight into
+//! the connection's socket — so one peer that stopped reading could wedge
+//! a worker (and with it the whole shard) on a blocked write. Now a
+//! worker's "write" is an in-memory enqueue: it appends the encoded frame
+//! to the connection's [`WriteBuf`] and nudges the owning reactor's
+//! eventfd. Only the reactor touches sockets, and it never blocks on one.
+//!
+//! Queue growth is bounded operationally, not by the type: a queue over
+//! the configured high-water mark masks the connection's `EPOLLIN`, so no
+//! new commands are read and no new responses can be generated for it —
+//! the overshoot is capped by the jobs already in flight in the worker
+//! queue. A queue that *stays* over high-water past the slow-consumer
+//! deadline gets the connection reset (see `reactor.rs`).
+//!
+//! **Write-through fast path.** When the queue is empty — the common case,
+//! a peer that reads its responses — [`ResponseSink::send`] writes the
+//! frame straight into the (nonblocking) socket under the queue lock and
+//! never wakes the reactor at all: the direct-write latency of the old
+//! threaded design, without its blocking hazard. Order is safe because
+//! the write only happens with the queue empty and both writers hold the
+//! same lock. Only the part the socket refuses is queued, and only then
+//! does the reactor get involved.
+
+use lc_reactor::{EventFd, WriteBuf};
+use lc_wire::WireResponse;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+/// One connection's outbound state, shared by its worker shard (producer)
+/// and its reactor (consumer).
+#[derive(Debug, Default)]
+pub(crate) struct OutboundInner {
+    /// Encoded response frames awaiting the socket.
+    pub buf: WriteBuf,
+    /// Write half of the connection (a dup of the reactor's fd, sharing
+    /// its nonblocking file description) for the write-through fast path.
+    /// Cleared on teardown so the socket actually closes.
+    pub stream: Option<TcpStream>,
+    /// The worker processed this session's `Close`: nothing more will be
+    /// enqueued, so the reactor may tear the connection down once `buf`
+    /// drains.
+    pub finished: bool,
+    /// The reactor tore the connection down: late worker enqueues are
+    /// dropped instead of accumulating against a dead socket.
+    pub dead: bool,
+}
+
+/// A freshly accepted connection travelling from the acceptor to the
+/// reactor that will own it.
+#[derive(Debug)]
+pub(crate) struct NewConn {
+    pub stream: TcpStream,
+    pub session: u64,
+}
+
+/// The reactor's wake channel: an eventfd plus the queues producers fill
+/// before notifying. Wakes coalesce; the reactor drains both queues every
+/// time it wakes.
+#[derive(Debug)]
+pub(crate) struct ReactorWaker {
+    eventfd: EventFd,
+    queue: Mutex<WakeQueue>,
+}
+
+#[derive(Debug, Default)]
+struct WakeQueue {
+    /// Connections handed over by the acceptor.
+    new_conns: Vec<NewConn>,
+    /// Sessions whose outbound queue gained data (or finished).
+    dirty: Vec<u64>,
+}
+
+impl ReactorWaker {
+    pub fn new() -> std::io::Result<Self> {
+        Ok(Self {
+            eventfd: EventFd::new()?,
+            queue: Mutex::new(WakeQueue::default()),
+        })
+    }
+
+    /// The eventfd the reactor registers for readable interest.
+    pub fn eventfd(&self) -> &EventFd {
+        &self.eventfd
+    }
+
+    /// Hand a new connection to the reactor.
+    pub fn push_conn(&self, conn: NewConn) {
+        if let Ok(mut q) = self.queue.lock() {
+            q.new_conns.push(conn);
+        }
+        let _ = self.eventfd.notify();
+    }
+
+    /// Flag a session's outbound queue as having news.
+    pub fn mark_dirty(&self, session: u64) {
+        // Adjacent dedup flattens the common enqueue burst (the reactor
+        // dedups fully before servicing), and a deduped entry also skips
+        // the eventfd syscall: seeing our session at the tail under the
+        // lock proves an earlier push was not yet taken, so its paired
+        // notify is still owed and a wake is guaranteed without ours.
+        if let Ok(mut q) = self.queue.lock() {
+            if q.dirty.last() == Some(&session) {
+                return;
+            }
+            q.dirty.push(session);
+        }
+        let _ = self.eventfd.notify();
+    }
+
+    /// Wake the reactor with no payload (shutdown).
+    pub fn wake(&self) {
+        let _ = self.eventfd.notify();
+    }
+
+    /// Take everything queued since the last call.
+    pub fn take(&self) -> (Vec<NewConn>, Vec<u64>) {
+        match self.queue.lock() {
+            Ok(mut q) => (
+                std::mem::take(&mut q.new_conns),
+                std::mem::take(&mut q.dirty),
+            ),
+            Err(_) => (Vec::new(), Vec::new()),
+        }
+    }
+}
+
+/// Where a worker's responses for one session go: the connection's
+/// outbound queue plus the wake handle of the reactor that flushes it.
+#[derive(Clone, Debug)]
+pub struct ResponseSink {
+    out: Arc<Mutex<OutboundInner>>,
+    waker: Arc<ReactorWaker>,
+    session: u64,
+}
+
+impl ResponseSink {
+    pub(crate) fn new(
+        out: Arc<Mutex<OutboundInner>>,
+        waker: Arc<ReactorWaker>,
+        session: u64,
+    ) -> Self {
+        Self {
+            out,
+            waker,
+            session,
+        }
+    }
+
+    /// Deliver one encoded response frame. Never blocks on the network;
+    /// sends to a torn-down connection are silently dropped (the peer is
+    /// gone).
+    ///
+    /// With an empty queue the frame is written through to the socket
+    /// right here (nonblocking); whatever the socket refuses — a peer
+    /// falling behind — is queued and the reactor woken to resume it on
+    /// the next writable edge.
+    pub fn send(&self, resp: &WireResponse) {
+        let mut bytes = Vec::with_capacity(64);
+        if resp.encode(&mut bytes).is_err() {
+            return; // Vec writes cannot fail; defensive.
+        }
+        let Ok(mut inner) = self.out.lock() else {
+            return;
+        };
+        if inner.dead {
+            return;
+        }
+        let was_empty = inner.buf.is_empty();
+        inner.buf.push(bytes);
+        if was_empty {
+            // Split borrow: flush the queue through the same resumable
+            // write path the reactor uses. Errors are left for the
+            // reactor to discover and act on (the remainder stays queued).
+            let OutboundInner { buf, stream, .. } = &mut *inner;
+            if let Some(stream) = stream {
+                let _ = buf.write_to(stream);
+            }
+            if inner.buf.is_empty() {
+                return; // fast path: the reactor never hears about it
+            }
+        }
+        drop(inner);
+        self.waker.mark_dirty(self.session);
+    }
+
+    /// Mark the session's response stream complete (worker processed its
+    /// `Close`): once the queue drains, the reactor may close the socket.
+    pub fn finish(&self) {
+        if let Ok(mut inner) = self.out.lock() {
+            inner.finished = true;
+        }
+        self.waker.mark_dirty(self.session);
+    }
+}

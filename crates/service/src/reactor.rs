@@ -1,0 +1,587 @@
+//! The event-driven connection layer: reactor threads that own all
+//! socket I/O.
+//!
+//! Each reactor runs an edge-triggered epoll loop (`lc-reactor`) over the
+//! nonblocking connections assigned to it (`session % reactors`). Per
+//! connection it keeps the read framing (`FrameAccumulator`), the
+//! partial-write-resumable outbound queue, and the readiness flags the
+//! edge-triggered discipline requires. Classification never happens here:
+//! decoded commands are `try_send`-ed to the session's worker shard, and
+//! worker responses come back through the outbound queue with an eventfd
+//! wake.
+//!
+//! The design goal is the paper's host-interface property: **no peer can
+//! block anyone but itself.**
+//!
+//! * A peer that stops *reading* fills its outbound queue. Past the
+//!   high-water mark its `EPOLLIN` is masked (no new commands are read,
+//!   so the queue's growth is bounded by the jobs already in flight); a
+//!   queue whose socket accepts nothing for the slow-consumer deadline —
+//!   at any size — gets the connection reset and counted in
+//!   `slow_consumer_resets`. Workers never see any of it.
+//! * A peer that *floods* fills its shard's bounded job queue. The
+//!   reactor's `try_send` fails, the one decoded command parks in the
+//!   connection's `stalled` slot, and that connection alone stops being
+//!   read until the shard drains (parked sends are retried on a brisk
+//!   tick while any exist) — TCP backpressure reaches the flooding peer
+//!   while other connections on the same reactor keep flowing.
+//! * Worker `Open`/`Close` sends may block briefly, but only on worker
+//!   *compute* (workers never touch sockets), never on a peer.
+
+use lc_reactor::{Epoll, Events, Interest, WriteBuf};
+use lc_wire::{ErrorCode, FrameAccumulator, WireCommand, WireResponse};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::metrics::ServiceMetrics;
+use crate::outbound::{NewConn, OutboundInner, ReactorWaker, ResponseSink};
+use crate::worker::Job;
+
+/// Token reserved for the reactor's own eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Events decoded per `epoll_wait` call.
+const EVENT_BATCH: usize = 256;
+
+/// The per-reactor slice of the service configuration.
+#[derive(Clone, Debug)]
+pub(crate) struct ReactorConfig {
+    pub read_buffer: usize,
+    pub outbound_high_water: usize,
+    pub slow_consumer_deadline: Duration,
+    pub send_buffer: usize,
+}
+
+impl ReactorConfig {
+    /// epoll timeout: often enough to observe slow-consumer deadlines
+    /// promptly, long enough to stay off the CPU when idle.
+    fn tick(&self) -> Duration {
+        (self.slow_consumer_deadline / 8)
+            .clamp(Duration::from_millis(5), Duration::from_millis(250))
+    }
+}
+
+/// One connection as the reactor sees it.
+struct Conn {
+    stream: TcpStream,
+    /// Incremental frame decoder; bytes land here straight off the socket.
+    acc: FrameAccumulator,
+    /// Outbound queue shared with the worker shard.
+    out: Arc<Mutex<OutboundInner>>,
+    /// The session's worker shard.
+    tx: SyncSender<Job>,
+    /// Edge-triggered readiness flags: set by events, cleared on
+    /// `WouldBlock`.
+    read_ready: bool,
+    write_ready: bool,
+    /// `EPOLLIN` is currently masked because the outbound queue crossed
+    /// the high-water mark.
+    in_masked: bool,
+    /// Slow-consumer clock: since when the outbound queue has been
+    /// non-empty with the socket accepting nothing. Cleared by any write
+    /// progress or by draining to empty.
+    over_since: Option<Instant>,
+    /// A decoded command the shard's full queue rejected; retried on
+    /// every wake, and nothing more is decoded until it lands (per-session
+    /// command order is sacred).
+    stalled: Option<Job>,
+    /// Peer's write half is done (EOF, or we half-closed after a decode
+    /// fault): stop reading, flush what remains, then tear down.
+    read_eof: bool,
+    /// `Job::Close` still needs to be sent (after `stalled` drains).
+    pending_close: bool,
+    /// `Job::Close` was delivered to the shard.
+    close_sent: bool,
+    /// Fatal socket state: tear down on next service.
+    broken: bool,
+}
+
+/// Spawn one reactor thread.
+pub(crate) fn spawn_reactor(
+    index: usize,
+    waker: Arc<ReactorWaker>,
+    senders: Vec<SyncSender<Job>>,
+    hello: Arc<Vec<u8>>,
+    metrics: Arc<ServiceMetrics>,
+    shutdown: Arc<AtomicBool>,
+    cfg: ReactorConfig,
+) -> std::io::Result<JoinHandle<()>> {
+    let epoll = Epoll::new()?;
+    epoll.add(waker.eventfd().raw_fd(), WAKE_TOKEN, Interest::READABLE)?;
+    let mut reactor = Reactor {
+        epoll,
+        waker,
+        senders,
+        hello,
+        metrics,
+        shutdown,
+        cfg,
+        conns: HashMap::new(),
+        deferred: Vec::new(),
+    };
+    std::thread::Builder::new()
+        .name(format!("lc-reactor-{index}"))
+        .spawn(move || reactor.run())
+}
+
+struct Reactor {
+    epoll: Epoll,
+    waker: Arc<ReactorWaker>,
+    senders: Vec<SyncSender<Job>>,
+    hello: Arc<Vec<u8>>,
+    metrics: Arc<ServiceMetrics>,
+    shutdown: Arc<AtomicBool>,
+    cfg: ReactorConfig,
+    conns: HashMap<u64, Conn>,
+    /// Sessions that left their last service pass with work no external
+    /// event will announce: a parked shard send, a deferred `Close`, or
+    /// socket bytes left unread by the fairness budget. Re-serviced every
+    /// wake; refilled by [`Reactor::service`], the single place deferred
+    /// state is evaluated (no per-wake scan of all connections).
+    deferred: Vec<u64>,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events = Events::with_capacity(EVENT_BATCH);
+        let idle_tick = self.cfg.tick();
+        // When a command is parked on a full shard queue, worker progress
+        // is what frees space — but the write-through fast path means
+        // responses no longer wake this thread, so poll the retry briskly
+        // instead of waiting out the idle tick.
+        let retry_tick = Duration::from_millis(1);
+        let mut touched: Vec<u64> = Vec::new();
+        let mut last_scan = Instant::now();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let tick = if self.deferred.is_empty() {
+                idle_tick
+            } else {
+                retry_tick
+            };
+            let _ = self.epoll.wait(&mut events, Some(tick));
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            touched.clear();
+            for ev in events.iter() {
+                if ev.token == WAKE_TOKEN {
+                    self.waker.eventfd().drain();
+                    continue;
+                }
+                let Some(c) = self.conns.get_mut(&ev.token) else {
+                    continue;
+                };
+                if ev.readable || ev.closed {
+                    // A half-close is discovered by reading to EOF.
+                    c.read_ready = true;
+                }
+                if ev.writable {
+                    c.write_ready = true;
+                }
+                if ev.error {
+                    c.broken = true;
+                }
+                touched.push(ev.token);
+            }
+
+            let (new_conns, dirty) = self.waker.take();
+            for nc in new_conns {
+                if let Some(session) = self.register(nc) {
+                    touched.push(session);
+                }
+            }
+            touched.extend(dirty);
+            touched.append(&mut self.deferred);
+
+            touched.sort_unstable();
+            touched.dedup();
+            for &session in &touched {
+                self.service(session);
+            }
+
+            // Deadline enforcement is O(connections); run it at the idle
+            // tick cadence, not per wake — deadlines are seconds-scale.
+            let now = Instant::now();
+            if now.duration_since(last_scan) >= idle_tick {
+                last_scan = now;
+                self.scan_deadlines(now);
+            }
+        }
+        self.teardown_all();
+    }
+
+    /// Full service pass for one connection. Order matters: flush first so
+    /// high-water masking reflects reality before reads are pumped, flush
+    /// again because pumping can enqueue fault responses. Ends with the
+    /// one evaluation of whether this session still owes deferred work.
+    fn service(&mut self, session: u64) {
+        if !self.conns.contains_key(&session) {
+            return;
+        }
+        if self.conns[&session].broken {
+            return self.teardown(session);
+        }
+        if !self.retry_jobs(session)
+            || !self.flush(session)
+            || !self.pump(session)
+            || !self.flush(session)
+        {
+            return self.teardown(session);
+        }
+        if self.finished(session) {
+            return self.teardown(session);
+        }
+        if let Some(c) = self.conns.get(&session) {
+            if c.stalled.is_some()
+                || c.pending_close
+                || (c.read_ready && !c.in_masked && !c.read_eof)
+            {
+                self.deferred.push(session);
+            }
+        }
+    }
+
+    /// Adopt a connection from the acceptor. Returns its session id, or
+    /// `None` if setup failed (the accept was already counted, so undo).
+    fn register(&mut self, nc: NewConn) -> Option<u64> {
+        let NewConn { stream, session } = nc;
+        let fd = stream.as_raw_fd();
+        let _ = stream.set_nodelay(true);
+        if self.cfg.send_buffer > 0 {
+            let _ = lc_reactor::set_send_buffer(fd, self.cfg.send_buffer);
+        }
+        if lc_reactor::set_nonblocking(fd).is_err() {
+            self.metrics
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+
+        let mut buf = WriteBuf::new();
+        buf.push((*self.hello).clone());
+        let out = Arc::new(Mutex::new(OutboundInner {
+            buf,
+            // Write-through handle: a dup sharing the now-nonblocking file
+            // description. The Hello above keeps the queue non-empty until
+            // the reactor's first flush, so ordering holds from byte one.
+            stream: stream.try_clone().ok(),
+            finished: false,
+            dead: false,
+        }));
+        let tx = self.senders[(session % self.senders.len() as u64) as usize].clone();
+        let sink = ResponseSink::new(Arc::clone(&out), Arc::clone(&self.waker), session);
+        // Open may block briefly on a full shard queue — bounded by worker
+        // compute, never by a peer (workers do not touch sockets).
+        if tx.send(Job::Open { session, sink }).is_err() {
+            self.metrics
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+        if self
+            .epoll
+            .add(fd, session, Interest::READABLE | Interest::WRITABLE)
+            .is_err()
+        {
+            // The worker already holds this session: un-register it, and
+            // kill the outbound dup so dropping `stream` really closes.
+            if let Ok(mut inner) = out.lock() {
+                inner.dead = true;
+                inner.buf.clear();
+                inner.stream = None;
+            }
+            let _ = tx.send(Job::Close { session });
+            self.metrics
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+        self.conns.insert(
+            session,
+            Conn {
+                stream,
+                acc: FrameAccumulator::new(),
+                out,
+                tx,
+                read_ready: true,
+                write_ready: true,
+                in_masked: false,
+                over_since: None,
+                stalled: None,
+                read_eof: false,
+                pending_close: false,
+                close_sent: false,
+                broken: false,
+            },
+        );
+        Some(session)
+    }
+
+    /// Retry the parked command send and any deferred `Close`. `false`
+    /// means the worker pool is gone (shutdown): tear down.
+    fn retry_jobs(&mut self, session: u64) -> bool {
+        let Some(c) = self.conns.get_mut(&session) else {
+            return true;
+        };
+        if let Some(job) = c.stalled.take() {
+            match c.tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(job)) => c.stalled = Some(job),
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+        if c.pending_close && c.stalled.is_none() {
+            match c.tx.try_send(Job::Close { session }) {
+                Ok(()) => {
+                    c.close_sent = true;
+                    c.pending_close = false;
+                }
+                Err(TrySendError::Full(_)) => {} // retried next wake
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+        true
+    }
+
+    /// Push queued outbound bytes while the socket accepts them, then
+    /// apply the high-water policy: crossing above masks `EPOLLIN` and
+    /// starts the slow-consumer clock; draining to empty unmasks.
+    /// `false` means a fatal socket error: tear down.
+    fn flush(&mut self, session: u64) -> bool {
+        let Self {
+            epoll,
+            metrics,
+            cfg,
+            conns,
+            ..
+        } = self;
+        let Some(c) = conns.get_mut(&session) else {
+            return true;
+        };
+        let (queued, progressed) = {
+            let Ok(mut inner) = c.out.lock() else {
+                return false;
+            };
+            let before = inner.buf.len();
+            if c.write_ready && !inner.buf.is_empty() {
+                match inner.buf.write_to(&mut c.stream) {
+                    Ok(true) => {}
+                    Ok(false) => c.write_ready = false,
+                    Err(_) => return false,
+                }
+            }
+            let after = inner.buf.len();
+            (after, after < before)
+        };
+        let fd = c.stream.as_raw_fd();
+        // High-water masking: above the mark no new commands are read, so
+        // queue growth is bounded by the jobs already in flight.
+        if queued > cfg.outbound_high_water {
+            if !c.in_masked {
+                if epoll.modify(fd, session, Interest::WRITABLE).is_err() {
+                    return false;
+                }
+                c.in_masked = true;
+                metrics.outbound_stalls.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if c.in_masked && queued == 0 {
+            if epoll
+                .modify(fd, session, Interest::READABLE | Interest::WRITABLE)
+                .is_err()
+            {
+                return false;
+            }
+            c.in_masked = false;
+            // Bytes may have arrived while masked; the MOD re-arms the
+            // edge, but resume eagerly rather than rely on it.
+            c.read_ready = true;
+        }
+        // Slow-consumer clock: armed whenever queued bytes are stuck
+        // behind a socket that accepts nothing, however small the queue —
+        // and *restarted*, never disarmed, by partial progress: this may
+        // be the last flush this connection ever gets (a peer that drains
+        // a little and goes silent produces no further events), so the
+        // clock must be left running for scan_deadlines to find. Only
+        // draining to empty disarms it. Queue size alone is deliberately
+        // not the trigger: a huge-but-draining queue is a burst, not a
+        // slow consumer; a tiny-but-frozen one is a parked fd leak.
+        if queued == 0 {
+            c.over_since = None;
+        } else if !c.write_ready && (progressed || c.over_since.is_none()) {
+            c.over_since = Some(Instant::now());
+        }
+        true
+    }
+
+    /// Decode buffered frames into worker jobs, then read more while the
+    /// socket has bytes. Stops at `WouldBlock` (clearing `read_ready`), a
+    /// full shard queue (parking the command in `stalled`), a masked
+    /// `EPOLLIN`, EOF, or the per-pass fairness budget — a firehose peer
+    /// on loopback can stay readable indefinitely, and its reactor
+    /// siblings must still get serviced (`read_ready` stays set, so the
+    /// next loop iteration resumes right here). `false` means tear down.
+    fn pump(&mut self, session: u64) -> bool {
+        let Self {
+            metrics,
+            cfg,
+            conns,
+            ..
+        } = self;
+        let Some(c) = conns.get_mut(&session) else {
+            return true;
+        };
+        if c.read_eof {
+            return true;
+        }
+        let mut budget = cfg.read_buffer.saturating_mul(32);
+        loop {
+            while c.stalled.is_none() && !c.in_masked {
+                match c.acc.next_frame() {
+                    Ok(Some((kind, payload))) => match WireCommand::decode(kind, payload) {
+                        Ok(cmd) => {
+                            let job = Job::Command { session, cmd };
+                            match c.tx.try_send(job) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(job)) => c.stalled = Some(job),
+                                Err(TrySendError::Disconnected(_)) => return false,
+                            }
+                        }
+                        Err(e) => {
+                            fail_malformed(c, metrics, e.to_string());
+                            return true;
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(e) => {
+                        fail_malformed(c, metrics, e.to_string());
+                        return true;
+                    }
+                }
+            }
+            if c.stalled.is_some() || c.in_masked || !c.read_ready || budget == 0 {
+                return true;
+            }
+            match c.acc.fill_from(&mut c.stream, cfg.read_buffer) {
+                Ok(0) => {
+                    // Clean close — unless it cut a frame in half.
+                    if c.acc.mid_frame() {
+                        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    c.read_eof = true;
+                    c.pending_close = true;
+                    return true;
+                }
+                Ok(n) => budget = budget.saturating_sub(n),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    c.read_ready = false;
+                    return true;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// The worker confirmed `Close` and the last response left the
+    /// socket: this connection is complete.
+    fn finished(&self, session: u64) -> bool {
+        let Some(c) = self.conns.get(&session) else {
+            return false;
+        };
+        if !(c.read_eof && c.close_sent) {
+            return false;
+        }
+        match c.out.lock() {
+            Ok(inner) => inner.finished && inner.buf.is_empty(),
+            Err(_) => true,
+        }
+    }
+
+    /// Reset connections whose outbound queue has accepted nothing past
+    /// the slow-consumer deadline: the head-of-line fix — a peer that
+    /// will not read is disconnected instead of parking queued responses,
+    /// an fd, and a `max_connections` slot forever.
+    fn scan_deadlines(&mut self, now: Instant) {
+        let deadline = self.cfg.slow_consumer_deadline;
+        let overdue: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.over_since
+                    .is_some_and(|since| now.duration_since(since) > deadline)
+            })
+            .map(|(&session, _)| session)
+            .collect();
+        for session in overdue {
+            self.metrics
+                .slow_consumer_resets
+                .fetch_add(1, Ordering::Relaxed);
+            self.teardown(session);
+        }
+    }
+
+    /// Remove a connection: mark its queue dead (late worker enqueues are
+    /// dropped), deliver `Close` if still owed, close the socket.
+    fn teardown(&mut self, session: u64) {
+        let Some(c) = self.conns.remove(&session) else {
+            return;
+        };
+        if let Ok(mut inner) = c.out.lock() {
+            inner.dead = true;
+            inner.buf.clear();
+            inner.stream = None; // drop the dup so the fd really closes
+        }
+        let _ = self.epoll.delete(c.stream.as_raw_fd());
+        if !c.close_sent {
+            // Blocking send: bounded by worker compute (workers never
+            // block on I/O), and per-session order needs Close last.
+            let _ = c.tx.send(Job::Close { session });
+        }
+        self.metrics
+            .connections_current
+            .fetch_sub(1, Ordering::Relaxed);
+        // Dropping the stream closes the fd.
+    }
+
+    /// Shutdown: drop every connection, and un-count accepts still parked
+    /// in the wake queue that never got registered.
+    fn teardown_all(&mut self) {
+        let sessions: Vec<u64> = self.conns.keys().copied().collect();
+        for session in sessions {
+            self.teardown(session);
+        }
+        let (orphans, _) = self.waker.take();
+        for _ in orphans {
+            self.metrics
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The peer sent bytes that do not decode: answer with the fault, stop
+/// reading, and let the flush-then-teardown path close the connection.
+fn fail_malformed(c: &mut Conn, metrics: &ServiceMetrics, detail: String) {
+    metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    let mut bytes = Vec::with_capacity(64);
+    let resp = WireResponse::Error {
+        code: ErrorCode::MalformedFrame,
+        detail,
+    };
+    if resp.encode(&mut bytes).is_ok() {
+        if let Ok(mut inner) = c.out.lock() {
+            if !inner.dead {
+                inner.buf.push(bytes);
+            }
+        }
+    }
+    c.read_eof = true;
+    c.pending_close = true;
+}

@@ -1,23 +1,24 @@
-//! The TCP front end: accept loop, connection handlers, graceful shutdown.
+//! The TCP front end: accept loop, reactor fleet, graceful shutdown.
 //!
-//! Each accepted connection gets a session id, a Hello banner (the
-//! programmed language names), and a reader loop that decodes frames and
-//! forwards commands to the session's worker shard. Reads run under a
-//! timeout so a silent connection still generates watchdog ticks and
-//! notices server shutdown.
+//! The acceptor is the only blocking socket user left. Each accepted
+//! connection is counted against `max_connections`, given a session id,
+//! and handed to the reactor `session % reactors` through its wake
+//! channel; from then on all of its I/O is event-driven (`reactor.rs`)
+//! and all of its classification runs on the worker shard
+//! `session % workers` (`worker.rs`).
 
 use lc_core::MultiLanguageClassifier;
-use lc_wire::{ErrorCode, FrameAccumulator, WireCommand, WireResponse};
-use std::io::ErrorKind;
+use lc_wire::WireResponse;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crate::metrics::ServiceMetrics;
-use crate::worker::{write_response, Job, WorkerPool};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::outbound::{NewConn, ReactorWaker};
+use crate::reactor::{spawn_reactor, ReactorConfig};
+use crate::worker::WorkerPool;
 
 /// Server tunables.
 #[derive(Clone, Debug)]
@@ -31,6 +32,27 @@ pub struct ServiceConfig {
     pub watchdog: Duration,
     /// Socket read buffer size.
     pub read_buffer: usize,
+    /// Reactor (connection I/O) thread count; 0 means one per four
+    /// available cores (reactors are I/O-bound; workers want the cores).
+    pub reactors: usize,
+    /// Concurrent connection cap; accepts beyond it are dropped and
+    /// counted in `accepts_rejected`. Budget roughly **two fds per
+    /// connection** (the stream plus the write-through dup) against the
+    /// process fd limit — see [`crate::raise_nofile_limit`]; `lcbloom
+    /// serve` raises the limit to match this cap at startup.
+    pub max_connections: usize,
+    /// Outbound queue high-water mark in bytes: above it the connection's
+    /// `EPOLLIN` is masked (no new commands) until the queue drains.
+    pub outbound_high_water: usize,
+    /// A connection whose outbound queue accepts no bytes for this long
+    /// (the socket full and the peer reading nothing, at any queue size)
+    /// is reset and counted in `slow_consumer_resets` — a peer that will
+    /// not read may stall only itself, and only for so long.
+    pub slow_consumer_deadline: Duration,
+    /// `SO_SNDBUF` for accepted sockets; 0 keeps the OS default. Small
+    /// values make slow-consumer behaviour observable quickly (tests,
+    /// benches).
+    pub send_buffer: usize,
 }
 
 impl Default for ServiceConfig {
@@ -40,6 +62,11 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             watchdog: Duration::from_secs(5),
             read_buffer: 64 * 1024,
+            reactors: 0,
+            max_connections: 1024,
+            outbound_high_water: 1 << 20,
+            slow_consumer_deadline: Duration::from_secs(10),
+            send_buffer: 0,
         }
     }
 }
@@ -49,11 +76,23 @@ impl ServiceConfig {
         if self.workers > 0 {
             self.workers
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            available_cores()
         }
     }
+
+    fn effective_reactors(&self) -> usize {
+        if self.reactors > 0 {
+            self.reactors
+        } else {
+            (available_cores() / 4).clamp(1, 4)
+        }
+    }
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// A running server. Dropping the handle without calling
@@ -77,8 +116,9 @@ impl ServerHandle {
         &self.metrics
     }
 
-    /// Stop accepting, drain connections and workers, join all threads.
-    pub fn shutdown(mut self) {
+    /// Stop accepting, drain connections, reactors and workers, join all
+    /// threads. Returns the final metrics as a shutdown summary.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a dummy connection. An unspecified
         // bind address (0.0.0.0 / ::) is not connectable on every
@@ -94,6 +134,7 @@ impl ServerHandle {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        self.metrics.snapshot()
     }
 }
 
@@ -115,40 +156,108 @@ pub fn serve(
         config.watchdog,
     );
 
+    // The Hello banner is identical for every connection: encode it once.
+    let hello = {
+        let mut bytes = Vec::new();
+        WireResponse::Hello {
+            languages: classifier.names().to_vec(),
+        }
+        .encode(&mut bytes)?;
+        Arc::new(bytes)
+    };
+
+    let reactor_cfg = ReactorConfig {
+        read_buffer: config.read_buffer.max(512),
+        outbound_high_water: config.outbound_high_water.max(1),
+        slow_consumer_deadline: config.slow_consumer_deadline,
+        send_buffer: config.send_buffer,
+    };
+    let reactor_count = config.effective_reactors();
+    let mut wakers: Vec<Arc<ReactorWaker>> = Vec::with_capacity(reactor_count);
+    let mut reactor_threads: Vec<JoinHandle<()>> = Vec::with_capacity(reactor_count);
+    let spawned: std::io::Result<()> = (0..reactor_count).try_for_each(|i| {
+        let waker = Arc::new(ReactorWaker::new()?);
+        let handle = spawn_reactor(
+            i,
+            Arc::clone(&waker),
+            pool.senders(),
+            Arc::clone(&hello),
+            Arc::clone(&metrics),
+            Arc::clone(&shutdown),
+            reactor_cfg.clone(),
+        )?;
+        wakers.push(waker);
+        reactor_threads.push(handle);
+        Ok(())
+    });
+    if let Err(e) = spawned {
+        // Don't leak the reactors that did start (plausible under fd
+        // exhaustion: each needs an epoll fd + an eventfd): signal, wake,
+        // join, and drain the workers before reporting failure.
+        shutdown.store(true, Ordering::SeqCst);
+        for waker in &wakers {
+            waker.wake();
+        }
+        for handle in reactor_threads {
+            let _ = handle.join();
+        }
+        pool.shutdown();
+        return Err(e);
+    }
+
     let accept_metrics = Arc::clone(&metrics);
     let accept_shutdown = Arc::clone(&shutdown);
-    let hello = Arc::new(WireResponse::Hello {
-        languages: classifier.names().to_vec(),
-    });
+    let max_connections = config.max_connections.max(1) as u64;
     let accept_thread = std::thread::Builder::new()
         .name("lc-accept".into())
         .spawn(move || {
             let next_session = AtomicU64::new(0);
-            let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
-                let session = next_session.fetch_add(1, Ordering::Relaxed);
-                let tx = pool.sender_for(session);
-                let conn = ConnectionCtx {
-                    metrics: Arc::clone(&accept_metrics),
-                    shutdown: Arc::clone(&accept_shutdown),
-                    hello: Arc::clone(&hello),
-                    watchdog: config.watchdog,
-                    read_buffer: config.read_buffer,
+                let Ok(stream) = stream else {
+                    // accept() errors (EMFILE above all) do not consume the
+                    // pending connection: looping straight back would spin
+                    // hot forever. Back off and let fds free up.
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
                 };
-                conn_threads.retain(|h| !h.is_finished());
-                if let Ok(h) = std::thread::Builder::new()
-                    .name(format!("lc-conn-{session}"))
-                    .spawn(move || handle_connection(stream, session, tx, conn))
-                {
-                    conn_threads.push(h);
+                if accept_metrics.connections_current.load(Ordering::Relaxed) >= max_connections {
+                    accept_metrics
+                        .accepts_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue; // dropping the stream closes it
                 }
+                let session = next_session.fetch_add(1, Ordering::Relaxed);
+                accept_metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let current = accept_metrics
+                    .connections_current
+                    .fetch_add(1, Ordering::Relaxed)
+                    + 1;
+                accept_metrics
+                    .connections_peak
+                    .fetch_max(current, Ordering::Relaxed);
+                wakers[(session % reactor_count as u64) as usize]
+                    .push_conn(NewConn { stream, session });
             }
-            for h in conn_threads {
-                let _ = h.join();
+            // Shutdown: wake every reactor (the flag is already set), join
+            // them, then drain the workers. A connection pushed after a
+            // reactor's own final queue drain is un-counted here, where no
+            // reactor can race us anymore.
+            for waker in &wakers {
+                waker.wake();
+            }
+            for handle in reactor_threads {
+                let _ = handle.join();
+            }
+            for waker in &wakers {
+                let (orphans, _) = waker.take();
+                for _ in orphans {
+                    accept_metrics
+                        .connections_current
+                        .fetch_sub(1, Ordering::Relaxed);
+                }
             }
             pool.shutdown();
         })
@@ -160,125 +269,4 @@ pub fn serve(
         accept_thread: Some(accept_thread),
         metrics,
     })
-}
-
-struct ConnectionCtx {
-    metrics: Arc<ServiceMetrics>,
-    shutdown: Arc<AtomicBool>,
-    hello: Arc<WireResponse>,
-    watchdog: Duration,
-    read_buffer: usize,
-}
-
-fn handle_connection(stream: TcpStream, session: u64, tx: SyncSender<Job>, ctx: ConnectionCtx) {
-    ctx.metrics.connections.fetch_add(1, Ordering::Relaxed);
-    ctx.metrics
-        .active_connections
-        .fetch_add(1, Ordering::Relaxed);
-    run_connection(stream, session, &tx, &ctx);
-    let _ = tx.send(Job::Close { session });
-    ctx.metrics
-        .active_connections
-        .fetch_sub(1, Ordering::Relaxed);
-}
-
-fn run_connection(mut stream: TcpStream, session: u64, tx: &SyncSender<Job>, ctx: &ConnectionCtx) {
-    let _ = stream.set_nodelay(true);
-    // Wake often enough for shutdown and a timely watchdog: the tick
-    // granularity bounds how late past its period the watchdog can fire.
-    let tick = (ctx.watchdog / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
-    if stream.set_read_timeout(Some(tick)).is_err() {
-        return;
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    // A peer that stops reading must not wedge a worker on a blocked write.
-    let _ = write_half.set_write_timeout(Some(Duration::from_secs(30)));
-    let sink: Arc<Mutex<TcpStream>> = Arc::new(Mutex::new(write_half));
-    if write_response(&sink, &ctx.hello).is_err() {
-        return;
-    }
-    if tx
-        .send(Job::Open {
-            session,
-            sink: Arc::clone(&sink),
-            now: Instant::now(),
-        })
-        .is_err()
-    {
-        return;
-    }
-
-    let mut acc = FrameAccumulator::new();
-    let read_chunk = ctx.read_buffer.max(512);
-    loop {
-        if ctx.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        // Bytes land straight in the accumulator (no scratch-buffer copy).
-        match acc.fill_from(&mut stream, read_chunk) {
-            Ok(0) => {
-                // Clean close — unless it cut a frame in half.
-                if acc.mid_frame() {
-                    ctx.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                }
-                return;
-            }
-            Ok(_) => {
-                let now = Instant::now();
-                loop {
-                    match acc.next_frame() {
-                        Ok(Some((kind, payload))) => {
-                            match WireCommand::decode(kind, payload) {
-                                Ok(cmd) => {
-                                    if tx.send(Job::Command { session, cmd, now }).is_err() {
-                                        return;
-                                    }
-                                }
-                                Err(e) => {
-                                    // Unframeable garbage may follow; answer
-                                    // and drop the connection.
-                                    ctx.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                    let _ = write_response(
-                                        &sink,
-                                        &WireResponse::Error {
-                                            code: ErrorCode::MalformedFrame,
-                                            detail: e.to_string(),
-                                        },
-                                    );
-                                    return;
-                                }
-                            }
-                        }
-                        Ok(None) => break,
-                        Err(e) => {
-                            ctx.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            let _ = write_response(
-                                &sink,
-                                &WireResponse::Error {
-                                    code: ErrorCode::MalformedFrame,
-                                    detail: e.to_string(),
-                                },
-                            );
-                            return;
-                        }
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if tx
-                    .send(Job::Tick {
-                        session,
-                        now: Instant::now(),
-                    })
-                    .is_err()
-                {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
 }

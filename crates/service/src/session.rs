@@ -17,6 +17,8 @@
 //! The watchdog is wall-clock: a session stalled mid-document past the
 //! configured period is reset (and the host told so), exactly the recovery
 //! path `tests/protocol_faults.rs` exercises against the simulated engine.
+//! The owning worker drives it, sweeping its sessions with [`Session::tick`]
+//! between jobs (`recv_timeout` granularity bounds how late it can fire).
 //! After any mid-document abort — watchdog reset, truncated transfer,
 //! excess words — the session *drains*: frames still in flight for the
 //! aborted document are discarded silently until the next Size re-arms it,

@@ -5,38 +5,43 @@
 //! same filters, independent execution). A session is pinned to the worker
 //! `session_id % N`, so its streaming state lives on exactly one thread and
 //! needs no locking. Queues are **bounded**: when a worker falls behind,
-//! `send` blocks the connection thread, which stops reading its socket —
-//! backpressure propagates to the client through TCP flow control, the
+//! the reactor's `try_send` fails, that one connection stops being read,
+//! and backpressure reaches its client through TCP flow control — the
 //! network image of the DMA engine refusing words it has no buffer for.
+//!
+//! Workers never touch sockets. A response is an enqueue onto the
+//! connection's outbound queue ([`ResponseSink::send`]) plus an eventfd
+//! nudge to the reactor that owns the socket, so a peer that stops
+//! reading cannot wedge a worker — the head-of-line hazard of the
+//! threaded design. The watchdog is likewise worker-driven now: between
+//! jobs (or every `recv_timeout` tick) the worker sweeps its sessions for
+//! transfers stalled past the period and emits the reset notice itself.
 
 use lc_core::MultiLanguageClassifier;
 use lc_wire::WireCommand;
 use std::collections::HashMap;
-use std::io::Write;
-use std::net::TcpStream;
-use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::metrics::ServiceMetrics;
+use crate::outbound::ResponseSink;
 use crate::session::Session;
 
-/// Where a session's responses go: the connection's write half, shared
-/// with the connection thread (which writes its own decode-fault replies).
-pub type ResponseSink = Arc<Mutex<TcpStream>>;
-
-/// One unit of work for a worker.
+/// One unit of work for a worker. Time is stamped by the worker at
+/// application, not by the reactor at read: the watchdog and the latency
+/// histogram then measure what the engine observes, and a command that
+/// waited out a queue backlog cannot carry a stale clock that makes its
+/// own healthy session look watchdog-dead.
 #[derive(Debug)]
 pub enum Job {
     /// Register a session and its response sink.
     Open {
         /// Session id (also selects the worker shard).
         session: u64,
-        /// Write half of the connection.
+        /// The connection's outbound queue + reactor wake handle.
         sink: ResponseSink,
-        /// Registration time.
-        now: Instant,
     },
     /// Apply a decoded command to a session.
     Command {
@@ -44,17 +49,8 @@ pub enum Job {
         session: u64,
         /// The command.
         cmd: WireCommand,
-        /// Receive time.
-        now: Instant,
     },
-    /// Idle-time heartbeat; lets the watchdog examine a silent session.
-    Tick {
-        /// Session id.
-        session: u64,
-        /// Tick time.
-        now: Instant,
-    },
-    /// Connection closed; drop the session.
+    /// Connection closed; drop the session and finish its sink.
     Close {
         /// Session id.
         session: u64,
@@ -75,9 +71,12 @@ impl WorkerPool {
         metrics: Arc<ServiceMetrics>,
         workers: usize,
         queue_depth: usize,
-        watchdog: std::time::Duration,
+        watchdog: Duration,
     ) -> Self {
         assert!(workers >= 1, "need at least one worker");
+        // Sweep often enough for a timely watchdog: the tick granularity
+        // bounds how late past its period the watchdog can fire.
+        let tick = (watchdog / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -88,30 +87,38 @@ impl WorkerPool {
                 .name(format!("lc-worker-{i}"))
                 .spawn(move || {
                     let mut sessions: HashMap<u64, (Session, ResponseSink)> = HashMap::new();
-                    for job in rx {
-                        match job {
-                            Job::Open { session, sink, now } => {
+                    let mut last_sweep = Instant::now();
+                    loop {
+                        match rx.recv_timeout(tick) {
+                            Ok(Job::Open { session, sink }) => {
                                 sessions.insert(
                                     session,
-                                    (Session::new(&classifier, watchdog, now), sink),
+                                    (Session::new(&classifier, watchdog, Instant::now()), sink),
                                 );
                             }
-                            Job::Command { session, cmd, now } => {
+                            Ok(Job::Command { session, cmd }) => {
                                 if let Some((s, sink)) = sessions.get_mut(&session) {
+                                    let now = Instant::now();
                                     if let Some(resp) = s.apply(&classifier, &metrics, cmd, now) {
-                                        respond(sink, &resp);
+                                        sink.send(&resp);
                                     }
                                 }
                             }
-                            Job::Tick { session, now } => {
-                                if let Some((s, sink)) = sessions.get_mut(&session) {
-                                    if let Some(resp) = s.tick(&metrics, now) {
-                                        respond(sink, &resp);
-                                    }
+                            Ok(Job::Close { session }) => {
+                                if let Some((_, sink)) = sessions.remove(&session) {
+                                    sink.finish();
                                 }
                             }
-                            Job::Close { session } => {
-                                sessions.remove(&session);
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                        let now = Instant::now();
+                        if now.duration_since(last_sweep) >= tick {
+                            last_sweep = now;
+                            for (s, sink) in sessions.values_mut() {
+                                if let Some(resp) = s.tick(&metrics, now) {
+                                    sink.send(&resp);
+                                }
                             }
                         }
                     }
@@ -128,37 +135,18 @@ impl WorkerPool {
         self.senders.len()
     }
 
-    /// The bounded sender feeding the worker that owns `session`.
-    pub fn sender_for(&self, session: u64) -> SyncSender<Job> {
-        self.senders[(session % self.senders.len() as u64) as usize].clone()
+    /// One sender clone per worker, in shard order; the reactors pick the
+    /// shard as `session % workers`.
+    pub(crate) fn senders(&self) -> Vec<SyncSender<Job>> {
+        self.senders.clone()
     }
 
     /// Drop the pool's own senders and join the workers. Workers exit once
-    /// every connection's sender clone is gone too.
+    /// every reactor's sender clone is gone too.
     pub fn shutdown(self) {
         drop(self.senders);
         for h in self.handles {
             let _ = h.join();
         }
     }
-}
-
-/// Write one response frame under the sink lock (shared by workers and
-/// connection threads).
-pub(crate) fn write_response(
-    sink: &ResponseSink,
-    resp: &lc_wire::WireResponse,
-) -> std::io::Result<()> {
-    let mut buf = Vec::with_capacity(64);
-    resp.encode(&mut buf)?;
-    let mut stream = sink
-        .lock()
-        .map_err(|_| std::io::Error::other("response sink poisoned"))?;
-    stream.write_all(&buf)
-}
-
-/// Worker-side response write; a failed write means the client is gone,
-/// which the connection thread will notice on its next read.
-fn respond(sink: &ResponseSink, resp: &lc_wire::WireResponse) {
-    let _ = write_response(sink, resp);
 }

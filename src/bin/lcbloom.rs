@@ -5,7 +5,9 @@
 //! lcbloom train    --out FILE.lcp [--t N] DIR...
 //! lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K] FILE...
 //! lcbloom simulate --profiles FILE.lcp [--async|--sync] FILE...
-//! lcbloom serve    --profiles FILE.lcp [--addr A] [--workers N] [--watchdog-ms N] [--stats-secs N]
+//! lcbloom serve    --profiles FILE.lcp [--addr A] [--workers N] [--reactors N]
+//!                  [--max-connections N] [--outbound-high-water BYTES]
+//!                  [--slow-consumer-ms N] [--watchdog-ms N] [--stats-secs N]
 //! lcbloom query    --addr A FILE...
 //! lcbloom demo
 //! ```
@@ -63,6 +65,8 @@ fn print_usage() {
          \x20 lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K] FILE...\n\
          \x20 lcbloom simulate --profiles FILE.lcp [--sync] FILE...\n\
          \x20 lcbloom serve    --profiles FILE.lcp [--addr HOST:PORT] [--workers N]\n\
+         \x20                  [--reactors N] [--max-connections N]\n\
+         \x20                  [--outbound-high-water BYTES] [--slow-consumer-ms N]\n\
          \x20                  [--watchdog-ms N] [--stats-secs N] [--m KBITS] [--k K]\n\
          \x20 lcbloom query    --addr HOST:PORT FILE...\n\
          \x20 lcbloom demo\n\
@@ -297,6 +301,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "k",
             "addr",
             "workers",
+            "reactors",
+            "max-connections",
+            "outbound-high-water",
+            "slow-consumer-ms",
             "watchdog-ms",
             "stats-secs",
         ],
@@ -308,12 +316,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or("127.0.0.1:4004")
         .to_string();
+    let defaults = ServiceConfig::default();
     let config = ServiceConfig {
         workers: parse_num(&flags, "workers", 0usize)?,
+        reactors: parse_num(&flags, "reactors", 0usize)?,
+        max_connections: parse_num(&flags, "max-connections", defaults.max_connections)?,
+        outbound_high_water: parse_num(
+            &flags,
+            "outbound-high-water",
+            defaults.outbound_high_water,
+        )?,
+        slow_consumer_deadline: std::time::Duration::from_millis(parse_num(
+            &flags,
+            "slow-consumer-ms",
+            defaults.slow_consumer_deadline.as_millis() as u64,
+        )?),
         watchdog: std::time::Duration::from_millis(parse_num(&flags, "watchdog-ms", 5000u64)?),
-        ..ServiceConfig::default()
+        ..defaults
     };
     let stats_secs = parse_num(&flags, "stats-secs", 10u64)?;
+    // Each connection costs two fds (stream + write-through dup); make the
+    // process limit match the configured cap, best-effort.
+    let _ = lcbloom::service::raise_nofile_limit(2 * config.max_connections as u64 + 64);
     let classifier = std::sync::Arc::new(classifier);
     let handle = lcbloom::service::serve(
         std::sync::Arc::clone(&classifier),
@@ -321,15 +345,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.clone(),
     )
     .map_err(|e| format!("binding {addr}: {e}"))?;
-    println!(
-        "serving {} languages on {} ({} workers, {:?} watchdog)",
-        classifier.num_languages(),
-        handle.addr(),
-        if config.workers == 0 {
+    let auto_or = |n: usize| {
+        if n == 0 {
             "auto".to_string()
         } else {
-            config.workers.to_string()
-        },
+            n.to_string()
+        }
+    };
+    println!(
+        "serving {} languages on {} ({} workers, {} reactors, ≤{} connections, \
+         {} KiB outbound high-water, {:?} slow-consumer deadline, {:?} watchdog)",
+        classifier.num_languages(),
+        handle.addr(),
+        auto_or(config.workers),
+        auto_or(config.reactors),
+        config.max_connections,
+        config.outbound_high_water / 1024,
+        config.slow_consumer_deadline,
         config.watchdog,
     );
     let metrics = std::sync::Arc::clone(handle.metrics());

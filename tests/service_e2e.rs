@@ -350,6 +350,338 @@ fn empty_documents_and_session_reuse() {
     server.shutdown();
 }
 
+/// Build one pipelined document burst (Size + Data + EoD + Query) as raw
+/// bytes, for peers that script their own socket behaviour.
+fn doc_burst(doc: &[u8], copies: usize) -> Vec<u8> {
+    let words = pack_words(doc);
+    let mut bytes = Vec::new();
+    for _ in 0..copies {
+        WireCommand::Size {
+            words: words.len() as u32,
+            bytes: doc.len() as u32,
+        }
+        .encode(&mut bytes)
+        .unwrap();
+        WireCommand::data_words(&words).encode(&mut bytes).unwrap();
+        WireCommand::EndOfDocument.encode(&mut bytes).unwrap();
+        WireCommand::QueryResult.encode(&mut bytes).unwrap();
+    }
+    bytes
+}
+
+#[test]
+fn high_concurrency_512_clients_bit_identical() {
+    // The scenario the thread-per-connection design could not reach: 512
+    // concurrent pipelined clients, results bit-identical to in-process
+    // classification. 16 threads own 32 connections each; every
+    // connection is open before any thread starts classifying, so all 512
+    // are simultaneously live.
+    lcbloom::service::raise_nofile_limit(8192).expect("raise fd limit");
+    let c = classifier();
+    let server = serve(
+        Arc::clone(&c),
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            reactors: 2,
+            max_connections: 2048,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = server.addr();
+    let docs = test_docs();
+
+    const THREADS: usize = 16;
+    const CONNS_PER_THREAD: usize = 32;
+    const DOCS_PER_CONN: usize = 3;
+    let all_open = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let docs = &docs;
+                let c = &c;
+                let all_open = &all_open;
+                s.spawn(move || {
+                    let mut clients: Vec<_> = (0..CONNS_PER_THREAD)
+                        .map(|_| {
+                            // Retry: 512 near-simultaneous connects can
+                            // transiently overflow the accept backlog.
+                            for _ in 0..50 {
+                                if let Ok(cl) = ClassifyClient::connect(addr) {
+                                    return cl;
+                                }
+                                std::thread::sleep(Duration::from_millis(20));
+                            }
+                            panic!("could not connect");
+                        })
+                        .collect();
+                    all_open.wait();
+                    for (i, client) in clients.iter_mut().enumerate() {
+                        let picks: Vec<&[u8]> = (0..DOCS_PER_CONN)
+                            .map(|d| {
+                                docs[(t * CONNS_PER_THREAD + i * DOCS_PER_CONN + d) % docs.len()]
+                                    .as_slice()
+                            })
+                            .collect();
+                        let served = client.classify_many(&picks, 2).expect("classify_many");
+                        for (doc, served) in picks.iter().zip(served) {
+                            assert!(served.valid);
+                            assert_eq!(
+                                served.result,
+                                c.classify(doc),
+                                "served result must equal in-process classification"
+                            );
+                        }
+                    }
+                    clients.len()
+                })
+            })
+            .collect();
+        let total: usize = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum();
+        assert_eq!(total, 512);
+    });
+
+    let snap = server.shutdown();
+    assert_eq!(snap.connections, 512);
+    assert_eq!(snap.connections_peak, 512, "all 512 must be live at once");
+    assert_eq!(snap.documents, 512 * DOCS_PER_CONN as u64);
+    assert_eq!(snap.protocol_errors, 0);
+    assert_eq!(snap.slow_consumer_resets, 0);
+}
+
+#[test]
+fn high_concurrency_slow_reader_stalls_only_itself() {
+    // One deliberately non-reading peer pipelines thousands of documents
+    // into a single-shard server and never reads a response. In the
+    // threaded design its shard wedged on a blocked write for up to the
+    // 30 s write timeout per response; now its responses pile into its own
+    // outbound queue and everyone else on the shard is served at normal
+    // latency.
+    let c = classifier();
+    let server = serve(
+        Arc::clone(&c),
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 1, // one shard: the slow peer and the fast client share it
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = server.addr();
+
+    let mut slow = raw_conn(addr);
+    const SLOW_DOCS: usize = 3000;
+    slow.write_all(&doc_burst(b"the slow peer sends and sends", SLOW_DOCS))
+        .unwrap();
+    // The slow peer now has thousands of unread responses queued; it stays
+    // connected and silent. Everyone else must not notice.
+    let fast_docs = test_docs();
+    let started = std::time::Instant::now();
+    let mut fast = ClassifyClient::connect(addr).expect("connect");
+    for doc in fast_docs.iter().take(20) {
+        let served = fast.classify(doc).expect("classify behind a slow reader");
+        assert_eq!(served.result, c.classify(doc));
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "slow reader delayed the shard: 20 docs took {elapsed:?} \
+         (the threaded design stalled ~30 s per blocked write)"
+    );
+
+    // The slow peer's backlog still classifies to completion (responses
+    // pile in its outbound queue; nothing is lost, nobody is blocked).
+    let drained = std::time::Instant::now() + Duration::from_secs(30);
+    while (server.metrics().snapshot().documents as usize) < SLOW_DOCS + 20
+        && std::time::Instant::now() < drained
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(slow);
+    let snap = server.shutdown();
+    assert_eq!(snap.documents as usize, SLOW_DOCS + 20);
+    assert_eq!(snap.protocol_errors, 0);
+}
+
+#[test]
+fn slow_consumer_is_reset_not_left_stalling() {
+    // With a small send buffer, a tight high-water mark and a short
+    // deadline, a peer that will not read is disconnected and counted —
+    // instead of parking an outbound queue forever.
+    let c = classifier();
+    let server = serve(
+        Arc::clone(&c),
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 1,
+            send_buffer: 4096,
+            outbound_high_water: 32 * 1024,
+            slow_consumer_deadline: Duration::from_millis(300),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = server.addr();
+
+    let slow = raw_conn(addr);
+    // Nonblocking writes: once the server masks the slow peer's EPOLLIN,
+    // nothing drains the socket and a blocking write would deadlock the
+    // test itself.
+    slow.set_nonblocking(true).unwrap();
+    let burst = doc_burst(b"unread responses pile up", 6000);
+    let mut written = 0usize;
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let mut slow = slow;
+    while std::time::Instant::now() < deadline {
+        if server.metrics().snapshot().slow_consumer_resets >= 1 {
+            break;
+        }
+        if written < burst.len() {
+            match slow.write(&burst[written..]) {
+                Ok(n) => {
+                    written += n;
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(_) => {} // reset by the server: also fine
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A well-behaved client is served throughout and afterwards.
+    let mut fast = ClassifyClient::connect(addr).expect("connect");
+    let doc = b"the quick brown fox jumps over the lazy dog";
+    assert_eq!(fast.classify(doc).unwrap().result, c.classify(doc));
+
+    let snap = server.shutdown();
+    assert!(
+        snap.outbound_stalls >= 1,
+        "outbound queue never crossed high-water: {snap:?}"
+    );
+    assert!(
+        snap.slow_consumer_resets >= 1,
+        "slow consumer was never reset: {snap:?}"
+    );
+}
+
+#[test]
+fn slow_consumer_partial_drain_then_silence_is_still_reset() {
+    // The sneakiest slow consumer: fill the outbound queue past
+    // high-water, read just enough to trigger one more flush (write
+    // progress), then go completely silent. The partial drain must
+    // restart the slow-consumer clock, not disarm it — a disarmed clock
+    // here leaks the connection forever, because a silent peer generates
+    // no further events.
+    let c = classifier();
+    let server = serve(
+        Arc::clone(&c),
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 1,
+            send_buffer: 4096,
+            outbound_high_water: 32 * 1024,
+            slow_consumer_deadline: Duration::from_millis(300),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = server.addr();
+
+    let slow = raw_conn(addr);
+    slow.set_nonblocking(true).unwrap();
+    let mut slow = slow;
+    let burst = doc_burst(b"drain a little then freeze", 6000);
+    let mut written = 0usize;
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    // Phase 1: pump documents until the server masks us (queue > HWM).
+    while server.metrics().snapshot().outbound_stalls == 0 && std::time::Instant::now() < deadline {
+        if written < burst.len() {
+            match slow.write(&burst[written..]) {
+                Ok(n) => {
+                    written += n;
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(_) => break,
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        server.metrics().snapshot().outbound_stalls >= 1,
+        "queue never crossed high-water"
+    );
+    // Phase 2: the partial drain — read ~8 KiB of responses, then freeze.
+    let mut drained = 0usize;
+    let mut chunk = [0u8; 1024];
+    while drained < 8 * 1024 && std::time::Instant::now() < deadline {
+        match std::io::Read::read(&mut slow, &mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+    assert!(
+        drained > 0,
+        "peer read nothing; the scenario needs progress"
+    );
+    // Phase 3: total silence. The reset must still fire.
+    let waited = std::time::Instant::now() + Duration::from_secs(10);
+    while server.metrics().snapshot().slow_consumer_resets == 0
+        && std::time::Instant::now() < waited
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let snap = server.shutdown();
+    assert!(
+        snap.slow_consumer_resets >= 1,
+        "partial drain disarmed the slow-consumer clock: {snap:?}"
+    );
+}
+
+#[test]
+fn accepts_beyond_max_connections_are_rejected() {
+    let c = classifier();
+    let server = serve(
+        Arc::clone(&c),
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 1,
+            max_connections: 4,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = server.addr();
+
+    // Fill the cap; reading each Hello proves the connection is counted
+    // before the next connect.
+    let mut kept: Vec<ClassifyClient> = (0..4)
+        .map(|_| ClassifyClient::connect(addr).expect("connect under cap"))
+        .collect();
+    // Beyond the cap the server accepts and immediately closes: no Hello.
+    for _ in 0..3 {
+        match ClassifyClient::connect(addr) {
+            Err(ClientError::Io(_)) => {}
+            Ok(_) => panic!("connection beyond max_connections served a Hello"),
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    // The capped connections still work.
+    let doc = b"still serving the connections under the cap";
+    for client in &mut kept {
+        assert_eq!(client.classify(doc).unwrap().result, c.classify(doc));
+    }
+    drop(kept);
+    let snap = server.shutdown();
+    assert_eq!(snap.connections, 4);
+    assert!(snap.accepts_rejected >= 3, "{snap:?}");
+}
+
 #[test]
 fn graceful_shutdown_joins_all_threads() {
     let server = start(2, Duration::from_secs(5));
