@@ -38,6 +38,17 @@ fn bench_extraction(c: &mut Criterion) {
         });
     });
 
+    g.bench_function("streaming_fused_sink", |b| {
+        // The fused-path shape: grams go straight to a sink, no Vec
+        // between extraction and consumer.
+        b.iter(|| {
+            let mut ex = StreamingExtractor::new(NGramSpec::PAPER);
+            let mut acc = 0u64;
+            ex.feed_with(black_box(doc), |g| acc ^= g.value());
+            black_box(acc)
+        });
+    });
+
     g.bench_function("subsampled_s2", |b| {
         let ex = NGramExtractor::with_subsampling(NGramSpec::PAPER, 2);
         let mut out = Vec::with_capacity(doc.len());

@@ -18,6 +18,8 @@
 use std::time::Instant;
 
 use lc_bench::ClassifyFixture;
+use lc_core::StreamingSession;
+use lc_ngram::NGram;
 
 /// Median of `samples` timed runs of `f`, in nanoseconds.
 fn median_ns<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -47,10 +49,12 @@ fn main() {
         total_ngrams,
     );
 
-    // Warm-up both paths once before timing.
-    for (_, grams) in &fixture.docs {
+    // Warm-up every path once before timing (also builds the lazily
+    // initialized fused hash table).
+    for ((_, grams), text) in fixture.docs.iter().zip(&fixture.texts) {
         std::hint::black_box(classifier.classify_ngrams_naive(grams));
         std::hint::black_box(classifier.classify_ngrams(grams));
+        std::hint::black_box(classifier.classify(text));
     }
 
     let samples = 7;
@@ -69,6 +73,40 @@ fn main() {
         acc
     });
 
+    // Streamed paths measure extraction + probe from raw bytes — what a
+    // service worker actually pays per document. Two-phase is the
+    // pre-fusion worker loop (extract the chunk into a Vec<NGram>, then
+    // probe the pre-extracted stream); fused folds each byte straight
+    // into the bank probe with no intermediate buffer.
+    let two_phase_ns = median_ns(samples, || {
+        let mut acc = 0usize;
+        let mut grams: Vec<NGram> = Vec::new();
+        let mut counts = vec![0u64; classifier.num_languages()];
+        for text in &fixture.texts {
+            grams.clear();
+            let mut ex = classifier.streaming_extractor();
+            ex.feed(text, &mut grams);
+            counts.iter_mut().for_each(|c| *c = 0);
+            classifier.accumulate_ngrams(&grams, &mut counts);
+            acc ^= counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .unwrap()
+                .0;
+        }
+        acc
+    });
+    let fused_ns = median_ns(samples, || {
+        let mut acc = 0usize;
+        let mut session = StreamingSession::new(classifier);
+        for text in &fixture.texts {
+            session.feed(classifier, text);
+            acc ^= session.finish().best();
+        }
+        acc
+    });
+
     let report = |ns: f64| {
         (
             ns / total_ngrams as f64,              // ns per n-gram
@@ -77,10 +115,13 @@ fn main() {
     };
     let (naive_ns_gram, naive_mbs) = report(naive_ns);
     let (banked_ns_gram, banked_mbs) = report(banked_ns);
+    let (two_phase_ns_gram, two_phase_mbs) = report(two_phase_ns);
+    let (fused_ns_gram, fused_mbs) = report(fused_ns);
     let speedup = naive_ns / banked_ns;
+    let fused_speedup = two_phase_ns / fused_ns;
 
     let json = format!(
-        "{{\n  \"bench\": \"classify\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"ngram\": {}, \"profile_size\": {} }},\n  \"workload\": {{ \"documents\": {}, \"bytes\": {}, \"ngrams\": {} }},\n  \"naive\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }},\n  \"banked\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }},\n  \"speedup\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"classify\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"ngram\": {}, \"profile_size\": {} }},\n  \"workload\": {{ \"documents\": {}, \"bytes\": {}, \"ngrams\": {} }},\n  \"naive\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }},\n  \"banked\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }},\n  \"speedup\": {:.2},\n  \"streamed\": {{ \"note\": \"raw bytes in, extraction included; two_phase is the pre-fusion baseline-to-beat\", \"two_phase\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }}, \"fused\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }}, \"fused_speedup\": {:.2} }}\n}}\n",
         classifier.num_languages(),
         fixture.params.k,
         fixture.params.m_kbits(),
@@ -94,10 +135,18 @@ fn main() {
         banked_ns_gram,
         banked_mbs,
         speedup,
+        two_phase_ns_gram,
+        two_phase_mbs,
+        fused_ns_gram,
+        fused_mbs,
+        fused_speedup,
     );
     print!("{json}");
 
     let out = std::env::var("LC_BENCH_OUT").unwrap_or_else(|_| "BENCH_classify.json".into());
     std::fs::write(&out, &json).expect("write benchmark report");
-    eprintln!("wrote {out} (banked is {speedup:.2}x naive)");
+    eprintln!(
+        "wrote {out} (banked is {speedup:.2}x naive; fused streaming is \
+         {fused_speedup:.2}x the two-phase stream)"
+    );
 }

@@ -47,6 +47,9 @@ pub struct ClassifyFixture {
     pub profile_size: usize,
     /// Per test document: (byte length, pre-extracted n-grams).
     pub docs: Vec<(usize, Vec<NGram>)>,
+    /// The raw document bytes, for paths that measure extraction too
+    /// (streamed two-phase vs fused classification).
+    pub texts: Vec<Vec<u8>>,
 }
 
 impl ClassifyFixture {
@@ -65,13 +68,13 @@ impl ClassifyFixture {
         );
         let classifier = builder_for(&corpus, profile_size).build_bloom(params, 7);
         let extractor = NGramExtractor::new(classifier.spec());
-        let docs = corpus
-            .split()
-            .test_all()
-            .map(|d| {
+        let texts: Vec<Vec<u8>> = corpus.split().test_all().map(|d| d.text.clone()).collect();
+        let docs = texts
+            .iter()
+            .map(|text| {
                 let mut grams = Vec::new();
-                extractor.extract_into(&d.text, &mut grams);
-                (d.text.len(), grams)
+                extractor.extract_into(text, &mut grams);
+                (text.len(), grams)
             })
             .collect();
         Self {
@@ -79,6 +82,7 @@ impl ClassifyFixture {
             params,
             profile_size,
             docs,
+            texts,
         }
     }
 

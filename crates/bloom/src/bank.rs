@@ -51,6 +51,29 @@ use crate::params::BloomParams;
 use crate::ParallelBloomFilter;
 use lc_hash::H3Family;
 
+/// A push-style source of query keys — the fused-path analogue of an
+/// iterator. `for_each_key` hands every key to `sink` exactly once, in
+/// order; the bank monomorphizes its probe loop around the call, so a
+/// source that folds bytes through a shift register (n-gram extraction)
+/// compiles into **one** loop with the `k` hash evaluations and mask loads
+/// — no intermediate key buffer between extraction and probe.
+///
+/// Every `IntoIterator<Item = u64>` is a `KeySource` (the pre-extracted
+/// path); state-machine sources implement the trait directly.
+pub trait KeySource {
+    /// Push every key into `sink`, in order.
+    fn for_each_key(self, sink: impl FnMut(u64));
+}
+
+impl<I: IntoIterator<Item = u64>> KeySource for I {
+    #[inline]
+    fn for_each_key(self, mut sink: impl FnMut(u64)) {
+        for key in self {
+            sink(key);
+        }
+    }
+}
+
 /// A mask storage element: the bit-sliced arrays hold language masks at the
 /// narrowest width that fits `p`.
 trait MaskWord: Copy {
@@ -90,6 +113,27 @@ macro_rules! impl_mask_word {
     )*};
 }
 impl_mask_word!(u8, u16, u32, u64);
+
+/// `SPREAD8[m]` has byte `j` equal to bit `j` of `m`: one table load turns
+/// an 8-language match mask into eight 0/1 byte increments, so the hot
+/// loop's count update is a single 64-bit add — no per-set-bit branch loop.
+static SPREAD8: [u64; 256] = {
+    let mut t = [0u64; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut v = 0u64;
+        let mut j = 0;
+        while j < 8 {
+            if m >> j & 1 == 1 {
+                v |= 1u64 << (8 * j);
+            }
+            j += 1;
+        }
+        t[m] = v;
+        m += 1;
+    }
+    t
+};
 
 /// Width-specialized bit-sliced arrays (one per hash function).
 #[derive(Clone, Debug)]
@@ -288,28 +332,55 @@ impl FilterBank {
         }
     }
 
+    /// Drain a packed 8×8-bit counter word into the wide counters:
+    /// byte `j` of `packed` adds to `counts[j]`. Bytes at or above
+    /// `counts.len()` are always zero (masks only carry language bits).
+    #[inline]
+    fn flush_packed8(packed: u64, counts: &mut [u64]) {
+        for (j, c) in counts.iter_mut().enumerate() {
+            *c += (packed >> (8 * j)) & 0xFF;
+        }
+    }
+
     /// The classify hot loop: for every key, increment `counts[j]` for each
     /// matching language `j`. Exactly equivalent to testing each language's
     /// filter independently, but `k` loads + one AND-reduce per key.
+    /// Convenience wrapper over [`Self::accumulate_source`] for
+    /// pre-extracted key streams.
     ///
     /// # Panics
     ///
     /// Panics if `counts.len() != self.languages()`.
     pub fn accumulate_keys<I: IntoIterator<Item = u64>>(&self, keys: I, counts: &mut [u64]) {
+        self.accumulate_source(keys, counts);
+    }
+
+    /// The fused probe entry: drain `src` through the bank, incrementing
+    /// `counts[j]` for each key matching language `j`. Dispatches **once**
+    /// per batch to a loop monomorphized over the mask width
+    /// (u8/u16/u32/u64/multi-word) and, for `k ≤ 8`, the compile-time `k` —
+    /// the source's per-key state machine (e.g. the n-gram shift register)
+    /// inlines into that loop, so extraction and probe fuse into one pass
+    /// with no intermediate key buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != self.languages()`.
+    pub fn accumulate_source<S: KeySource>(&self, src: S, counts: &mut [u64]) {
         assert_eq!(
             counts.len(),
             self.languages,
             "one counter per banked language"
         );
         match &self.slices {
-            MaskSlices::W8(s) => self.dispatch_k(s, keys, counts),
-            MaskSlices::W16(s) => self.dispatch_k(s, keys, counts),
-            MaskSlices::W32(s) => self.dispatch_k(s, keys, counts),
+            MaskSlices::W8(s) => self.dispatch_k_packed8(s, src, counts),
+            MaskSlices::W16(s) => self.dispatch_k(s, src, counts),
+            MaskSlices::W32(s) => self.dispatch_k(s, src, counts),
             MaskSlices::W64(s) => {
                 if self.words_per_mask == 1 {
-                    self.dispatch_k(s, keys, counts);
+                    self.dispatch_k(s, src, counts);
                 } else {
-                    self.accumulate_multiword(s, keys, counts);
+                    self.accumulate_multiword(s, src, counts);
                 }
             }
         }
@@ -319,86 +390,136 @@ impl FilterBank {
     /// the fused hash unrolls and the `k` mask loads issue back-to-back
     /// with no loop-carried control flow. `k > 8` falls back to the
     /// runtime-`k` loop (identical results).
-    fn dispatch_k<W: MaskWord, I: IntoIterator<Item = u64>>(
+    fn dispatch_k<W: MaskWord, S: KeySource>(
         &self,
         slices: &[Box<[W]>],
-        keys: I,
+        src: S,
         counts: &mut [u64],
     ) {
         match self.params.k {
-            1 => self.accumulate_const_k::<1, W, I>(slices, keys, counts),
-            2 => self.accumulate_const_k::<2, W, I>(slices, keys, counts),
-            3 => self.accumulate_const_k::<3, W, I>(slices, keys, counts),
-            4 => self.accumulate_const_k::<4, W, I>(slices, keys, counts),
-            5 => self.accumulate_const_k::<5, W, I>(slices, keys, counts),
-            6 => self.accumulate_const_k::<6, W, I>(slices, keys, counts),
-            7 => self.accumulate_const_k::<7, W, I>(slices, keys, counts),
-            8 => self.accumulate_const_k::<8, W, I>(slices, keys, counts),
-            _ => self.accumulate_runtime_k(slices, keys, counts),
+            1 => self.accumulate_const_k::<1, W, S>(slices, src, counts),
+            2 => self.accumulate_const_k::<2, W, S>(slices, src, counts),
+            3 => self.accumulate_const_k::<3, W, S>(slices, src, counts),
+            4 => self.accumulate_const_k::<4, W, S>(slices, src, counts),
+            5 => self.accumulate_const_k::<5, W, S>(slices, src, counts),
+            6 => self.accumulate_const_k::<6, W, S>(slices, src, counts),
+            7 => self.accumulate_const_k::<7, W, S>(slices, src, counts),
+            8 => self.accumulate_const_k::<8, W, S>(slices, src, counts),
+            _ => self.accumulate_runtime_k(slices, src, counts),
         }
     }
 
+    /// Dispatch for the `p ≤ 8` (byte-mask) bank: same const-`k` table as
+    /// [`Self::dispatch_k`], but the loops accumulate into one packed
+    /// 8×8-bit counter word via [`SPREAD8`] instead of a per-set-bit
+    /// scatter loop. `k > 8` falls back to the generic runtime-`k` path.
+    fn dispatch_k_packed8<S: KeySource>(&self, slices: &[Box<[u8]>], src: S, counts: &mut [u64]) {
+        match self.params.k {
+            1 => self.accumulate_packed8::<1, S>(slices, src, counts),
+            2 => self.accumulate_packed8::<2, S>(slices, src, counts),
+            3 => self.accumulate_packed8::<3, S>(slices, src, counts),
+            4 => self.accumulate_packed8::<4, S>(slices, src, counts),
+            5 => self.accumulate_packed8::<5, S>(slices, src, counts),
+            6 => self.accumulate_packed8::<6, S>(slices, src, counts),
+            7 => self.accumulate_packed8::<7, S>(slices, src, counts),
+            8 => self.accumulate_packed8::<8, S>(slices, src, counts),
+            _ => self.accumulate_runtime_k(slices, src, counts),
+        }
+    }
+
+    /// Hot loop for byte masks (`p ≤ 8`) with compile-time `K`: the match
+    /// mask indexes [`SPREAD8`] and one 64-bit add bumps all eight
+    /// per-language byte counters at once — branchless per key. Each byte
+    /// grows by at most 1 per key, so the packed word is drained into the
+    /// `u64` counters every 255 keys, before any byte can wrap.
+    fn accumulate_packed8<const K: usize, S: KeySource>(
+        &self,
+        slices: &[Box<[u8]>],
+        src: S,
+        counts: &mut [u64],
+    ) {
+        let slices: [&[u8]; K] = std::array::from_fn(|i| &*slices[i]);
+        let hashes = self.hashes.fused_evaluator_k::<K>();
+        let mut packed = 0u64;
+        let mut pending = 0u32;
+        src.for_each_key(|key| {
+            let addrs: [u32; K] = hashes.hash_all_array(key);
+            let mut mask = slices[0][addrs[0] as usize];
+            for i in 1..K {
+                mask &= slices[i][addrs[i] as usize];
+            }
+            packed = packed.wrapping_add(SPREAD8[mask as usize]);
+            pending += 1;
+            if pending == 255 {
+                Self::flush_packed8(packed, counts);
+                packed = 0;
+                pending = 0;
+            }
+        });
+        Self::flush_packed8(packed, counts);
+    }
+
     /// Hot loop for single-element masks with compile-time `K`.
-    fn accumulate_const_k<const K: usize, W: MaskWord, I: IntoIterator<Item = u64>>(
+    fn accumulate_const_k<const K: usize, W: MaskWord, S: KeySource>(
         &self,
         slices: &[Box<[W]>],
-        keys: I,
+        src: S,
         counts: &mut [u64],
     ) {
         // Hoist the Vec<Box<..>> double indirection: K flat slice views,
         // loaded once per batch instead of twice per key.
         let slices: [&[W]; K] = std::array::from_fn(|i| &*slices[i]);
-        // Resolve the fused hash view once per batch: no per-key lazy-init
-        // check inside the loop.
-        let hashes = self.hashes.fused_evaluator();
-        for key in keys {
-            let addrs: [u32; K] = hashes.hash_all_array::<K>(key);
+        // Resolve the const-K fused hash view once per batch: no per-key
+        // lazy-init or K == k check inside the loop.
+        let hashes = self.hashes.fused_evaluator_k::<K>();
+        src.for_each_key(|key| {
+            let addrs: [u32; K] = hashes.hash_all_array(key);
             let mut mask = slices[0][addrs[0] as usize];
             for i in 1..K {
                 mask = mask.and(slices[i][addrs[i] as usize]);
             }
             Self::scatter_add(mask.to_u64(), 0, counts);
-        }
+        });
     }
 
     /// Single-element masks with runtime `k` (`k > 8`).
-    fn accumulate_runtime_k<W: MaskWord, I: IntoIterator<Item = u64>>(
+    fn accumulate_runtime_k<W: MaskWord, S: KeySource>(
         &self,
         slices: &[Box<[W]>],
-        keys: I,
+        src: S,
         counts: &mut [u64],
     ) {
         let mut addrs = vec![0u32; self.params.k];
         let hashes = self.hashes.fused_evaluator();
-        for key in keys {
+        src.for_each_key(|key| {
             hashes.hash_all_into(key, &mut addrs);
             let mut mask = slices[0][addrs[0] as usize];
             for (i, &a) in addrs.iter().enumerate().skip(1) {
                 mask = mask.and(slices[i][a as usize]);
             }
             Self::scatter_add(mask.to_u64(), 0, counts);
-        }
+        });
     }
 
     /// Multi-word masks (`p > 64`), runtime `k`.
-    fn accumulate_multiword<I: IntoIterator<Item = u64>>(
+    fn accumulate_multiword<S: KeySource>(
         &self,
         slices: &[Box<[u64]>],
-        keys: I,
+        src: S,
         counts: &mut [u64],
     ) {
         let wpm = self.words_per_mask;
         let mut addrs = vec![0u32; self.params.k];
         let mut mask = vec![0u64; wpm];
         let hashes = self.hashes.fused_evaluator();
-        for key in keys {
+        src.for_each_key(|key| {
             hashes.hash_all_into(key, &mut addrs);
             if Self::and_reduce(slices, wpm, &addrs, &mut mask) {
                 for (w, &word) in mask.iter().enumerate() {
                     Self::scatter_add(word, w * 64, counts);
                 }
             }
-        }
+        });
     }
 
     /// AND-reduce the `k` per-hash multi-word masks at `addrs` into `mask`;
@@ -521,6 +642,22 @@ mod tests {
     }
 
     #[test]
+    fn packed8_flush_boundary_is_exact() {
+        // The byte-mask path drains its packed counters every 255 keys;
+        // key streams crossing that boundary (and hitting it exactly) must
+        // still equal the naive per-language walk.
+        let params = BloomParams::new(4, 10);
+        let (filters, bank) = bank_fixture(8, params, 400, 7);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for n in [254usize, 255, 256, 510, 511, 1021] {
+            let keys: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() & 0xF_FFFF).collect();
+            let mut banked = vec![0u64; 8];
+            bank.accumulate_keys(keys.iter().copied(), &mut banked);
+            assert_eq!(banked, naive_counts(&filters, &keys), "n = {n}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "share one hash family")]
     fn mismatched_seeds_rejected() {
         let a = ParallelBloomFilter::new(BloomParams::from_kbits(4, 2), 20, 1);
@@ -561,6 +698,31 @@ mod tests {
             let mut banked = vec![0u64; p];
             bank.accumulate_keys(queries.iter().copied(), &mut banked);
             prop_assert_eq!(banked, naive_counts(&filters, &queries));
+        }
+
+        /// A push-style KeySource (the fused extraction shape) accumulates
+        /// identically to the pre-extracted iterator path for every mask
+        /// width — the probe loop must not care where keys come from.
+        #[test]
+        fn source_and_iterator_paths_agree(
+            p in prop_p(), seed in any::<u64>(),
+            queries in proptest::collection::vec(any::<u64>(), 0..200),
+        ) {
+            struct Pushed<'a>(&'a [u64]);
+            impl KeySource for Pushed<'_> {
+                fn for_each_key(self, mut sink: impl FnMut(u64)) {
+                    for &k in self.0 {
+                        sink(k);
+                    }
+                }
+            }
+            let params = BloomParams::new(3, 8);
+            let (_, bank) = bank_fixture(p, params, 60, seed);
+            let mut via_iter = vec![0u64; p];
+            bank.accumulate_keys(queries.iter().copied(), &mut via_iter);
+            let mut via_source = vec![0u64; p];
+            bank.accumulate_source(Pushed(&queries), &mut via_source);
+            prop_assert_eq!(via_iter, via_source);
         }
 
         /// match_mask agrees with per-language test_with_addresses bit by bit.

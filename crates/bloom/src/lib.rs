@@ -38,7 +38,7 @@ mod counting;
 mod parallel;
 mod params;
 
-pub use bank::FilterBank;
+pub use bank::{FilterBank, KeySource};
 pub use bitvec::BitVector;
 pub use classic::ClassicBloomFilter;
 pub use counting::{CountingBloomFilter, COUNTER_BITS, COUNTER_MAX};

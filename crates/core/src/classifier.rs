@@ -14,11 +14,12 @@
 //! scattered bit-reads — the software image of the hardware's fan-out.
 
 use lc_bloom::{BloomParams, FilterBank, ParallelBloomFilter};
-use lc_ngram::{NGram, NGramExtractor, NGramSpec};
+use lc_ngram::{NGram, NGramExtractor, NGramSpec, StreamingExtractor};
 use std::collections::HashSet;
 
 use crate::profile::LanguageProfile;
 use crate::result::ClassificationResult;
+use crate::streaming::FusedChunk;
 
 /// Bloom-filter-based multi-language classifier — the paper's design.
 #[derive(Clone, Debug)]
@@ -95,9 +96,28 @@ impl MultiLanguageClassifier {
     }
 
     /// Use sub-sampled extraction (test every `s`-th n-gram), the HAIL-style
-    /// bandwidth fallback of §3.3/§5.2.
+    /// bandwidth fallback of §3.3/§5.2. Propagates to every consumer built
+    /// from this classifier afterwards — whole-buffer `classify`, streaming
+    /// sessions, and the network service all extract with the same factor.
     pub fn set_subsampling(&mut self, s: usize) {
         self.extractor = NGramExtractor::with_subsampling(self.spec, s);
+    }
+
+    /// The sub-sampling factor in use (1 = every n-gram, the default).
+    pub fn subsample(&self) -> usize {
+        self.extractor.subsample()
+    }
+
+    /// The configured whole-buffer extractor (shape **and** sub-sampling).
+    pub fn extractor(&self) -> NGramExtractor {
+        self.extractor
+    }
+
+    /// A streaming extractor carrying this classifier's full extraction
+    /// config — what every streaming consumer must use so chunked
+    /// classification is bit-identical to [`Self::classify`].
+    pub fn streaming_extractor(&self) -> StreamingExtractor {
+        self.extractor.streaming()
     }
 
     /// Borrow the per-language filters (the FPGA fabric model maps their
@@ -112,10 +132,23 @@ impl MultiLanguageClassifier {
     }
 
     /// Classify a document given as raw ISO-8859-1 bytes.
+    ///
+    /// Runs the **fused** path: one loop folds each byte, advances the
+    /// shift register, applies the sub-sampling phase, and AND-probes the
+    /// bit-sliced bank — no intermediate n-gram buffer. This is the same
+    /// engine streaming sessions run, so whole-buffer and chunked
+    /// classification share exactly one hot loop.
     pub fn classify(&self, text: &[u8]) -> ClassificationResult {
-        let mut grams = Vec::new();
-        self.extractor.extract_into(text, &mut grams);
-        self.classify_ngrams(&grams)
+        let mut counts = vec![0u64; self.filters.len()];
+        let mut ex = self.extractor.streaming();
+        self.bank.accumulate_source(
+            FusedChunk {
+                extractor: &mut ex,
+                chunk: text,
+            },
+            &mut counts,
+        );
+        ClassificationResult::new(counts, ex.grams_emitted() as u64)
     }
 
     /// Classify a pre-extracted n-gram stream on the bit-sliced bank: the
@@ -129,9 +162,10 @@ impl MultiLanguageClassifier {
     }
 
     /// Add each n-gram's language matches into `counts` (one counter per
-    /// language) without building a result. This is the shared hot loop of
-    /// [`Self::classify_ngrams`], the streaming classifier, and the
-    /// datapath lane model.
+    /// language) without building a result. The pre-extracted probe loop
+    /// of [`Self::classify_ngrams`] and the datapath lane model; paths that
+    /// see raw bytes (whole-buffer `classify`, streaming sessions) fuse
+    /// extraction into the same bank probe instead.
     ///
     /// # Panics
     ///

@@ -8,7 +8,7 @@
 //! across copies changes nothing about the total counts — a property this
 //! module asserts in tests (and which the FPGA simulator relies on).
 
-use lc_ngram::{NGram, NGramExtractor};
+use lc_ngram::NGram;
 use rayon::prelude::*;
 
 use crate::classifier::MultiLanguageClassifier;
@@ -62,10 +62,12 @@ impl ParallelClassifier {
     /// Classify a document the way the datapath does: n-grams are dealt
     /// round-robin to `2c` lanes, each lane keeps its own per-language
     /// counters, and the adder tree merges them at end-of-document.
-    /// The result is count-identical to sequential classification.
+    /// The result is count-identical to sequential classification —
+    /// including under sub-sampling: extraction uses the wrapped
+    /// classifier's full config, not a hardcoded subsample-1 extractor.
     pub fn classify(&self, text: &[u8]) -> ClassificationResult {
         let mut grams = Vec::new();
-        NGramExtractor::new(self.inner.spec()).extract_into(text, &mut grams);
+        self.inner.extractor().extract_into(text, &mut grams);
         self.classify_ngrams(&grams)
     }
 

@@ -8,10 +8,30 @@
 //! bit-identical to whole-buffer classification for any chunking (property
 //! tested).
 
-use lc_ngram::{NGram, StreamingExtractor};
+use lc_bloom::KeySource;
+use lc_ngram::StreamingExtractor;
 
 use crate::classifier::MultiLanguageClassifier;
 use crate::result::ClassificationResult;
+
+/// [`KeySource`] adapter fusing one chunk's n-gram extraction into the
+/// bank probe: `for_each_key` runs [`StreamingExtractor::feed_with`], so
+/// the byte-fold/shift/phase state machine inlines into the bank's
+/// monomorphized probe loop — extraction and classification in one pass,
+/// no `NGram` buffer in between. Shared by whole-buffer
+/// [`MultiLanguageClassifier::classify`] (one chunk = the document) and
+/// [`StreamingSession::feed`].
+pub(crate) struct FusedChunk<'a> {
+    pub extractor: &'a mut StreamingExtractor,
+    pub chunk: &'a [u8],
+}
+
+impl KeySource for FusedChunk<'_> {
+    #[inline]
+    fn for_each_key(self, mut sink: impl FnMut(u64)) {
+        self.extractor.feed_with(self.chunk, |g| sink(g.value()));
+    }
+}
 
 /// The per-document state of a streaming session, held separately from the
 /// classifier reference so long-lived owners (a server worker holding an
@@ -23,27 +43,31 @@ use crate::result::ClassificationResult;
 pub struct StreamingSession {
     extractor: StreamingExtractor,
     counts: Vec<u64>,
-    total_ngrams: u64,
-    /// Workhorse buffer reused across feeds.
-    grams: Vec<NGram>,
+    /// Scratch for [`Self::feed_two_phase`] only; stays empty (and
+    /// unallocated) on the fused path.
+    two_phase_scratch: Vec<lc_ngram::NGram>,
 }
 
 impl StreamingSession {
-    /// Start a session shaped for `classifier` (its n-gram spec and
-    /// language count).
+    /// Start a session shaped for `classifier`: its n-gram spec, language
+    /// count, **and** sub-sampling factor. Inheriting the full extraction
+    /// config here is what keeps chunked classification bit-identical to
+    /// whole-buffer `classify` on a sub-sampled classifier — the session
+    /// cannot silently run at a different factor than its classifier.
     pub fn new(classifier: &MultiLanguageClassifier) -> Self {
         Self {
-            extractor: StreamingExtractor::new(classifier.spec()),
+            extractor: classifier.streaming_extractor(),
             counts: vec![0u64; classifier.num_languages()],
-            total_ngrams: 0,
-            grams: Vec::new(),
+            two_phase_scratch: Vec::new(),
         }
     }
 
     /// Feed the next chunk of the document (any size, including empty).
-    /// Matches accumulate through the classifier's bit-sliced bank, exactly
-    /// as whole-buffer classification does. `classifier` must be the one
-    /// the session was created for (checked in debug builds).
+    /// Matches accumulate through the classifier's bit-sliced bank on the
+    /// fused path — each byte is folded, shifted, sub-sampled, hashed, and
+    /// AND-probed in one loop, exactly as whole-buffer classification
+    /// does. `classifier` must be the one the session was created for
+    /// (checked in debug builds).
     pub fn feed(&mut self, classifier: &MultiLanguageClassifier, chunk: &[u8]) {
         debug_assert_eq!(self.counts.len(), classifier.num_languages());
         debug_assert_eq!(
@@ -51,16 +75,41 @@ impl StreamingSession {
             classifier.spec(),
             "session fed with a different classifier than it was created for"
         );
-        self.grams.clear();
-        self.extractor.feed(chunk, &mut self.grams);
-        classifier.accumulate_ngrams(&self.grams, &mut self.counts);
-        self.total_ngrams += self.grams.len() as u64;
+        debug_assert_eq!(
+            self.extractor.subsample(),
+            classifier.subsample(),
+            "session fed with a classifier whose sub-sampling changed"
+        );
+        classifier.bank().accumulate_source(
+            FusedChunk {
+                extractor: &mut self.extractor,
+                chunk,
+            },
+            &mut self.counts,
+        );
+    }
+
+    /// The pre-fusion reference feed: extract the chunk into `scratch`,
+    /// then probe the pre-extracted stream — the two loops the fused
+    /// [`Self::feed`] replaced. Bit-identical results (property-tested);
+    /// kept so benchmarks and the service's `two_phase_reference` mode can
+    /// A/B the fusion on live traffic, and as the readable spelling of
+    /// what the fused loop computes.
+    pub fn feed_two_phase(&mut self, classifier: &MultiLanguageClassifier, chunk: &[u8]) {
+        debug_assert_eq!(self.counts.len(), classifier.num_languages());
+        debug_assert_eq!(self.extractor.spec(), classifier.spec());
+        debug_assert_eq!(self.extractor.subsample(), classifier.subsample());
+        let mut scratch = std::mem::take(&mut self.two_phase_scratch);
+        scratch.clear();
+        self.extractor.feed(chunk, &mut scratch);
+        classifier.accumulate_ngrams(&scratch, &mut self.counts);
+        self.two_phase_scratch = scratch;
     }
 
     /// Current standings (partial counts) without ending the document —
     /// what a host would see reading the counters mid-stream.
     pub fn standings(&self) -> ClassificationResult {
-        ClassificationResult::new(self.counts.clone(), self.total_ngrams)
+        ClassificationResult::new(self.counts.clone(), self.extractor.grams_emitted() as u64)
     }
 
     /// Bytes consumed so far in this document.
@@ -74,9 +123,8 @@ impl StreamingSession {
         let fresh = vec![0u64; self.counts.len()];
         let result = ClassificationResult::new(
             std::mem::replace(&mut self.counts, fresh),
-            self.total_ngrams,
+            self.extractor.grams_emitted() as u64,
         );
-        self.total_ngrams = 0;
         self.extractor.reset();
         result
     }
@@ -131,9 +179,23 @@ mod tests {
     use proptest::prelude::*;
 
     fn classifier() -> &'static MultiLanguageClassifier {
-        static CLASSIFIER: std::sync::OnceLock<MultiLanguageClassifier> =
-            std::sync::OnceLock::new();
-        CLASSIFIER.get_or_init(build_classifier)
+        classifier_s(1)
+    }
+
+    /// Shared classifiers at sub-sampling factors 1..=4 (trained once,
+    /// cloned with the knob turned).
+    fn classifier_s(s: usize) -> &'static MultiLanguageClassifier {
+        static BY_S: std::sync::OnceLock<Vec<MultiLanguageClassifier>> = std::sync::OnceLock::new();
+        &BY_S.get_or_init(|| {
+            let base = build_classifier();
+            (1..=4)
+                .map(|s| {
+                    let mut c = base.clone();
+                    c.set_subsampling(s);
+                    c
+                })
+                .collect()
+        })[s - 1]
     }
 
     fn build_classifier() -> MultiLanguageClassifier {
@@ -205,13 +267,43 @@ mod tests {
         assert_eq!(s.finish(), c.classify(b"abcdef"));
     }
 
+    /// The seed bug, pinned: a streaming session over a sub-sampled
+    /// classifier must inherit the factor, so chunked output equals
+    /// whole-buffer output — and the factor visibly thinned the stream.
+    #[test]
+    fn streaming_inherits_subsampling() {
+        let doc: &[u8] = b"the committee shall deliver its opinion on the draft measures \
+                           within a time limit which the chairman may lay down";
+        let full = classifier().classify(doc);
+        for s in [2usize, 3] {
+            let c = classifier_s(s);
+            assert_eq!(c.subsample(), s);
+            let mut sess = StreamingClassifier::new(c);
+            for chunk in doc.chunks(7) {
+                sess.feed(chunk);
+            }
+            let streamed = sess.finish();
+            assert_eq!(streamed, c.classify(doc), "s={s}");
+            assert!(
+                streamed.total_ngrams() <= full.total_ngrams() / s as u64 + 1,
+                "s={s}: sub-sampling did not thin the stream \
+                 ({} vs {} n-grams)",
+                streamed.total_ngrams(),
+                full.total_ngrams(),
+            );
+        }
+    }
+
     proptest! {
+        /// The fused feed and the two-phase reference feed are
+        /// bit-identical for any chunking and sub-sampling factor.
         #[test]
-        fn any_chunking_is_equivalent(
+        fn fused_feed_equals_two_phase_feed(
             doc in proptest::collection::vec(any::<u8>(), 0..400),
             cuts in proptest::collection::vec(0usize..400, 0..6),
+            s in 1usize..=4,
         ) {
-            let c = classifier();
+            let c = classifier_s(s);
             let mut cut_points: Vec<usize> =
                 cuts.into_iter().map(|x| x % (doc.len() + 1)).collect();
             cut_points.push(0);
@@ -219,11 +311,37 @@ mod tests {
             cut_points.sort_unstable();
             cut_points.dedup();
 
-            let mut s = StreamingClassifier::new(c);
+            let mut fused = StreamingSession::new(c);
+            let mut reference = StreamingSession::new(c);
             for w in cut_points.windows(2) {
-                s.feed(&doc[w[0]..w[1]]);
+                fused.feed(c, &doc[w[0]..w[1]]);
+                reference.feed_two_phase(c, &doc[w[0]..w[1]]);
             }
-            prop_assert_eq!(s.finish(), c.classify(&doc));
+            prop_assert_eq!(fused.finish(), reference.finish());
+        }
+
+        /// Chunked streaming equals whole-buffer classification for any
+        /// chunking at every sub-sampling factor 1..=4, end to end through
+        /// StreamingSession (not just the raw extractor).
+        #[test]
+        fn any_chunking_is_equivalent(
+            doc in proptest::collection::vec(any::<u8>(), 0..400),
+            cuts in proptest::collection::vec(0usize..400, 0..6),
+            s in 1usize..=4,
+        ) {
+            let c = classifier_s(s);
+            let mut cut_points: Vec<usize> =
+                cuts.into_iter().map(|x| x % (doc.len() + 1)).collect();
+            cut_points.push(0);
+            cut_points.push(doc.len());
+            cut_points.sort_unstable();
+            cut_points.dedup();
+
+            let mut sess = StreamingClassifier::new(c);
+            for w in cut_points.windows(2) {
+                sess.feed(&doc[w[0]..w[1]]);
+            }
+            prop_assert_eq!(sess.finish(), c.classify(&doc));
         }
     }
 }

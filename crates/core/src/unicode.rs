@@ -95,6 +95,18 @@ impl WideClassifier {
         self.params
     }
 
+    /// Use sub-sampled extraction (test every `s`-th wide n-gram) — the
+    /// same §3.3/§5.2 bandwidth knob as `MultiLanguageClassifier`, so the
+    /// wide path has configuration parity with the narrow one.
+    pub fn set_subsampling(&mut self, s: usize) {
+        self.extractor = WideExtractor::with_subsampling(self.spec, s);
+    }
+
+    /// The sub-sampling factor in use (1 = every n-gram, the default).
+    pub fn subsample(&self) -> usize {
+        self.extractor.subsample()
+    }
+
     /// Classify Unicode text (wide n-grams through the same bit-sliced bank
     /// as the narrow classifier — only the hash input width differs).
     pub fn classify(&self, text: &str) -> ClassificationResult {
@@ -211,5 +223,18 @@ enter into force on the twentieth day following that of its publication";
         let c = classifier();
         let r = c.classify("");
         assert_eq!(r.total_ngrams(), 0);
+    }
+
+    #[test]
+    fn wide_subsampling_thins_stream_and_keeps_decision() {
+        let mut c = classifier();
+        assert_eq!(c.subsample(), 1);
+        let text = "все люди рождаются свободными и равными в правах";
+        let full = c.classify(text);
+        c.set_subsampling(2);
+        assert_eq!(c.subsample(), 2);
+        let half = c.classify(text);
+        assert!(half.total_ngrams() <= full.total_ngrams() / 2 + 1);
+        assert_eq!(full.best(), half.best());
     }
 }

@@ -108,7 +108,12 @@ impl HardwareClassifier {
             self.datapath.classify(text)
         } else {
             let mut grams = Vec::new();
-            lc_ngram::NGramExtractor::new(self.datapath.inner().spec())
+            // The wrapped classifier's full extraction config (including
+            // sub-sampling), so the saturating branch cannot diverge from
+            // the unsaturated one.
+            self.datapath
+                .inner()
+                .extractor()
                 .extract_into(text, &mut grams);
             let cap = (1u64 << self.counter_bits) - 1;
             let mut lanes = self.datapath.lane_counts(&grams);

@@ -300,6 +300,24 @@ impl H3Family {
             k: self.functions.len(),
         }
     }
+
+    /// Resolve the fused table into a **compile-time-`K`** view: the
+    /// `K == k` check runs once here instead of on every key, so a fused
+    /// extraction→probe loop evaluates all `K` hashes of a raw `u64`
+    /// shift-register state with zero per-key setup or assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `K != self.k()`.
+    #[inline]
+    pub fn fused_evaluator_k<const K: usize>(&self) -> FusedEvaluatorK<'_, K> {
+        assert_eq!(K, self.functions.len(), "const K must equal the family k");
+        FusedEvaluatorK {
+            fused: self.fused(),
+            n_bytes: self.n_bytes,
+            key_mask: self.key_mask,
+        }
+    }
 }
 
 /// A resolved view of a family's fused tables: evaluates all `k` functions
@@ -360,6 +378,37 @@ impl FusedEvaluator<'_> {
                 *acc ^= entry;
             }
         }
+    }
+}
+
+/// A resolved fused-table view with the family size fixed at compile time.
+/// Unlike [`FusedEvaluator::hash_all_array`], [`Self::hash_all_array`] has
+/// no per-key `K == k` assertion — the check happened once in
+/// [`H3Family::fused_evaluator_k`] — so a caller that folds input bytes and
+/// probes per emitted key keeps the whole evaluation branch-free.
+#[derive(Clone, Copy, Debug)]
+pub struct FusedEvaluatorK<'a, const K: usize> {
+    fused: &'a [u32],
+    n_bytes: usize,
+    key_mask: u64,
+}
+
+impl<const K: usize> FusedEvaluatorK<'_, K> {
+    /// Evaluate all `K` functions on the raw `u64` state in one pass over
+    /// its bytes. Bit-exact with [`H3Family::hash_all_into`].
+    #[inline]
+    pub fn hash_all_array(&self, key: u64) -> [u32; K] {
+        let mut acc = [0u32; K];
+        let key = key & self.key_mask;
+        for byte_idx in 0..self.n_bytes {
+            let byte = ((key >> (8 * byte_idx)) & 0xFF) as usize;
+            let base = (byte_idx * 256 + byte) * K;
+            let entries = &self.fused[base..base + K];
+            for i in 0..K {
+                acc[i] ^= entries[i];
+            }
+        }
+        acc
     }
 }
 
@@ -519,6 +568,20 @@ mod tests {
             for (i, &v) in fused.iter().enumerate() {
                 prop_assert_eq!(v, fam.hash_one(i, key));
             }
+        }
+
+        /// The compile-time-K view agrees with the runtime evaluator for
+        /// every width and key (spot K = 4, the paper's configuration).
+        #[test]
+        fn const_k_evaluator_matches_runtime(
+            seed in any::<u64>(), key in any::<u64>(),
+            input_bits in 1u32..=64, output_bits in 1u32..=32,
+        ) {
+            let fam = H3Family::new(4, input_bits, output_bits, seed);
+            let a = fam.fused_evaluator_k::<4>().hash_all_array(key);
+            let mut b = vec![0u32; 4];
+            fam.hash_all_into(key, &mut b);
+            prop_assert_eq!(a.to_vec(), b);
         }
     }
 }

@@ -59,32 +59,21 @@ impl NGramExtractor {
     /// Extract all (sub-sampled) n-grams of `text` (raw ISO-8859-1 bytes) into
     /// `out`, clearing it first. Returns the number of n-grams produced.
     ///
-    /// Allocation-free when `out` has capacity (workhorse-buffer pattern).
+    /// Reserves exactly [`Self::count_for_len`] slots, so a fresh vector is
+    /// sized precisely and a reused workhorse buffer never reallocates
+    /// mid-extraction. Runs on the one streaming hot loop
+    /// ([`StreamingExtractor::feed_with`]) — whole-buffer extraction is the
+    /// single-chunk special case.
     pub fn extract_into(&self, text: &[u8], out: &mut Vec<NGram>) -> usize {
         out.clear();
-        let n = self.spec.n();
-        if text.len() < n {
-            return 0;
-        }
-        out.reserve(text.len() / self.subsample + 1);
-        let mask = self.spec.mask();
-        let mut state = 0u64;
-        // Warm up the shift register with the first n-1 characters.
-        for &b in &text[..n - 1] {
-            state = (state << 5) | u64::from(fold_byte(b));
-        }
-        let mut phase = 0usize;
-        for &b in &text[n - 1..] {
-            state = ((state << 5) | u64::from(fold_byte(b))) & mask;
-            if phase == 0 {
-                out.push(NGram(state));
-            }
-            phase += 1;
-            if phase == self.subsample {
-                phase = 0;
-            }
-        }
-        out.len()
+        out.reserve(self.count_for_len(text.len()));
+        self.streaming().feed(text, out)
+    }
+
+    /// A [`StreamingExtractor`] carrying this extractor's full configuration
+    /// (n-gram shape **and** sub-sampling factor).
+    pub fn streaming(&self) -> StreamingExtractor {
+        StreamingExtractor::with_subsampling(self.spec, self.subsample)
     }
 
     /// Convenience: extract into a fresh vector.
@@ -132,6 +121,11 @@ impl StreamingExtractor {
         self.spec
     }
 
+    /// The sub-sampling factor.
+    pub fn subsample(&self) -> usize {
+        self.subsample
+    }
+
     /// Create a streaming extractor emitting every `s`-th n-gram.
     ///
     /// # Panics
@@ -148,18 +142,40 @@ impl StreamingExtractor {
         }
     }
 
-    /// Feed a chunk, appending produced n-grams to `out` (not cleared).
-    /// Returns the number of n-grams appended.
-    pub fn feed(&mut self, chunk: &[u8], out: &mut Vec<NGram>) -> usize {
+    /// Feed a chunk, pushing each produced n-gram into `sink` as it emerges
+    /// from the shift register — **the** extraction hot loop. No buffer
+    /// sits between folding and the sink, so a caller that probes a filter
+    /// bank per gram fuses extraction and classification into one pass.
+    ///
+    /// [`Self::feed`] (Vec-collecting) and the whole-buffer
+    /// [`NGramExtractor::extract_into`] are thin wrappers over this.
+    #[inline]
+    pub fn feed_with<F: FnMut(NGram)>(&mut self, chunk: &[u8], mut sink: F) {
         let n = self.spec.n();
         let mask = self.spec.mask();
-        let before = out.len();
-        for &b in chunk {
+        let mut rest = chunk;
+        // Warm up: the first n-1 characters of a document emit nothing.
+        while self.chars_seen + 1 < n {
+            let Some((&b, tail)) = rest.split_first() else {
+                return;
+            };
             self.state = ((self.state << 5) | u64::from(fold_byte(b))) & mask;
             self.chars_seen += 1;
-            if self.chars_seen >= n {
+            rest = tail;
+        }
+        self.chars_seen += rest.len();
+        if self.subsample == 1 {
+            // The paper's primary configuration: one n-gram per byte, no
+            // phase bookkeeping in the loop.
+            for &b in rest {
+                self.state = ((self.state << 5) | u64::from(fold_byte(b))) & mask;
+                sink(NGram(self.state));
+            }
+        } else {
+            for &b in rest {
+                self.state = ((self.state << 5) | u64::from(fold_byte(b))) & mask;
                 if self.phase == 0 {
-                    out.push(NGram(self.state));
+                    sink(NGram(self.state));
                 }
                 self.phase += 1;
                 if self.phase == self.subsample {
@@ -167,6 +183,13 @@ impl StreamingExtractor {
                 }
             }
         }
+    }
+
+    /// Feed a chunk, appending produced n-grams to `out` (not cleared).
+    /// Returns the number of n-grams appended.
+    pub fn feed(&mut self, chunk: &[u8], out: &mut Vec<NGram>) -> usize {
+        let before = out.len();
+        self.feed_with(chunk, |g| out.push(g));
         out.len() - before
     }
 
@@ -181,6 +204,19 @@ impl StreamingExtractor {
     /// Total characters consumed since the last reset.
     pub fn chars_seen(&self) -> usize {
         self.chars_seen
+    }
+
+    /// Total n-grams emitted since the last reset. Closed-form from the
+    /// consumed length (streaming output is chunking-invariant), so fused
+    /// sinks need no side counter: equals
+    /// `NGramExtractor::count_for_len(chars_seen)`.
+    pub fn grams_emitted(&self) -> usize {
+        let n = self.spec.n();
+        if self.chars_seen < n {
+            0
+        } else {
+            (self.chars_seen - n + 1).div_ceil(self.subsample)
+        }
     }
 }
 
@@ -223,15 +259,18 @@ mod tests {
 
     #[test]
     fn count_for_len_matches_extraction() {
-        for s in [1usize, 2, 3] {
+        for s in [1usize, 2, 3, 4] {
             let ex = NGramExtractor::with_subsampling(spec4(), s);
             for len in 0..40 {
                 let text: Vec<u8> = (0..len).map(|i| b'a' + (i % 26) as u8).collect();
-                assert_eq!(
-                    ex.extract(&text).len(),
-                    ex.count_for_len(len),
-                    "len={len}, s={s}"
-                );
+                let grams = ex.extract(&text);
+                assert_eq!(grams.len(), ex.count_for_len(len), "len={len}, s={s}");
+                // The streaming extractor's closed-form emission count
+                // agrees with what was actually emitted.
+                let mut st = ex.streaming();
+                let mut out = Vec::new();
+                st.feed(&text, &mut out);
+                assert_eq!(st.grams_emitted(), grams.len(), "len={len}, s={s}");
             }
         }
     }
@@ -300,7 +339,49 @@ mod tests {
             for w in cut_points.windows(2) {
                 ex.feed(&text[w[0]..w[1]], &mut streamed);
             }
+            prop_assert_eq!(ex.grams_emitted(), streamed.len());
             prop_assert_eq!(streamed, whole);
+        }
+
+        /// The fused sink entry (which `feed` and `extract_into` now wrap,
+        /// so they cannot serve as a cross-check) emits exactly the grams
+        /// an independently coded reference produces: for each position
+        /// `i >= n-1`, fold and pack bytes `i-n+1..=i` from scratch, then
+        /// take every `s`-th window. Pins values, not just counts, across
+        /// arbitrary chunk boundaries.
+        #[test]
+        fn feed_with_matches_independent_reference(
+            text in proptest::collection::vec(any::<u8>(), 0..200),
+            cuts in proptest::collection::vec(0usize..200, 0..8),
+            n in 1usize..=8,
+            s in 1usize..=4,
+        ) {
+            let spec = NGramSpec::new(n);
+            let reference: Vec<NGram> = (0..text.len().saturating_sub(n - 1))
+                .step_by(s)
+                .map(|start| {
+                    let mut v = 0u64;
+                    for &b in &text[start..start + n] {
+                        v = (v << 5) | u64::from(fold_byte(b));
+                    }
+                    NGram(v)
+                })
+                .collect();
+
+            let mut cut_points: Vec<usize> =
+                cuts.into_iter().map(|c| c % (text.len() + 1)).collect();
+            cut_points.push(0);
+            cut_points.push(text.len());
+            cut_points.sort_unstable();
+            cut_points.dedup();
+
+            let mut sunk = Vec::new();
+            let mut ex = StreamingExtractor::with_subsampling(spec, s);
+            for w in cut_points.windows(2) {
+                ex.feed_with(&text[w[0]..w[1]], |g| sunk.push(g));
+            }
+            prop_assert_eq!(sunk, reference);
+            prop_assert_eq!(ex.chars_seen(), text.len());
         }
 
         /// Every produced gram fits in the spec's bit width.

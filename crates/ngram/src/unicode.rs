@@ -185,12 +185,25 @@ impl WideNGramSpec {
 #[derive(Clone, Copy, Debug)]
 pub struct WideExtractor {
     spec: WideNGramSpec,
+    /// Emit every `subsample`-th n-gram (1 = all of them, the default) —
+    /// the same HAIL-style bandwidth knob as the narrow extractor.
+    subsample: usize,
 }
 
 impl WideExtractor {
-    /// New extractor.
+    /// New extractor emitting every n-gram.
     pub fn new(spec: WideNGramSpec) -> Self {
-        Self { spec }
+        Self { spec, subsample: 1 }
+    }
+
+    /// Extractor emitting only every `s`-th n-gram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0`.
+    pub fn with_subsampling(spec: WideNGramSpec, s: usize) -> Self {
+        assert!(s >= 1, "subsample factor must be >= 1");
+        Self { spec, subsample: s }
     }
 
     /// The shape in use.
@@ -198,18 +211,31 @@ impl WideExtractor {
         self.spec
     }
 
-    /// Extract all wide n-grams of `text` into `out` (cleared first).
+    /// The sub-sampling factor.
+    pub fn subsample(&self) -> usize {
+        self.subsample
+    }
+
+    /// Extract all (sub-sampled) wide n-grams of `text` into `out`
+    /// (cleared first).
     pub fn extract_into(&self, text: &str, out: &mut Vec<NGram>) -> usize {
         out.clear();
         let n = self.spec.n;
         let mask = self.spec.mask();
         let mut state = 0u64;
         let mut seen = 0usize;
+        let mut phase = 0usize;
         for c in text.chars() {
             state = ((state << WIDE_BITS_PER_CHAR) | u64::from(fold_scalar(c))) & mask;
             seen += 1;
             if seen >= n {
-                out.push(NGram(state));
+                if phase == 0 {
+                    out.push(NGram(state));
+                }
+                phase += 1;
+                if phase == self.subsample {
+                    phase = 0;
+                }
             }
         }
         out.len()
@@ -297,6 +323,18 @@ mod tests {
     #[should_panic(expected = "n must be in 1..=4")]
     fn oversize_wide_n_rejected() {
         let _ = WideNGramSpec::new(5);
+    }
+
+    #[test]
+    fn wide_subsampling_takes_every_sth() {
+        let spec = WideNGramSpec::PAPER_WIDE;
+        let text = "все люди рождаются свободными";
+        let full = WideExtractor::new(spec).extract(text);
+        for s in 2..=4 {
+            let sub = WideExtractor::with_subsampling(spec, s).extract(text);
+            let expected: Vec<_> = full.iter().copied().step_by(s).collect();
+            assert_eq!(sub, expected, "s={s}");
+        }
     }
 
     proptest! {

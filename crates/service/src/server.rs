@@ -53,6 +53,12 @@ pub struct ServiceConfig {
     /// values make slow-consumer behaviour observable quickly (tests,
     /// benches).
     pub send_buffer: usize,
+    /// A/B benchmarking knob: run sessions on the pre-fusion **two-phase**
+    /// classify path (extract each chunk into a `Vec<NGram>`, then probe)
+    /// instead of the fused extraction→probe loop. Bit-identical results;
+    /// `bench_service` measures both modes with one harness so the fusion
+    /// win on live traffic stays visible in `BENCH_service.json`.
+    pub two_phase_reference: bool,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +73,7 @@ impl Default for ServiceConfig {
             outbound_high_water: 1 << 20,
             slow_consumer_deadline: Duration::from_secs(10),
             send_buffer: 0,
+            two_phase_reference: false,
         }
     }
 }
@@ -154,6 +161,7 @@ pub fn serve(
         config.effective_workers(),
         config.queue_depth,
         config.watchdog,
+        config.two_phase_reference,
     );
 
     // The Hello banner is identical for every connection: encode it once.

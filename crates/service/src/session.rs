@@ -71,11 +71,25 @@ pub struct Session {
     watchdog: Duration,
     last_activity: Instant,
     doc_started: Instant,
+    /// Pre-fusion two-phase reference mode
+    /// (`ServiceConfig::two_phase_reference`) instead of the fused path.
+    two_phase_reference: bool,
 }
 
 impl Session {
-    /// New idle session for one connection.
+    /// New idle session for one connection (fused classify path).
     pub fn new(classifier: &MultiLanguageClassifier, watchdog: Duration, now: Instant) -> Self {
+        Self::with_mode(classifier, watchdog, now, false)
+    }
+
+    /// New idle session, optionally on the pre-fusion two-phase reference
+    /// path (A/B benchmarking; results are bit-identical).
+    pub fn with_mode(
+        classifier: &MultiLanguageClassifier,
+        watchdog: Duration,
+        now: Instant,
+        two_phase_reference: bool,
+    ) -> Self {
         Self {
             state: State::Idle,
             stream: StreamingSession::new(classifier),
@@ -84,6 +98,7 @@ impl Session {
             watchdog,
             last_activity: now,
             doc_started: now,
+            two_phase_reference,
         }
     }
 
@@ -226,7 +241,12 @@ impl Session {
             self.checksum ^= u64::from_le_bytes(w.try_into().unwrap());
         }
         let take = (data.len() as u32).min(doc_bytes - bytes_fed);
-        self.stream.feed(classifier, &data[..take as usize]);
+        if self.two_phase_reference {
+            self.stream
+                .feed_two_phase(classifier, &data[..take as usize]);
+        } else {
+            self.stream.feed(classifier, &data[..take as usize]);
+        }
 
         let received_words = received_words + n_words as u32;
         if received_words == expected_words {
@@ -356,6 +376,20 @@ mod tests {
         assert_eq!(l.result, c.classify(doc));
         assert_eq!(m.snapshot().documents, 1);
         assert_eq!(m.snapshot().bytes, doc.len() as u64);
+    }
+
+    #[test]
+    fn two_phase_reference_mode_is_bit_identical() {
+        let c = classifier();
+        let m = ServiceMetrics::new(c.num_languages());
+        let doc = b"the quick brown fox jumps over the lazy dog and more of the same text";
+        let mut fused = Session::new(&c, Duration::from_secs(1), Instant::now());
+        let mut reference = Session::with_mode(&c, Duration::from_secs(1), Instant::now(), true);
+        let a = send_doc(&mut fused, &c, &m, doc);
+        let b = send_doc(&mut reference, &c, &m, doc);
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.result, c.classify(doc));
     }
 
     #[test]

@@ -72,6 +72,7 @@ impl WorkerPool {
         workers: usize,
         queue_depth: usize,
         watchdog: Duration,
+        two_phase_reference: bool,
     ) -> Self {
         assert!(workers >= 1, "need at least one worker");
         // Sweep often enough for a timely watchdog: the tick granularity
@@ -93,7 +94,15 @@ impl WorkerPool {
                             Ok(Job::Open { session, sink }) => {
                                 sessions.insert(
                                     session,
-                                    (Session::new(&classifier, watchdog, Instant::now()), sink),
+                                    (
+                                        Session::with_mode(
+                                            &classifier,
+                                            watchdog,
+                                            Instant::now(),
+                                            two_phase_reference,
+                                        ),
+                                        sink,
+                                    ),
                                 );
                             }
                             Ok(Job::Command { session, cmd }) => {

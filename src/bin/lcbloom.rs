@@ -62,12 +62,14 @@ fn print_usage() {
          USAGE:\n\
          \x20 lcbloom generate --out DIR [--docs N] [--bytes N] [--extended] [--seed S]\n\
          \x20 lcbloom train    --out FILE.lcp [--t N] DIR...\n\
-         \x20 lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K] FILE...\n\
+         \x20 lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K]\n\
+         \x20                  [--subsample S] FILE...\n\
          \x20 lcbloom simulate --profiles FILE.lcp [--sync] FILE...\n\
          \x20 lcbloom serve    --profiles FILE.lcp [--addr HOST:PORT] [--workers N]\n\
          \x20                  [--reactors N] [--max-connections N]\n\
          \x20                  [--outbound-high-water BYTES] [--slow-consumer-ms N]\n\
          \x20                  [--watchdog-ms N] [--stats-secs N] [--m KBITS] [--k K]\n\
+         \x20                  [--subsample S]\n\
          \x20 lcbloom query    --addr HOST:PORT FILE...\n\
          \x20 lcbloom demo\n\
          \n\
@@ -243,9 +245,16 @@ fn load_classifier(
     }
     let m = parse_num(flags, "m", 16usize)?;
     let k = parse_num(flags, "k", 4usize)?;
+    let s = parse_num(flags, "subsample", 1usize)?;
+    if s == 0 {
+        return Err("--subsample must be >= 1".into());
+    }
     let params = BloomParams::from_kbits(m, k);
-    let classifier =
+    let mut classifier =
         MultiLanguageClassifier::from_profiles(store.profiles(), NGramSpec::PAPER, params, 42);
+    // Propagates everywhere: whole-buffer classify, chunked stdin
+    // streaming, and every network session served from this classifier.
+    classifier.set_subsampling(s);
     Ok((store, classifier))
 }
 
@@ -254,7 +263,7 @@ fn load_classifier(
 const CLASSIFY_CHUNK: usize = 64 * 1024;
 
 fn cmd_classify(args: &[String]) -> Result<(), String> {
-    let (flags, files) = parse_flags(args, &["profiles", "m", "k"], &[])?;
+    let (flags, files) = parse_flags(args, &["profiles", "m", "k", "subsample"], &[])?;
     let (_, classifier) = load_classifier(&flags)?;
     if files.is_empty() {
         return Err("classify requires at least one file".into());
@@ -299,6 +308,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "profiles",
             "m",
             "k",
+            "subsample",
             "addr",
             "workers",
             "reactors",
@@ -416,7 +426,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let (flags, files) = parse_flags(args, &["profiles", "m", "k"], &["sync"])?;
+    let (flags, files) = parse_flags(args, &["profiles", "m", "k", "subsample"], &["sync"])?;
     let (store, classifier) = load_classifier(&flags)?;
     if files.is_empty() {
         return Err("simulate requires at least one file".into());

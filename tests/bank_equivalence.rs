@@ -108,6 +108,40 @@ proptest! {
         prop_assert_eq!(banked, sub.classify_ngrams_naive(&grams));
     }
 
+    /// The fused streaming path (extraction folded into the bank probe)
+    /// equals the two-phase reference (extract to a Vec, then probe the
+    /// pre-extracted stream) for any chunking and any sub-sampling factor,
+    /// at every language count / mask width.
+    #[test]
+    fn fused_streaming_equals_two_phase(
+        p in any_p(),
+        s in 1usize..=4,
+        doc in proptest::collection::vec(any::<u8>(), 0..900),
+        cuts in proptest::collection::vec(0usize..900, 0..5),
+    ) {
+        let mut sub = classifier_for(p).clone();
+        sub.set_subsampling(s);
+        let mut cut_points: Vec<usize> = cuts.into_iter().map(|x| x % (doc.len() + 1)).collect();
+        cut_points.push(0);
+        cut_points.push(doc.len());
+        cut_points.sort_unstable();
+        cut_points.dedup();
+
+        // Fused: bytes stream through the shift register straight into the
+        // bank, across arbitrary chunk boundaries.
+        let mut sess = StreamingClassifier::new(&sub);
+        for w in cut_points.windows(2) {
+            sess.feed(&doc[w[0]..w[1]]);
+        }
+        let fused = sess.finish();
+
+        // Two-phase: materialize the sub-sampled gram stream, then probe.
+        let grams = NGramExtractor::with_subsampling(sub.spec(), s).extract(&doc);
+        prop_assert_eq!(&fused, &sub.classify_ngrams(&grams));
+        prop_assert_eq!(&fused, &sub.classify(&doc));
+        prop_assert_eq!(fused, sub.classify_ngrams_naive(&grams));
+    }
+
     /// Streaming (banked) equals whole-buffer (banked) equals naive, for any
     /// chunking of any document, at every language count.
     #[test]

@@ -99,6 +99,49 @@ fn concurrent_clients_get_bit_identical_results() {
 }
 
 #[test]
+fn subsampled_classifier_is_served_bit_identically() {
+    // The seed bug this pins: every streaming consumer hardcoded
+    // subsample-1 extraction, so a sub-sampled classifier served over TCP
+    // silently returned different counts than whole-buffer classify. The
+    // session now inherits the classifier's full extraction config.
+    let docs = test_docs();
+    for s in [2usize, 3] {
+        let mut sub = (*classifier()).clone();
+        sub.set_subsampling(s);
+        let sub = Arc::new(sub);
+        let server = serve(
+            Arc::clone(&sub),
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("bind localhost");
+        let mut client = ClassifyClient::connect(server.addr()).expect("connect");
+        for doc in docs.iter().take(8) {
+            let served = client.classify(doc).expect("classify");
+            assert!(served.valid);
+            let expected = sub.classify(doc);
+            assert_eq!(
+                served.result, expected,
+                "s={s}: served result must equal whole-buffer classification"
+            );
+            // The factor visibly thinned the served stream — both sides
+            // ignoring the knob would also "agree".
+            let full = classifier().classify(doc).total_ngrams();
+            assert!(
+                served.result.total_ngrams() <= full / s as u64 + 1,
+                "s={s}: served {} n-grams, subsample-1 count is {full}",
+                served.result.total_ngrams(),
+            );
+        }
+        drop(client);
+        server.shutdown();
+    }
+}
+
+#[test]
 fn arbitrary_chunkings_are_equivalent() {
     // The server must be insensitive to how a document is split across
     // Data frames — one word at a time, odd bursts, or one giant frame.
