@@ -2,7 +2,7 @@
 //! classification service on the paper's 8-language × (k = 4, m = 16 Kbit)
 //! configuration, with concurrent pipelined clients over localhost.
 //!
-//! Three scenarios:
+//! Four scenarios:
 //!
 //! * **Worker scaling** (1 vs 4 workers, 8 clients): the §3.3 replication
 //!   argument — one worker is one match engine, four are the replicated
@@ -10,6 +10,13 @@
 //! * **Connections sweep** (8 / 64 / 256 clients, 4 workers): the
 //!   event-driven connection layer must hold its throughput as the
 //!   connection count climbs past what thread-per-connection could carry.
+//! * **Channel sweep** (ONE connection × 1 / 4 / 16 wire-v2 channels,
+//!   4 workers): the fat-pipe ceiling. A single-channel connection tops
+//!   out at one engine; multiplexed channels hash across the pool, so the
+//!   same single socket must beat its own single-channel throughput. The
+//!   rounds also count Data frames vs payload copies and **assert the
+//!   reactor→worker path copied zero payloads** (the refcounted-rope
+//!   zero-copy claim, verified live).
 //! * **Slow reader** (64 clients + 1 peer that never reads a response,
 //!   tight high-water/deadline policy): served throughput must not
 //!   care, and the JSON records the slow-consumer resets that prove the
@@ -37,7 +44,7 @@ use lc_bloom::BloomParams;
 use lc_core::MultiLanguageClassifier;
 use lc_corpus::{Corpus, CorpusConfig, Language};
 use lc_service::{raise_nofile_limit, serve, ServiceConfig};
-use lc_wire::{read_frame, write_data_frame, WireCommand, WireResponse};
+use lc_wire::{read_frame, read_frame_mux, write_data_frame_on, WireCommand, WireResponse};
 use std::io::{BufWriter, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,22 +69,30 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn send_doc<W: Write>(w: &mut W, doc: &[u8]) {
+    send_doc_on(w, 0, doc);
+}
+
+fn send_doc_on<W: Write>(w: &mut W, channel: u16, doc: &[u8]) {
     let words = (doc.len() as u64).div_ceil(8);
     WireCommand::Size {
         words: words as u32,
         bytes: doc.len() as u32,
     }
-    .encode(w)
+    .encode_on(channel, w)
     .expect("send Size");
     let whole = doc.len() / 8 * 8;
-    write_data_frame(w, &doc[..whole]).expect("send Data");
+    write_data_frame_on(w, channel, &doc[..whole]).expect("send Data");
     if whole < doc.len() {
         let mut tail = [0u8; 8];
         tail[..doc.len() - whole].copy_from_slice(&doc[whole..]);
-        write_data_frame(w, &tail).expect("send tail Data");
+        write_data_frame_on(w, channel, &tail).expect("send tail Data");
     }
-    WireCommand::EndOfDocument.encode(w).expect("send EoD");
-    WireCommand::QueryResult.encode(w).expect("send Query");
+    WireCommand::EndOfDocument
+        .encode_on(channel, w)
+        .expect("send EoD");
+    WireCommand::QueryResult
+        .encode_on(channel, w)
+        .expect("send Query");
 }
 
 fn read_result<R: std::io::Read>(reader: &mut R) {
@@ -241,6 +256,99 @@ fn run_round(
     }
 }
 
+/// One channel-sweep round: ONE connection drives a `workers`-shard
+/// server over `channels` wire-v2 channels (documents dealt round-robin,
+/// `PIPELINE_DEPTH` in flight per channel), measuring docs/s over
+/// `measure_docs`. Returns the throughput plus the server's Data-frame
+/// and payload-copy counters — the zero-copy proof rides along.
+fn run_mux_round(
+    classifier: &Arc<MultiLanguageClassifier>,
+    docs: &[Vec<u8>],
+    workers: usize,
+    channels: u16,
+    measure_docs: usize,
+) -> (Round, u64, u64) {
+    let config = ServiceConfig {
+        workers,
+        // Shard queues sized to the offered mux concurrency, as the
+        // connections sweep does for client concurrency.
+        queue_depth: 64.max(channels as usize * PIPELINE_DEPTH),
+        ..ServiceConfig::default()
+    };
+    let server = serve(Arc::clone(classifier), "127.0.0.1:0", config).expect("bind localhost");
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = BufWriter::with_capacity(256 * 1024, stream.try_clone().expect("clone"));
+    let mut reader = std::io::BufReader::with_capacity(64 * 1024, stream);
+    let (kind, _ch, payload) = read_frame_mux(&mut reader).unwrap().unwrap();
+    assert!(matches!(
+        WireResponse::decode(kind, &payload).unwrap(),
+        WireResponse::Hello { .. }
+    ));
+
+    let window = channels as usize * PIPELINE_DEPTH;
+    let lane_of = |i: usize| (i % channels as usize) as u16 + 1;
+    // Warmup: one windowful through every engine the channels hash to.
+    for i in 0..window {
+        send_doc_on(&mut writer, lane_of(i), &docs[i % docs.len()]);
+    }
+    writer.flush().unwrap();
+    for _ in 0..window {
+        let (kind, _ch, payload) = read_frame_mux(&mut reader)
+            .unwrap()
+            .expect("warmup response");
+        match WireResponse::decode(kind, &payload).expect("decode response") {
+            WireResponse::Result { valid, .. } => assert!(valid),
+            other => panic!("expected Result, got {other:?}"),
+        }
+    }
+
+    // Window bursts, exactly like the multi-client harness: send a
+    // windowful across all channels, flush once, drain the responses in
+    // one buffered pass (they come back channel-tagged, cross-channel
+    // order arbitrary — the count is what matters here).
+    let started = Instant::now();
+    let mut sent = 0usize;
+    let mut bytes = 0usize;
+    while sent < measure_docs {
+        let batch = window.min(measure_docs - sent);
+        for _ in 0..batch {
+            let doc = &docs[sent % docs.len()];
+            send_doc_on(&mut writer, lane_of(sent), doc);
+            bytes += doc.len();
+            sent += 1;
+        }
+        writer.flush().unwrap();
+        for _ in 0..batch {
+            let (kind, _ch, payload) = read_frame_mux(&mut reader).unwrap().expect("response");
+            match WireResponse::decode(kind, &payload).expect("decode response") {
+                WireResponse::Result { valid, .. } => assert!(valid),
+                other => panic!("expected Result, got {other:?}"),
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    drop(writer);
+    drop(reader);
+    let snap = server.shutdown();
+    assert_eq!(
+        snap.payload_copies, 0,
+        "reactor→worker Data path must be zero-copy (copied {} of {} frames)",
+        snap.payload_copies, snap.data_frames,
+    );
+    let secs = elapsed.as_secs_f64();
+    (
+        Round {
+            docs_per_s: measure_docs as f64 / secs,
+            mb_per_s: bytes as f64 / 1e6 / secs,
+            slow_consumer_resets: snap.slow_consumer_resets,
+        },
+        snap.data_frames,
+        snap.payload_copies,
+    )
+}
+
 fn median(mut xs: Vec<Round>) -> Round {
     xs.sort_by(|a, b| a.docs_per_s.partial_cmp(&b.docs_per_s).unwrap());
     let resets = xs.iter().map(|r| r.slow_consumer_resets).max().unwrap_or(0);
@@ -363,7 +471,57 @@ fn main() {
         .map(|(&n, rounds)| (n, sweep_budget(n), median(rounds)))
         .collect();
 
-    // Scenario 3: 64 clients plus one peer that never reads, under a
+    // Scenario 3: the channel sweep — ONE connection, 4 workers, 1/4/16
+    // wire-v2 channels, interleaved rounds. The single-channel point is
+    // the fat-pipe ceiling (one socket = one engine); the multiplexed
+    // points must lift it. Every round asserts zero payload copies.
+    let sweep_channels: [u16; 3] = [1, 4, 16];
+    let mux_budget = measure_docs.max(16 * PIPELINE_DEPTH * 8);
+    let mut mux_samples: Vec<Vec<Round>> = vec![Vec::new(); sweep_channels.len()];
+    let mut mux_data_frames = 0u64;
+    let mut mux_payload_copies = 0u64;
+    for round in 0..SWEEP_ROUNDS {
+        for (i, &n) in sweep_channels.iter().enumerate() {
+            let (r, frames, copies) = run_mux_round(&classifier, &docs, 4, n, mux_budget);
+            eprintln!(
+                "channel sweep round {round}, channels={n}: {:.0} docs/s, {:.1} MB/s \
+                 ({frames} data frames, {copies} payload copies)",
+                r.docs_per_s, r.mb_per_s
+            );
+            mux_data_frames += frames;
+            mux_payload_copies += copies;
+            mux_samples[i].push(r);
+        }
+    }
+    let mux: Vec<(u16, Round)> = sweep_channels
+        .iter()
+        .zip(mux_samples)
+        .map(|(&n, rounds)| (n, median(rounds)))
+        .collect();
+    let mux_one = mux[0].1.docs_per_s;
+    let mux_best = mux[1..]
+        .iter()
+        .map(|(_, r)| r.docs_per_s)
+        .fold(f64::MIN, f64::max);
+    // Hard-fail only on a catastrophic regression (mux markedly *slower*
+    // than its own single channel): the exact speedup is
+    // container-dependent and the shared CI runner swings ±30% with
+    // neighbor load, so a strict > 1.0 assert here would flake. The
+    // recorded JSON ratio is the reviewable signal.
+    assert!(
+        mux_best > 0.8 * mux_one,
+        "a multiplexed connection (best {mux_best:.0} docs/s) fell far below its own \
+         single-channel throughput ({mux_one:.0} docs/s)"
+    );
+    if mux_best <= mux_one {
+        eprintln!(
+            "WARNING: channel sweep did not beat single-channel this run \
+             ({:.2}x; container noise?) — see channel_sweep in the JSON",
+            mux_best / mux_one
+        );
+    }
+
+    // Scenario 4: 64 clients plus one peer that never reads, under a
     // policy tight enough to observe resets within the round.
     let slow_config = ServiceConfig {
         workers: 4,
@@ -400,10 +558,29 @@ fn main() {
             )
         })
         .collect();
+    let mux_points: Vec<String> = mux
+        .iter()
+        .map(|(n, r)| {
+            format!(
+                "{{ \"channels\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }}",
+                n, r.docs_per_s, r.mb_per_s
+            )
+        })
+        .collect();
+    let channel_sweep_json = format!(
+        "\"channel_sweep\": {{ \"workers\": 4, \"connections\": 1, \"rounds\": {}, \"measured_documents\": {}, \"points\": [\n    {}\n  ], \"mux_speedup_vs_single_channel\": {:.2} }},\n  \"zero_copy\": {{ \"data_frames\": {}, \"payload_copies\": {}, \"copies_per_frame\": {:.1} }}",
+        SWEEP_ROUNDS,
+        mux_budget,
+        mux_points.join(",\n    "),
+        mux_best / mux_one,
+        mux_data_frames,
+        mux_payload_copies,
+        mux_payload_copies as f64 / mux_data_frames.max(1) as f64,
+    );
     let fused_vs_recorded = one.mb_per_s / PRE_FUSION_WORKERS_1_MB_S;
     let fused_vs_two_phase = one.mb_per_s / two_phase_one.mb_per_s;
     let json = format!(
-        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"pre_fusion_baseline\": {{ \"recorded\": {{ \"workers_1_mb_per_s\": {:.1}, \"workers_4_mb_per_s\": {:.1}, \"note\": \"PR 3's BENCH_service.json numbers (two-phase worker loop, per-document-flush harness)\" }}, \"two_phase_same_harness\": {{ \"workers\": 1, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"note\": \"ServiceConfig::two_phase_reference measured live in the same interleaved rounds\" }} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"fused_vs_pre_fusion_workers_1\": {:.2},\n  \"fused_vs_two_phase_workers_1\": {:.2},\n  \"speedup_1_to_4\": {:.2},\n  \"connections_sweep\": {{ \"workers\": 4, \"rounds\": {}, \"points\": [\n    {}\n  ] }},\n  \"slow_reader\": {{ \"workers\": 4, \"clients\": 64, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"slow_consumer_resets\": {} }}\n}}\n",
+        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"pre_fusion_baseline\": {{ \"recorded\": {{ \"workers_1_mb_per_s\": {:.1}, \"workers_4_mb_per_s\": {:.1}, \"note\": \"PR 3's BENCH_service.json numbers (two-phase worker loop, per-document-flush harness)\" }}, \"two_phase_same_harness\": {{ \"workers\": 1, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"note\": \"ServiceConfig::two_phase_reference measured live in the same interleaved rounds\" }} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"fused_vs_pre_fusion_workers_1\": {:.2},\n  \"fused_vs_two_phase_workers_1\": {:.2},\n  \"speedup_1_to_4\": {:.2},\n  \"connections_sweep\": {{ \"workers\": 4, \"rounds\": {}, \"points\": [\n    {}\n  ] }},\n  {},\n  \"slow_reader\": {{ \"workers\": 4, \"clients\": 64, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"slow_consumer_resets\": {} }}\n}}\n",
         classifier.num_languages(),
         params.k,
         params.m_kbits(),
@@ -427,6 +604,7 @@ fn main() {
         speedup,
         SWEEP_ROUNDS,
         sweep_json.join(",\n    "),
+        channel_sweep_json,
         slow_budget,
         slow.docs_per_s,
         slow.mb_per_s,
@@ -439,6 +617,9 @@ fn main() {
     eprintln!(
         "wrote {out} (fused serves {fused_vs_recorded:.2}x the recorded pre-fusion MB/s per \
          worker, {fused_vs_two_phase:.2}x two-phase under the same harness; 4 workers serve \
-         {speedup:.2}x the documents of 1 worker)"
+         {speedup:.2}x the documents of 1 worker; one multiplexed connection serves \
+         {:.2}x its own single-channel throughput with 0/{} payload copies)",
+        mux_best / mux_one,
+        mux_data_frames,
     );
 }

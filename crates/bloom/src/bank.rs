@@ -117,6 +117,8 @@ impl_mask_word!(u8, u16, u32, u64);
 /// `SPREAD8[m]` has byte `j` equal to bit `j` of `m`: one table load turns
 /// an 8-language match mask into eight 0/1 byte increments, so the hot
 /// loop's count update is a single 64-bit add — no per-set-bit branch loop.
+/// The `p ≤ 16` bank applies the same table to each mask byte (SPREAD16):
+/// two lookups, two adds, sixteen branchless lanes across a packed pair.
 static SPREAD8: [u64; 256] = {
     let mut t = [0u64; 256];
     let mut m = 0usize;
@@ -342,6 +344,16 @@ impl FilterBank {
         }
     }
 
+    /// Drain the SPREAD16 pair (languages 0–7 in `lo`, 8–15 in `hi`) into
+    /// the wide counters.
+    #[inline]
+    fn flush_packed16(lo: u64, hi: u64, counts: &mut [u64]) {
+        for (j, c) in counts.iter_mut().enumerate() {
+            let word = if j < 8 { lo } else { hi };
+            *c += (word >> (8 * (j % 8))) & 0xFF;
+        }
+    }
+
     /// The classify hot loop: for every key, increment `counts[j]` for each
     /// matching language `j`. Exactly equivalent to testing each language's
     /// filter independently, but `k` loads + one AND-reduce per key.
@@ -374,7 +386,7 @@ impl FilterBank {
         );
         match &self.slices {
             MaskSlices::W8(s) => self.dispatch_k_packed8(s, src, counts),
-            MaskSlices::W16(s) => self.dispatch_k(s, src, counts),
+            MaskSlices::W16(s) => self.dispatch_k_packed16(s, src, counts),
             MaskSlices::W32(s) => self.dispatch_k(s, src, counts),
             MaskSlices::W64(s) => {
                 if self.words_per_mask == 1 {
@@ -425,6 +437,61 @@ impl FilterBank {
             8 => self.accumulate_packed8::<8, S>(slices, src, counts),
             _ => self.accumulate_runtime_k(slices, src, counts),
         }
+    }
+
+    /// Dispatch for the `p ≤ 16` (u16-mask) bank: SPREAD16 — the packed
+    /// byte-counter trick of [`Self::dispatch_k_packed8`] spread across a
+    /// *pair* of packed words, one [`SPREAD8`] lookup per mask byte
+    /// (languages 0–7 in the low word, 8–15 in the high word). Same flush
+    /// cadence (every 255 keys, before any lane can wrap), same branchless
+    /// per-key update. `k > 8` falls back to the generic runtime-`k` path.
+    fn dispatch_k_packed16<S: KeySource>(&self, slices: &[Box<[u16]>], src: S, counts: &mut [u64]) {
+        match self.params.k {
+            1 => self.accumulate_packed16::<1, S>(slices, src, counts),
+            2 => self.accumulate_packed16::<2, S>(slices, src, counts),
+            3 => self.accumulate_packed16::<3, S>(slices, src, counts),
+            4 => self.accumulate_packed16::<4, S>(slices, src, counts),
+            5 => self.accumulate_packed16::<5, S>(slices, src, counts),
+            6 => self.accumulate_packed16::<6, S>(slices, src, counts),
+            7 => self.accumulate_packed16::<7, S>(slices, src, counts),
+            8 => self.accumulate_packed16::<8, S>(slices, src, counts),
+            _ => self.accumulate_runtime_k(slices, src, counts),
+        }
+    }
+
+    /// Hot loop for u16 masks (`p ≤ 16`) with compile-time `K`: the match
+    /// mask's two bytes index [`SPREAD8`] and two 64-bit adds bump all
+    /// sixteen per-language byte counters — branchless per key, no
+    /// per-set-bit scatter loop. Each byte lane grows by at most 1 per
+    /// key, so the pair drains into the `u64` counters every 255 keys.
+    fn accumulate_packed16<const K: usize, S: KeySource>(
+        &self,
+        slices: &[Box<[u16]>],
+        src: S,
+        counts: &mut [u64],
+    ) {
+        let slices: [&[u16]; K] = std::array::from_fn(|i| &*slices[i]);
+        let hashes = self.hashes.fused_evaluator_k::<K>();
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        let mut pending = 0u32;
+        src.for_each_key(|key| {
+            let addrs: [u32; K] = hashes.hash_all_array(key);
+            let mut mask = slices[0][addrs[0] as usize];
+            for i in 1..K {
+                mask &= slices[i][addrs[i] as usize];
+            }
+            lo = lo.wrapping_add(SPREAD8[(mask & 0xFF) as usize]);
+            hi = hi.wrapping_add(SPREAD8[(mask >> 8) as usize]);
+            pending += 1;
+            if pending == 255 {
+                Self::flush_packed16(lo, hi, counts);
+                lo = 0;
+                hi = 0;
+                pending = 0;
+            }
+        });
+        Self::flush_packed16(lo, hi, counts);
     }
 
     /// Hot loop for byte masks (`p ≤ 8`) with compile-time `K`: the match
@@ -654,6 +721,27 @@ mod tests {
             let mut banked = vec![0u64; 8];
             bank.accumulate_keys(keys.iter().copied(), &mut banked);
             assert_eq!(banked, naive_counts(&filters, &keys), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn packed16_flush_boundary_is_exact() {
+        // The u16-mask path (SPREAD16) drains its packed counter pair
+        // every 255 keys; key streams crossing that boundary (and hitting
+        // it exactly) must still equal the naive per-language walk — for
+        // language counts on both sides of the byte split (p ≤ 8 uses the
+        // low word only, p > 8 both).
+        let params = BloomParams::new(4, 10);
+        for p in [9usize, 12, 16] {
+            let (filters, bank) = bank_fixture(p, params, 400, 11);
+            assert_eq!(bank.mask_entry_bits(), 16, "p = {p} must take the u16 bank");
+            let mut rng = SmallRng::seed_from_u64(101);
+            for n in [254usize, 255, 256, 510, 511, 1021] {
+                let keys: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() & 0xF_FFFF).collect();
+                let mut banked = vec![0u64; p];
+                bank.accumulate_keys(keys.iter().copied(), &mut banked);
+                assert_eq!(banked, naive_counts(&filters, &keys), "p = {p}, n = {n}");
+            }
         }
     }
 

@@ -10,9 +10,21 @@
 //! the latch in order, so responses pair with documents positionally),
 //! which measures engine capacity rather than round-trip latency and is
 //! what the high-concurrency tests and benches drive.
+//!
+//! [`ClassifyClient::classify_many_mux`] goes further: it **multiplexes**
+//! the pipeline over wire-v2 channels ([`ClassifyClient::open_channel`]),
+//! so one connection's documents fan out across all of the server's
+//! worker shards instead of a single engine — the fat-pipe ceiling lifted.
+//! Responses come back channel-tagged in per-channel submit order (the
+//! cross-channel interleaving is arbitrary); the client demultiplexes and
+//! returns results in document order, each checksum-verified.
 
 use lc_core::ClassificationResult;
-use lc_wire::{read_frame, write_data_frame, ErrorCode, FrameError, WireCommand, WireResponse};
+use lc_wire::{
+    read_frame, read_frame_mux, write_data_frame_on, ErrorCode, FrameError, WireCommand,
+    WireResponse,
+};
+use std::collections::VecDeque;
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -96,6 +108,8 @@ pub struct ClassifyClient {
     languages: Vec<String>,
     /// XOR checksum of the words sent for the document in flight.
     checksum: u64,
+    /// Next channel id [`ClassifyClient::open_channel`] hands out.
+    next_channel: u16,
 }
 
 impl ClassifyClient {
@@ -107,6 +121,7 @@ impl ClassifyClient {
             stream,
             languages: Vec::new(),
             checksum: 0,
+            next_channel: 0,
         };
         match client.read_response()? {
             WireResponse::Hello { languages } => {
@@ -172,7 +187,7 @@ impl ClassifyClient {
                 // Local validation failure, but earlier documents are
                 // still in flight: realign before bailing like every
                 // other error path here.
-                self.drain(in_flight.len());
+                self.drain_mux(in_flight.len());
                 return Err(ClientError::Io(io::Error::other(
                     "document exceeds the 4 GiB Size announcement limit",
                 )));
@@ -180,7 +195,7 @@ impl ClassifyClient {
             let words = len.div_ceil(8);
             if let Err(e) = self.send_document(&mut io::Cursor::new(doc), len, words) {
                 let _ = WireCommand::Reset.encode(&mut self.stream);
-                self.drain(in_flight.len());
+                self.drain_mux(in_flight.len());
                 return Err(e);
             }
             in_flight.push_back(self.checksum);
@@ -189,7 +204,7 @@ impl ClassifyClient {
                 match self.take_result(sent) {
                     Ok(r) => results.push(r),
                     Err(e) => {
-                        self.drain(in_flight.len());
+                        self.drain_mux(in_flight.len());
                         return Err(e);
                     }
                 }
@@ -199,7 +214,7 @@ impl ClassifyClient {
             match self.take_result(sent) {
                 Ok(r) => results.push(r),
                 Err(e) => {
-                    self.drain(in_flight.len());
+                    self.drain_mux(in_flight.len());
                     return Err(e);
                 }
             }
@@ -207,24 +222,157 @@ impl ClassifyClient {
         Ok(results)
     }
 
+    /// Hand out the next channel id from this client's counter (1, 2, …;
+    /// channel 0 is the connection's implicit legacy/v1 stream). A channel
+    /// is not a scarce resource to lock: the server keeps one session per
+    /// id, created on its first frame and reusable for any number of
+    /// documents — and `&mut self` already serializes everything on this
+    /// connection. This counter is only a convenience for manual
+    /// [`ClassifyClient::classify_on`] use; note that
+    /// [`ClassifyClient::classify_many_mux`] always uses channels
+    /// `1..=N` regardless of it (id reuse across calls is safe — every
+    /// document on a channel completes before that channel's next one).
+    pub fn open_channel(&mut self) -> u16 {
+        self.next_channel = self
+            .next_channel
+            .checked_add(1)
+            .expect("channel ids exhausted");
+        self.next_channel
+    }
+
+    /// Classify one in-memory document on a specific channel (0 = the
+    /// legacy v1 stream). Channels do not share document state, so
+    /// interleaving calls across channels is the caller's pipelining.
+    pub fn classify_on(&mut self, channel: u16, doc: &[u8]) -> Result<ServedResult, ClientError> {
+        let len = doc.len() as u64;
+        if len > u64::from(u32::MAX) {
+            return Err(ClientError::Io(io::Error::other(
+                "document exceeds the 4 GiB Size announcement limit",
+            )));
+        }
+        if let Err(e) =
+            self.send_document_on(channel, &mut io::Cursor::new(doc), len, len.div_ceil(8))
+        {
+            let _ = WireCommand::Reset.encode_on(channel, &mut self.stream);
+            return Err(e);
+        }
+        let sent = self.checksum;
+        let (resp_channel, resp) = self.read_response_mux()?;
+        if resp_channel != channel {
+            return Err(ClientError::UnexpectedResponse(format!(
+                "response on channel {resp_channel}, expected {channel}"
+            )));
+        }
+        Self::pair_result(resp, sent)
+    }
+
+    /// Classify a batch of in-memory documents over this one connection,
+    /// **multiplexed across `channels` wire-v2 channels** with up to
+    /// `window` documents in flight in total. Document `i` rides channel
+    /// `(i % channels) + 1`, so consecutive documents land on different
+    /// worker shards and one connection drives the whole pool. Results
+    /// come back in document order, each checksum-verified.
+    pub fn classify_many_mux(
+        &mut self,
+        docs: &[&[u8]],
+        channels: u16,
+        window: usize,
+    ) -> Result<Vec<ServedResult>, ClientError> {
+        let channels = channels.max(1);
+        let window = window.max(1);
+        // Per-channel FIFO of (document index, sent checksum): responses
+        // on one channel arrive in that channel's submit order.
+        let mut pending: Vec<VecDeque<(usize, u64)>> =
+            (0..channels).map(|_| VecDeque::new()).collect();
+        let mut results: Vec<Option<ServedResult>> = docs.iter().map(|_| None).collect();
+        // The responses still owed are exactly the entries left in the
+        // lanes — correct on every error path, including a fault response
+        // that retired no pending document (a connection-level error
+        // consumes no lane entry, so the count stays put).
+        let owed = |pending: &[VecDeque<(usize, u64)>]| -> usize {
+            pending.iter().map(VecDeque::len).sum()
+        };
+        for (i, doc) in docs.iter().enumerate() {
+            let lane = i % channels as usize;
+            let channel = lane as u16 + 1;
+            let len = doc.len() as u64;
+            if len > u64::from(u32::MAX) {
+                self.drain_mux(owed(&pending));
+                return Err(ClientError::Io(io::Error::other(
+                    "document exceeds the 4 GiB Size announcement limit",
+                )));
+            }
+            if let Err(e) =
+                self.send_document_on(channel, &mut io::Cursor::new(doc), len, len.div_ceil(8))
+            {
+                let _ = WireCommand::Reset.encode_on(channel, &mut self.stream);
+                self.drain_mux(owed(&pending));
+                return Err(e);
+            }
+            pending[lane].push_back((i, self.checksum));
+            while owed(&pending) >= window {
+                if let Err(e) = self.take_result_mux(&mut pending, &mut results) {
+                    self.drain_mux(owed(&pending));
+                    return Err(e);
+                }
+            }
+        }
+        while owed(&pending) > 0 {
+            if let Err(e) = self.take_result_mux(&mut pending, &mut results) {
+                self.drain_mux(owed(&pending));
+                return Err(e);
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every document got its response"))
+            .collect())
+    }
+
+    /// Read one channel-tagged response and file it against the oldest
+    /// document pending on that channel.
+    fn take_result_mux(
+        &mut self,
+        pending: &mut [VecDeque<(usize, u64)>],
+        results: &mut [Option<ServedResult>],
+    ) -> Result<(), ClientError> {
+        let (channel, resp) = self.read_response_mux()?;
+        let entry = pending
+            .get_mut(channel.wrapping_sub(1) as usize)
+            .and_then(VecDeque::pop_front);
+        let Some((idx, sent)) = entry else {
+            // No document pending on this channel. Connection-level faults
+            // (channel-limit exceeded, malformed frame — the server answers
+            // those on channel 0) land here: surface the server's own
+            // error rather than burying it under a demux complaint.
+            return match resp {
+                WireResponse::Error { code, detail } => Err(ClientError::Remote { code, detail }),
+                other => Err(ClientError::UnexpectedResponse(format!(
+                    "unsolicited response on channel {channel}: {other:?}"
+                ))),
+            };
+        };
+        results[idx] = Some(Self::pair_result(resp, sent)?);
+        Ok(())
+    }
+
     /// Consume (and discard) the responses still owed for documents in
-    /// flight, so an error mid-pipeline leaves the connection aligned —
-    /// every announced document pairs with exactly one response, and the
-    /// next classify on this client reads its own result, not a stale one.
-    /// Best-effort: a transport error just stops the drain (the connection
-    /// is broken anyway).
-    fn drain(&mut self, owed: usize) {
+    /// flight — v1 or channel-tagged alike — so an error mid-pipeline
+    /// leaves the connection aligned: every announced document pairs with
+    /// exactly one response, and the next classify on this client reads
+    /// its own result, not a stale one. Best-effort: a transport error
+    /// just stops the drain (the connection is broken anyway).
+    fn drain_mux(&mut self, owed: usize) {
         for _ in 0..owed {
-            if self.read_response().is_err() {
+            if read_frame_mux(&mut self.stream).is_err() {
                 return;
             }
         }
     }
 
-    /// Read the next response frame and pair it with the document whose
-    /// sent-words checksum was `sent`.
-    fn take_result(&mut self, sent: u64) -> Result<ServedResult, ClientError> {
-        match self.read_response()? {
+    /// Validate a Result/Error response against the sent checksum.
+    fn pair_result(resp: WireResponse, sent: u64) -> Result<ServedResult, ClientError> {
+        match resp {
             WireResponse::Result {
                 counts,
                 total_ngrams,
@@ -248,10 +396,40 @@ impl ClassifyClient {
         }
     }
 
-    /// Stream Size + Data frames + EoD + Query for one document, leaving
-    /// the XOR checksum of the sent words in `self.checksum`.
+    /// Blocking-read the next response frame of either wire version,
+    /// returning its channel tag (0 for v1 frames).
+    fn read_response_mux(&mut self) -> Result<(u16, WireResponse), ClientError> {
+        match read_frame_mux(&mut self.stream)? {
+            Some((kind, channel, payload)) => Ok((channel, WireResponse::decode(kind, &payload)?)),
+            None => Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into())),
+        }
+    }
+
+    /// Read the next response frame and pair it with the document whose
+    /// sent-words checksum was `sent`.
+    fn take_result(&mut self, sent: u64) -> Result<ServedResult, ClientError> {
+        let resp = self.read_response()?;
+        Self::pair_result(resp, sent)
+    }
+
+    /// Stream Size + Data frames + EoD + Query for one document on
+    /// channel 0 (v1 framing), leaving the XOR checksum of the sent words
+    /// in `self.checksum`.
     fn send_document<R: Read>(
         &mut self,
+        reader: &mut R,
+        len: u64,
+        words: u64,
+    ) -> Result<(), ClientError> {
+        self.send_document_on(0, reader, len, words)
+    }
+
+    /// Stream Size + Data frames + EoD + Query for one document on
+    /// `channel` (0 = v1 framing), leaving the XOR checksum of the sent
+    /// words in `self.checksum`.
+    fn send_document_on<R: Read>(
+        &mut self,
+        channel: u16,
         reader: &mut R,
         len: u64,
         words: u64,
@@ -262,7 +440,7 @@ impl ClassifyClient {
             words: words as u32,
             bytes: len as u32,
         }
-        .encode(&mut w)?;
+        .encode_on(channel, &mut w)?;
 
         let mut remaining = len;
         let mut chunk = vec![0u8; CHUNK_WORDS * 8];
@@ -283,11 +461,11 @@ impl ClassifyClient {
             for word in chunk[..padded].chunks_exact(8) {
                 self.checksum ^= u64::from_le_bytes(word.try_into().unwrap());
             }
-            write_data_frame(&mut w, &chunk[..padded])?;
+            write_data_frame_on(&mut w, channel, &chunk[..padded])?;
             remaining -= got as u64;
         }
-        WireCommand::EndOfDocument.encode(&mut w)?;
-        WireCommand::QueryResult.encode(&mut w)?;
+        WireCommand::EndOfDocument.encode_on(channel, &mut w)?;
+        WireCommand::QueryResult.encode_on(channel, &mut w)?;
         w.flush()?;
         Ok(())
     }

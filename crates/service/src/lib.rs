@@ -18,20 +18,29 @@
 //!        ◀── flush ── per-conn outbound queue ◀─ enqueue + eventfd wake ──┘
 //! ```
 //!
-//! * **One wire contract.** Frames carry the exact command set of the
-//!   simulated FPGA protocol (`lc_fpga::protocol`); the shared pieces live
-//!   in `lc-wire` so the two transports cannot drift.
+//! * **One wire contract, two framings.** Frames carry the exact command
+//!   set of the simulated FPGA protocol (`lc_fpga::protocol`); the shared
+//!   pieces live in `lc-wire` so the two transports cannot drift. Wire
+//!   **v2** adds a channel id to the frame header: one connection
+//!   multiplexes many independent command streams — the software image of
+//!   an accelerator host's independent DMA channels over one link. Legacy
+//!   v1 frames are auto-detected and served as channel 0, so old clients
+//!   work unmodified.
 //! * **Event-driven connections.** N reactor threads own all socket I/O
 //!   through an edge-triggered epoll loop (`lc-reactor`, thin FFI, no
-//!   external deps). Reads decode into per-connection `Session` command
-//!   streams; writes drain per-connection outbound queues with
-//!   partial-write resumption.
-//! * **Sharded workers.** `session_id % N` pins each connection's
-//!   streaming state to one worker thread — N software match engines
-//!   sharing one programmed `Arc<MultiLanguageClassifier>` (the §3.3
-//!   replication: same filters, independent execution). Workers never
-//!   touch sockets: responses are enqueued and the owning reactor woken
-//!   via eventfd.
+//!   external deps). Reads decode into per-channel `Session` command
+//!   streams; writes drain per-connection outbound queues (responses
+//!   tagged with their channel) with partial-write resumption.
+//! * **Zero-copy frame path.** The read rope hands Data payloads to
+//!   workers as refcounted buffer segments (`lc_wire::PayloadBytes`) —
+//!   no per-frame payload copy between socket and classifier, proven
+//!   live by the `payload_copies` metric.
+//! * **Sharded workers.** Each **channel** hashes to a worker shard
+//!   ([`ChannelKey::shard`]), so one fat-pipe connection's channels fan
+//!   out across all N engines — N software match engines sharing one
+//!   programmed `Arc<MultiLanguageClassifier>` (the §3.3 replication:
+//!   same filters, independent execution). Workers never touch sockets:
+//!   responses are enqueued and the owning reactor woken via eventfd.
 //! * **No head-of-line blocking.** A peer that stops reading fills only
 //!   its own outbound queue: past the high-water mark its `EPOLLIN` is
 //!   masked, and past the slow-consumer deadline it is reset — the shard
@@ -65,4 +74,4 @@ pub use metrics::{MetricsSnapshot, ServiceMetrics, LATENCY_BOUNDS_US};
 pub use outbound::ResponseSink;
 pub use server::{serve, ServerHandle, ServiceConfig};
 pub use session::Session;
-pub use worker::WorkerPool;
+pub use worker::{ChannelKey, WorkerPool};

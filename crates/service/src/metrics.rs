@@ -28,9 +28,27 @@ pub struct ServiceMetrics {
     /// Times a connection's outbound queue crossed the high-water mark
     /// (its `EPOLLIN` was masked until the queue drained).
     pub outbound_stalls: AtomicU64,
+    /// Deepest any single connection's outbound queue ever got, in bytes —
+    /// the high-water mark slow-consumer tuning needs to see without a
+    /// debugger (compare against `outbound_high_water`).
+    pub outbound_queue_peak: AtomicU64,
     /// Connections reset for sitting above high-water past the
     /// slow-consumer deadline.
     pub slow_consumer_resets: AtomicU64,
+    /// Channels (independent command streams; a v1 connection is one
+    /// channel) currently open across all connections.
+    pub channels_current: AtomicU64,
+    /// Most channels ever open at once.
+    pub channels_peak: AtomicU64,
+    /// Reset commands applied to a channel's session (mid-document Resets
+    /// discard the in-flight document).
+    pub channel_resets: AtomicU64,
+    /// Data frames decoded by the reactors.
+    pub data_frames: AtomicU64,
+    /// Data payloads *copied* between reactor and worker. The zero-copy
+    /// frame path keeps this at exactly 0 (payloads travel as refcounted
+    /// rope segments); the bench asserts it.
+    pub payload_copies: AtomicU64,
     /// Documents classified (results latched).
     pub documents: AtomicU64,
     /// Document payload bytes classified.
@@ -56,7 +74,13 @@ impl ServiceMetrics {
             connections_peak: AtomicU64::new(0),
             accepts_rejected: AtomicU64::new(0),
             outbound_stalls: AtomicU64::new(0),
+            outbound_queue_peak: AtomicU64::new(0),
             slow_consumer_resets: AtomicU64::new(0),
+            channels_current: AtomicU64::new(0),
+            channels_peak: AtomicU64::new(0),
+            channel_resets: AtomicU64::new(0),
+            data_frames: AtomicU64::new(0),
+            payload_copies: AtomicU64::new(0),
             documents: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             ngrams: AtomicU64::new(0),
@@ -91,7 +115,13 @@ impl ServiceMetrics {
             connections_peak: self.connections_peak.load(Ordering::Relaxed),
             accepts_rejected: self.accepts_rejected.load(Ordering::Relaxed),
             outbound_stalls: self.outbound_stalls.load(Ordering::Relaxed),
+            outbound_queue_peak: self.outbound_queue_peak.load(Ordering::Relaxed),
             slow_consumer_resets: self.slow_consumer_resets.load(Ordering::Relaxed),
+            channels_current: self.channels_current.load(Ordering::Relaxed),
+            channels_peak: self.channels_peak.load(Ordering::Relaxed),
+            channel_resets: self.channel_resets.load(Ordering::Relaxed),
+            data_frames: self.data_frames.load(Ordering::Relaxed),
+            payload_copies: self.payload_copies.load(Ordering::Relaxed),
             documents: self.documents.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             ngrams: self.ngrams.load(Ordering::Relaxed),
@@ -120,8 +150,20 @@ pub struct MetricsSnapshot {
     pub accepts_rejected: u64,
     /// Outbound queues that crossed the high-water mark.
     pub outbound_stalls: u64,
+    /// Deepest any single connection's outbound queue ever got (bytes).
+    pub outbound_queue_peak: u64,
     /// Connections reset by the slow-consumer policy.
     pub slow_consumer_resets: u64,
+    /// Channels currently open across all connections.
+    pub channels_current: u64,
+    /// Most channels ever open at once.
+    pub channels_peak: u64,
+    /// Reset commands applied to channel sessions.
+    pub channel_resets: u64,
+    /// Data frames decoded.
+    pub data_frames: u64,
+    /// Data payloads copied on the reactor→worker path (0 = zero-copy).
+    pub payload_copies: u64,
     /// Documents classified.
     pub documents: u64,
     /// Document payload bytes classified.
@@ -152,14 +194,33 @@ impl std::fmt::Display for MetricsSnapshot {
             self.protocol_errors,
             self.watchdog_resets,
         )?;
+        write!(
+            f,
+            " channels {} (peak {})",
+            self.channels_current, self.channels_peak
+        )?;
+        if self.channel_resets > 0 {
+            write!(f, " ch-resets {}", self.channel_resets)?;
+        }
         if self.accepts_rejected > 0 {
             write!(f, " rejected {}", self.accepts_rejected)?;
         }
         if self.outbound_stalls > 0 {
-            write!(f, " stalls {}", self.outbound_stalls)?;
+            write!(
+                f,
+                " stalls {} (queue-peak {} B)",
+                self.outbound_stalls, self.outbound_queue_peak
+            )?;
         }
         if self.slow_consumer_resets > 0 {
             write!(f, " slow-resets {}", self.slow_consumer_resets)?;
+        }
+        if self.payload_copies > 0 {
+            write!(
+                f,
+                " payload-copies {}/{}",
+                self.payload_copies, self.data_frames
+            )?;
         }
         write!(f, " | latency(µs)")?;
         for (i, count) in self.latency.iter().enumerate() {
@@ -224,7 +285,11 @@ mod tests {
         m.connections_peak.store(9, Ordering::Relaxed);
         m.accepts_rejected.store(2, Ordering::Relaxed);
         m.outbound_stalls.store(4, Ordering::Relaxed);
+        m.outbound_queue_peak.store(65536, Ordering::Relaxed);
         m.slow_consumer_resets.store(1, Ordering::Relaxed);
+        m.channels_current.store(5, Ordering::Relaxed);
+        m.channels_peak.store(12, Ordering::Relaxed);
+        m.channel_resets.store(2, Ordering::Relaxed);
         let s = m.snapshot();
         assert_eq!(
             (
@@ -235,10 +300,15 @@ mod tests {
             (3, 9, 2)
         );
         assert_eq!((s.outbound_stalls, s.slow_consumer_resets), (4, 1));
+        assert_eq!((s.channels_current, s.channels_peak), (5, 12));
+        assert_eq!((s.channel_resets, s.outbound_queue_peak), (2, 65536));
         let line = s.to_string();
         assert!(line.contains("(peak 9)"));
         assert!(line.contains("rejected 2"));
         assert!(line.contains("stalls 4"));
+        assert!(line.contains("queue-peak 65536"));
         assert!(line.contains("slow-resets 1"));
+        assert!(line.contains("channels 5 (peak 12)"));
+        assert!(line.contains("ch-resets 2"));
     }
 }

@@ -7,29 +7,43 @@
 //! to the connection's [`WriteBuf`] and nudges the owning reactor's
 //! eventfd. Only the reactor touches sockets, and it never blocks on one.
 //!
+//! With multiplexing, one connection's outbound queue is shared by every
+//! channel fanned out across the worker shards: each channel's
+//! [`ResponseSink`] tags its frames with the channel id (channel 0 encodes
+//! as legacy v1 frames, so v1 clients keep working), and per-channel
+//! response order is preserved because a channel lives on exactly one
+//! worker, which enqueues its responses in submit order. Cross-channel
+//! interleaving in the queue is arbitrary — the tags are what let the
+//! client demultiplex.
+//!
 //! Queue growth is bounded operationally, not by the type: a queue over
 //! the configured high-water mark masks the connection's `EPOLLIN`, so no
 //! new commands are read and no new responses can be generated for it —
 //! the overshoot is capped by the jobs already in flight in the worker
-//! queue. A queue that *stays* over high-water past the slow-consumer
-//! deadline gets the connection reset (see `reactor.rs`).
+//! queues. A queue that *stays* over high-water past the slow-consumer
+//! deadline gets the connection reset (see `reactor.rs`). The deepest any
+//! queue ever gets is recorded in `outbound_queue_peak`, so slow-consumer
+//! tuning is observable without a debugger.
 //!
 //! **Write-through fast path.** When the queue is empty — the common case,
 //! a peer that reads its responses — [`ResponseSink::send`] writes the
 //! frame straight into the (nonblocking) socket under the queue lock and
 //! never wakes the reactor at all: the direct-write latency of the old
 //! threaded design, without its blocking hazard. Order is safe because
-//! the write only happens with the queue empty and both writers hold the
+//! the write only happens with the queue empty and all writers hold the
 //! same lock. Only the part the socket refuses is queued, and only then
 //! does the reactor get involved.
 
 use lc_reactor::{EventFd, WriteBuf};
 use lc_wire::WireResponse;
 use std::net::TcpStream;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
-/// One connection's outbound state, shared by its worker shard (producer)
-/// and its reactor (consumer).
+use crate::metrics::ServiceMetrics;
+
+/// One connection's outbound state, shared by the worker shards serving
+/// its channels (producers) and its reactor (consumer).
 #[derive(Debug, Default)]
 pub(crate) struct OutboundInner {
     /// Encoded response frames awaiting the socket.
@@ -38,10 +52,10 @@ pub(crate) struct OutboundInner {
     /// its nonblocking file description) for the write-through fast path.
     /// Cleared on teardown so the socket actually closes.
     pub stream: Option<TcpStream>,
-    /// The worker processed this session's `Close`: nothing more will be
-    /// enqueued, so the reactor may tear the connection down once `buf`
-    /// drains.
-    pub finished: bool,
+    /// Channels whose worker processed their `Close`: once every channel
+    /// the reactor opened is counted here, nothing more will be enqueued,
+    /// so the reactor may tear the connection down once `buf` drains.
+    pub finished_channels: u64,
     /// The reactor tore the connection down: late worker enqueues are
     /// dropped instead of accumulating against a dead socket.
     pub dead: bool,
@@ -52,7 +66,7 @@ pub(crate) struct OutboundInner {
 #[derive(Debug)]
 pub(crate) struct NewConn {
     pub stream: TcpStream,
-    pub session: u64,
+    pub conn: u64,
 }
 
 /// The reactor's wake channel: an eventfd plus the queues producers fill
@@ -68,7 +82,7 @@ pub(crate) struct ReactorWaker {
 struct WakeQueue {
     /// Connections handed over by the acceptor.
     new_conns: Vec<NewConn>,
-    /// Sessions whose outbound queue gained data (or finished).
+    /// Connections whose outbound queue gained data (or finished).
     dirty: Vec<u64>,
 }
 
@@ -93,18 +107,18 @@ impl ReactorWaker {
         let _ = self.eventfd.notify();
     }
 
-    /// Flag a session's outbound queue as having news.
-    pub fn mark_dirty(&self, session: u64) {
+    /// Flag a connection's outbound queue as having news.
+    pub fn mark_dirty(&self, conn: u64) {
         // Adjacent dedup flattens the common enqueue burst (the reactor
         // dedups fully before servicing), and a deduped entry also skips
-        // the eventfd syscall: seeing our session at the tail under the
+        // the eventfd syscall: seeing our connection at the tail under the
         // lock proves an earlier push was not yet taken, so its paired
         // notify is still owed and a wake is guaranteed without ours.
         if let Ok(mut q) = self.queue.lock() {
-            if q.dirty.last() == Some(&session) {
+            if q.dirty.last() == Some(&conn) {
                 return;
             }
-            q.dirty.push(session);
+            q.dirty.push(conn);
         }
         let _ = self.eventfd.notify();
     }
@@ -126,31 +140,39 @@ impl ReactorWaker {
     }
 }
 
-/// Where a worker's responses for one session go: the connection's
-/// outbound queue plus the wake handle of the reactor that flushes it.
+/// Where a worker's responses for one **channel** go: the owning
+/// connection's outbound queue, the channel tag its frames carry, and the
+/// wake handle of the reactor that flushes the queue.
 #[derive(Clone, Debug)]
 pub struct ResponseSink {
     out: Arc<Mutex<OutboundInner>>,
     waker: Arc<ReactorWaker>,
-    session: u64,
+    metrics: Arc<ServiceMetrics>,
+    conn: u64,
+    channel: u16,
 }
 
 impl ResponseSink {
     pub(crate) fn new(
         out: Arc<Mutex<OutboundInner>>,
         waker: Arc<ReactorWaker>,
-        session: u64,
+        metrics: Arc<ServiceMetrics>,
+        conn: u64,
+        channel: u16,
     ) -> Self {
         Self {
             out,
             waker,
-            session,
+            metrics,
+            conn,
+            channel,
         }
     }
 
-    /// Deliver one encoded response frame. Never blocks on the network;
-    /// sends to a torn-down connection are silently dropped (the peer is
-    /// gone).
+    /// Deliver one encoded response frame, tagged with this sink's channel
+    /// (channel 0 rides v1 framing — the legacy-client contract). Never
+    /// blocks on the network; sends to a torn-down connection are silently
+    /// dropped (the peer is gone).
     ///
     /// With an empty queue the frame is written through to the socket
     /// right here (nonblocking); whatever the socket refuses — a peer
@@ -158,7 +180,7 @@ impl ResponseSink {
     /// the next writable edge.
     pub fn send(&self, resp: &WireResponse) {
         let mut bytes = Vec::with_capacity(64);
-        if resp.encode(&mut bytes).is_err() {
+        if resp.encode_on(self.channel, &mut bytes).is_err() {
             return; // Vec writes cannot fail; defensive.
         }
         let Ok(mut inner) = self.out.lock() else {
@@ -169,6 +191,9 @@ impl ResponseSink {
         }
         let was_empty = inner.buf.is_empty();
         inner.buf.push(bytes);
+        self.metrics
+            .outbound_queue_peak
+            .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);
         if was_empty {
             // Split borrow: flush the queue through the same resumable
             // write path the reactor uses. Errors are left for the
@@ -182,15 +207,16 @@ impl ResponseSink {
             }
         }
         drop(inner);
-        self.waker.mark_dirty(self.session);
+        self.waker.mark_dirty(self.conn);
     }
 
-    /// Mark the session's response stream complete (worker processed its
-    /// `Close`): once the queue drains, the reactor may close the socket.
+    /// Mark this channel's response stream complete (its worker processed
+    /// the `Close`): once every channel has finished and the queue drains,
+    /// the reactor may close the socket.
     pub fn finish(&self) {
         if let Ok(mut inner) = self.out.lock() {
-            inner.finished = true;
+            inner.finished_channels += 1;
         }
-        self.waker.mark_dirty(self.session);
+        self.waker.mark_dirty(self.conn);
     }
 }

@@ -2,13 +2,25 @@
 //! socket I/O.
 //!
 //! Each reactor runs an edge-triggered epoll loop (`lc-reactor`) over the
-//! nonblocking connections assigned to it (`session % reactors`). Per
-//! connection it keeps the read framing (`FrameAccumulator`), the
-//! partial-write-resumable outbound queue, and the readiness flags the
-//! edge-triggered discipline requires. Classification never happens here:
-//! decoded commands are `try_send`-ed to the session's worker shard, and
-//! worker responses come back through the outbound queue with an eventfd
-//! wake.
+//! nonblocking connections assigned to it (`conn % reactors`). Per
+//! connection it keeps the read framing (`FrameAccumulator`, a rope of
+//! refcounted chunks), the partial-write-resumable outbound queue, the
+//! readiness flags the edge-triggered discipline requires, and the
+//! **channel table**: wire-v2 frames carry a channel id, and each channel
+//! is an independent session routed to the worker shard
+//! `ChannelKey::shard` — one connection's channels fan out across the
+//! whole pool (legacy v1 frames are channel 0, so old clients are a
+//! one-channel special case). Classification never happens here: decoded
+//! commands are `try_send`-ed to the channel's worker shard, and worker
+//! responses come back through the shared outbound queue — tagged with
+//! their channel — with an eventfd wake.
+//!
+//! The handoff is **zero-copy**: `next_frame_mux` hands Data payloads out
+//! as [`lc_wire::PayloadBytes`] — refcounted segments of the very buffers
+//! the socket bytes landed in — and the worker feeds those segments
+//! straight into the fused classify loop. No per-frame payload copy
+//! exists on the path, and the `payload_copies` metric (vs `data_frames`)
+//! proves it live.
 //!
 //! The design goal is the paper's host-interface property: **no peer can
 //! block anyone but itself.**
@@ -19,18 +31,16 @@
 //!   queue whose socket accepts nothing for the slow-consumer deadline —
 //!   at any size — gets the connection reset and counted in
 //!   `slow_consumer_resets`. Workers never see any of it.
-//! * A peer that *floods* fills its shard's bounded job queue. The
-//!   reactor's `try_send` fails, the one decoded command parks in the
-//!   connection's `stalled` slot, and that connection alone stops being
+//! * A peer that *floods* fills its channels' bounded shard queues. The
+//!   reactor's `try_send` fails, the decoded command parks in the
+//!   connection's `stalled` queue, and that connection alone stops being
 //!   read until the shard drains (parked sends are retried on a brisk
 //!   tick while any exist) — TCP backpressure reaches the flooding peer
 //!   while other connections on the same reactor keep flowing.
-//! * Worker `Open`/`Close` sends may block briefly, but only on worker
-//!   *compute* (workers never touch sockets), never on a peer.
 
 use lc_reactor::{Epoll, Events, Interest, WriteBuf};
 use lc_wire::{ErrorCode, FrameAccumulator, WireCommand, WireResponse};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
 use std::net::TcpStream;
 use std::os::fd::AsRawFd;
@@ -42,7 +52,7 @@ use std::time::{Duration, Instant};
 
 use crate::metrics::ServiceMetrics;
 use crate::outbound::{NewConn, OutboundInner, ReactorWaker, ResponseSink};
-use crate::worker::Job;
+use crate::worker::{ChannelKey, Job};
 
 /// Token reserved for the reactor's own eventfd.
 const WAKE_TOKEN: u64 = u64::MAX;
@@ -57,6 +67,7 @@ pub(crate) struct ReactorConfig {
     pub outbound_high_water: usize,
     pub slow_consumer_deadline: Duration,
     pub send_buffer: usize,
+    pub max_channels: usize,
 }
 
 impl ReactorConfig {
@@ -68,15 +79,37 @@ impl ReactorConfig {
     }
 }
 
+/// Close bookkeeping for one channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CloseState {
+    /// Channel live; no Close issued.
+    Open,
+    /// `Job::Close` is parked in the connection's `stalled` queue.
+    Queued,
+    /// `Job::Close` was delivered to the shard.
+    Sent,
+}
+
+/// One channel as the reactor sees it: which shard serves it and whether
+/// its Close has been issued.
+#[derive(Debug)]
+struct Channel {
+    shard: usize,
+    close: CloseState,
+}
+
 /// One connection as the reactor sees it.
 struct Conn {
     stream: TcpStream,
-    /// Incremental frame decoder; bytes land here straight off the socket.
+    /// Incremental frame decoder; bytes land here straight off the socket
+    /// and payloads leave as refcounted segments of the same buffers.
     acc: FrameAccumulator,
-    /// Outbound queue shared with the worker shard.
+    /// Outbound queue shared by all of this connection's channels.
     out: Arc<Mutex<OutboundInner>>,
-    /// The session's worker shard.
-    tx: SyncSender<Job>,
+    /// Channel table: channel id → shard + close state. Created lazily on
+    /// the first frame a channel sends; a v1 client only ever has
+    /// channel 0 here.
+    channels: HashMap<u16, Channel>,
     /// Edge-triggered readiness flags: set by events, cleared on
     /// `WouldBlock`.
     read_ready: bool,
@@ -88,19 +121,22 @@ struct Conn {
     /// non-empty with the socket accepting nothing. Cleared by any write
     /// progress or by draining to empty.
     over_since: Option<Instant>,
-    /// A decoded command the shard's full queue rejected; retried on
-    /// every wake, and nothing more is decoded until it lands (per-session
-    /// command order is sacred).
-    stalled: Option<Job>,
+    /// Jobs a full shard queue rejected (decoded commands, channel Opens,
+    /// deferred Closes), each with its target shard; retried in order on
+    /// every wake, and nothing more is decoded until the queue drains
+    /// (per-channel command order is sacred, and Opens must precede their
+    /// commands).
+    stalled: VecDeque<(usize, Job)>,
     /// Peer's write half is done (EOF, or we half-closed after a decode
     /// fault): stop reading, flush what remains, then tear down.
     read_eof: bool,
-    /// `Job::Close` still needs to be sent (after `stalled` drains).
-    pending_close: bool,
-    /// `Job::Close` was delivered to the shard.
-    close_sent: bool,
+    /// Close jobs for every channel have been issued (sent or parked).
+    closes_enqueued: bool,
     /// Fatal socket state: tear down on next service.
     broken: bool,
+    /// Accumulator stats already folded into the shared metrics.
+    data_frames_reported: u64,
+    payload_copies_reported: u64,
 }
 
 /// Spawn one reactor thread.
@@ -140,12 +176,36 @@ struct Reactor {
     shutdown: Arc<AtomicBool>,
     cfg: ReactorConfig,
     conns: HashMap<u64, Conn>,
-    /// Sessions that left their last service pass with work no external
-    /// event will announce: a parked shard send, a deferred `Close`, or
-    /// socket bytes left unread by the fairness budget. Re-serviced every
-    /// wake; refilled by [`Reactor::service`], the single place deferred
-    /// state is evaluated (no per-wake scan of all connections).
+    /// Connections that left their last service pass with work no external
+    /// event will announce: parked shard sends, or socket bytes left
+    /// unread by the fairness budget. Re-serviced every wake; refilled by
+    /// [`Reactor::service`], the single place deferred state is evaluated
+    /// (no per-wake scan of all connections).
     deferred: Vec<u64>,
+}
+
+/// Hand `job` to `senders[shard]`, or park it. `Ok(true)` = delivered,
+/// `Ok(false)` = parked in `stalled` (shard full, or earlier jobs already
+/// parked — FIFO order is preserved), `Err(())` = pool disconnected
+/// (shutdown): tear the connection down.
+fn enqueue(
+    stalled: &mut VecDeque<(usize, Job)>,
+    senders: &[SyncSender<Job>],
+    shard: usize,
+    job: Job,
+) -> Result<bool, ()> {
+    if !stalled.is_empty() {
+        stalled.push_back((shard, job));
+        return Ok(false);
+    }
+    match senders[shard].try_send(job) {
+        Ok(()) => Ok(true),
+        Err(TrySendError::Full(job)) => {
+            stalled.push_back((shard, job));
+            Ok(false)
+        }
+        Err(TrySendError::Disconnected(_)) => Err(()),
+    }
 }
 
 impl Reactor {
@@ -193,8 +253,8 @@ impl Reactor {
 
             let (new_conns, dirty) = self.waker.take();
             for nc in new_conns {
-                if let Some(session) = self.register(nc) {
-                    touched.push(session);
+                if let Some(conn) = self.register(nc) {
+                    touched.push(conn);
                 }
             }
             touched.extend(dirty);
@@ -202,8 +262,8 @@ impl Reactor {
 
             touched.sort_unstable();
             touched.dedup();
-            for &session in &touched {
-                self.service(session);
+            for &conn in &touched {
+                self.service(conn);
             }
 
             // Deadline enforcement is O(connections); run it at the idle
@@ -220,38 +280,36 @@ impl Reactor {
     /// Full service pass for one connection. Order matters: flush first so
     /// high-water masking reflects reality before reads are pumped, flush
     /// again because pumping can enqueue fault responses. Ends with the
-    /// one evaluation of whether this session still owes deferred work.
-    fn service(&mut self, session: u64) {
-        if !self.conns.contains_key(&session) {
+    /// one evaluation of whether this connection still owes deferred work.
+    fn service(&mut self, conn: u64) {
+        if !self.conns.contains_key(&conn) {
             return;
         }
-        if self.conns[&session].broken {
-            return self.teardown(session);
+        if self.conns[&conn].broken {
+            return self.teardown(conn);
         }
-        if !self.retry_jobs(session)
-            || !self.flush(session)
-            || !self.pump(session)
-            || !self.flush(session)
+        if !self.retry_jobs(conn)
+            || !self.flush(conn)
+            || !self.pump(conn)
+            || !self.enqueue_closes(conn)
+            || !self.flush(conn)
         {
-            return self.teardown(session);
+            return self.teardown(conn);
         }
-        if self.finished(session) {
-            return self.teardown(session);
+        if self.finished(conn) {
+            return self.teardown(conn);
         }
-        if let Some(c) = self.conns.get(&session) {
-            if c.stalled.is_some()
-                || c.pending_close
-                || (c.read_ready && !c.in_masked && !c.read_eof)
-            {
-                self.deferred.push(session);
+        if let Some(c) = self.conns.get(&conn) {
+            if !c.stalled.is_empty() || (c.read_ready && !c.in_masked && !c.read_eof) {
+                self.deferred.push(conn);
             }
         }
     }
 
-    /// Adopt a connection from the acceptor. Returns its session id, or
+    /// Adopt a connection from the acceptor. Returns its conn id, or
     /// `None` if setup failed (the accept was already counted, so undo).
     fn register(&mut self, nc: NewConn) -> Option<u64> {
-        let NewConn { stream, session } = nc;
+        let NewConn { stream, conn } = nc;
         let fd = stream.as_raw_fd();
         let _ = stream.set_nodelay(true);
         if self.cfg.send_buffer > 0 {
@@ -266,84 +324,80 @@ impl Reactor {
 
         let mut buf = WriteBuf::new();
         buf.push((*self.hello).clone());
+        self.metrics
+            .outbound_queue_peak
+            .fetch_max(buf.len() as u64, Ordering::Relaxed);
         let out = Arc::new(Mutex::new(OutboundInner {
             buf,
             // Write-through handle: a dup sharing the now-nonblocking file
             // description. The Hello above keeps the queue non-empty until
             // the reactor's first flush, so ordering holds from byte one.
             stream: stream.try_clone().ok(),
-            finished: false,
+            finished_channels: 0,
             dead: false,
         }));
-        let tx = self.senders[(session % self.senders.len() as u64) as usize].clone();
-        let sink = ResponseSink::new(Arc::clone(&out), Arc::clone(&self.waker), session);
-        // Open may block briefly on a full shard queue — bounded by worker
-        // compute, never by a peer (workers do not touch sockets).
-        if tx.send(Job::Open { session, sink }).is_err() {
-            self.metrics
-                .connections_current
-                .fetch_sub(1, Ordering::Relaxed);
-            return None;
-        }
         if self
             .epoll
-            .add(fd, session, Interest::READABLE | Interest::WRITABLE)
+            .add(fd, conn, Interest::READABLE | Interest::WRITABLE)
             .is_err()
         {
-            // The worker already holds this session: un-register it, and
-            // kill the outbound dup so dropping `stream` really closes.
+            // Kill the outbound dup so dropping `stream` really closes.
             if let Ok(mut inner) = out.lock() {
                 inner.dead = true;
                 inner.buf.clear();
                 inner.stream = None;
             }
-            let _ = tx.send(Job::Close { session });
             self.metrics
                 .connections_current
                 .fetch_sub(1, Ordering::Relaxed);
             return None;
         }
         self.conns.insert(
-            session,
+            conn,
             Conn {
                 stream,
-                acc: FrameAccumulator::new(),
+                acc: FrameAccumulator::with_chunk_size(self.cfg.read_buffer),
                 out,
-                tx,
+                channels: HashMap::new(),
                 read_ready: true,
                 write_ready: true,
                 in_masked: false,
                 over_since: None,
-                stalled: None,
+                stalled: VecDeque::new(),
                 read_eof: false,
-                pending_close: false,
-                close_sent: false,
+                closes_enqueued: false,
                 broken: false,
+                data_frames_reported: 0,
+                payload_copies_reported: 0,
             },
         );
-        Some(session)
+        Some(conn)
     }
 
-    /// Retry the parked command send and any deferred `Close`. `false`
-    /// means the worker pool is gone (shutdown): tear down.
-    fn retry_jobs(&mut self, session: u64) -> bool {
-        let Some(c) = self.conns.get_mut(&session) else {
+    /// Retry parked shard sends (commands, Opens, deferred Closes) in
+    /// order. `false` means the worker pool is gone (shutdown): tear down.
+    fn retry_jobs(&mut self, conn: u64) -> bool {
+        let Self { senders, conns, .. } = self;
+        let Some(c) = conns.get_mut(&conn) else {
             return true;
         };
-        if let Some(job) = c.stalled.take() {
-            match c.tx.try_send(job) {
-                Ok(()) => {}
-                Err(TrySendError::Full(job)) => c.stalled = Some(job),
-                Err(TrySendError::Disconnected(_)) => return false,
-            }
-        }
-        if c.pending_close && c.stalled.is_none() {
-            match c.tx.try_send(Job::Close { session }) {
+        while let Some((shard, job)) = c.stalled.pop_front() {
+            let close_of = match &job {
+                Job::Close { key } => Some(key.channel),
+                _ => None,
+            };
+            match senders[shard].try_send(job) {
                 Ok(()) => {
-                    c.close_sent = true;
-                    c.pending_close = false;
+                    if let Some(channel) = close_of {
+                        if let Some(ch) = c.channels.get_mut(&channel) {
+                            ch.close = CloseState::Sent;
+                        }
+                    }
                 }
-                Err(TrySendError::Full(_)) => {} // retried next wake
+                Err(TrySendError::Full(job)) => {
+                    c.stalled.push_front((shard, job));
+                    break;
+                }
                 Err(TrySendError::Disconnected(_)) => return false,
             }
         }
@@ -354,7 +408,7 @@ impl Reactor {
     /// apply the high-water policy: crossing above masks `EPOLLIN` and
     /// starts the slow-consumer clock; draining to empty unmasks.
     /// `false` means a fatal socket error: tear down.
-    fn flush(&mut self, session: u64) -> bool {
+    fn flush(&mut self, conn: u64) -> bool {
         let Self {
             epoll,
             metrics,
@@ -362,7 +416,7 @@ impl Reactor {
             conns,
             ..
         } = self;
-        let Some(c) = conns.get_mut(&session) else {
+        let Some(c) = conns.get_mut(&conn) else {
             return true;
         };
         let (queued, progressed) = {
@@ -385,7 +439,7 @@ impl Reactor {
         // queue growth is bounded by the jobs already in flight.
         if queued > cfg.outbound_high_water {
             if !c.in_masked {
-                if epoll.modify(fd, session, Interest::WRITABLE).is_err() {
+                if epoll.modify(fd, conn, Interest::WRITABLE).is_err() {
                     return false;
                 }
                 c.in_masked = true;
@@ -393,7 +447,7 @@ impl Reactor {
             }
         } else if c.in_masked && queued == 0 {
             if epoll
-                .modify(fd, session, Interest::READABLE | Interest::WRITABLE)
+                .modify(fd, conn, Interest::READABLE | Interest::WRITABLE)
                 .is_err()
             {
                 return false;
@@ -420,53 +474,115 @@ impl Reactor {
         true
     }
 
-    /// Decode buffered frames into worker jobs, then read more while the
-    /// socket has bytes. Stops at `WouldBlock` (clearing `read_ready`), a
-    /// full shard queue (parking the command in `stalled`), a masked
-    /// `EPOLLIN`, EOF, or the per-pass fairness budget — a firehose peer
-    /// on loopback can stay readable indefinitely, and its reactor
-    /// siblings must still get serviced (`read_ready` stays set, so the
-    /// next loop iteration resumes right here). `false` means tear down.
-    fn pump(&mut self, session: u64) -> bool {
+    /// Decode buffered frames into channel-routed worker jobs, then read
+    /// more while the socket has bytes. A frame for an unseen channel
+    /// opens it: the channel is entered into the table, hashed to its
+    /// shard, and a `Job::Open` precedes the command on that shard's
+    /// queue. Stops at `WouldBlock` (clearing `read_ready`), a full shard
+    /// queue (parking jobs in `stalled`), a masked `EPOLLIN`, EOF, or the
+    /// per-pass fairness budget — a firehose peer on loopback can stay
+    /// readable indefinitely, and its reactor siblings must still get
+    /// serviced (`read_ready` stays set, so the next loop iteration
+    /// resumes right here). `false` means tear down.
+    fn pump(&mut self, conn: u64) -> bool {
         let Self {
             metrics,
             cfg,
             conns,
+            senders,
+            waker,
             ..
         } = self;
-        let Some(c) = conns.get_mut(&session) else {
+        let Some(c) = conns.get_mut(&conn) else {
             return true;
         };
         if c.read_eof {
             return true;
         }
         let mut budget = cfg.read_buffer.saturating_mul(32);
-        loop {
-            while c.stalled.is_none() && !c.in_masked {
-                match c.acc.next_frame() {
-                    Ok(Some((kind, payload))) => match WireCommand::decode(kind, payload) {
-                        Ok(cmd) => {
-                            let job = Job::Command { session, cmd };
-                            match c.tx.try_send(job) {
-                                Ok(()) => {}
-                                Err(TrySendError::Full(job)) => c.stalled = Some(job),
-                                Err(TrySendError::Disconnected(_)) => return false,
+        let mut alive = true;
+        'outer: loop {
+            while c.stalled.is_empty() && !c.in_masked {
+                match c.acc.next_frame_mux() {
+                    Ok(Some((kind, channel, payload))) => {
+                        match WireCommand::decode(kind, payload) {
+                            Ok(cmd) => {
+                                let key = ChannelKey { conn, channel };
+                                let shard = match c.channels.get(&channel) {
+                                    Some(ch) => ch.shard,
+                                    None => {
+                                        if c.channels.len() >= cfg.max_channels {
+                                            fail_malformed(
+                                                c,
+                                                metrics,
+                                                format!(
+                                                    "channel limit ({}) exceeded",
+                                                    cfg.max_channels
+                                                ),
+                                            );
+                                            break 'outer;
+                                        }
+                                        let shard = key.shard(senders.len());
+                                        c.channels.insert(
+                                            channel,
+                                            Channel {
+                                                shard,
+                                                close: CloseState::Open,
+                                            },
+                                        );
+                                        let current = metrics
+                                            .channels_current
+                                            .fetch_add(1, Ordering::Relaxed)
+                                            + 1;
+                                        metrics.channels_peak.fetch_max(current, Ordering::Relaxed);
+                                        let sink = ResponseSink::new(
+                                            Arc::clone(&c.out),
+                                            Arc::clone(waker),
+                                            Arc::clone(metrics),
+                                            conn,
+                                            channel,
+                                        );
+                                        if enqueue(
+                                            &mut c.stalled,
+                                            senders,
+                                            shard,
+                                            Job::Open { key, sink },
+                                        )
+                                        .is_err()
+                                        {
+                                            alive = false;
+                                            break 'outer;
+                                        }
+                                        shard
+                                    }
+                                };
+                                if enqueue(
+                                    &mut c.stalled,
+                                    senders,
+                                    shard,
+                                    Job::Command { key, cmd },
+                                )
+                                .is_err()
+                                {
+                                    alive = false;
+                                    break 'outer;
+                                }
+                            }
+                            Err(e) => {
+                                fail_malformed(c, metrics, e.to_string());
+                                break 'outer;
                             }
                         }
-                        Err(e) => {
-                            fail_malformed(c, metrics, e.to_string());
-                            return true;
-                        }
-                    },
+                    }
                     Ok(None) => break,
                     Err(e) => {
                         fail_malformed(c, metrics, e.to_string());
-                        return true;
+                        break 'outer;
                     }
                 }
             }
-            if c.stalled.is_some() || c.in_masked || !c.read_ready || budget == 0 {
-                return true;
+            if !c.stalled.is_empty() || c.in_masked || !c.read_ready || budget == 0 {
+                break;
             }
             match c.acc.fill_from(&mut c.stream, cfg.read_buffer) {
                 Ok(0) => {
@@ -475,31 +591,78 @@ impl Reactor {
                         metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     }
                     c.read_eof = true;
-                    c.pending_close = true;
-                    return true;
+                    break;
                 }
                 Ok(n) => budget = budget.saturating_sub(n),
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     c.read_ready = false;
-                    return true;
+                    break;
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return false,
+                Err(_) => {
+                    alive = false;
+                    break;
+                }
             }
         }
+        // Fold the rope's copy accounting into the shared metrics: data
+        // frames decoded, and payloads copied (structurally zero on this
+        // path — the bench asserts it stays that way).
+        let frames = c.acc.data_frames();
+        metrics
+            .data_frames
+            .fetch_add(frames - c.data_frames_reported, Ordering::Relaxed);
+        c.data_frames_reported = frames;
+        let copies = c.acc.payload_copies();
+        metrics
+            .payload_copies
+            .fetch_add(copies - c.payload_copies_reported, Ordering::Relaxed);
+        c.payload_copies_reported = copies;
+        alive
     }
 
-    /// The worker confirmed `Close` and the last response left the
-    /// socket: this connection is complete.
-    fn finished(&self, session: u64) -> bool {
-        let Some(c) = self.conns.get(&session) else {
+    /// Once the peer's write half is done and every buffered frame has
+    /// been decoded, issue `Job::Close` for each of the connection's
+    /// channels (ordered behind any parked jobs, so per-channel FIFO
+    /// holds). `false` means the pool is gone: tear down.
+    fn enqueue_closes(&mut self, conn: u64) -> bool {
+        let Self { senders, conns, .. } = self;
+        let Some(c) = conns.get_mut(&conn) else {
+            return true;
+        };
+        if !c.read_eof || c.closes_enqueued {
+            return true;
+        }
+        // Deterministic order keeps behaviour reproducible under test.
+        let mut channels: Vec<u16> = c.channels.keys().copied().collect();
+        channels.sort_unstable();
+        for channel in channels {
+            let ch = c.channels.get_mut(&channel).expect("listed above");
+            let key = ChannelKey { conn, channel };
+            match enqueue(&mut c.stalled, senders, ch.shard, Job::Close { key }) {
+                Ok(true) => ch.close = CloseState::Sent,
+                Ok(false) => ch.close = CloseState::Queued,
+                Err(()) => return false,
+            }
+        }
+        c.closes_enqueued = true;
+        true
+    }
+
+    /// Every channel's worker confirmed its `Close` and the last response
+    /// left the socket: this connection is complete.
+    fn finished(&self, conn: u64) -> bool {
+        let Some(c) = self.conns.get(&conn) else {
             return false;
         };
-        if !(c.read_eof && c.close_sent) {
+        if !(c.read_eof && c.closes_enqueued) {
+            return false;
+        }
+        if c.channels.values().any(|ch| ch.close != CloseState::Sent) {
             return false;
         }
         match c.out.lock() {
-            Ok(inner) => inner.finished && inner.buf.is_empty(),
+            Ok(inner) => inner.finished_channels == c.channels.len() as u64 && inner.buf.is_empty(),
             Err(_) => true,
         }
     }
@@ -517,20 +680,21 @@ impl Reactor {
                 c.over_since
                     .is_some_and(|since| now.duration_since(since) > deadline)
             })
-            .map(|(&session, _)| session)
+            .map(|(&conn, _)| conn)
             .collect();
-        for session in overdue {
+        for conn in overdue {
             self.metrics
                 .slow_consumer_resets
                 .fetch_add(1, Ordering::Relaxed);
-            self.teardown(session);
+            self.teardown(conn);
         }
     }
 
     /// Remove a connection: mark its queue dead (late worker enqueues are
-    /// dropped), deliver `Close` if still owed, close the socket.
-    fn teardown(&mut self, session: u64) {
-        let Some(c) = self.conns.remove(&session) else {
+    /// dropped), deliver any still-owed channel `Close`s, close the
+    /// socket.
+    fn teardown(&mut self, conn: u64) {
+        let Some(c) = self.conns.remove(&conn) else {
             return;
         };
         if let Ok(mut inner) = c.out.lock() {
@@ -539,11 +703,19 @@ impl Reactor {
             inner.stream = None; // drop the dup so the fd really closes
         }
         let _ = self.epoll.delete(c.stream.as_raw_fd());
-        if !c.close_sent {
-            // Blocking send: bounded by worker compute (workers never
-            // block on I/O), and per-session order needs Close last.
-            let _ = c.tx.send(Job::Close { session });
+        for (&channel, ch) in &c.channels {
+            if ch.close != CloseState::Sent {
+                // Blocking send: bounded by worker compute (workers never
+                // block on I/O), and per-channel order needs Close last.
+                // A Queued close's parked twin dies with `c.stalled`.
+                let _ = self.senders[ch.shard].send(Job::Close {
+                    key: ChannelKey { conn, channel },
+                });
+            }
         }
+        self.metrics
+            .channels_current
+            .fetch_sub(c.channels.len() as u64, Ordering::Relaxed);
         self.metrics
             .connections_current
             .fetch_sub(1, Ordering::Relaxed);
@@ -553,9 +725,9 @@ impl Reactor {
     /// Shutdown: drop every connection, and un-count accepts still parked
     /// in the wake queue that never got registered.
     fn teardown_all(&mut self) {
-        let sessions: Vec<u64> = self.conns.keys().copied().collect();
-        for session in sessions {
-            self.teardown(session);
+        let conns: Vec<u64> = self.conns.keys().copied().collect();
+        for conn in conns {
+            self.teardown(conn);
         }
         let (orphans, _) = self.waker.take();
         for _ in orphans {
@@ -579,9 +751,11 @@ fn fail_malformed(c: &mut Conn, metrics: &ServiceMetrics, detail: String) {
         if let Ok(mut inner) = c.out.lock() {
             if !inner.dead {
                 inner.buf.push(bytes);
+                metrics
+                    .outbound_queue_peak
+                    .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);
             }
         }
     }
     c.read_eof = true;
-    c.pending_close = true;
 }

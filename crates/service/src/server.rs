@@ -1,11 +1,12 @@
 //! The TCP front end: accept loop, reactor fleet, graceful shutdown.
 //!
 //! The acceptor is the only blocking socket user left. Each accepted
-//! connection is counted against `max_connections`, given a session id,
-//! and handed to the reactor `session % reactors` through its wake
-//! channel; from then on all of its I/O is event-driven (`reactor.rs`)
-//! and all of its classification runs on the worker shard
-//! `session % workers` (`worker.rs`).
+//! connection is counted against `max_connections`, given a connection id,
+//! and handed to the reactor `conn % reactors` through its wake channel;
+//! from then on all of its I/O is event-driven (`reactor.rs`) and its
+//! classification runs on the worker shards its **channels** hash to
+//! (`ChannelKey::shard`, `worker.rs`) — one multiplexed connection fans
+//! out across the whole pool.
 
 use lc_core::MultiLanguageClassifier;
 use lc_wire::WireResponse;
@@ -41,6 +42,10 @@ pub struct ServiceConfig {
     /// process fd limit — see [`crate::raise_nofile_limit`]; `lcbloom
     /// serve` raises the limit to match this cap at startup.
     pub max_connections: usize,
+    /// Channels one connection may multiplex (wire v2). Each channel is an
+    /// independent session with O(counters) state on a worker shard; a
+    /// peer opening more than this is answered with a fault and closed.
+    pub max_channels: usize,
     /// Outbound queue high-water mark in bytes: above it the connection's
     /// `EPOLLIN` is masked (no new commands) until the queue drains.
     pub outbound_high_water: usize,
@@ -70,6 +75,7 @@ impl Default for ServiceConfig {
             read_buffer: 64 * 1024,
             reactors: 0,
             max_connections: 1024,
+            max_channels: 256,
             outbound_high_water: 1 << 20,
             slow_consumer_deadline: Duration::from_secs(10),
             send_buffer: 0,
@@ -179,6 +185,7 @@ pub fn serve(
         outbound_high_water: config.outbound_high_water.max(1),
         slow_consumer_deadline: config.slow_consumer_deadline,
         send_buffer: config.send_buffer,
+        max_channels: config.max_channels.max(1),
     };
     let reactor_count = config.effective_reactors();
     let mut wakers: Vec<Arc<ReactorWaker>> = Vec::with_capacity(reactor_count);
@@ -246,8 +253,10 @@ pub fn serve(
                 accept_metrics
                     .connections_peak
                     .fetch_max(current, Ordering::Relaxed);
-                wakers[(session % reactor_count as u64) as usize]
-                    .push_conn(NewConn { stream, session });
+                wakers[(session % reactor_count as u64) as usize].push_conn(NewConn {
+                    stream,
+                    conn: session,
+                });
             }
             // Shutdown: wake every reactor (the flag is already set), join
             // them, then drain the workers. A connection pushed after a

@@ -26,7 +26,7 @@
 //! (the error or unsolicited notice was the aborted document's response).
 
 use lc_core::{ClassificationResult, MultiLanguageClassifier, StreamingSession};
-use lc_wire::{ErrorCode, WireCommand, WireResponse};
+use lc_wire::{ErrorCode, PayloadBytes, WireCommand, WireResponse};
 use std::time::{Duration, Instant};
 
 use crate::metrics::ServiceMetrics;
@@ -173,6 +173,9 @@ impl Session {
                 }
             }
             WireCommand::Reset => {
+                metrics
+                    .channel_resets
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 self.reset_document();
                 self.latched = None;
                 None
@@ -201,7 +204,7 @@ impl Session {
         &mut self,
         classifier: &MultiLanguageClassifier,
         metrics: &ServiceMetrics,
-        data: &[u8],
+        data: &PayloadBytes,
         now: Instant,
     ) -> Option<WireResponse> {
         debug_assert_eq!(data.len() % 8, 0, "decode guarantees whole words");
@@ -235,18 +238,46 @@ impl Session {
         }
         self.last_activity = now;
 
-        // Checksum covers the words as transferred (padding included);
-        // the classifier sees only the real document bytes.
-        for w in data.chunks_exact(8) {
-            self.checksum ^= u64::from_le_bytes(w.try_into().unwrap());
-        }
+        // The payload arrives as refcounted rope segments (zero-copy from
+        // the socket buffer); walk them once. The checksum covers the
+        // words as transferred (padding included), carrying a partial word
+        // across segment boundaries; the classifier sees only the first
+        // `take` real document bytes — the streaming extractor handles
+        // arbitrary chunk boundaries natively.
         let take = (data.len() as u32).min(doc_bytes - bytes_fed);
-        if self.two_phase_reference {
-            self.stream
-                .feed_two_phase(classifier, &data[..take as usize]);
-        } else {
-            self.stream.feed(classifier, &data[..take as usize]);
+        let mut to_feed = take as usize;
+        let mut word = 0u64;
+        let mut word_off = 0usize;
+        for piece in data.pieces() {
+            let mut bytes = piece;
+            while word_off != 0 && !bytes.is_empty() {
+                word |= u64::from(bytes[0]) << (8 * word_off);
+                bytes = &bytes[1..];
+                word_off = (word_off + 1) % 8;
+                if word_off == 0 {
+                    self.checksum ^= word;
+                    word = 0;
+                }
+            }
+            let mut whole = bytes.chunks_exact(8);
+            for w in &mut whole {
+                self.checksum ^= u64::from_le_bytes(w.try_into().unwrap());
+            }
+            for &b in whole.remainder() {
+                word |= u64::from(b) << (8 * word_off);
+                word_off += 1;
+            }
+            let feed_now = piece.len().min(to_feed);
+            if feed_now > 0 {
+                if self.two_phase_reference {
+                    self.stream.feed_two_phase(classifier, &piece[..feed_now]);
+                } else {
+                    self.stream.feed(classifier, &piece[..feed_now]);
+                }
+                to_feed -= feed_now;
+            }
         }
+        debug_assert_eq!(word_off, 0, "payload is whole words");
 
         let received_words = received_words + n_words as u32;
         if received_words == expected_words {
@@ -604,6 +635,59 @@ mod tests {
         match s.apply(&c, &m, WireCommand::QueryResult, now) {
             Some(WireResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::NoResult),
             other => panic!("expected NoResult, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_piece_payloads_classify_and_checksum_identically() {
+        // A Data payload that spans rope chunks (several refcounted
+        // pieces, split anywhere — including mid-word) must classify and
+        // checksum exactly like a contiguous one.
+        let c = classifier();
+        let m = ServiceMetrics::new(c.num_languages());
+        let doc = b"the quick brown fox jumps over the lazy dog and keeps on jumping for a while";
+        let words = pack_words(doc);
+
+        // Push the whole burst through a tiny-chunk accumulator so the
+        // Data payload comes back as many pieces.
+        let mut bytes = Vec::new();
+        WireCommand::Size {
+            words: words.len() as u32,
+            bytes: doc.len() as u32,
+        }
+        .encode(&mut bytes)
+        .unwrap();
+        WireCommand::data_words(&words).encode(&mut bytes).unwrap();
+        WireCommand::QueryResult.encode(&mut bytes).unwrap();
+        let mut acc = lc_wire::FrameAccumulator::with_chunk_size(13);
+        acc.push(&bytes);
+
+        let now = Instant::now();
+        let mut s = Session::new(&c, Duration::from_secs(1), now);
+        let mut result = None;
+        while let Some((k, _ch, p)) = acc.next_frame_mux().unwrap() {
+            if k == lc_wire::frame::kind::DATA {
+                assert!(p.pieces().count() > 1, "payload must span chunks");
+            }
+            if let Some(resp) = s.apply(&c, &m, WireCommand::decode(k, p).unwrap(), now) {
+                result = Some(resp);
+            }
+        }
+        match result {
+            Some(WireResponse::Result {
+                counts,
+                total_ngrams,
+                checksum,
+                valid,
+            }) => {
+                assert!(valid);
+                assert_eq!(checksum, lc_wire::xor_checksum(&words));
+                assert_eq!(
+                    ClassificationResult::new(counts, total_ngrams),
+                    c.classify(doc)
+                );
+            }
+            other => panic!("expected Result, got {other:?}"),
         }
     }
 

@@ -2,20 +2,26 @@
 //!
 //! N workers, each holding an `Arc` of the one programmed
 //! [`MultiLanguageClassifier`] (the replicated match engines of §3.3 —
-//! same filters, independent execution). A session is pinned to the worker
-//! `session_id % N`, so its streaming state lives on exactly one thread and
-//! needs no locking. Queues are **bounded**: when a worker falls behind,
-//! the reactor's `try_send` fails, that one connection stops being read,
-//! and backpressure reaches its client through TCP flow control — the
-//! network image of the DMA engine refusing words it has no buffer for.
+//! same filters, independent execution). The unit of placement is the
+//! **channel**, not the connection: a [`ChannelKey`] — `(connection,
+//! channel id)` — hashes to the worker `key.shard(N)`, so one multiplexed
+//! connection's channels fan out across the whole pool (a v1 connection is
+//! exactly one channel, channel 0). Each channel's streaming state lives
+//! on one thread and needs no locking; per-channel command order holds
+//! because a channel's jobs all flow through its one shard queue in FIFO
+//! order. Queues are **bounded**: when a worker falls behind, the
+//! reactor's `try_send` fails, that one connection stops being read, and
+//! backpressure reaches its client through TCP flow control — the network
+//! image of the DMA engine refusing words it has no buffer for.
 //!
-//! Workers never touch sockets. A response is an enqueue onto the
-//! connection's outbound queue ([`ResponseSink::send`]) plus an eventfd
-//! nudge to the reactor that owns the socket, so a peer that stops
-//! reading cannot wedge a worker — the head-of-line hazard of the
-//! threaded design. The watchdog is likewise worker-driven now: between
-//! jobs (or every `recv_timeout` tick) the worker sweeps its sessions for
-//! transfers stalled past the period and emits the reset notice itself.
+//! Workers never touch sockets. A response is an enqueue onto the owning
+//! connection's outbound queue ([`ResponseSink::send`]), tagged with the
+//! channel, plus an eventfd nudge to the reactor that owns the socket, so
+//! a peer that stops reading cannot wedge a worker — the head-of-line
+//! hazard of the threaded design. The watchdog is likewise worker-driven:
+//! between jobs (or every `recv_timeout` tick) the worker sweeps its
+//! channel sessions for transfers stalled past the period and emits the
+//! reset notice itself.
 
 use lc_core::MultiLanguageClassifier;
 use lc_wire::WireCommand;
@@ -29,6 +35,35 @@ use crate::metrics::ServiceMetrics;
 use crate::outbound::ResponseSink;
 use crate::session::Session;
 
+/// One channel's identity: the connection it rides and its channel id
+/// within that connection (0 for legacy v1 peers). Hashing the pair picks
+/// the worker shard, so channels of one connection spread across engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ChannelKey {
+    /// Connection (session) id assigned at accept.
+    pub conn: u64,
+    /// Channel id within the connection.
+    pub channel: u16,
+}
+
+impl ChannelKey {
+    /// The worker shard this channel is pinned to: a splitmix64-style
+    /// finalizer over `(conn, channel)` so consecutive channel ids on one
+    /// connection land on well-spread shards.
+    pub fn shard(self, workers: usize) -> usize {
+        let mut x = self
+            .conn
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(self.channel));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % workers.max(1) as u64) as usize
+    }
+}
+
 /// One unit of work for a worker. Time is stamped by the worker at
 /// application, not by the reactor at read: the watchdog and the latency
 /// histogram then measure what the engine observes, and a command that
@@ -36,24 +71,26 @@ use crate::session::Session;
 /// own healthy session look watchdog-dead.
 #[derive(Debug)]
 pub enum Job {
-    /// Register a session and its response sink.
+    /// Register a channel session and its response sink.
     Open {
-        /// Session id (also selects the worker shard).
-        session: u64,
-        /// The connection's outbound queue + reactor wake handle.
+        /// The channel (also selects the worker shard).
+        key: ChannelKey,
+        /// The owning connection's outbound queue + reactor wake handle,
+        /// tagged with this channel.
         sink: ResponseSink,
     },
-    /// Apply a decoded command to a session.
+    /// Apply a decoded command to a channel session.
     Command {
-        /// Session id.
-        session: u64,
+        /// The channel.
+        key: ChannelKey,
         /// The command.
         cmd: WireCommand,
     },
-    /// Connection closed; drop the session and finish its sink.
+    /// Connection closed (or the channel is being torn down): drop the
+    /// session and finish its sink.
     Close {
-        /// Session id.
-        session: u64,
+        /// The channel.
+        key: ChannelKey,
     },
 }
 
@@ -87,13 +124,13 @@ impl WorkerPool {
             let handle = std::thread::Builder::new()
                 .name(format!("lc-worker-{i}"))
                 .spawn(move || {
-                    let mut sessions: HashMap<u64, (Session, ResponseSink)> = HashMap::new();
+                    let mut sessions: HashMap<ChannelKey, (Session, ResponseSink)> = HashMap::new();
                     let mut last_sweep = Instant::now();
                     loop {
                         match rx.recv_timeout(tick) {
-                            Ok(Job::Open { session, sink }) => {
+                            Ok(Job::Open { key, sink }) => {
                                 sessions.insert(
-                                    session,
+                                    key,
                                     (
                                         Session::with_mode(
                                             &classifier,
@@ -105,16 +142,16 @@ impl WorkerPool {
                                     ),
                                 );
                             }
-                            Ok(Job::Command { session, cmd }) => {
-                                if let Some((s, sink)) = sessions.get_mut(&session) {
+                            Ok(Job::Command { key, cmd }) => {
+                                if let Some((s, sink)) = sessions.get_mut(&key) {
                                     let now = Instant::now();
                                     if let Some(resp) = s.apply(&classifier, &metrics, cmd, now) {
                                         sink.send(&resp);
                                     }
                                 }
                             }
-                            Ok(Job::Close { session }) => {
-                                if let Some((_, sink)) = sessions.remove(&session) {
+                            Ok(Job::Close { key }) => {
+                                if let Some((_, sink)) = sessions.remove(&key) {
                                     sink.finish();
                                 }
                             }
@@ -145,7 +182,7 @@ impl WorkerPool {
     }
 
     /// One sender clone per worker, in shard order; the reactors pick the
-    /// shard as `session % workers`.
+    /// shard as [`ChannelKey::shard`].
     pub(crate) fn senders(&self) -> Vec<SyncSender<Job>> {
         self.senders.clone()
     }
@@ -157,5 +194,46 @@ impl WorkerPool {
         for h in self.handles {
             let _ = h.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_keys_spread_one_connection_across_shards() {
+        // The whole point of multiplexing: channels of a single connection
+        // must fan out over the pool, not pile onto one engine.
+        for conn in [0u64, 1, 7, 42, 1_000_003] {
+            let shards: std::collections::HashSet<usize> = (0..16u16)
+                .map(|channel| ChannelKey { conn, channel }.shard(4))
+                .collect();
+            assert!(
+                shards.len() >= 3,
+                "conn {conn}: 16 channels hit only {} of 4 shards",
+                shards.len()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_is_stable_and_in_range() {
+        for conn in 0..50u64 {
+            for channel in 0..8u16 {
+                let key = ChannelKey { conn, channel };
+                let s = key.shard(3);
+                assert!(s < 3);
+                assert_eq!(s, key.shard(3), "must be deterministic");
+            }
+        }
+        assert_eq!(
+            ChannelKey {
+                conn: 9,
+                channel: 0
+            }
+            .shard(1),
+            0
+        );
     }
 }

@@ -6,9 +6,10 @@
 //! lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K] FILE...
 //! lcbloom simulate --profiles FILE.lcp [--async|--sync] FILE...
 //! lcbloom serve    --profiles FILE.lcp [--addr A] [--workers N] [--reactors N]
-//!                  [--max-connections N] [--outbound-high-water BYTES]
-//!                  [--slow-consumer-ms N] [--watchdog-ms N] [--stats-secs N]
-//! lcbloom query    --addr A FILE...
+//!                  [--max-connections N] [--max-channels N]
+//!                  [--outbound-high-water BYTES] [--slow-consumer-ms N]
+//!                  [--watchdog-ms N] [--stats-secs N]
+//! lcbloom query    --addr A [--channels N] [--window W] FILE...
 //! lcbloom demo
 //! ```
 //!
@@ -21,7 +22,9 @@
 //! * `simulate` streams files through the XD1000 simulator and reports
 //!   hardware-model throughput alongside the labels.
 //! * `serve` runs the sharded TCP classification service on a profile
-//!   store; `query` classifies files against a running server.
+//!   store; `query` classifies files against a running server
+//!   (`--channels N` multiplexes the batch over N wire-v2 channels on one
+//!   connection, fanning it across the server's worker shards).
 
 use lcbloom::fpga::resources::ClassifierConfig;
 use lcbloom::prelude::*;
@@ -66,11 +69,11 @@ fn print_usage() {
          \x20                  [--subsample S] FILE...\n\
          \x20 lcbloom simulate --profiles FILE.lcp [--sync] FILE...\n\
          \x20 lcbloom serve    --profiles FILE.lcp [--addr HOST:PORT] [--workers N]\n\
-         \x20                  [--reactors N] [--max-connections N]\n\
+         \x20                  [--reactors N] [--max-connections N] [--max-channels N]\n\
          \x20                  [--outbound-high-water BYTES] [--slow-consumer-ms N]\n\
          \x20                  [--watchdog-ms N] [--stats-secs N] [--m KBITS] [--k K]\n\
          \x20                  [--subsample S]\n\
-         \x20 lcbloom query    --addr HOST:PORT FILE...\n\
+         \x20 lcbloom query    --addr HOST:PORT [--channels N] [--window W] FILE...\n\
          \x20 lcbloom demo\n\
          \n\
          `train` expects one directory per language, named by its code (en, fr, ...),\n\
@@ -313,6 +316,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "workers",
             "reactors",
             "max-connections",
+            "max-channels",
             "outbound-high-water",
             "slow-consumer-ms",
             "watchdog-ms",
@@ -331,6 +335,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         workers: parse_num(&flags, "workers", 0usize)?,
         reactors: parse_num(&flags, "reactors", 0usize)?,
         max_connections: parse_num(&flags, "max-connections", defaults.max_connections)?,
+        max_channels: parse_num(&flags, "max-channels", defaults.max_channels)?,
         outbound_high_water: parse_num(
             &flags,
             "outbound-high-water",
@@ -382,11 +387,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let (flags, files) = parse_flags(args, &["addr"], &[])?;
+    let (flags, files) = parse_flags(args, &["addr", "channels", "window"], &[])?;
     let addr = flags
         .get("addr")
         .map(String::as_str)
         .unwrap_or("127.0.0.1:4004");
+    let channels = parse_num(&flags, "channels", 1u16)?;
+    if channels == 0 {
+        return Err("--channels must be >= 1".into());
+    }
+    let window = parse_num(&flags, "window", 4 * channels as usize)?;
     if files.is_empty() {
         return Err("query requires at least one file".into());
     }
@@ -396,6 +406,44 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         "{:<40} {:<8} {:>8} {:>10}",
         "file", "language", "margin", "n-grams"
     );
+    let print_row = |f: &str, client: &ClassifyClient, served: &lcbloom::service::ServedResult| {
+        let r = &served.result;
+        println!(
+            "{:<40} {:<8} {:>8.3} {:>10}",
+            f,
+            client.languages()[r.best()],
+            r.margin(),
+            r.total_ngrams()
+        );
+    };
+    if channels > 1 {
+        // Multiplexed: all documents in memory, fanned over wire-v2
+        // channels on this one connection so the server's whole worker
+        // pool serves the batch.
+        let texts: Vec<Vec<u8>> = files
+            .iter()
+            .map(|f| {
+                if f == "-" {
+                    let mut text = Vec::new();
+                    std::io::stdin()
+                        .lock()
+                        .read_to_end(&mut text)
+                        .map_err(|e| format!("reading stdin: {e}"))?;
+                    Ok(text)
+                } else {
+                    std::fs::read(f).map_err(|e| format!("reading {f}: {e}"))
+                }
+            })
+            .collect::<Result<_, String>>()?;
+        let docs: Vec<&[u8]> = texts.iter().map(|t| t.as_slice()).collect();
+        let served = client
+            .classify_many_mux(&docs, channels, window)
+            .map_err(|e| format!("classifying over {channels} channels: {e}"))?;
+        for (f, s) in files.iter().zip(&served) {
+            print_row(f, &client, s);
+        }
+        return Ok(());
+    }
     for f in &files {
         let served = if f == "-" {
             let mut text = Vec::new();
@@ -413,14 +461,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             client.classify_reader(&mut file, len)
         }
         .map_err(|e| format!("classifying {f}: {e}"))?;
-        let r = &served.result;
-        println!(
-            "{:<40} {:<8} {:>8.3} {:>10}",
-            f,
-            client.languages()[r.best()],
-            r.margin(),
-            r.total_ngrams()
-        );
+        print_row(f, &client, &served);
     }
     Ok(())
 }

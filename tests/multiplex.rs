@@ -1,0 +1,193 @@
+//! Property tests for wire-v2 multiplexing: arbitrary interleavings of
+//! Data frames across N channels on one connection must be bit-identical
+//! to N sequential single-channel runs of the same documents — per-channel
+//! ordering and state isolation hold no matter how the frames mix on the
+//! wire.
+
+use lcbloom::prelude::*;
+use lcbloom::service::{serve, ServerHandle, ServiceConfig};
+use lcbloom::wire::{read_frame_mux, WireCommand, WireResponse};
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn classifier() -> Arc<MultiLanguageClassifier> {
+    static CLASSIFIER: std::sync::OnceLock<Arc<MultiLanguageClassifier>> =
+        std::sync::OnceLock::new();
+    Arc::clone(CLASSIFIER.get_or_init(|| {
+        let corpus = Corpus::generate(CorpusConfig {
+            docs_per_language: 8,
+            mean_doc_bytes: 1024,
+            ..CorpusConfig::default()
+        });
+        Arc::new(lcbloom::train_bloom_classifier(
+            &corpus,
+            800,
+            BloomParams::PAPER_CONSERVATIVE,
+            33,
+        ))
+    }))
+}
+
+/// One server for every proptest case (leaked: the test process exits
+/// after the run; shutting down under proptest would serialize hundreds
+/// of bind/teardown cycles for no coverage).
+fn server() -> &'static ServerHandle {
+    static SERVER: std::sync::OnceLock<ServerHandle> = std::sync::OnceLock::new();
+    SERVER.get_or_init(|| {
+        serve(
+            classifier(),
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("bind localhost")
+    })
+}
+
+/// Swallow the Hello banner.
+fn open_conn() -> TcpStream {
+    let mut stream = TcpStream::connect(server().addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    let (kind, _ch, payload) = read_frame_mux(&mut stream).unwrap().unwrap();
+    assert!(matches!(
+        WireResponse::decode(kind, &payload).unwrap(),
+        WireResponse::Hello { .. }
+    ));
+    stream
+}
+
+/// Encode one document as a per-channel frame script: Size, Data split at
+/// `cuts` (word-aligned), EoD, Query — each element one complete frame.
+fn doc_frames(channel: u16, doc: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let words = lcbloom::wire::pack_words(doc);
+    let mut frames = Vec::new();
+    let mut buf = Vec::new();
+    WireCommand::Size {
+        words: words.len() as u32,
+        bytes: doc.len() as u32,
+    }
+    .encode_on(channel, &mut buf)
+    .unwrap();
+    frames.push(std::mem::take(&mut buf));
+    let mut cut_points: Vec<usize> = cuts.iter().map(|&c| c % (words.len() + 1)).collect();
+    cut_points.push(0);
+    cut_points.push(words.len());
+    cut_points.sort_unstable();
+    cut_points.dedup();
+    for w in cut_points.windows(2) {
+        WireCommand::data_words(&words[w[0]..w[1]])
+            .encode_on(channel, &mut buf)
+            .unwrap();
+        frames.push(std::mem::take(&mut buf));
+    }
+    WireCommand::EndOfDocument
+        .encode_on(channel, &mut buf)
+        .unwrap();
+    frames.push(std::mem::take(&mut buf));
+    WireCommand::QueryResult
+        .encode_on(channel, &mut buf)
+        .unwrap();
+    frames.push(std::mem::take(&mut buf));
+    frames
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N channels' documents, frames interleaved arbitrarily on one
+    /// connection, must produce exactly the responses of N sequential
+    /// single-channel runs — same counts, same per-channel order.
+    #[test]
+    fn interleaved_channels_equal_sequential_runs(
+        n_channels in 1usize..=4,
+        raw_docs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300),
+            1..9,
+        ),
+        cuts in proptest::collection::vec(0usize..40, 0..4),
+        picks in proptest::collection::vec(0usize..4, 0..600),
+    ) {
+        let c = classifier();
+        // Deal the documents round-robin onto channels 1..=N.
+        let mut per_channel: Vec<Vec<&[u8]>> = vec![Vec::new(); n_channels];
+        for (i, d) in raw_docs.iter().enumerate() {
+            per_channel[i % n_channels].push(d.as_slice());
+        }
+
+        // Reference: each channel's documents as their own sequential
+        // single-channel (v1) run on a fresh connection.
+        let mut expected: Vec<Vec<lcbloom::service::ServedResult>> = Vec::new();
+        for docs in &per_channel {
+            let mut client = ClassifyClient::connect(server().addr()).expect("connect");
+            expected.push(client.classify_many(docs, 1).expect("sequential run"));
+        }
+
+        // Interleaved: one connection, frames mixed across channels in the
+        // sampled order (`picks` chooses which channel advances next; a
+        // finished channel falls through to the next unfinished one).
+        let mut scripts: Vec<std::collections::VecDeque<Vec<u8>>> = per_channel
+            .iter()
+            .enumerate()
+            .map(|(lane, docs)| {
+                docs.iter()
+                    .flat_map(|d| doc_frames(lane as u16 + 1, d, &cuts))
+                    .collect()
+            })
+            .collect();
+        let mut wire = Vec::new();
+        let mut pick_iter = picks.iter().cycle();
+        while scripts.iter().any(|s| !s.is_empty()) {
+            let want = *pick_iter.next().unwrap() % n_channels;
+            let lane = (0..n_channels)
+                .map(|off| (want + off) % n_channels)
+                .find(|&l| !scripts[l].is_empty())
+                .unwrap();
+            wire.extend_from_slice(&scripts[lane].pop_front().unwrap());
+        }
+        let mut stream = open_conn();
+        stream.write_all(&wire).unwrap();
+
+        // Demultiplex: per-channel responses arrive in submit order.
+        let total: usize = per_channel.iter().map(Vec::len).sum();
+        let mut got: Vec<Vec<WireResponse>> = vec![Vec::new(); n_channels];
+        for _ in 0..total {
+            let (kind, channel, payload) =
+                read_frame_mux(&mut stream).unwrap().expect("response before EOF");
+            prop_assert!(
+                (1..=n_channels as u16).contains(&channel),
+                "response on unknown channel {}", channel
+            );
+            got[channel as usize - 1].push(WireResponse::decode(kind, &payload).unwrap());
+        }
+
+        for (lane, (responses, expect)) in got.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(responses.len(), expect.len());
+            for (i, (resp, exp)) in responses.iter().zip(expect).enumerate() {
+                match resp {
+                    WireResponse::Result { counts, total_ngrams, checksum, valid } => {
+                        prop_assert!(valid);
+                        prop_assert_eq!(*checksum, exp.checksum, "channel {} doc {}", lane + 1, i);
+                        let result =
+                            ClassificationResult::new(counts.clone(), *total_ngrams);
+                        prop_assert_eq!(
+                            &result, &exp.result,
+                            "channel {} doc {} diverged from its sequential run", lane + 1, i
+                        );
+                        prop_assert_eq!(
+                            &result,
+                            &c.classify(per_channel[lane][i]),
+                            "channel {} doc {} diverged from in-process classify", lane + 1, i
+                        );
+                    }
+                    other => prop_assert!(false, "expected Result, got {:?}", other),
+                }
+            }
+        }
+    }
+}
