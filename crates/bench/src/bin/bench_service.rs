@@ -2,7 +2,7 @@
 //! classification service on the paper's 8-language × (k = 4, m = 16 Kbit)
 //! configuration, with concurrent pipelined clients over localhost.
 //!
-//! Four scenarios:
+//! Five scenarios:
 //!
 //! * **Worker scaling** (1 vs 4 workers, 8 clients): the §3.3 replication
 //!   argument — one worker is one match engine, four are the replicated
@@ -21,6 +21,11 @@
 //!   tight high-water/deadline policy): served throughput must not
 //!   care, and the JSON records the slow-consumer resets that prove the
 //!   policy fired instead of a shard stalling.
+//! * **Fault mode** (clean vs seeded chaos at ~1% combined rate,
+//!   interleaved rounds): injected short reads/writes, dropped wakes,
+//!   payload corruption, worker delays and panics. The round asserts the
+//!   one-response-per-document accounting survives and that recovery
+//!   costs less than half the clean throughput.
 //!
 //! Clients keep a small window of documents in flight per connection
 //! (Size/Data/EoD/Query for document *n+1* may follow document *n*'s Query
@@ -43,7 +48,7 @@
 use lc_bloom::BloomParams;
 use lc_core::MultiLanguageClassifier;
 use lc_corpus::{Corpus, CorpusConfig, Language};
-use lc_service::{raise_nofile_limit, serve, ServiceConfig};
+use lc_service::{raise_nofile_limit, serve, ChaosConfig, ServiceConfig};
 use lc_wire::{read_frame, read_frame_mux, write_data_frame_on, WireCommand, WireResponse};
 use std::io::{BufWriter, Write};
 use std::net::TcpStream;
@@ -105,12 +110,31 @@ fn read_result<R: std::io::Read>(reader: &mut R) {
     }
 }
 
+/// Fault-mode read: a document under chaos injection still gets exactly
+/// one response, but it may be a typed fault (an injected worker panic
+/// answers `EngineFault` and swallows the rest of the document). Count
+/// it; the per-window response accounting stays exact either way.
+fn read_result_or_fault<R: std::io::Read>(reader: &mut R, faults: &AtomicUsize) {
+    let (kind, payload) = read_frame(reader)
+        .expect("read response")
+        .expect("response before EOF");
+    match WireResponse::decode(kind, &payload).expect("decode response") {
+        WireResponse::Result { valid, .. } => assert!(valid),
+        WireResponse::Error { .. } => {
+            faults.fetch_add(1, Ordering::Relaxed);
+        }
+        other => panic!("expected Result or Error, got {other:?}"),
+    }
+}
+
 /// One measured round's outcome.
 #[derive(Clone)]
 struct Round {
     docs_per_s: f64,
     mb_per_s: f64,
     slow_consumer_resets: u64,
+    faulted_docs: u64,
+    faults_injected: u64,
 }
 
 /// One measured round: serve with `config`, hammer with `clients` (plus
@@ -124,10 +148,12 @@ fn run_round(
     measure_docs: usize,
     slow_reader: bool,
 ) -> Round {
+    let tolerate_faults = config.chaos.is_some();
     let server = serve(Arc::clone(classifier), "127.0.0.1:0", config).expect("bind localhost");
     let addr = server.addr();
     let metrics = Arc::clone(server.metrics());
 
+    let faults = AtomicUsize::new(0);
     let budget = AtomicUsize::new(measure_docs);
     let barrier = Barrier::new(clients + 1 + usize::from(slow_reader));
     let bytes_served = AtomicUsize::new(0);
@@ -197,7 +223,11 @@ fn run_round(
                 }
                 writer.flush().unwrap();
                 for _ in 0..PIPELINE_DEPTH {
-                    read_result(&mut reader);
+                    if tolerate_faults {
+                        read_result_or_fault(&mut reader, &faults);
+                    } else {
+                        read_result(&mut reader);
+                    }
                 }
                 barrier.wait();
 
@@ -222,7 +252,11 @@ fn run_round(
                     }
                     writer.flush().unwrap();
                     for _ in 0..batch {
-                        read_result(&mut reader);
+                        if tolerate_faults {
+                            read_result_or_fault(&mut reader, &faults);
+                        } else {
+                            read_result(&mut reader);
+                        }
                     }
                     if batch < PIPELINE_DEPTH {
                         break; // budget drained mid-window
@@ -253,6 +287,8 @@ fn run_round(
         docs_per_s: measure_docs as f64 / secs,
         mb_per_s: bytes_served.load(Ordering::Relaxed) as f64 / 1e6 / secs,
         slow_consumer_resets: snap.slow_consumer_resets,
+        faulted_docs: faults.load(Ordering::Relaxed) as u64,
+        faults_injected: snap.faults_injected,
     }
 }
 
@@ -343,6 +379,8 @@ fn run_mux_round(
             docs_per_s: measure_docs as f64 / secs,
             mb_per_s: bytes as f64 / 1e6 / secs,
             slow_consumer_resets: snap.slow_consumer_resets,
+            faulted_docs: 0,
+            faults_injected: 0,
         },
         snap.data_frames,
         snap.payload_copies,
@@ -549,6 +587,71 @@ fn main() {
     }
     let slow = median(slow_rounds);
 
+    // Scenario 5: fault mode — the seeded chaos plan at ~1% combined rate
+    // (engine delays and panics, payload corruption, short reads/writes,
+    // dropped wakes; no connection resets, which would kill the raw
+    // harness). Interleaved clean-vs-chaos rounds on the same config, so
+    // the throughput ratio isolates the cost of injected faults plus the
+    // recovery work from container drift. A served document under chaos
+    // still gets exactly one response (possibly a typed fault) — the
+    // accounting below would hang or desync otherwise, so finishing *is*
+    // part of the assertion.
+    let chaos = ChaosConfig {
+        seed: 0xC4A0_5EED,
+        short_read: 0.01,
+        short_write: 0.01,
+        wake_drop: 0.005,
+        corrupt_payload: 0.005,
+        worker_delay: 0.01,
+        worker_delay_ms: 1,
+        worker_panic: 0.005,
+        ..ChaosConfig::default()
+    };
+    let mut fault_clean_rounds = Vec::new();
+    let mut fault_chaos_rounds = Vec::new();
+    for round in 0..SWEEP_ROUNDS {
+        let clean = run_round(
+            &classifier,
+            &docs,
+            workers_config(4),
+            clients,
+            measure_docs,
+            false,
+        );
+        let chaotic = run_round(
+            &classifier,
+            &docs,
+            ServiceConfig {
+                chaos: Some(chaos.clone()),
+                ..workers_config(4)
+            },
+            clients,
+            measure_docs,
+            false,
+        );
+        eprintln!(
+            "fault-mode round {round}: clean {:.0} docs/s vs chaos {:.0} docs/s \
+             ({} faults injected, {} documents answered with a typed fault)",
+            clean.docs_per_s, chaotic.docs_per_s, chaotic.faults_injected, chaotic.faulted_docs
+        );
+        fault_clean_rounds.push(clean);
+        fault_chaos_rounds.push(chaotic);
+    }
+    let fault_clean = median(fault_clean_rounds);
+    let fault_chaos = median(fault_chaos_rounds);
+    let fault_ratio = fault_chaos.docs_per_s / fault_clean.docs_per_s;
+    assert!(
+        fault_ratio > 0.5,
+        "a ~1% fault rate halved throughput ({:.0} vs {:.0} docs/s): \
+         recovery is too expensive",
+        fault_chaos.docs_per_s,
+        fault_clean.docs_per_s
+    );
+    assert!(
+        fault_chaos.faults_injected > 0,
+        "the chaos plan never fired; the fault-mode round measured nothing"
+    );
+
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|(n, budget, r)| {
@@ -577,10 +680,28 @@ fn main() {
         mux_payload_copies,
         mux_payload_copies as f64 / mux_data_frames.max(1) as f64,
     );
+    let fault_mode_json = format!(
+        "\"fault_mode\": {{ \"workers\": 4, \"clients\": {}, \"rounds\": {}, \"measured_documents\": {}, \"seed\": {}, \"rates\": {{ \"short_read\": {}, \"short_write\": {}, \"wake_drop\": {}, \"corrupt_payload\": {}, \"worker_delay\": {}, \"worker_panic\": {} }}, \"clean_docs_per_s\": {:.1}, \"chaos_docs_per_s\": {:.1}, \"throughput_ratio\": {:.2}, \"faults_injected\": {}, \"docs_answered_with_fault\": {} }}",
+        clients,
+        SWEEP_ROUNDS,
+        measure_docs,
+        chaos.seed,
+        chaos.short_read,
+        chaos.short_write,
+        chaos.wake_drop,
+        chaos.corrupt_payload,
+        chaos.worker_delay,
+        chaos.worker_panic,
+        fault_clean.docs_per_s,
+        fault_chaos.docs_per_s,
+        fault_ratio,
+        fault_chaos.faults_injected,
+        fault_chaos.faulted_docs,
+    );
     let fused_vs_recorded = one.mb_per_s / PRE_FUSION_WORKERS_1_MB_S;
     let fused_vs_two_phase = one.mb_per_s / two_phase_one.mb_per_s;
     let json = format!(
-        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"pre_fusion_baseline\": {{ \"recorded\": {{ \"workers_1_mb_per_s\": {:.1}, \"workers_4_mb_per_s\": {:.1}, \"note\": \"PR 3's BENCH_service.json numbers (two-phase worker loop, per-document-flush harness)\" }}, \"two_phase_same_harness\": {{ \"workers\": 1, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"note\": \"ServiceConfig::two_phase_reference measured live in the same interleaved rounds\" }} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"fused_vs_pre_fusion_workers_1\": {:.2},\n  \"fused_vs_two_phase_workers_1\": {:.2},\n  \"speedup_1_to_4\": {:.2},\n  \"connections_sweep\": {{ \"workers\": 4, \"rounds\": {}, \"points\": [\n    {}\n  ] }},\n  {},\n  \"slow_reader\": {{ \"workers\": 4, \"clients\": 64, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"slow_consumer_resets\": {} }}\n}}\n",
+        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"pre_fusion_baseline\": {{ \"recorded\": {{ \"workers_1_mb_per_s\": {:.1}, \"workers_4_mb_per_s\": {:.1}, \"note\": \"PR 3's BENCH_service.json numbers (two-phase worker loop, per-document-flush harness)\" }}, \"two_phase_same_harness\": {{ \"workers\": 1, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"note\": \"ServiceConfig::two_phase_reference measured live in the same interleaved rounds\" }} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"fused_vs_pre_fusion_workers_1\": {:.2},\n  \"fused_vs_two_phase_workers_1\": {:.2},\n  \"speedup_1_to_4\": {:.2},\n  \"connections_sweep\": {{ \"workers\": 4, \"rounds\": {}, \"points\": [\n    {}\n  ] }},\n  {},\n  \"slow_reader\": {{ \"workers\": 4, \"clients\": 64, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"slow_consumer_resets\": {} }},\n  {}\n}}\n",
         classifier.num_languages(),
         params.k,
         params.m_kbits(),
@@ -609,6 +730,7 @@ fn main() {
         slow.docs_per_s,
         slow.mb_per_s,
         slow.slow_consumer_resets,
+        fault_mode_json,
     );
     print!("{json}");
 
@@ -618,8 +740,10 @@ fn main() {
         "wrote {out} (fused serves {fused_vs_recorded:.2}x the recorded pre-fusion MB/s per \
          worker, {fused_vs_two_phase:.2}x two-phase under the same harness; 4 workers serve \
          {speedup:.2}x the documents of 1 worker; one multiplexed connection serves \
-         {:.2}x its own single-channel throughput with 0/{} payload copies)",
+         {:.2}x its own single-channel throughput with 0/{} payload copies; a ~1% fault \
+         rate costs {:.0}% throughput)",
         mux_best / mux_one,
         mux_data_frames,
+        (1.0 - fault_ratio) * 100.0,
     );
 }

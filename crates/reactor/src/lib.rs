@@ -49,5 +49,8 @@ pub mod writebuf;
 
 pub use epoll::{Epoll, Event, Events, Interest};
 pub use eventfd::EventFd;
-pub use sys::{raise_nofile_limit, set_nonblocking, set_send_buffer};
+pub use sys::{
+    install_termination_handler, raise_nofile_limit, set_nonblocking, set_send_buffer,
+    termination_requested,
+};
 pub use writebuf::WriteBuf;

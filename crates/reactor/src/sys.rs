@@ -59,6 +59,7 @@ pub(crate) mod ffi {
         ) -> c_int;
         pub fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
         pub fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+        pub fn signal(signum: c_int, handler: usize) -> usize;
     }
 }
 
@@ -91,6 +92,12 @@ const SO_SNDBUF: c_int = 7;
 
 // rlimit.
 const RLIMIT_NOFILE: c_int = 7;
+
+// signals.
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+/// glibc's `SIG_ERR` is `(void (*)(int))-1`.
+const SIG_ERR: usize = usize::MAX;
 
 /// Turn a `-1`-on-error C return into an `io::Result`, capturing `errno`
 /// via [`io::Error::last_os_error`].
@@ -164,6 +171,39 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
     // never exceeds the hard limit.
     cvt(unsafe { ffi::setrlimit(RLIMIT_NOFILE, &new) })?;
     Ok(new.cur)
+}
+
+/// Latched by the termination handler; the handler does nothing else
+/// (a relaxed-to-SeqCst atomic store is async-signal-safe — no locks, no
+/// allocation).
+static TERMINATION_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn mark_termination(_signum: c_int) {
+    TERMINATION_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Install a SIGTERM/SIGINT handler that latches a flag for
+/// [`termination_requested`] instead of killing the process — the hook a
+/// long-running server needs to drain gracefully. glibc's `signal` gives
+/// BSD semantics (handler stays installed, syscalls restart), so the
+/// accept loop keeps running while the main thread notices the flag.
+pub fn install_termination_handler() -> io::Result<()> {
+    for sig in [SIGTERM, SIGINT] {
+        // SAFETY: the handler is an `extern "C" fn` that performs one
+        // atomic store and returns — async-signal-safe.
+        let prev = unsafe { ffi::signal(sig, mark_termination as *const () as usize) };
+        if prev == SIG_ERR {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Whether a termination signal has arrived since
+/// [`install_termination_handler`]. Never resets: termination is one-way.
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(std::sync::atomic::Ordering::SeqCst)
 }
 
 #[cfg(test)]

@@ -26,10 +26,65 @@ use lc_wire::{
 };
 use std::collections::VecDeque;
 use std::io::{self, BufWriter, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Words per Data frame when streaming (64 KiB payloads).
 const CHUNK_WORDS: usize = 8 * 1024;
+
+/// How a hardened client rides out an unreliable server: socket timeouts,
+/// a reconnect budget with exponential backoff, and a per-document retry
+/// budget for faults the server says are transient (`EngineFault`, `Busy`,
+/// `WatchdogReset`) or the checksum says are corruption.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// TCP connect timeout; `None` blocks indefinitely.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read/write timeout; `None` blocks indefinitely. A timeout
+    /// mid-frame desyncs the stream, so any timed-out operation is
+    /// followed by a reconnect, never a bare retry.
+    pub io_timeout: Option<Duration>,
+    /// Reconnect attempts per hardened call before the remaining documents
+    /// are failed outright.
+    pub max_reconnects: u32,
+    /// Resubmissions per document for retriable faults before the fault is
+    /// surfaced as that document's outcome.
+    pub max_doc_retries: u32,
+    /// First backoff step; doubles per consecutive attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(2)),
+            io_timeout: Some(Duration::from_secs(2)),
+            max_reconnects: 8,
+            max_doc_retries: 4,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt `attempt` (1-based): `base * 2^(attempt-1)`,
+    /// capped at [`RetryPolicy::backoff_max`].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        (self.backoff_base * (1u32 << exp)).min(self.backoff_max)
+    }
+
+    /// Whether a server fault is worth resubmitting the document for.
+    fn retriable(code: ErrorCode) -> bool {
+        matches!(
+            code,
+            ErrorCode::EngineFault | ErrorCode::Busy | ErrorCode::WatchdogReset
+        )
+    }
+}
 
 /// Everything the engine returns for one document.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -110,6 +165,8 @@ pub struct ClassifyClient {
     checksum: u64,
     /// Next channel id [`ClassifyClient::open_channel`] hands out.
     next_channel: u16,
+    /// Peer address, kept for hardened-path reconnects.
+    addr: Option<SocketAddr>,
 }
 
 impl ClassifyClient {
@@ -117,11 +174,51 @@ impl ClassifyClient {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        Self::finish_handshake(stream)
+    }
+
+    /// Connect under a [`RetryPolicy`]: connect timeout, socket read/write
+    /// timeouts. (The retry budgets only apply inside
+    /// [`ClassifyClient::classify_many_mux_hardened`]; connecting itself is
+    /// one attempt per resolved address.)
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: &RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        let mut last: Option<io::Error> = None;
+        for sockaddr in addr.to_socket_addrs()? {
+            match Self::connect_stream(&sockaddr, policy) {
+                Ok(stream) => return Self::finish_handshake(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )
+        })))
+    }
+
+    fn connect_stream(addr: &SocketAddr, policy: &RetryPolicy) -> io::Result<TcpStream> {
+        let stream = match policy.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(policy.io_timeout)?;
+        stream.set_write_timeout(policy.io_timeout)?;
+        Ok(stream)
+    }
+
+    fn finish_handshake(stream: TcpStream) -> Result<Self, ClientError> {
+        let addr = stream.peer_addr().ok();
         let mut client = Self {
             stream,
             languages: Vec::new(),
             checksum: 0,
             next_channel: 0,
+            addr,
         };
         match client.read_response()? {
             WireResponse::Hello { languages } => {
@@ -132,6 +229,21 @@ impl ClassifyClient {
                 "expected Hello banner, got {other:?}"
             ))),
         }
+    }
+
+    /// Drop the broken connection and dial the peer again (fresh socket,
+    /// fresh Hello). Everything that was in flight is gone — the caller
+    /// owns resubmission.
+    fn reconnect(&mut self, policy: &RetryPolicy) -> Result<(), ClientError> {
+        let addr = self.addr.ok_or_else(|| {
+            ClientError::Io(io::Error::other("peer address unknown; cannot reconnect"))
+        })?;
+        let fresh = Self::connect_stream(&addr, policy)?;
+        let fresh = Self::finish_handshake(fresh)?;
+        self.stream = fresh.stream;
+        self.languages = fresh.languages;
+        self.checksum = 0;
+        Ok(())
     }
 
     /// The programmed language names, index-aligned with result counters.
@@ -240,6 +352,17 @@ impl ClassifyClient {
         self.next_channel
     }
 
+    /// Retire a channel's server-side session and free its `max_channels`
+    /// slot (wire-v2 `CloseChannel` control frame). Fire-and-forget by
+    /// design — the server sends no acknowledgement — and idempotent on
+    /// the server. The id may be reused afterwards: the server orders the
+    /// reuse behind the close (per-channel frames are FIFO through one
+    /// shard queue), creating a fresh session.
+    pub fn close_channel(&mut self, channel: u16) -> Result<(), ClientError> {
+        WireCommand::CloseChannel.encode_on(channel, &mut self.stream)?;
+        Ok(())
+    }
+
     /// Classify one in-memory document on a specific channel (0 = the
     /// legacy v1 stream). Channels do not share document state, so
     /// interleaving calls across channels is the caller's pipelining.
@@ -327,6 +450,186 @@ impl ClassifyClient {
             .into_iter()
             .map(|r| r.expect("every document got its response"))
             .collect())
+    }
+
+    /// [`ClassifyClient::classify_many_mux`], hardened for an unreliable
+    /// server: every document gets exactly one outcome — a verified result
+    /// or the error that finally stuck — and no single failure aborts the
+    /// batch.
+    ///
+    /// * Retriable server faults (`EngineFault` from a worker panic,
+    ///   `Busy` from overload shedding, `WatchdogReset` from a stalled
+    ///   transfer) and checksum mismatches (payload corruption) resubmit
+    ///   the document, up to [`RetryPolicy::max_doc_retries`] times;
+    ///   `Busy` backs off exponentially first.
+    /// * Transport failures (connection reset, I/O timeout, stream
+    ///   desync) reconnect with exponential backoff — up to
+    ///   [`RetryPolicy::max_reconnects`] per call — and resubmit every
+    ///   un-acknowledged document: the per-channel FIFO lanes are exactly
+    ///   the set whose responses are still owed.
+    /// * Non-retriable faults (`ShuttingDown`, protocol errors) become
+    ///   that document's final outcome immediately.
+    ///
+    /// Document `i` rides channel `(i % channels) + 1` — preserved across
+    /// resubmissions, so placement stays deterministic.
+    pub fn classify_many_mux_hardened(
+        &mut self,
+        docs: &[&[u8]],
+        channels: u16,
+        window: usize,
+        policy: &RetryPolicy,
+    ) -> Vec<Result<ServedResult, ClientError>> {
+        let channels = channels.max(1);
+        let window = window.max(1);
+        let mut outcomes: Vec<Option<Result<ServedResult, ClientError>>> =
+            docs.iter().map(|_| None).collect();
+        let mut retries: Vec<u32> = vec![0; docs.len()];
+        let mut pending: Vec<VecDeque<(usize, u64)>> =
+            (0..channels).map(|_| VecDeque::new()).collect();
+        let mut queue: VecDeque<usize> = (0..docs.len()).collect();
+        let mut reconnects = 0u32;
+        let owed =
+            |pending: &[VecDeque<(usize, u64)>]| pending.iter().map(VecDeque::len).sum::<usize>();
+        // Requeue for retry, or surface `err` as the final outcome once
+        // the document's budget is spent.
+        let retry_or_fail = |queue: &mut VecDeque<usize>,
+                             outcomes: &mut Vec<Option<Result<ServedResult, ClientError>>>,
+                             retries: &mut Vec<u32>,
+                             idx: usize,
+                             err: ClientError| {
+            if retries[idx] < policy.max_doc_retries {
+                retries[idx] += 1;
+                queue.push_back(idx);
+            } else {
+                outcomes[idx] = Some(Err(err));
+            }
+        };
+
+        loop {
+            if queue.is_empty() && owed(&pending) == 0 {
+                break;
+            }
+            // One pass: submit until the window is full, then reap one
+            // response. A transport failure anywhere breaks out with the
+            // error; recovery (reconnect + resubmit) happens below.
+            let failure: Option<ClientError> = 'step: {
+                while owed(&pending) < window {
+                    let Some(i) = queue.pop_front() else { break };
+                    let doc = docs[i];
+                    let lane = i % channels as usize;
+                    let channel = lane as u16 + 1;
+                    let len = doc.len() as u64;
+                    if len > u64::from(u32::MAX) {
+                        outcomes[i] = Some(Err(ClientError::Io(io::Error::other(
+                            "document exceeds the 4 GiB Size announcement limit",
+                        ))));
+                        continue;
+                    }
+                    match self.send_document_on(
+                        channel,
+                        &mut io::Cursor::new(doc),
+                        len,
+                        len.div_ceil(8),
+                    ) {
+                        Ok(()) => pending[lane].push_back((i, self.checksum)),
+                        Err(e) => {
+                            // Mid-send failure: how much of the document
+                            // reached the wire is unknowable, so the whole
+                            // connection is suspect.
+                            queue.push_front(i);
+                            break 'step Some(e);
+                        }
+                    }
+                }
+                if owed(&pending) == 0 {
+                    break 'step None; // nothing in flight; loop re-checks
+                }
+                match self.read_response_mux() {
+                    Ok((channel, resp)) => {
+                        let entry = pending
+                            .get_mut(channel.wrapping_sub(1) as usize)
+                            .and_then(VecDeque::pop_front);
+                        let Some((idx, sent)) = entry else {
+                            // Unsolicited — a connection-level fault (the
+                            // server answers those on channel 0) or a
+                            // demux break: either way this connection's
+                            // pairing discipline is gone.
+                            break 'step Some(match resp {
+                                WireResponse::Error { code, detail } => {
+                                    ClientError::Remote { code, detail }
+                                }
+                                other => ClientError::UnexpectedResponse(format!(
+                                    "unsolicited response on channel {channel}: {other:?}"
+                                )),
+                            });
+                        };
+                        match Self::pair_result(resp, sent) {
+                            Ok(r) => outcomes[idx] = Some(Ok(r)),
+                            Err(e) => match &e {
+                                ClientError::Remote { code, .. }
+                                    if RetryPolicy::retriable(*code) =>
+                                {
+                                    if *code == ErrorCode::Busy {
+                                        std::thread::sleep(policy.backoff(retries[idx] + 1));
+                                    }
+                                    retry_or_fail(&mut queue, &mut outcomes, &mut retries, idx, e);
+                                }
+                                ClientError::ChecksumMismatch { .. } => {
+                                    retry_or_fail(&mut queue, &mut outcomes, &mut retries, idx, e);
+                                }
+                                // ShuttingDown, protocol faults, anything
+                                // else the server deems final.
+                                _ => outcomes[idx] = Some(Err(e)),
+                            },
+                        }
+                    }
+                    Err(e) => break 'step Some(e),
+                }
+                None
+            };
+            if let Some(err) = failure {
+                // Un-acked documents = every lane entry; resubmit them all
+                // (plus whatever was still queued), in index order, over a
+                // fresh connection.
+                let mut back: Vec<usize> = pending
+                    .iter_mut()
+                    .flat_map(|lane| lane.drain(..))
+                    .map(|(i, _)| i)
+                    .collect();
+                back.extend(queue.drain(..));
+                back.sort_unstable();
+                queue = back.into();
+                loop {
+                    if reconnects >= policy.max_reconnects {
+                        // Budget spent: the remaining documents share the
+                        // fate of the connection.
+                        for i in queue.drain(..) {
+                            outcomes[i].get_or_insert_with(|| {
+                                Err(ClientError::Io(io::Error::other(format!(
+                                    "reconnect budget exhausted; last error: {err}"
+                                ))))
+                            });
+                        }
+                        break;
+                    }
+                    reconnects += 1;
+                    std::thread::sleep(policy.backoff(reconnects));
+                    if self.reconnect(policy).is_ok() {
+                        break;
+                    }
+                }
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or_else(|| {
+                    Err(ClientError::Io(io::Error::other(
+                        "document never reached the server",
+                    )))
+                })
+            })
+            .collect()
     }
 
     /// Read one channel-tagged response and file it against the oldest

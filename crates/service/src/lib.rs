@@ -53,6 +53,12 @@
 //! * **Faults.** Truncated transfers, data-before-Size, short DMA
 //!   payloads, and stalled sessions (wall-clock watchdog, swept by the
 //!   workers) all map to the same error taxonomy the hardware model uses.
+//! * **Chaos-hardened.** A seeded fault-injection plan ([`ChaosConfig`])
+//!   can corrupt, truncate, delay, reset, and panic every layer on a
+//!   replayable schedule; the stack self-heals (worker unwind guards +
+//!   shard respawn, `Busy` shedding under dual saturation, graceful
+//!   drain on SIGTERM) and the chaos-soak e2e proves the
+//!   one-response-per-document invariant survives all of it.
 //!
 //! All `unsafe` lives behind `lc-reactor`'s safe wrappers; this crate
 //! remains `forbid(unsafe_code)`.
@@ -60,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod metrics;
 mod outbound;
@@ -68,8 +75,9 @@ pub mod server;
 pub mod session;
 pub mod worker;
 
-pub use client::{ClassifyClient, ClientError, ServedResult};
-pub use lc_reactor::raise_nofile_limit;
+pub use chaos::{ChaosConfig, FaultPlan, FaultSite};
+pub use client::{ClassifyClient, ClientError, RetryPolicy, ServedResult};
+pub use lc_reactor::{install_termination_handler, raise_nofile_limit, termination_requested};
 pub use metrics::{MetricsSnapshot, ServiceMetrics, LATENCY_BOUNDS_US};
 pub use outbound::ResponseSink;
 pub use server::{serve, ServerHandle, ServiceConfig};

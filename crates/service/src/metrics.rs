@@ -59,6 +59,21 @@ pub struct ServiceMetrics {
     pub protocol_errors: AtomicU64,
     /// Stalled sessions reset by the watchdog.
     pub watchdog_resets: AtomicU64,
+    /// Worker panics caught by the per-document unwind guard (the
+    /// document got an `EngineFault` response; the thread survived).
+    pub worker_panics: AtomicU64,
+    /// Worker shard threads respawned by the pool supervisor after a
+    /// panic escaped the per-document guard.
+    pub worker_restarts: AtomicU64,
+    /// Documents shed with a `Busy` fault: the channel's shard queue was
+    /// full while the connection's outbound queue sat over high-water.
+    pub busy_shed: AtomicU64,
+    /// Documents refused with a `ShuttingDown` fault during drain.
+    pub drain_shed: AtomicU64,
+    /// Channels torn down early by a `CloseChannel` control frame.
+    pub channels_closed: AtomicU64,
+    /// Faults injected by an active chaos plan (0 in production).
+    pub faults_injected: AtomicU64,
     /// Wins per language, index-aligned with the classifier's names.
     lang_wins: Vec<AtomicU64>,
     /// Latency histogram: `LATENCY_BOUNDS_US` buckets + overflow.
@@ -86,6 +101,12 @@ impl ServiceMetrics {
             ngrams: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             watchdog_resets: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            busy_shed: AtomicU64::new(0),
+            drain_shed: AtomicU64::new(0),
+            channels_closed: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
             lang_wins: (0..num_languages).map(|_| AtomicU64::new(0)).collect(),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -127,6 +148,12 @@ impl ServiceMetrics {
             ngrams: self.ngrams.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             watchdog_resets: self.watchdog_resets.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            busy_shed: self.busy_shed.load(Ordering::Relaxed),
+            drain_shed: self.drain_shed.load(Ordering::Relaxed),
+            channels_closed: self.channels_closed.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
             lang_wins: self
                 .lang_wins
                 .iter()
@@ -174,6 +201,18 @@ pub struct MetricsSnapshot {
     pub protocol_errors: u64,
     /// Stalled sessions reset by the watchdog.
     pub watchdog_resets: u64,
+    /// Worker panics caught by the per-document unwind guard.
+    pub worker_panics: u64,
+    /// Worker shard threads respawned by the pool supervisor.
+    pub worker_restarts: u64,
+    /// Documents shed with a `Busy` fault under dual saturation.
+    pub busy_shed: u64,
+    /// Documents refused with a `ShuttingDown` fault during drain.
+    pub drain_shed: u64,
+    /// Channels torn down early by `CloseChannel`.
+    pub channels_closed: u64,
+    /// Faults injected by an active chaos plan.
+    pub faults_injected: u64,
     /// Wins per language.
     pub lang_wins: Vec<u64>,
     /// Latency histogram counts (`LATENCY_BOUNDS_US` buckets + overflow).
@@ -214,6 +253,25 @@ impl std::fmt::Display for MetricsSnapshot {
         }
         if self.slow_consumer_resets > 0 {
             write!(f, " slow-resets {}", self.slow_consumer_resets)?;
+        }
+        if self.channels_closed > 0 {
+            write!(f, " ch-closed {}", self.channels_closed)?;
+        }
+        if self.worker_panics > 0 || self.worker_restarts > 0 {
+            write!(
+                f,
+                " worker-panics {} restarts {}",
+                self.worker_panics, self.worker_restarts
+            )?;
+        }
+        if self.busy_shed > 0 {
+            write!(f, " busy-shed {}", self.busy_shed)?;
+        }
+        if self.drain_shed > 0 {
+            write!(f, " drain-shed {}", self.drain_shed)?;
+        }
+        if self.faults_injected > 0 {
+            write!(f, " chaos-injected {}", self.faults_injected)?;
         }
         if self.payload_copies > 0 {
             write!(
@@ -310,5 +368,34 @@ mod tests {
         assert!(line.contains("slow-resets 1"));
         assert!(line.contains("channels 5 (peak 12)"));
         assert!(line.contains("ch-resets 2"));
+    }
+
+    #[test]
+    fn robustness_gauges_appear_once_nonzero() {
+        use std::sync::atomic::Ordering;
+        let m = ServiceMetrics::new(1);
+        // All zero: none of the fault-path gauges clutter the line.
+        let quiet = m.snapshot().to_string();
+        assert!(!quiet.contains("worker-panics"));
+        assert!(!quiet.contains("busy-shed"));
+        assert!(!quiet.contains("drain-shed"));
+        assert!(!quiet.contains("ch-closed"));
+        assert!(!quiet.contains("chaos-injected"));
+        m.worker_panics.store(2, Ordering::Relaxed);
+        m.worker_restarts.store(1, Ordering::Relaxed);
+        m.busy_shed.store(7, Ordering::Relaxed);
+        m.drain_shed.store(3, Ordering::Relaxed);
+        m.channels_closed.store(4, Ordering::Relaxed);
+        m.faults_injected.store(9, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!((s.worker_panics, s.worker_restarts), (2, 1));
+        assert_eq!((s.busy_shed, s.drain_shed), (7, 3));
+        assert_eq!((s.channels_closed, s.faults_injected), (4, 9));
+        let line = s.to_string();
+        assert!(line.contains("worker-panics 2 restarts 1"));
+        assert!(line.contains("busy-shed 7"));
+        assert!(line.contains("drain-shed 3"));
+        assert!(line.contains("ch-closed 4"));
+        assert!(line.contains("chaos-injected 9"));
     }
 }

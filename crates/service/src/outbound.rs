@@ -40,6 +40,7 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
+use crate::chaos::{FaultPlan, FaultSite};
 use crate::metrics::ServiceMetrics;
 
 /// One connection's outbound state, shared by the worker shards serving
@@ -76,6 +77,11 @@ pub(crate) struct NewConn {
 pub(crate) struct ReactorWaker {
     eventfd: EventFd,
     queue: Mutex<WakeQueue>,
+    /// Seeded fault-injection plan (`None` in production): can suppress
+    /// the eventfd notify of a dirty-mark, and makes `ResponseSink::send`
+    /// skip its write-through fast path — both to prove the reactor's
+    /// slow paths recover on their own.
+    chaos: Option<(Arc<FaultPlan>, Arc<ServiceMetrics>)>,
 }
 
 #[derive(Debug, Default)]
@@ -87,11 +93,17 @@ struct WakeQueue {
 }
 
 impl ReactorWaker {
-    pub fn new() -> std::io::Result<Self> {
+    pub fn new(chaos: Option<(Arc<FaultPlan>, Arc<ServiceMetrics>)>) -> std::io::Result<Self> {
         Ok(Self {
             eventfd: EventFd::new()?,
             queue: Mutex::new(WakeQueue::default()),
+            chaos,
         })
+    }
+
+    /// The fault plan this waker injects under, if any.
+    pub(crate) fn plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.chaos.as_ref().map(|(p, _)| p)
     }
 
     /// The eventfd the reactor registers for readable interest.
@@ -119,6 +131,15 @@ impl ReactorWaker {
                 return;
             }
             q.dirty.push(conn);
+        }
+        // Chaos wake drop: the dirty entry is queued but the eventfd nudge
+        // is swallowed — a lost wakeup. The reactor must recover from its
+        // idle tick alone (it drains the wake queue every loop pass).
+        if let Some((plan, metrics)) = &self.chaos {
+            if plan.fire(FaultSite::WakeDrop) {
+                metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
         let _ = self.eventfd.notify();
     }
@@ -194,7 +215,18 @@ impl ResponseSink {
         self.metrics
             .outbound_queue_peak
             .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);
-        if was_empty {
+        // Chaos short write: skip the write-through so the frame takes the
+        // reactor's queued slow path (where the clipped-write injection
+        // lives) instead of bypassing it.
+        let write_through = was_empty
+            && !self.waker.plan().is_some_and(|p| {
+                let hit = p.fire(FaultSite::ShortWrite);
+                if hit {
+                    self.metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                }
+                hit
+            });
+        if write_through {
             // Split borrow: flush the queue through the same resumable
             // write path the reactor uses. Errors are left for the
             // reactor to discover and act on (the remainder stays queued).

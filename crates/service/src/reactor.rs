@@ -50,6 +50,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::chaos::{FaultPlan, FaultSite};
 use crate::metrics::ServiceMetrics;
 use crate::outbound::{NewConn, OutboundInner, ReactorWaker, ResponseSink};
 use crate::worker::{ChannelKey, Job};
@@ -90,12 +91,16 @@ enum CloseState {
     Sent,
 }
 
-/// One channel as the reactor sees it: which shard serves it and whether
-/// its Close has been issued.
+/// One channel as the reactor sees it: which shard serves it, whether its
+/// Close has been issued, and whether it is currently shedding a document
+/// (overload or drain answered the Size with a fault, so the document's
+/// remaining frames are discarded until the next Size re-arms it — the
+/// reactor-side mirror of the session's own draining discipline).
 #[derive(Debug)]
 struct Channel {
     shard: usize,
     close: CloseState,
+    shed: bool,
 }
 
 /// One connection as the reactor sees it.
@@ -134,9 +139,26 @@ struct Conn {
     closes_enqueued: bool,
     /// Fatal socket state: tear down on next service.
     broken: bool,
+    /// Channels retired early by a `CloseChannel` control frame: removed
+    /// from the table (so their `max_channels` slot is free) but still
+    /// owed a `finished_channels` count by their worker's `finish()`.
+    early_closes: u64,
+    /// A chaos-clipped write left queued bytes behind on a socket that is
+    /// still writable: no EPOLLOUT edge will announce it, so force a
+    /// deferred re-service.
+    chaos_deferred: bool,
     /// Accumulator stats already folded into the shared metrics.
     data_frames_reported: u64,
     payload_copies_reported: u64,
+}
+
+/// Cross-thread control state every reactor shares with the server:
+/// shutdown/drain latches plus the optional fault-injection plan.
+#[derive(Clone)]
+pub(crate) struct ReactorControl {
+    pub shutdown: Arc<AtomicBool>,
+    pub drain: Arc<AtomicBool>,
+    pub plan: Option<Arc<FaultPlan>>,
 }
 
 /// Spawn one reactor thread.
@@ -146,11 +168,16 @@ pub(crate) fn spawn_reactor(
     senders: Vec<SyncSender<Job>>,
     hello: Arc<Vec<u8>>,
     metrics: Arc<ServiceMetrics>,
-    shutdown: Arc<AtomicBool>,
+    control: ReactorControl,
     cfg: ReactorConfig,
 ) -> std::io::Result<JoinHandle<()>> {
     let epoll = Epoll::new()?;
     epoll.add(waker.eventfd().raw_fd(), WAKE_TOKEN, Interest::READABLE)?;
+    let ReactorControl {
+        shutdown,
+        drain,
+        plan,
+    } = control;
     let mut reactor = Reactor {
         epoll,
         waker,
@@ -158,6 +185,8 @@ pub(crate) fn spawn_reactor(
         hello,
         metrics,
         shutdown,
+        drain,
+        plan,
         cfg,
         conns: HashMap::new(),
         deferred: Vec::new(),
@@ -174,6 +203,12 @@ struct Reactor {
     hello: Arc<Vec<u8>>,
     metrics: Arc<ServiceMetrics>,
     shutdown: Arc<AtomicBool>,
+    /// Graceful-drain flag: while set, every *new* document (Size) is
+    /// answered with a `ShuttingDown` fault and shed; documents already in
+    /// flight run to completion.
+    drain: Arc<AtomicBool>,
+    /// Seeded fault-injection plan; `None` in production.
+    plan: Option<Arc<FaultPlan>>,
     cfg: ReactorConfig,
     conns: HashMap<u64, Conn>,
     /// Connections that left their last service pass with work no external
@@ -285,6 +320,15 @@ impl Reactor {
         if !self.conns.contains_key(&conn) {
             return;
         }
+        // Chaos connection reset: the abrupt-death failure mode clients
+        // must survive (reconnect + resubmit). Injected here so a reset
+        // can land at any point of a connection's life.
+        if let Some(plan) = &self.plan {
+            if plan.fire(FaultSite::ConnReset) {
+                self.metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                return self.teardown(conn);
+            }
+        }
         if self.conns[&conn].broken {
             return self.teardown(conn);
         }
@@ -299,8 +343,12 @@ impl Reactor {
         if self.finished(conn) {
             return self.teardown(conn);
         }
-        if let Some(c) = self.conns.get(&conn) {
-            if !c.stalled.is_empty() || (c.read_ready && !c.in_masked && !c.read_eof) {
+        if let Some(c) = self.conns.get_mut(&conn) {
+            let chaos_clipped = std::mem::take(&mut c.chaos_deferred);
+            if !c.stalled.is_empty()
+                || (c.read_ready && !c.in_masked && !c.read_eof)
+                || chaos_clipped
+            {
                 self.deferred.push(conn);
             }
         }
@@ -367,6 +415,8 @@ impl Reactor {
                 read_eof: false,
                 closes_enqueued: false,
                 broken: false,
+                early_closes: 0,
+                chaos_deferred: false,
                 data_frames_reported: 0,
                 payload_copies_reported: 0,
             },
@@ -414,6 +464,7 @@ impl Reactor {
             metrics,
             cfg,
             conns,
+            plan,
             ..
         } = self;
         let Some(c) = conns.get_mut(&conn) else {
@@ -425,9 +476,35 @@ impl Reactor {
             };
             let before = inner.buf.len();
             if c.write_ready && !inner.buf.is_empty() {
-                match inner.buf.write_to(&mut c.stream) {
+                // Chaos short write: clip the pass after a few bytes and
+                // report a synthetic WouldBlock, exercising partial-write
+                // resumption. The socket is in truth still writable — no
+                // EPOLLOUT edge will follow — so flag a forced deferral
+                // instead of clearing `write_ready`.
+                let clip = plan.as_ref().and_then(|p| {
+                    p.fire(FaultSite::ShortWrite)
+                        .then(|| p.amount(FaultSite::ShortWrite, 256) + 1)
+                });
+                let res = match clip {
+                    Some(limit) => {
+                        metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                        let mut w = ClippedWriter {
+                            inner: &mut c.stream,
+                            remaining: limit,
+                        };
+                        inner.buf.write_to(&mut w)
+                    }
+                    None => inner.buf.write_to(&mut c.stream),
+                };
+                match res {
                     Ok(true) => {}
-                    Ok(false) => c.write_ready = false,
+                    Ok(false) => {
+                        if clip.is_none() {
+                            c.write_ready = false;
+                        } else {
+                            c.chaos_deferred = true;
+                        }
+                    }
                     Err(_) => return false,
                 }
             }
@@ -491,6 +568,8 @@ impl Reactor {
             conns,
             senders,
             waker,
+            drain,
+            plan,
             ..
         } = self;
         let Some(c) = conns.get_mut(&conn) else {
@@ -508,8 +587,46 @@ impl Reactor {
                         match WireCommand::decode(kind, payload) {
                             Ok(cmd) => {
                                 let key = ChannelKey { conn, channel };
-                                let shard = match c.channels.get(&channel) {
-                                    Some(ch) => ch.shard,
+                                // CloseChannel retires the channel: its
+                                // `max_channels` slot frees immediately and
+                                // its `Job::Close` rides the shard queue in
+                                // FIFO order, so a later reuse of the id
+                                // (a fresh Open) is ordered behind the
+                                // close. Unknown channel: idempotent no-op.
+                                if matches!(cmd, WireCommand::CloseChannel) {
+                                    if let Some(ch) = c.channels.remove(&channel) {
+                                        if enqueue(
+                                            &mut c.stalled,
+                                            senders,
+                                            ch.shard,
+                                            Job::Close { key },
+                                        )
+                                        .is_err()
+                                        {
+                                            alive = false;
+                                            break 'outer;
+                                        }
+                                        c.early_closes += 1;
+                                        metrics.channels_current.fetch_sub(1, Ordering::Relaxed);
+                                        metrics.channels_closed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    continue;
+                                }
+                                let starts_document = matches!(cmd, WireCommand::Size { .. });
+                                // A shed channel's document was already
+                                // answered with a fault: discard its
+                                // remaining frames; only the next Size
+                                // re-arms the channel.
+                                if !starts_document
+                                    && c.channels.get(&channel).is_some_and(|ch| ch.shed)
+                                {
+                                    continue;
+                                }
+                                let shard = match c.channels.get_mut(&channel) {
+                                    Some(ch) => {
+                                        ch.shed = false;
+                                        ch.shard
+                                    }
                                     None => {
                                         if c.channels.len() >= cfg.max_channels {
                                             fail_malformed(
@@ -528,6 +645,7 @@ impl Reactor {
                                             Channel {
                                                 shard,
                                                 close: CloseState::Open,
+                                                shed: false,
                                             },
                                         );
                                         let current = metrics
@@ -556,7 +674,93 @@ impl Reactor {
                                         shard
                                     }
                                 };
-                                if enqueue(
+                                // Chaos payload corruption: flip one byte
+                                // of a Data payload, framing intact — the
+                                // end-to-end XOR checksum must catch it.
+                                let cmd = match (plan.as_ref(), cmd) {
+                                    (Some(p), WireCommand::Data(payload))
+                                        if !payload.is_empty()
+                                            && p.fire(FaultSite::CorruptPayload) =>
+                                    {
+                                        metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                                        let mut raw = Vec::with_capacity(payload.len());
+                                        for piece in payload.pieces() {
+                                            raw.extend_from_slice(piece);
+                                        }
+                                        let at = p.amount(FaultSite::CorruptPayload, raw.len());
+                                        raw[at] ^= 0x01;
+                                        WireCommand::Data(raw.into())
+                                    }
+                                    (_, cmd) => cmd,
+                                };
+                                if starts_document {
+                                    // Drain: new documents are refused with
+                                    // ShuttingDown (in the document's own
+                                    // response slot); in-flight documents
+                                    // keep flowing to completion.
+                                    if drain.load(Ordering::SeqCst) {
+                                        if let Some(ch) = c.channels.get_mut(&channel) {
+                                            ch.shed = true;
+                                        }
+                                        metrics.drain_shed.fetch_add(1, Ordering::Relaxed);
+                                        push_response(
+                                            c,
+                                            metrics,
+                                            channel,
+                                            &WireResponse::Error {
+                                                code: ErrorCode::ShuttingDown,
+                                                detail: "server draining for shutdown".into(),
+                                            },
+                                        );
+                                        continue;
+                                    }
+                                    if c.stalled.is_empty() {
+                                        match senders[shard].try_send(Job::Command { key, cmd }) {
+                                            Ok(()) => {}
+                                            Err(TrySendError::Full(job)) => {
+                                                // Overload shedding fires
+                                                // only under *dual*
+                                                // saturation — shard queue
+                                                // full AND outbound over
+                                                // high water. A full shard
+                                                // alone is ordinary
+                                                // backpressure: park and
+                                                // let TCP push back.
+                                                let out_len =
+                                                    c.out.lock().map(|i| i.buf.len()).unwrap_or(0);
+                                                if out_len > cfg.outbound_high_water {
+                                                    if let Some(ch) = c.channels.get_mut(&channel) {
+                                                        ch.shed = true;
+                                                    }
+                                                    metrics
+                                                        .busy_shed
+                                                        .fetch_add(1, Ordering::Relaxed);
+                                                    push_response(
+                                                        c,
+                                                        metrics,
+                                                        channel,
+                                                        &WireResponse::Error {
+                                                            code: ErrorCode::Busy,
+                                                            detail:
+                                                                "server saturated; document shed"
+                                                                    .into(),
+                                                        },
+                                                    );
+                                                } else {
+                                                    c.stalled.push_back((shard, job));
+                                                }
+                                            }
+                                            Err(TrySendError::Disconnected(_)) => {
+                                                alive = false;
+                                                break 'outer;
+                                            }
+                                        }
+                                    } else {
+                                        // A parked Open precedes this Size:
+                                        // FIFO order is sacred.
+                                        c.stalled.push_back((shard, Job::Command { key, cmd }));
+                                    }
+                                } else if enqueue(
                                     &mut c.stalled,
                                     senders,
                                     shard,
@@ -584,7 +788,17 @@ impl Reactor {
             if !c.stalled.is_empty() || c.in_masked || !c.read_ready || budget == 0 {
                 break;
             }
-            match c.acc.fill_from(&mut c.stream, cfg.read_buffer) {
+            // Chaos short read: clamp this pass's read size to a few
+            // bytes, splitting frames at arbitrary boundaries — the rope
+            // accumulator must reassemble them bit-exactly.
+            let cap = match plan.as_ref() {
+                Some(p) if p.fire(FaultSite::ShortRead) => {
+                    metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                    p.amount(FaultSite::ShortRead, cfg.read_buffer.saturating_sub(1)) + 1
+                }
+                _ => cfg.read_buffer,
+            };
+            match c.acc.fill_from(&mut c.stream, cap) {
                 Ok(0) => {
                     // Clean close — unless it cut a frame in half.
                     if c.acc.mid_frame() {
@@ -662,7 +876,10 @@ impl Reactor {
             return false;
         }
         match c.out.lock() {
-            Ok(inner) => inner.finished_channels == c.channels.len() as u64 && inner.buf.is_empty(),
+            Ok(inner) => {
+                inner.finished_channels == c.channels.len() as u64 + c.early_closes
+                    && inner.buf.is_empty()
+            }
             Err(_) => true,
         }
     }
@@ -703,11 +920,18 @@ impl Reactor {
             inner.stream = None; // drop the dup so the fd really closes
         }
         let _ = self.epoll.delete(c.stream.as_raw_fd());
+        // Parked Closes (early channel retirements and EOF closes whose
+        // table entry reads Queued) are delivered from the stalled queue;
+        // other parked jobs die with the connection.
+        for (shard, job) in c.stalled {
+            if matches!(job, Job::Close { .. }) {
+                let _ = self.senders[shard].send(job);
+            }
+        }
         for (&channel, ch) in &c.channels {
-            if ch.close != CloseState::Sent {
+            if ch.close == CloseState::Open {
                 // Blocking send: bounded by worker compute (workers never
                 // block on I/O), and per-channel order needs Close last.
-                // A Queued close's parked twin dies with `c.stalled`.
                 let _ = self.senders[ch.shard].send(Job::Close {
                     key: ChannelKey { conn, channel },
                 });
@@ -758,4 +982,46 @@ fn fail_malformed(c: &mut Conn, metrics: &ServiceMetrics, detail: String) {
         }
     }
     c.read_eof = true;
+}
+
+/// Queue a channel-tagged response produced by the reactor itself (Busy
+/// and ShuttingDown faults): unlike [`fail_malformed`] the connection
+/// keeps flowing — only the one document was refused, in its own response
+/// slot. The enclosing service pass's trailing flush sends it.
+fn push_response(c: &mut Conn, metrics: &ServiceMetrics, channel: u16, resp: &WireResponse) {
+    let mut bytes = Vec::with_capacity(64);
+    if resp.encode_on(channel, &mut bytes).is_ok() {
+        if let Ok(mut inner) = c.out.lock() {
+            if !inner.dead {
+                inner.buf.push(bytes);
+                metrics
+                    .outbound_queue_peak
+                    .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Chaos helper: a writer that passes through `remaining` bytes and then
+/// reports `WouldBlock`, simulating a kernel send buffer with almost no
+/// room so partial-write resumption gets exercised on demand.
+struct ClippedWriter<'a, W> {
+    inner: &'a mut W,
+    remaining: usize,
+}
+
+impl<W: std::io::Write> std::io::Write for ClippedWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(ErrorKind::WouldBlock.into());
+        }
+        let n = buf.len().min(self.remaining);
+        let written = self.inner.write(&buf[..n])?;
+        self.remaining -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }

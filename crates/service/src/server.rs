@@ -16,9 +16,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::chaos::{ChaosConfig, FaultPlan};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::outbound::{NewConn, ReactorWaker};
-use crate::reactor::{spawn_reactor, ReactorConfig};
+use crate::reactor::{spawn_reactor, ReactorConfig, ReactorControl};
 use crate::worker::WorkerPool;
 
 /// Server tunables.
@@ -64,6 +65,10 @@ pub struct ServiceConfig {
     /// `bench_service` measures both modes with one harness so the fusion
     /// win on live traffic stays visible in `BENCH_service.json`.
     pub two_phase_reference: bool,
+    /// Deterministic fault injection ([`ChaosConfig`]); `None` (or a
+    /// config with every rate at zero) serves clean. Same seed + same
+    /// client schedule ⇒ same fault schedule.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +85,7 @@ impl Default for ServiceConfig {
             slow_consumer_deadline: Duration::from_secs(10),
             send_buffer: 0,
             two_phase_reference: false,
+            chaos: None,
         }
     }
 }
@@ -114,6 +120,7 @@ fn available_cores() -> usize {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     metrics: Arc<ServiceMetrics>,
 }
@@ -127,6 +134,25 @@ impl ServerHandle {
     /// Shared metrics.
     pub fn metrics(&self) -> &Arc<ServiceMetrics> {
         &self.metrics
+    }
+
+    /// Graceful drain, then shutdown. Sets the drain flag — new accepts
+    /// are refused (`accepts_rejected`) and every *new* document is
+    /// answered with a `ShuttingDown` fault (`drain_shed`) while documents
+    /// already in flight run to completion — then waits up to `deadline`
+    /// for the connection count to reach zero (well-behaved clients close
+    /// when told the server is going away) before the hard shutdown.
+    /// Returns the final metrics as the shutdown snapshot.
+    pub fn drain(self, deadline: Duration) -> MetricsSnapshot {
+        self.draining.store(true, Ordering::SeqCst);
+        let start = std::time::Instant::now();
+        while start.elapsed() < deadline {
+            if self.metrics.connections_current.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.shutdown()
     }
 
     /// Stop accepting, drain connections, reactors and workers, join all
@@ -161,6 +187,15 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let metrics = Arc::new(ServiceMetrics::new(classifier.num_languages()));
     let shutdown = Arc::new(AtomicBool::new(false));
+    let draining = Arc::new(AtomicBool::new(false));
+    // One fault plan for the whole server: every injection site draws from
+    // its own per-site counter stream, so the schedule is a pure function
+    // of the seed and each site's draw ordinal.
+    let plan: Option<Arc<FaultPlan>> = config
+        .chaos
+        .as_ref()
+        .filter(|c| c.is_active())
+        .map(|c| Arc::new(FaultPlan::new(c.clone())));
     let pool = WorkerPool::new(
         Arc::clone(&classifier),
         Arc::clone(&metrics),
@@ -168,7 +203,8 @@ pub fn serve(
         config.queue_depth,
         config.watchdog,
         config.two_phase_reference,
-    );
+        plan.clone(),
+    )?;
 
     // The Hello banner is identical for every connection: encode it once.
     let hello = {
@@ -191,14 +227,20 @@ pub fn serve(
     let mut wakers: Vec<Arc<ReactorWaker>> = Vec::with_capacity(reactor_count);
     let mut reactor_threads: Vec<JoinHandle<()>> = Vec::with_capacity(reactor_count);
     let spawned: std::io::Result<()> = (0..reactor_count).try_for_each(|i| {
-        let waker = Arc::new(ReactorWaker::new()?);
+        let waker = Arc::new(ReactorWaker::new(
+            plan.as_ref().map(|p| (Arc::clone(p), Arc::clone(&metrics))),
+        )?);
         let handle = spawn_reactor(
             i,
             Arc::clone(&waker),
             pool.senders(),
             Arc::clone(&hello),
             Arc::clone(&metrics),
-            Arc::clone(&shutdown),
+            ReactorControl {
+                shutdown: Arc::clone(&shutdown),
+                drain: Arc::clone(&draining),
+                plan: plan.clone(),
+            },
             reactor_cfg.clone(),
         )?;
         wakers.push(waker);
@@ -222,6 +264,8 @@ pub fn serve(
 
     let accept_metrics = Arc::clone(&metrics);
     let accept_shutdown = Arc::clone(&shutdown);
+    let accept_draining = Arc::clone(&draining);
+    let cleanup_wakers: Vec<Arc<ReactorWaker>> = wakers.clone();
     let max_connections = config.max_connections.max(1) as u64;
     let accept_thread = std::thread::Builder::new()
         .name("lc-accept".into())
@@ -238,6 +282,14 @@ pub fn serve(
                     std::thread::sleep(Duration::from_millis(50));
                     continue;
                 };
+                if accept_draining.load(Ordering::SeqCst) {
+                    // Draining: existing connections finish their in-flight
+                    // documents; new arrivals go elsewhere.
+                    accept_metrics
+                        .accepts_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 if accept_metrics.connections_current.load(Ordering::Relaxed) >= max_connections {
                     accept_metrics
                         .accepts_rejected
@@ -277,12 +329,27 @@ pub fn serve(
                 }
             }
             pool.shutdown();
-        })
-        .expect("spawn accept thread");
+        });
+    let accept_thread = match accept_thread {
+        Ok(h) => h,
+        Err(e) => {
+            // The closure was dropped with everything it captured: the
+            // pool's senders are gone (workers exit on disconnect, the
+            // supervisor reaps them) and the reactor join handles are
+            // detached — set the flag and wake them so they exit too.
+            // Nothing joins them, but nothing leaks either.
+            shutdown.store(true, Ordering::SeqCst);
+            for waker in &cleanup_wakers {
+                waker.wake();
+            }
+            return Err(e);
+        }
+    };
 
     Ok(ServerHandle {
         addr,
         shutdown,
+        draining,
         accept_thread: Some(accept_thread),
         metrics,
     })

@@ -107,6 +107,17 @@ impl Session {
         matches!(self.state, State::Receiving { .. })
     }
 
+    /// Put a *fresh* session straight into the draining state. Used when a
+    /// worker panic poisoned the previous session mid-document: the
+    /// `EngineFault` the worker sends took that document's response slot,
+    /// so the replacement session must discard the document's remaining
+    /// frames (Data, EoD, Query) instead of answering each with a fault —
+    /// exactly the watchdog's discard discipline. The next Size re-arms.
+    pub fn quarantine(&mut self) {
+        self.abort_document();
+        self.latched = None;
+    }
+
     /// Apply one command; returns the response to send, if any. Only
     /// `QueryResult` and faults produce responses — data flow is silent,
     /// like the register interface.
@@ -180,6 +191,11 @@ impl Session {
                 self.latched = None;
                 None
             }
+            // Channel teardown is a connection-layer concern: the reactor
+            // consumes CloseChannel frames in its decode loop and never
+            // forwards them to a session. Reaching here means a decoder
+            // bug, not a client error — treat it as an inert no-op.
+            WireCommand::CloseChannel => None,
         }
     }
 

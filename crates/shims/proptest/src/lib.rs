@@ -153,6 +153,25 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Tuples of strategies sample componentwise (matching real proptest), so
+/// `(0usize..100, any::<u8>())` yields `(usize, u8)` pairs.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
     use super::{Strategy, TestRng};

@@ -64,6 +64,10 @@ pub mod kind {
     pub const QUERY_RESULT: u8 = 0x04;
     /// Reset command.
     pub const RESET: u8 = 0x05;
+    /// Close-channel control command (v2): tear down this channel's
+    /// session server-side without closing the connection, freeing its
+    /// `--max-channels` slot for reuse.
+    pub const CLOSE_CHANNEL: u8 = 0x06;
     /// Hello response (server banner: language names).
     pub const HELLO: u8 = 0x81;
     /// Result response (counters + checksum + status).
@@ -124,6 +128,16 @@ pub enum ErrorCode {
     WatchdogReset = 5,
     /// The peer sent bytes that do not decode as a valid frame.
     MalformedFrame = 6,
+    /// The engine worker serving this channel panicked mid-document; the
+    /// session was replaced and the in-flight document discarded.
+    EngineFault = 7,
+    /// The server is saturated (shard queue full with the outbound queue
+    /// over high-water): the document was shed, not processed. Retriable
+    /// after backoff.
+    Busy = 8,
+    /// The server is draining for shutdown and accepts no new documents on
+    /// this connection.
+    ShuttingDown = 9,
 }
 
 impl ErrorCode {
@@ -136,6 +150,9 @@ impl ErrorCode {
             4 => ErrorCode::UnexpectedDma,
             5 => ErrorCode::WatchdogReset,
             6 => ErrorCode::MalformedFrame,
+            7 => ErrorCode::EngineFault,
+            8 => ErrorCode::Busy,
+            9 => ErrorCode::ShuttingDown,
             _ => return Err(FrameError::Malformed("unknown error code")),
         })
     }
@@ -150,6 +167,9 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::UnexpectedDma => "DMA data with no Size announcement",
             ErrorCode::WatchdogReset => "watchdog reset a stalled session",
             ErrorCode::MalformedFrame => "malformed frame",
+            ErrorCode::EngineFault => "engine worker fault; document discarded",
+            ErrorCode::Busy => "server saturated; document shed",
+            ErrorCode::ShuttingDown => "server draining for shutdown",
         };
         f.write_str(s)
     }
@@ -311,6 +331,12 @@ pub enum WireCommand {
     QueryResult,
     /// Reset the session state machine.
     Reset,
+    /// Tear down this channel's session (v2 control frame): the server
+    /// drops the session and frees the channel's `max_channels` slot; the
+    /// id may be reused (a later frame on it opens a fresh session). No
+    /// acknowledgement is sent — per-channel FIFO through the shard queue
+    /// already orders a reuse behind the close.
+    CloseChannel,
 }
 
 impl WireCommand {
@@ -350,6 +376,7 @@ impl WireCommand {
             WireCommand::EndOfDocument => write_frame_on(w, kind::END_OF_DOCUMENT, channel, &[]),
             WireCommand::QueryResult => write_frame_on(w, kind::QUERY_RESULT, channel, &[]),
             WireCommand::Reset => write_frame_on(w, kind::RESET, channel, &[]),
+            WireCommand::CloseChannel => write_frame_on(w, kind::CLOSE_CHANNEL, channel, &[]),
         }
     }
 
@@ -381,6 +408,7 @@ impl WireCommand {
             kind::END_OF_DOCUMENT => expect_empty(payload, WireCommand::EndOfDocument),
             kind::QUERY_RESULT => expect_empty(payload, WireCommand::QueryResult),
             kind::RESET => expect_empty(payload, WireCommand::Reset),
+            kind::CLOSE_CHANNEL => expect_empty(payload, WireCommand::CloseChannel),
             other => Err(FrameError::UnknownKind(other)),
         }
     }
@@ -956,6 +984,43 @@ mod tests {
         roundtrip_cmd(WireCommand::EndOfDocument);
         roundtrip_cmd(WireCommand::QueryResult);
         roundtrip_cmd(WireCommand::Reset);
+        roundtrip_cmd(WireCommand::CloseChannel);
+    }
+
+    #[test]
+    fn close_channel_roundtrips_on_a_channel() {
+        let mut buf = Vec::new();
+        WireCommand::CloseChannel.encode_on(42, &mut buf).unwrap();
+        assert_eq!(buf[0], kind::CLOSE_CHANNEL | CHANNEL_FLAG);
+        let (k, ch, payload) = read_frame_mux(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!((k, ch), (kind::CLOSE_CHANNEL, 42));
+        assert_eq!(
+            WireCommand::decode(k, payload).unwrap(),
+            WireCommand::CloseChannel
+        );
+    }
+
+    #[test]
+    fn every_error_code_roundtrips_the_wire() {
+        for code in [
+            ErrorCode::NoResult,
+            ErrorCode::SizeWhileBusy,
+            ErrorCode::TruncatedTransfer,
+            ErrorCode::UnexpectedDma,
+            ErrorCode::WatchdogReset,
+            ErrorCode::MalformedFrame,
+            ErrorCode::EngineFault,
+            ErrorCode::Busy,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::from_byte(code as u8).unwrap(), code);
+            roundtrip_resp(WireResponse::Error {
+                code,
+                detail: "x".into(),
+            });
+        }
+        assert!(ErrorCode::from_byte(0).is_err());
+        assert!(ErrorCode::from_byte(10).is_err());
     }
 
     #[test]

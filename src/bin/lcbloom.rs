@@ -8,8 +8,9 @@
 //! lcbloom serve    --profiles FILE.lcp [--addr A] [--workers N] [--reactors N]
 //!                  [--max-connections N] [--max-channels N]
 //!                  [--outbound-high-water BYTES] [--slow-consumer-ms N]
-//!                  [--watchdog-ms N] [--stats-secs N]
-//! lcbloom query    --addr A [--channels N] [--window W] FILE...
+//!                  [--watchdog-ms N] [--stats-secs N] [--drain-deadline-ms N]
+//!                  [--chaos-seed S] [--chaos-rate R]
+//! lcbloom query    --addr A [--channels N] [--window W] [--timeout-ms N] FILE...
 //! lcbloom demo
 //! ```
 //!
@@ -25,6 +26,11 @@
 //!   store; `query` classifies files against a running server
 //!   (`--channels N` multiplexes the batch over N wire-v2 channels on one
 //!   connection, fanning it across the server's worker shards).
+//! * `serve` drains gracefully on SIGTERM/SIGINT: accepts stop, new
+//!   documents get `ShuttingDown` faults, in-flight documents finish
+//!   (bounded by `--drain-deadline-ms`), and the final metrics snapshot
+//!   prints on exit. `--chaos-rate`/`--chaos-seed` turn on deterministic
+//!   fault injection for resilience drills.
 
 use lcbloom::fpga::resources::ClassifierConfig;
 use lcbloom::prelude::*;
@@ -72,8 +78,10 @@ fn print_usage() {
          \x20                  [--reactors N] [--max-connections N] [--max-channels N]\n\
          \x20                  [--outbound-high-water BYTES] [--slow-consumer-ms N]\n\
          \x20                  [--watchdog-ms N] [--stats-secs N] [--m KBITS] [--k K]\n\
-         \x20                  [--subsample S]\n\
-         \x20 lcbloom query    --addr HOST:PORT [--channels N] [--window W] FILE...\n\
+         \x20                  [--subsample S] [--drain-deadline-ms N]\n\
+         \x20                  [--chaos-seed S] [--chaos-rate R]\n\
+         \x20 lcbloom query    --addr HOST:PORT [--channels N] [--window W]\n\
+         \x20                  [--timeout-ms N] FILE...\n\
          \x20 lcbloom demo\n\
          \n\
          `train` expects one directory per language, named by its code (en, fr, ...),\n\
@@ -321,6 +329,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "slow-consumer-ms",
             "watchdog-ms",
             "stats-secs",
+            "drain-deadline-ms",
+            "chaos-seed",
+            "chaos-rate",
         ],
         &[],
     )?;
@@ -347,9 +358,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             defaults.slow_consumer_deadline.as_millis() as u64,
         )?),
         watchdog: std::time::Duration::from_millis(parse_num(&flags, "watchdog-ms", 5000u64)?),
+        chaos: {
+            // One knob sets a whole fault mix: --chaos-rate r injects
+            // short reads/writes at r, lost wakes at r/2, payload
+            // corruption and worker panics at r/10, connection resets at
+            // r/100 — all on a schedule replayable from --chaos-seed.
+            let rate: f64 = match flags.get("chaos-rate") {
+                Some(s) => s
+                    .parse()
+                    .map_err(|e| format!("parsing --chaos-rate: {e}"))?,
+                None => 0.0,
+            };
+            let seed = parse_num(&flags, "chaos-seed", 0xC4A0_5EEDu64)?;
+            (rate > 0.0).then(|| lcbloom::service::ChaosConfig {
+                seed,
+                short_read: rate,
+                short_write: rate,
+                wake_drop: rate / 2.0,
+                corrupt_payload: rate / 10.0,
+                conn_reset: rate / 100.0,
+                worker_panic: rate / 10.0,
+                ..Default::default()
+            })
+        },
         ..defaults
     };
     let stats_secs = parse_num(&flags, "stats-secs", 10u64)?;
+    let drain_deadline =
+        std::time::Duration::from_millis(parse_num(&flags, "drain-deadline-ms", 5000u64)?);
     // Each connection costs two fds (stream + write-through dup); make the
     // process limit match the configured cap, best-effort.
     let _ = lcbloom::service::raise_nofile_limit(2 * config.max_connections as u64 + 64);
@@ -379,15 +415,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.slow_consumer_deadline,
         config.watchdog,
     );
+    // SIGTERM/SIGINT latch a flag instead of killing the process: the loop
+    // below notices within 100ms, drains in-flight documents under the
+    // deadline, prints the final snapshot, and exits 0.
+    lcbloom::service::install_termination_handler()
+        .map_err(|e| format!("installing termination handler: {e}"))?;
     let metrics = std::sync::Arc::clone(handle.metrics());
+    let mut last_stats = std::time::Instant::now();
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(stats_secs.max(1)));
-        eprintln!("{}", metrics.snapshot());
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if lcbloom::service::termination_requested() {
+            eprintln!("termination signal; draining (deadline {drain_deadline:?})");
+            let snapshot = handle.drain(drain_deadline);
+            eprintln!("{snapshot}");
+            return Ok(());
+        }
+        if last_stats.elapsed() >= std::time::Duration::from_secs(stats_secs.max(1)) {
+            last_stats = std::time::Instant::now();
+            eprintln!("{}", metrics.snapshot());
+        }
     }
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let (flags, files) = parse_flags(args, &["addr", "channels", "window"], &[])?;
+    let (flags, files) = parse_flags(args, &["addr", "channels", "window", "timeout-ms"], &[])?;
     let addr = flags
         .get("addr")
         .map(String::as_str)
@@ -397,11 +448,22 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         return Err("--channels must be >= 1".into());
     }
     let window = parse_num(&flags, "window", 4 * channels as usize)?;
+    let timeout_ms = parse_num(&flags, "timeout-ms", 0u64)?;
     if files.is_empty() {
         return Err("query requires at least one file".into());
     }
-    let mut client =
-        ClassifyClient::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut client = if timeout_ms > 0 {
+        let t = std::time::Duration::from_millis(timeout_ms);
+        let policy = lcbloom::service::RetryPolicy {
+            connect_timeout: Some(t),
+            io_timeout: Some(t),
+            ..Default::default()
+        };
+        ClassifyClient::connect_with(addr, &policy)
+    } else {
+        ClassifyClient::connect(addr)
+    }
+    .map_err(|e| format!("connecting {addr}: {e}"))?;
     println!(
         "{:<40} {:<8} {:>8} {:>10}",
         "file", "language", "margin", "n-grams"

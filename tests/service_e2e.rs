@@ -791,6 +791,55 @@ fn multiplexed_channels_are_bit_identical_and_zero_copy() {
 }
 
 #[test]
+fn close_channel_frees_its_slot_for_reuse() {
+    // With max_channels = 2, a connection that has used channels 1 and 2
+    // cannot open a third — unless it retires one first. CloseChannel
+    // must free the slot immediately (the reactor removes the table entry
+    // in its decode loop, strictly before any later frame), so the
+    // follow-up channel is admitted on the same connection.
+    let c = classifier();
+    let config = ServiceConfig {
+        workers: 2,
+        max_channels: 2,
+        ..ServiceConfig::default()
+    };
+    let doc = b"the quick brown fox jumps over the lazy dog";
+    let expected = c.classify(doc);
+
+    // Control: without the close, the third channel kills the connection.
+    let server = serve(Arc::clone(&c), "127.0.0.1:0", config.clone()).expect("bind localhost");
+    let mut victim = ClassifyClient::connect(server.addr()).expect("connect");
+    victim.classify_on(1, doc).expect("channel 1");
+    victim.classify_on(2, doc).expect("channel 2");
+    assert!(
+        victim.classify_on(3, doc).is_err(),
+        "third channel must exceed max_channels = 2"
+    );
+    drop(victim);
+
+    let mut client = ClassifyClient::connect(server.addr()).expect("connect");
+    assert_eq!(client.classify_on(1, doc).unwrap().result, expected);
+    assert_eq!(client.classify_on(2, doc).unwrap().result, expected);
+    client.close_channel(1).expect("close channel 1");
+    assert_eq!(
+        client
+            .classify_on(3, doc)
+            .expect("closed slot must be reusable")
+            .result,
+        expected
+    );
+    drop(client);
+
+    let snap = server.shutdown();
+    assert!(snap.channels_closed >= 1, "{snap:?}");
+    assert_eq!(snap.channels_current, 0, "all channels gone with the conns");
+    assert!(
+        snap.protocol_errors >= 1,
+        "the control connection's third channel must have errored"
+    );
+}
+
+#[test]
 fn v1_client_against_v2_server_is_unmodified() {
     // The back-compat contract, pinned explicitly: a peer speaking only
     // 5-byte v1 frames (no channel field anywhere) gets served exactly as

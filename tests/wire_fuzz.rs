@@ -1,0 +1,127 @@
+//! Decoder fuzzing: the frame accumulator sits directly on attacker-
+//! controlled socket bytes, so it must map *any* byte sequence — valid
+//! streams, bit-flipped streams, pure garbage — to either a decoded frame
+//! or a typed [`FrameError`], never a panic, never an unbounded loop, and
+//! never a result that depends on how the bytes were chunked.
+
+use lcbloom::wire::{FrameAccumulator, FrameError, WireCommand};
+use proptest::prelude::*;
+
+/// A well-formed multi-frame stream: one full document exchange on the
+/// given channel (v1 framing when 0, v2 otherwise) plus a channel-control
+/// frame, so every command kind and both framings appear.
+fn valid_stream(doc_words: &[u64], channel: u16) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    WireCommand::Size {
+        words: doc_words.len() as u32,
+        bytes: doc_words.len() as u32 * 8,
+    }
+    .encode_on(channel, &mut bytes)
+    .unwrap();
+    if !doc_words.is_empty() {
+        WireCommand::data_words(doc_words)
+            .encode_on(channel, &mut bytes)
+            .unwrap();
+    }
+    WireCommand::EndOfDocument
+        .encode_on(channel, &mut bytes)
+        .unwrap();
+    WireCommand::QueryResult
+        .encode_on(channel, &mut bytes)
+        .unwrap();
+    WireCommand::CloseChannel
+        .encode_on(channel, &mut bytes)
+        .unwrap();
+    bytes
+}
+
+/// Feed `bytes` into a fresh accumulator `feed` bytes at a time; decode
+/// every completed frame through [`WireCommand::decode`]. Returns the
+/// successfully decoded commands, stopping at the first typed error (a
+/// server tears the connection down there, so bytes past it are dead).
+/// Panics and runaway loops are what the callers assert against.
+fn drive(bytes: &[u8], feed: usize) -> Result<Vec<WireCommand>, FrameError> {
+    let mut acc = FrameAccumulator::new();
+    let mut decoded = Vec::new();
+    for chunk in bytes.chunks(feed.max(1)) {
+        acc.push(chunk);
+        loop {
+            match acc.next_frame_mux() {
+                Ok(Some((kind, _channel, payload))) => {
+                    decoded.push(WireCommand::decode(kind, payload)?);
+                    assert!(
+                        decoded.len() <= bytes.len() + 1,
+                        "more frames than input bytes: the accumulator is inventing data"
+                    );
+                }
+                Ok(None) => break,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(decoded)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// An unmutated stream reassembles to exactly its source commands no
+    /// matter how it is chunked — 1-byte dribbles included.
+    #[test]
+    fn valid_streams_survive_any_chunking(
+        words in proptest::collection::vec(any::<u64>(), 0..64),
+        channel in 0u16..5,
+        feed in 1usize..17,
+    ) {
+        let bytes = valid_stream(&words, channel);
+        let reference = drive(&bytes, bytes.len());
+        let dribbled = drive(&bytes, feed);
+        prop_assert_eq!(&reference, &dribbled, "chunking changed the decode");
+        let decoded = reference.expect("valid stream must decode");
+        // Size + optional Data + EoD + Query + CloseChannel.
+        let expect = 4 + usize::from(!words.is_empty());
+        prop_assert_eq!(decoded.len(), expect);
+    }
+
+    /// Bit-flipped streams never panic or hang: every flip lands on a
+    /// typed error or a (possibly different) valid decode.
+    #[test]
+    fn mutated_streams_decode_or_fail_typed(
+        words in proptest::collection::vec(any::<u64>(), 0..32),
+        channel in 0u16..5,
+        flips in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..9),
+        feed in 1usize..17,
+    ) {
+        let mut bytes = valid_stream(&words, channel);
+        for (pos, mask) in flips {
+            let at = pos % bytes.len();
+            bytes[at] ^= mask | 1; // never a no-op flip
+        }
+        let _ = drive(&bytes, feed);
+    }
+
+    /// Pure garbage never panics or hangs either.
+    #[test]
+    fn garbage_decodes_or_fails_typed(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        feed in 1usize..17,
+    ) {
+        let _ = drive(&bytes, feed);
+    }
+
+    /// Garbage prefixed onto a valid header byte still terminates: the
+    /// adversarial shape for a length-prefixed protocol is a plausible
+    /// kind byte followed by a huge length, which must be rejected (frame
+    /// cap), not buffered toward 4 GiB.
+    #[test]
+    fn huge_declared_lengths_are_rejected_not_buffered(
+        kind in 0u8..8,
+        len in (lcbloom::wire::MAX_FRAME_PAYLOAD as u32 + 1)..u32::MAX,
+    ) {
+        let mut bytes = vec![kind];
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&[0xAB; 64]);
+        let r = drive(&bytes, 3);
+        prop_assert!(r.is_err(), "oversized frame must be a typed error, got {r:?}");
+    }
+}
