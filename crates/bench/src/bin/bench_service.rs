@@ -48,7 +48,10 @@
 use lc_bloom::BloomParams;
 use lc_core::MultiLanguageClassifier;
 use lc_corpus::{Corpus, CorpusConfig, Language};
-use lc_service::{raise_nofile_limit, serve, ChaosConfig, ServiceConfig};
+use lc_service::{
+    histogram_percentile_us, raise_nofile_limit, serve, ChaosConfig, ClassifyClient,
+    MetricsSnapshot, ServiceConfig, LATENCY_BUCKETS,
+};
 use lc_wire::{read_frame, read_frame_mux, write_data_frame_on, WireCommand, WireResponse};
 use std::io::{BufWriter, Write};
 use std::net::TcpStream;
@@ -135,6 +138,14 @@ struct Round {
     slow_consumer_resets: u64,
     faulted_docs: u64,
     faults_injected: u64,
+    /// Wire-v2 `GetStats` reports pulled mid-round by the poller thread
+    /// (nonzero only in the observability-overhead scenario).
+    stats_polls: u64,
+    /// The server's shutdown snapshot. `shutdown()` joins every reactor
+    /// and worker thread first, so this is a **quiesced** snapshot — the
+    /// per-shard and per-stage numbers are exact, not torn (see
+    /// `ServiceMetrics::snapshot` for the mid-load tearing model).
+    snapshot: MetricsSnapshot,
 }
 
 /// One measured round: serve with `config`, hammer with `clients` (plus
@@ -147,6 +158,7 @@ fn run_round(
     clients: usize,
     measure_docs: usize,
     slow_reader: bool,
+    poll_stats: bool,
 ) -> Round {
     let tolerate_faults = config.chaos.is_some();
     let server = serve(Arc::clone(classifier), "127.0.0.1:0", config).expect("bind localhost");
@@ -155,7 +167,8 @@ fn run_round(
 
     let faults = AtomicUsize::new(0);
     let budget = AtomicUsize::new(measure_docs);
-    let barrier = Barrier::new(clients + 1 + usize::from(slow_reader));
+    let barrier = Barrier::new(clients + 1 + usize::from(slow_reader) + usize::from(poll_stats));
+    let stats_polls = AtomicUsize::new(0);
     let bytes_served = AtomicUsize::new(0);
     // Last client to drain the budget stamps the finish line, so the
     // measured span never includes the slow peer's deliberate lingering.
@@ -197,6 +210,29 @@ fn run_round(
                         }
                     }
                     std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            });
+        }
+        if poll_stats {
+            // The observability-overhead scenario's live consumer: a
+            // dedicated connection pulling full `GetStats(detail=1)`
+            // reports (ring dumps included) throughout the measured span,
+            // the way a dashboard or watchdog would.
+            s.spawn(|| {
+                let mut c = ClassifyClient::connect(addr).expect("connect stats poller");
+                barrier.wait();
+                while (budget.load(Ordering::Relaxed) as isize) > 0 {
+                    let snap = c.stats(1).expect("mid-load stats");
+                    // Upper bound: warmup (one window per client) plus the
+                    // measured budget. Mid-load reads may tear *low*, never
+                    // count documents that were never sent.
+                    assert!(
+                        snap.documents <= (measure_docs + clients * PIPELINE_DEPTH) as u64,
+                        "mid-load snapshot counted {} documents, more than ever sent",
+                        snap.documents
+                    );
+                    stats_polls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
                 }
             });
         }
@@ -289,6 +325,8 @@ fn run_round(
         slow_consumer_resets: snap.slow_consumer_resets,
         faulted_docs: faults.load(Ordering::Relaxed) as u64,
         faults_injected: snap.faults_injected,
+        stats_polls: stats_polls.load(Ordering::Relaxed) as u64,
+        snapshot: snap,
     }
 }
 
@@ -367,6 +405,10 @@ fn run_mux_round(
 
     drop(writer);
     drop(reader);
+    // `shutdown()` joins every reactor and worker before snapshotting, so
+    // this is a quiesced snapshot: the zero-copy assertion below reads an
+    // exact counter, not a mid-load approximation that could tear (every
+    // response was received above, and no thread is still recording).
     let snap = server.shutdown();
     assert_eq!(
         snap.payload_copies, 0,
@@ -374,6 +416,7 @@ fn run_mux_round(
         snap.payload_copies, snap.data_frames,
     );
     let secs = elapsed.as_secs_f64();
+    let (data_frames, payload_copies) = (snap.data_frames, snap.payload_copies);
     (
         Round {
             docs_per_s: measure_docs as f64 / secs,
@@ -381,9 +424,61 @@ fn run_mux_round(
             slow_consumer_resets: snap.slow_consumer_resets,
             faulted_docs: 0,
             faults_injected: 0,
+            stats_polls: 0,
+            snapshot: snap,
         },
-        snap.data_frames,
-        snap.payload_copies,
+        data_frames,
+        payload_copies,
+    )
+}
+
+/// Per-shard JSON from a quiesced snapshot: who latched the documents,
+/// how long each engine was busy, how deep its queue got, how often
+/// commands parked waiting for it.
+fn per_shard_json(snap: &MetricsSnapshot) -> String {
+    let shards: Vec<String> = snap
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            format!(
+                "{{ \"shard\": {}, \"docs\": {}, \"busy_ms\": {:.1}, \"queue_depth_peak\": {}, \"parked\": {}, \"jobs\": {} }}",
+                i,
+                s.docs,
+                s.busy_ns as f64 / 1e6,
+                s.queue_depth_peak,
+                s.parked,
+                s.jobs
+            )
+        })
+        .collect();
+    format!("[ {} ]", shards.join(", "))
+}
+
+/// Per-stage latency JSON (p50/p95/p99 in µs) from a quiesced snapshot.
+/// A percentile that lands in the overflow bucket reports `-1`: beyond
+/// the largest tracked bound, not a measured value.
+fn latency_stages_json(snap: &MetricsSnapshot) -> String {
+    let stage = |name: &str, hist: &[u64; LATENCY_BUCKETS]| {
+        let pct = |q: f64| match histogram_percentile_us(hist, q) {
+            Some(u64::MAX) | None => -1i64,
+            Some(v) => v as i64,
+        };
+        format!(
+            "\"{}\": {{ \"n\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {} }}",
+            name,
+            hist.iter().sum::<u64>(),
+            pct(0.50),
+            pct(0.95),
+            pct(0.99)
+        )
+    };
+    format!(
+        "{{ {}, {}, {}, {} }}",
+        stage("latency", &snap.latency),
+        stage("queue_wait", &snap.queue_wait),
+        stage("classify", &snap.classify),
+        stage("response_drain", &snap.response_drain)
     )
 }
 
@@ -452,6 +547,7 @@ fn main() {
                 clients,
                 measure_docs,
                 false,
+                false,
             );
             eprintln!(
                 "round {round}, workers={workers}{}: {:.0} docs/s, {:.1} MB/s",
@@ -494,6 +590,7 @@ fn main() {
                 sweep_config(n),
                 n,
                 sweep_budget(n),
+                false,
                 false,
             );
             eprintln!(
@@ -578,6 +675,7 @@ fn main() {
             64,
             slow_budget,
             true,
+            false,
         );
         eprintln!(
             "slow-reader round {round}: {:.0} docs/s, {:.1} MB/s, {} resets",
@@ -617,6 +715,7 @@ fn main() {
             clients,
             measure_docs,
             false,
+            false,
         );
         let chaotic = run_round(
             &classifier,
@@ -627,6 +726,7 @@ fn main() {
             },
             clients,
             measure_docs,
+            false,
             false,
         );
         eprintln!(
@@ -652,12 +752,79 @@ fn main() {
         "the chaos plan never fired; the fault-mode round measured nothing"
     );
 
+    // Scenario 6: observability overhead — interleaved A/B rounds of the
+    // same load with the introspection plane fully off (no event ring,
+    // nobody polling) versus fully on (`trace_ring` recording every
+    // reactor event plus a dedicated connection pulling complete
+    // `GetStats(detail=1)` reports — ring dumps included — every ~2 ms
+    // mid-load, the way a dashboard would). The plane is relaxed atomics
+    // plus a fixed-size ring write per event, so the cost should be
+    // noise; the exact ratio is recorded for review and only a
+    // catastrophic (>20%) loss fails, because the shared container
+    // swings ±30% round to round.
+    // More rounds than the sweeps: each round is cheap (600 docs), and
+    // the quantity under test — a few percent of throughput — is smaller
+    // than the container's per-round noise, so the median needs depth.
+    const OBS_ROUNDS: usize = 9;
+    let mut obs_plain_rounds = Vec::new();
+    let mut obs_on_rounds = Vec::new();
+    for round in 0..OBS_ROUNDS {
+        let plain = run_round(
+            &classifier,
+            &docs,
+            workers_config(4),
+            clients,
+            measure_docs,
+            false,
+            false,
+        );
+        let observed = run_round(
+            &classifier,
+            &docs,
+            ServiceConfig {
+                trace_ring: true,
+                ..workers_config(4)
+            },
+            clients,
+            measure_docs,
+            false,
+            true,
+        );
+        eprintln!(
+            "observability round {round}: plain {:.0} docs/s vs observed {:.0} docs/s \
+             ({} live stats polls answered mid-load)",
+            plain.docs_per_s, observed.docs_per_s, observed.stats_polls
+        );
+        obs_plain_rounds.push(plain);
+        obs_on_rounds.push(observed);
+    }
+    let obs_plain = median(obs_plain_rounds);
+    let obs_on = median(obs_on_rounds);
+    let obs_ratio = obs_on.docs_per_s / obs_plain.docs_per_s;
+    assert!(
+        obs_ratio > 0.8,
+        "the introspection plane cost {:.0}% throughput ({:.0} vs {:.0} docs/s): \
+         stats frames and the event ring must stay off the hot path",
+        (1.0 - obs_ratio) * 100.0,
+        obs_on.docs_per_s,
+        obs_plain.docs_per_s,
+    );
+    assert!(
+        obs_on.stats_polls > 0,
+        "the stats poller never completed a GetStats round trip mid-load"
+    );
+
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|(n, budget, r)| {
             format!(
-                "{{ \"clients\": {}, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }}",
-                n, budget, r.docs_per_s, r.mb_per_s
+                "{{ \"clients\": {}, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1},\n      \"per_shard\": {},\n      \"latency_stages\": {} }}",
+                n,
+                budget,
+                r.docs_per_s,
+                r.mb_per_s,
+                per_shard_json(&r.snapshot),
+                latency_stages_json(&r.snapshot)
             )
         })
         .collect();
@@ -698,10 +865,20 @@ fn main() {
         fault_chaos.faults_injected,
         fault_chaos.faulted_docs,
     );
+    let observability_json = format!(
+        "\"observability_overhead\": {{ \"workers\": 4, \"clients\": {}, \"rounds\": {}, \"measured_documents\": {}, \"plain_docs_per_s\": {:.1}, \"observed_docs_per_s\": {:.1}, \"throughput_ratio\": {:.3}, \"live_stats_polls\": {}, \"note\": \"observed = --trace-ring plus a client pulling GetStats(detail=1) every ~2ms mid-load; ratio is observed/plain, 1.0 = free\" }}",
+        clients,
+        OBS_ROUNDS,
+        measure_docs,
+        obs_plain.docs_per_s,
+        obs_on.docs_per_s,
+        obs_ratio,
+        obs_on.stats_polls,
+    );
     let fused_vs_recorded = one.mb_per_s / PRE_FUSION_WORKERS_1_MB_S;
     let fused_vs_two_phase = one.mb_per_s / two_phase_one.mb_per_s;
     let json = format!(
-        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"pre_fusion_baseline\": {{ \"recorded\": {{ \"workers_1_mb_per_s\": {:.1}, \"workers_4_mb_per_s\": {:.1}, \"note\": \"PR 3's BENCH_service.json numbers (two-phase worker loop, per-document-flush harness)\" }}, \"two_phase_same_harness\": {{ \"workers\": 1, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"note\": \"ServiceConfig::two_phase_reference measured live in the same interleaved rounds\" }} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"fused_vs_pre_fusion_workers_1\": {:.2},\n  \"fused_vs_two_phase_workers_1\": {:.2},\n  \"speedup_1_to_4\": {:.2},\n  \"connections_sweep\": {{ \"workers\": 4, \"rounds\": {}, \"points\": [\n    {}\n  ] }},\n  {},\n  \"slow_reader\": {{ \"workers\": 4, \"clients\": 64, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"slow_consumer_resets\": {} }},\n  {}\n}}\n",
+        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"pre_fusion_baseline\": {{ \"recorded\": {{ \"workers_1_mb_per_s\": {:.1}, \"workers_4_mb_per_s\": {:.1}, \"note\": \"PR 3's BENCH_service.json numbers (two-phase worker loop, per-document-flush harness)\" }}, \"two_phase_same_harness\": {{ \"workers\": 1, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"note\": \"ServiceConfig::two_phase_reference measured live in the same interleaved rounds\" }} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"fused_vs_pre_fusion_workers_1\": {:.2},\n  \"fused_vs_two_phase_workers_1\": {:.2},\n  \"speedup_1_to_4\": {:.2},\n  \"connections_sweep\": {{ \"workers\": 4, \"rounds\": {}, \"points\": [\n    {}\n  ] }},\n  {},\n  \"slow_reader\": {{ \"workers\": 4, \"clients\": 64, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"slow_consumer_resets\": {} }},\n  {},\n  {}\n}}\n",
         classifier.num_languages(),
         params.k,
         params.m_kbits(),
@@ -731,6 +908,7 @@ fn main() {
         slow.mb_per_s,
         slow.slow_consumer_resets,
         fault_mode_json,
+        observability_json,
     );
     print!("{json}");
 
@@ -741,9 +919,12 @@ fn main() {
          worker, {fused_vs_two_phase:.2}x two-phase under the same harness; 4 workers serve \
          {speedup:.2}x the documents of 1 worker; one multiplexed connection serves \
          {:.2}x its own single-channel throughput with 0/{} payload copies; a ~1% fault \
-         rate costs {:.0}% throughput)",
+         rate costs {:.0}% throughput; the live introspection plane serves {:.2}x plain \
+         throughput over {} mid-load stats polls)",
         mux_best / mux_one,
         mux_data_frames,
         (1.0 - fault_ratio) * 100.0,
+        obs_ratio,
+        obs_on.stats_polls,
     );
 }

@@ -19,6 +19,7 @@
 //! cross-channel interleaving is arbitrary); the client demultiplexes and
 //! returns results in document order, each checksum-verified.
 
+use crate::metrics::MetricsSnapshot;
 use lc_core::ClassificationResult;
 use lc_wire::{
     read_frame, read_frame_mux, write_data_frame_on, ErrorCode, FrameError, WireCommand,
@@ -361,6 +362,36 @@ impl ClassifyClient {
     pub fn close_channel(&mut self, channel: u16) -> Result<(), ClientError> {
         WireCommand::CloseChannel.encode_on(channel, &mut self.stream)?;
         Ok(())
+    }
+
+    /// Fetch the server's live metrics snapshot over the wire: a wire-v2
+    /// `GetStats` control frame, answered inline by the reactor with a
+    /// `StatsReport` — the request never rides a worker queue, so a
+    /// saturated pool (the very situation worth inspecting) cannot delay
+    /// or drop the answer. `detail` 1 additionally dumps the per-reactor
+    /// flight-recorder rings (servers started with `--trace-ring`;
+    /// otherwise the rings come back empty).
+    ///
+    /// Call it with no documents in flight on this connection — the report
+    /// would otherwise interleave with (and be mistaken for) a document
+    /// response. `lcbloom stats` uses a dedicated connection for exactly
+    /// that reason.
+    pub fn stats(&mut self, detail: u8) -> Result<MetricsSnapshot, ClientError> {
+        let channel = self.open_channel();
+        WireCommand::GetStats { detail }.encode_on(channel, &mut self.stream)?;
+        self.stream.flush()?;
+        let (resp_channel, resp) = self.read_response_mux()?;
+        if resp_channel != channel {
+            return Err(ClientError::UnexpectedResponse(format!(
+                "stats report on channel {resp_channel}, expected {channel}"
+            )));
+        }
+        match resp {
+            WireResponse::StatsReport { payload } => MetricsSnapshot::decode(&payload)
+                .map_err(|e| ClientError::UnexpectedResponse(format!("bad stats payload: {e}"))),
+            WireResponse::Error { code, detail } => Err(ClientError::Remote { code, detail }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
     }
 
     /// Classify one in-memory document on a specific channel (0 = the

@@ -71,6 +71,7 @@ pub mod client;
 pub mod metrics;
 mod outbound;
 mod reactor;
+pub mod ring;
 pub mod server;
 pub mod session;
 pub mod worker;
@@ -78,8 +79,13 @@ pub mod worker;
 pub use chaos::{ChaosConfig, FaultPlan, FaultSite};
 pub use client::{ClassifyClient, ClientError, RetryPolicy, ServedResult};
 pub use lc_reactor::{install_termination_handler, raise_nofile_limit, termination_requested};
-pub use metrics::{MetricsSnapshot, ServiceMetrics, LATENCY_BOUNDS_US};
+pub use metrics::{
+    histogram_percentile_us, latency_bucket, DocTimings, MetricsSnapshot, ServiceMetrics,
+    ShardCounters, ShardStats, SnapshotDecodeError, EVENTS_PER_WAKE_BOUNDS, LATENCY_BOUNDS_US,
+    LATENCY_BUCKETS, STATS_SCHEMA_VERSION,
+};
 pub use outbound::ResponseSink;
+pub use ring::{EventRing, RingEvent, RingSet, RingTag};
 pub use server::{serve, ServerHandle, ServiceConfig};
 pub use session::Session;
 pub use worker::{ChannelKey, WorkerPool};

@@ -36,12 +36,15 @@
 
 use lc_reactor::{EventFd, WriteBuf};
 use lc_wire::WireResponse;
+use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::chaos::{FaultPlan, FaultSite};
 use crate::metrics::ServiceMetrics;
+use crate::ring::{EventRing, RingTag};
 
 /// One connection's outbound state, shared by the worker shards serving
 /// its channels (producers) and its reactor (consumer).
@@ -60,6 +63,40 @@ pub(crate) struct OutboundInner {
     /// The reactor tore the connection down: late worker enqueues are
     /// dropped instead of accumulating against a dead socket.
     pub dead: bool,
+    /// Total bytes ever pushed into `buf` (monotonic); `pushed -
+    /// buf.len()` is the bytes the socket has accepted so far.
+    pub pushed: u64,
+    /// One `(end offset in the pushed stream, enqueue stamp)` per worker
+    /// response awaiting the socket, FIFO; popped as write progress
+    /// passes each offset, feeding the response-drain stage histogram.
+    pub stamps: VecDeque<(u64, Instant)>,
+}
+
+impl OutboundInner {
+    /// Append one encoded frame to the queue. A `stamp` marks a document
+    /// response whose latched→flushed time should feed the response-drain
+    /// histogram (reactor-generated frames — Hello, faults, stats — pass
+    /// `None`).
+    pub fn push_frame(&mut self, bytes: Vec<u8>, stamp: Option<Instant>) {
+        self.pushed += bytes.len() as u64;
+        if let Some(at) = stamp {
+            self.stamps.push_back((self.pushed, at));
+        }
+        self.buf.push(bytes);
+    }
+
+    /// Fold write progress into the response-drain histogram: every
+    /// stamped response whose last byte has now left the queue gets its
+    /// drain time recorded. Called after any `buf.write_to` progress
+    /// (write-through fast path and reactor flush alike).
+    pub fn note_flushed(&mut self, metrics: &ServiceMetrics) {
+        let flushed = self.pushed - self.buf.len() as u64;
+        while self.stamps.front().is_some_and(|&(end, _)| end <= flushed) {
+            if let Some((_, at)) = self.stamps.pop_front() {
+                metrics.record_drain(at.elapsed());
+            }
+        }
+    }
 }
 
 /// A freshly accepted connection travelling from the acceptor to the
@@ -82,6 +119,9 @@ pub(crate) struct ReactorWaker {
     /// skip its write-through fast path — both to prove the reactor's
     /// slow paths recover on their own.
     chaos: Option<(Arc<FaultPlan>, Arc<ServiceMetrics>)>,
+    /// The owning reactor's flight recorder (`--trace-ring`): wake-drop
+    /// faults injected here are recorded so ring dumps show them.
+    ring: Option<Arc<EventRing>>,
 }
 
 #[derive(Debug, Default)]
@@ -93,11 +133,15 @@ struct WakeQueue {
 }
 
 impl ReactorWaker {
-    pub fn new(chaos: Option<(Arc<FaultPlan>, Arc<ServiceMetrics>)>) -> std::io::Result<Self> {
+    pub fn new(
+        chaos: Option<(Arc<FaultPlan>, Arc<ServiceMetrics>)>,
+        ring: Option<Arc<EventRing>>,
+    ) -> std::io::Result<Self> {
         Ok(Self {
             eventfd: EventFd::new()?,
             queue: Mutex::new(WakeQueue::default()),
             chaos,
+            ring,
         })
     }
 
@@ -138,6 +182,9 @@ impl ReactorWaker {
         if let Some((plan, metrics)) = &self.chaos {
             if plan.fire(FaultSite::WakeDrop) {
                 metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                if let Some(r) = &self.ring {
+                    r.record(RingTag::Fault, FaultSite::WakeDrop as u64);
+                }
                 return;
             }
         }
@@ -211,7 +258,7 @@ impl ResponseSink {
             return;
         }
         let was_empty = inner.buf.is_empty();
-        inner.buf.push(bytes);
+        inner.push_frame(bytes, Some(Instant::now()));
         self.metrics
             .outbound_queue_peak
             .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);
@@ -234,6 +281,7 @@ impl ResponseSink {
             if let Some(stream) = stream {
                 let _ = buf.write_to(stream);
             }
+            inner.note_flushed(&self.metrics);
             if inner.buf.is_empty() {
                 return; // fast path: the reactor never hears about it
             }

@@ -53,6 +53,7 @@ use std::time::{Duration, Instant};
 use crate::chaos::{FaultPlan, FaultSite};
 use crate::metrics::ServiceMetrics;
 use crate::outbound::{NewConn, OutboundInner, ReactorWaker, ResponseSink};
+use crate::ring::{EventRing, RingSet, RingTag};
 use crate::worker::{ChannelKey, Job};
 
 /// Token reserved for the reactor's own eventfd.
@@ -153,12 +154,15 @@ struct Conn {
 }
 
 /// Cross-thread control state every reactor shares with the server:
-/// shutdown/drain latches plus the optional fault-injection plan.
+/// shutdown/drain latches plus the optional fault-injection plan and the
+/// optional `--trace-ring` flight recorders (shared so any reactor can
+/// answer `GetStats(detail=1)` with every thread's window).
 #[derive(Clone)]
 pub(crate) struct ReactorControl {
     pub shutdown: Arc<AtomicBool>,
     pub drain: Arc<AtomicBool>,
     pub plan: Option<Arc<FaultPlan>>,
+    pub rings: Option<Arc<RingSet>>,
 }
 
 /// Spawn one reactor thread.
@@ -177,7 +181,9 @@ pub(crate) fn spawn_reactor(
         shutdown,
         drain,
         plan,
+        rings,
     } = control;
+    let ring = rings.as_ref().and_then(|r| r.ring(index)).cloned();
     let mut reactor = Reactor {
         epoll,
         waker,
@@ -187,6 +193,8 @@ pub(crate) fn spawn_reactor(
         shutdown,
         drain,
         plan,
+        ring,
+        rings,
         cfg,
         conns: HashMap::new(),
         deferred: Vec::new(),
@@ -209,6 +217,11 @@ struct Reactor {
     drain: Arc<AtomicBool>,
     /// Seeded fault-injection plan; `None` in production.
     plan: Option<Arc<FaultPlan>>,
+    /// This reactor's own flight recorder (`--trace-ring`); `None` when
+    /// tracing is off.
+    ring: Option<Arc<EventRing>>,
+    /// Every reactor's ring, for `GetStats(detail=1)` dumps.
+    rings: Option<Arc<RingSet>>,
     cfg: ReactorConfig,
     conns: HashMap<u64, Conn>,
     /// Connections that left their last service pass with work no external
@@ -222,24 +235,52 @@ struct Reactor {
 /// Hand `job` to `senders[shard]`, or park it. `Ok(true)` = delivered,
 /// `Ok(false)` = parked in `stalled` (shard full, or earlier jobs already
 /// parked — FIFO order is preserved), `Err(())` = pool disconnected
-/// (shutdown): tear the connection down.
+/// (shutdown): tear the connection down. Delivery and parking both land
+/// in the shard's counters (and the park in the flight recorder).
 fn enqueue(
     stalled: &mut VecDeque<(usize, Job)>,
     senders: &[SyncSender<Job>],
+    metrics: &ServiceMetrics,
+    ring: Option<&EventRing>,
     shard: usize,
     job: Job,
 ) -> Result<bool, ()> {
     if !stalled.is_empty() {
+        note_parked(metrics, ring, shard);
         stalled.push_back((shard, job));
         return Ok(false);
     }
     match senders[shard].try_send(job) {
-        Ok(()) => Ok(true),
+        Ok(()) => {
+            if let Some(sc) = metrics.shard(shard) {
+                sc.note_enqueued();
+            }
+            Ok(true)
+        }
         Err(TrySendError::Full(job)) => {
+            note_parked(metrics, ring, shard);
             stalled.push_back((shard, job));
             Ok(false)
         }
         Err(TrySendError::Disconnected(_)) => Err(()),
+    }
+}
+
+/// A job parked in a connection's stall list instead of reaching `shard`.
+fn note_parked(metrics: &ServiceMetrics, ring: Option<&EventRing>, shard: usize) {
+    if let Some(sc) = metrics.shard(shard) {
+        sc.parked.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(r) = ring {
+        r.record(RingTag::Park, shard as u64);
+    }
+}
+
+/// A chaos fault fired at `site`: put it on the flight recorder too, so a
+/// ring dump shows injected faults interleaved with the I/O they perturb.
+fn record_fault(ring: Option<&EventRing>, site: FaultSite) {
+    if let Some(r) = ring {
+        r.record(RingTag::Fault, site as u64);
     }
 }
 
@@ -260,14 +301,24 @@ impl Reactor {
             } else {
                 retry_tick
             };
-            let _ = self.epoll.wait(&mut events, Some(tick));
+            let delivered = self.epoll.wait(&mut events, Some(tick)).unwrap_or(0);
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
+            }
+            self.metrics.record_wake(delivered);
+            if delivered > 0 {
+                if let Some(r) = &self.ring {
+                    r.record(RingTag::EpollWake, delivered as u64);
+                }
             }
             touched.clear();
             for ev in events.iter() {
                 if ev.token == WAKE_TOKEN {
                     self.waker.eventfd().drain();
+                    self.metrics.eventfd_wakes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(r) = &self.ring {
+                        r.record(RingTag::EventfdWake, 0);
+                    }
                     continue;
                 }
                 let Some(c) = self.conns.get_mut(&ev.token) else {
@@ -326,6 +377,7 @@ impl Reactor {
         if let Some(plan) = &self.plan {
             if plan.fire(FaultSite::ConnReset) {
                 self.metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                record_fault(self.ring.as_deref(), FaultSite::ConnReset);
                 return self.teardown(conn);
             }
         }
@@ -376,6 +428,9 @@ impl Reactor {
             .outbound_queue_peak
             .fetch_max(buf.len() as u64, Ordering::Relaxed);
         let out = Arc::new(Mutex::new(OutboundInner {
+            // The Hello went straight into `buf`, not through
+            // `push_frame`: seed the flushed-offset base to match.
+            pushed: buf.len() as u64,
             buf,
             // Write-through handle: a dup sharing the now-nonblocking file
             // description. The Hello above keeps the queue non-empty until
@@ -383,6 +438,7 @@ impl Reactor {
             stream: stream.try_clone().ok(),
             finished_channels: 0,
             dead: false,
+            stamps: VecDeque::new(),
         }));
         if self
             .epoll
@@ -421,13 +477,21 @@ impl Reactor {
                 payload_copies_reported: 0,
             },
         );
+        if let Some(r) = &self.ring {
+            r.record(RingTag::ConnOpen, conn);
+        }
         Some(conn)
     }
 
     /// Retry parked shard sends (commands, Opens, deferred Closes) in
     /// order. `false` means the worker pool is gone (shutdown): tear down.
     fn retry_jobs(&mut self, conn: u64) -> bool {
-        let Self { senders, conns, .. } = self;
+        let Self {
+            senders,
+            conns,
+            metrics,
+            ..
+        } = self;
         let Some(c) = conns.get_mut(&conn) else {
             return true;
         };
@@ -438,6 +502,9 @@ impl Reactor {
             };
             match senders[shard].try_send(job) {
                 Ok(()) => {
+                    if let Some(sc) = metrics.shard(shard) {
+                        sc.note_enqueued();
+                    }
                     if let Some(channel) = close_of {
                         if let Some(ch) = c.channels.get_mut(&channel) {
                             ch.close = CloseState::Sent;
@@ -465,6 +532,7 @@ impl Reactor {
             cfg,
             conns,
             plan,
+            ring,
             ..
         } = self;
         let Some(c) = conns.get_mut(&conn) else {
@@ -476,6 +544,7 @@ impl Reactor {
             };
             let before = inner.buf.len();
             if c.write_ready && !inner.buf.is_empty() {
+                metrics.write_syscalls.fetch_add(1, Ordering::Relaxed);
                 // Chaos short write: clip the pass after a few bytes and
                 // report a synthetic WouldBlock, exercising partial-write
                 // resumption. The socket is in truth still writable — no
@@ -488,6 +557,7 @@ impl Reactor {
                 let res = match clip {
                     Some(limit) => {
                         metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                        record_fault(ring.as_deref(), FaultSite::ShortWrite);
                         let mut w = ClippedWriter {
                             inner: &mut c.stream,
                             remaining: limit,
@@ -509,6 +579,12 @@ impl Reactor {
                 }
             }
             let after = inner.buf.len();
+            if after < before {
+                if let Some(r) = ring {
+                    r.record(RingTag::Write, conn);
+                }
+                inner.note_flushed(metrics);
+            }
             (after, after < before)
         };
         let fd = c.stream.as_raw_fd();
@@ -570,6 +646,8 @@ impl Reactor {
             waker,
             drain,
             plan,
+            ring,
+            rings,
             ..
         } = self;
         let Some(c) = conns.get_mut(&conn) else {
@@ -587,6 +665,32 @@ impl Reactor {
                         match WireCommand::decode(kind, payload) {
                             Ok(cmd) => {
                                 let key = ChannelKey { conn, channel };
+                                // GetStats is answered inline, right here
+                                // in the decode loop — it never rides a
+                                // worker queue, so a saturated pool (the
+                                // very situation worth inspecting) cannot
+                                // delay or drop the answer: stats work
+                                // mid-load, on any channel, v1 or v2.
+                                if let WireCommand::GetStats { detail } = cmd {
+                                    let mut snap = metrics.snapshot();
+                                    if detail == 1 {
+                                        if let Some(rs) = rings {
+                                            snap.rings = rs.dump_all();
+                                        }
+                                    }
+                                    if let Some(r) = ring {
+                                        r.record(RingTag::Stats, u64::from(detail));
+                                    }
+                                    push_response(
+                                        c,
+                                        metrics,
+                                        channel,
+                                        &WireResponse::StatsReport {
+                                            payload: snap.encode(),
+                                        },
+                                    );
+                                    continue;
+                                }
                                 // CloseChannel retires the channel: its
                                 // `max_channels` slot frees immediately and
                                 // its `Job::Close` rides the shard queue in
@@ -598,6 +702,8 @@ impl Reactor {
                                         if enqueue(
                                             &mut c.stalled,
                                             senders,
+                                            metrics,
+                                            ring.as_deref(),
                                             ch.shard,
                                             Job::Close { key },
                                         )
@@ -663,6 +769,8 @@ impl Reactor {
                                         if enqueue(
                                             &mut c.stalled,
                                             senders,
+                                            metrics,
+                                            ring.as_deref(),
                                             shard,
                                             Job::Open { key, sink },
                                         )
@@ -683,6 +791,7 @@ impl Reactor {
                                             && p.fire(FaultSite::CorruptPayload) =>
                                     {
                                         metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                                        record_fault(ring.as_deref(), FaultSite::CorruptPayload);
                                         let mut raw = Vec::with_capacity(payload.len());
                                         for piece in payload.pieces() {
                                             raw.extend_from_slice(piece);
@@ -715,8 +824,16 @@ impl Reactor {
                                         continue;
                                     }
                                     if c.stalled.is_empty() {
-                                        match senders[shard].try_send(Job::Command { key, cmd }) {
-                                            Ok(()) => {}
+                                        match senders[shard].try_send(Job::Command {
+                                            key,
+                                            cmd,
+                                            enqueued: Instant::now(),
+                                        }) {
+                                            Ok(()) => {
+                                                if let Some(sc) = metrics.shard(shard) {
+                                                    sc.note_enqueued();
+                                                }
+                                            }
                                             Err(TrySendError::Full(job)) => {
                                                 // Overload shedding fires
                                                 // only under *dual*
@@ -747,6 +864,7 @@ impl Reactor {
                                                         },
                                                     );
                                                 } else {
+                                                    note_parked(metrics, ring.as_deref(), shard);
                                                     c.stalled.push_back((shard, job));
                                                 }
                                             }
@@ -758,13 +876,27 @@ impl Reactor {
                                     } else {
                                         // A parked Open precedes this Size:
                                         // FIFO order is sacred.
-                                        c.stalled.push_back((shard, Job::Command { key, cmd }));
+                                        note_parked(metrics, ring.as_deref(), shard);
+                                        c.stalled.push_back((
+                                            shard,
+                                            Job::Command {
+                                                key,
+                                                cmd,
+                                                enqueued: Instant::now(),
+                                            },
+                                        ));
                                     }
                                 } else if enqueue(
                                     &mut c.stalled,
                                     senders,
+                                    metrics,
+                                    ring.as_deref(),
                                     shard,
-                                    Job::Command { key, cmd },
+                                    Job::Command {
+                                        key,
+                                        cmd,
+                                        enqueued: Instant::now(),
+                                    },
                                 )
                                 .is_err()
                                 {
@@ -794,10 +926,12 @@ impl Reactor {
             let cap = match plan.as_ref() {
                 Some(p) if p.fire(FaultSite::ShortRead) => {
                     metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+                    record_fault(ring.as_deref(), FaultSite::ShortRead);
                     p.amount(FaultSite::ShortRead, cfg.read_buffer.saturating_sub(1)) + 1
                 }
                 _ => cfg.read_buffer,
             };
+            metrics.read_syscalls.fetch_add(1, Ordering::Relaxed);
             match c.acc.fill_from(&mut c.stream, cap) {
                 Ok(0) => {
                     // Clean close — unless it cut a frame in half.
@@ -807,7 +941,12 @@ impl Reactor {
                     c.read_eof = true;
                     break;
                 }
-                Ok(n) => budget = budget.saturating_sub(n),
+                Ok(n) => {
+                    if let Some(r) = ring {
+                        r.record(RingTag::Read, n as u64);
+                    }
+                    budget = budget.saturating_sub(n);
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     c.read_ready = false;
                     break;
@@ -817,6 +956,16 @@ impl Reactor {
                     alive = false;
                     break;
                 }
+            }
+        }
+        // A frame still mid-reassembly at the end of a read pass is a
+        // short-read continuation: it will complete only on a later read.
+        if c.acc.mid_frame() && !c.read_eof {
+            metrics
+                .short_read_continuations
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(r) = ring {
+                r.record(RingTag::ShortRead, conn);
             }
         }
         // Fold the rope's copy accounting into the shared metrics: data
@@ -840,7 +989,13 @@ impl Reactor {
     /// channels (ordered behind any parked jobs, so per-channel FIFO
     /// holds). `false` means the pool is gone: tear down.
     fn enqueue_closes(&mut self, conn: u64) -> bool {
-        let Self { senders, conns, .. } = self;
+        let Self {
+            senders,
+            conns,
+            metrics,
+            ring,
+            ..
+        } = self;
         let Some(c) = conns.get_mut(&conn) else {
             return true;
         };
@@ -853,7 +1008,14 @@ impl Reactor {
         for channel in channels {
             let ch = c.channels.get_mut(&channel).expect("listed above");
             let key = ChannelKey { conn, channel };
-            match enqueue(&mut c.stalled, senders, ch.shard, Job::Close { key }) {
+            match enqueue(
+                &mut c.stalled,
+                senders,
+                metrics,
+                ring.as_deref(),
+                ch.shard,
+                Job::Close { key },
+            ) {
                 Ok(true) => ch.close = CloseState::Sent,
                 Ok(false) => ch.close = CloseState::Queued,
                 Err(()) => return false,
@@ -917,6 +1079,7 @@ impl Reactor {
         if let Ok(mut inner) = c.out.lock() {
             inner.dead = true;
             inner.buf.clear();
+            inner.stamps.clear(); // their responses never reached the peer
             inner.stream = None; // drop the dup so the fd really closes
         }
         let _ = self.epoll.delete(c.stream.as_raw_fd());
@@ -924,17 +1087,24 @@ impl Reactor {
         // table entry reads Queued) are delivered from the stalled queue;
         // other parked jobs die with the connection.
         for (shard, job) in c.stalled {
-            if matches!(job, Job::Close { .. }) {
-                let _ = self.senders[shard].send(job);
+            if matches!(job, Job::Close { .. }) && self.senders[shard].send(job).is_ok() {
+                if let Some(sc) = self.metrics.shard(shard) {
+                    sc.note_enqueued();
+                }
             }
         }
         for (&channel, ch) in &c.channels {
             if ch.close == CloseState::Open {
                 // Blocking send: bounded by worker compute (workers never
                 // block on I/O), and per-channel order needs Close last.
-                let _ = self.senders[ch.shard].send(Job::Close {
+                let sent = self.senders[ch.shard].send(Job::Close {
                     key: ChannelKey { conn, channel },
                 });
+                if sent.is_ok() {
+                    if let Some(sc) = self.metrics.shard(ch.shard) {
+                        sc.note_enqueued();
+                    }
+                }
             }
         }
         self.metrics
@@ -943,6 +1113,9 @@ impl Reactor {
         self.metrics
             .connections_current
             .fetch_sub(1, Ordering::Relaxed);
+        if let Some(r) = &self.ring {
+            r.record(RingTag::ConnClose, conn);
+        }
         // Dropping the stream closes the fd.
     }
 
@@ -974,7 +1147,7 @@ fn fail_malformed(c: &mut Conn, metrics: &ServiceMetrics, detail: String) {
     if resp.encode(&mut bytes).is_ok() {
         if let Ok(mut inner) = c.out.lock() {
             if !inner.dead {
-                inner.buf.push(bytes);
+                inner.push_frame(bytes, None);
                 metrics
                     .outbound_queue_peak
                     .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);
@@ -993,7 +1166,7 @@ fn push_response(c: &mut Conn, metrics: &ServiceMetrics, channel: u16, resp: &Wi
     if resp.encode_on(channel, &mut bytes).is_ok() {
         if let Ok(mut inner) = c.out.lock() {
             if !inner.dead {
-                inner.buf.push(bytes);
+                inner.push_frame(bytes, None);
                 metrics
                     .outbound_queue_peak
                     .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);

@@ -1,0 +1,285 @@
+//! A lock-free flight recorder for the reactor loop.
+//!
+//! When a soak stalls or a chaos run wedges, counters say *how much*
+//! happened but not *in what order*. The [`EventRing`] is the ordering
+//! side: a fixed 4096-entry ring of ~16-byte records (nanosecond
+//! timestamp delta from ring creation, an event tag, one argument) that
+//! the reactor writes on every wakeup, read, write, park, and injected
+//! fault. Recording is two relaxed atomic stores behind a relaxed
+//! `fetch_add` slot claim — no locks, no allocation, no syscalls — so it
+//! stays cheap enough to leave on (`--trace-ring`) in production.
+//!
+//! The ring is nominally single-producer (its reactor thread); the
+//! waker's `wake_drop` chaos site also records from worker threads, which
+//! the `fetch_add` slot claim makes safe (two producers claim distinct
+//! slots). The reader ([`EventRing::dump`], driven by
+//! `GetStats(detail=ring)`) runs on another thread entirely: it takes a
+//! relaxed scan of the slots, so a record being overwritten *while* the
+//! dump runs can come out torn. That is an accepted property of a flight
+//! recorder — a dump races at most the newest handful of events, and
+//! every record carries its own timestamp so a torn record is visibly out
+//! of sequence rather than silently wrong.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Entries per ring. Power of two so the slot index is a mask.
+pub const RING_ENTRIES: usize = 4096;
+
+/// What happened, packed into the top byte of a record's second word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RingTag {
+    /// `epoll_wait` returned; arg = events delivered this wake.
+    EpollWake = 1,
+    /// The eventfd wake token was drained; arg = eventfd counter value.
+    EventfdWake = 2,
+    /// A socket read syscall; arg = bytes read (0 = EOF).
+    Read = 3,
+    /// A socket write pass drained the queue; arg = connection id.
+    Write = 4,
+    /// A frame is still mid-reassembly after a read (short-read
+    /// continuation); arg = connection id.
+    ShortRead = 5,
+    /// A command was parked because its shard queue was full; arg = shard.
+    Park = 6,
+    /// A chaos fault was injected; arg = `FaultSite` discriminant.
+    Fault = 7,
+    /// A connection entered the reactor; arg = connection id.
+    ConnOpen = 8,
+    /// A connection was torn down; arg = connection id.
+    ConnClose = 9,
+    /// A `GetStats` control frame was answered; arg = detail level.
+    Stats = 10,
+}
+
+impl RingTag {
+    /// Parse the packed byte back into a tag.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => RingTag::EpollWake,
+            2 => RingTag::EventfdWake,
+            3 => RingTag::Read,
+            4 => RingTag::Write,
+            5 => RingTag::ShortRead,
+            6 => RingTag::Park,
+            7 => RingTag::Fault,
+            8 => RingTag::ConnOpen,
+            9 => RingTag::ConnClose,
+            10 => RingTag::Stats,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-case name for rendering and log grepping.
+    pub fn name(b: u8) -> &'static str {
+        match Self::from_byte(b) {
+            Some(RingTag::EpollWake) => "epoll-wake",
+            Some(RingTag::EventfdWake) => "eventfd-wake",
+            Some(RingTag::Read) => "read",
+            Some(RingTag::Write) => "write",
+            Some(RingTag::ShortRead) => "short-read",
+            Some(RingTag::Park) => "park",
+            Some(RingTag::Fault) => "fault",
+            Some(RingTag::ConnOpen) => "conn-open",
+            Some(RingTag::ConnClose) => "conn-close",
+            Some(RingTag::Stats) => "stats",
+            None => "unknown",
+        }
+    }
+}
+
+/// One decoded ring record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingEvent {
+    /// Nanoseconds since the ring's creation (the serving epoch).
+    pub ts_ns: u64,
+    /// Event tag byte (see [`RingTag`]; unknown values render "unknown").
+    pub tag: u8,
+    /// Tag-specific argument (bytes read, shard index, fault site, …).
+    pub arg: u64,
+}
+
+/// The fixed-size lock-free ring: `RING_ENTRIES` records of two `u64`
+/// words each (timestamp-delta; tag byte packed above a 56-bit arg).
+#[derive(Debug)]
+pub struct EventRing {
+    epoch: Instant,
+    /// `2 × RING_ENTRIES` words; record `i` lives at `2i, 2i+1`.
+    slots: Box<[AtomicU64]>,
+    /// Total records ever claimed; the live window is the last
+    /// `RING_ENTRIES` of them.
+    head: AtomicU64,
+}
+
+const ARG_BITS: u64 = 56;
+const ARG_MASK: u64 = (1 << ARG_BITS) - 1;
+
+impl EventRing {
+    /// A fresh, empty ring whose timestamps count from now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            slots: (0..RING_ENTRIES * 2).map(|_| AtomicU64::new(0)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one event. Two relaxed stores plus a relaxed `fetch_add`;
+    /// never blocks, never allocates.
+    pub fn record(&self, tag: RingTag, arg: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let i = (seq as usize % RING_ENTRIES) * 2;
+        let ts = self.epoch.elapsed().as_nanos() as u64;
+        // Timestamp 0 marks a never-written slot; nudge a real event off 0.
+        self.slots[i].store(ts.max(1), Ordering::Relaxed);
+        self.slots[i + 1].store(
+            ((tag as u64) << ARG_BITS) | (arg & ARG_MASK),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Events recorded over the ring's lifetime (claims, not slots).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the live window, oldest first. Relaxed reads — see the
+    /// module docs for the torn-record caveat.
+    pub fn dump(&self) -> Vec<RingEvent> {
+        let head = self.head.load(Ordering::Relaxed);
+        let live = (head as usize).min(RING_ENTRIES);
+        let mut out = Vec::with_capacity(live);
+        let first = head as usize - live;
+        for seq in first..head as usize {
+            let i = (seq % RING_ENTRIES) * 2;
+            let ts = self.slots[i].load(Ordering::Relaxed);
+            if ts == 0 {
+                continue; // claimed but not yet written by a racing producer
+            }
+            let word = self.slots[i + 1].load(Ordering::Relaxed);
+            out.push(RingEvent {
+                ts_ns: ts,
+                tag: (word >> ARG_BITS) as u8,
+                arg: word & ARG_MASK,
+            });
+        }
+        out
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All of one server's rings (one per reactor thread), shared so any
+/// reactor can answer `GetStats(detail=ring)` with every thread's window.
+#[derive(Debug, Default)]
+pub struct RingSet {
+    rings: Vec<Arc<EventRing>>,
+}
+
+impl RingSet {
+    /// A set of `n` fresh rings.
+    pub fn new(n: usize) -> Self {
+        Self {
+            rings: (0..n).map(|_| Arc::new(EventRing::new())).collect(),
+        }
+    }
+
+    /// Ring `i`'s handle (one per reactor, indexed by reactor id).
+    pub fn ring(&self, i: usize) -> Option<&Arc<EventRing>> {
+        self.rings.get(i)
+    }
+
+    /// Dump every ring's live window, indexed by reactor.
+    pub fn dump_all(&self) -> Vec<Vec<RingEvent>> {
+        self.rings.iter().map(|r| r.dump()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_come_back_in_order_with_tags_and_args() {
+        let ring = EventRing::new();
+        ring.record(RingTag::EpollWake, 3);
+        ring.record(RingTag::Read, 4096);
+        ring.record(RingTag::Fault, 2);
+        let events = ring.dump();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].tag, RingTag::EpollWake as u8);
+        assert_eq!(events[0].arg, 3);
+        assert_eq!(events[1].tag, RingTag::Read as u8);
+        assert_eq!(events[1].arg, 4096);
+        assert_eq!(events[2].tag, RingTag::Fault as u8);
+        assert!(events[0].ts_ns <= events[1].ts_ns);
+        assert!(events[1].ts_ns <= events[2].ts_ns);
+        assert_eq!(ring.recorded(), 3);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest_window() {
+        let ring = EventRing::new();
+        for i in 0..(RING_ENTRIES as u64 + 100) {
+            ring.record(RingTag::Read, i);
+        }
+        let events = ring.dump();
+        assert_eq!(events.len(), RING_ENTRIES);
+        // The oldest surviving record is claim #100.
+        assert_eq!(events[0].arg, 100);
+        assert_eq!(events.last().unwrap().arg, RING_ENTRIES as u64 + 99);
+        assert_eq!(ring.recorded(), RING_ENTRIES as u64 + 100);
+    }
+
+    #[test]
+    fn args_wider_than_56_bits_are_masked_not_corrupting_the_tag() {
+        let ring = EventRing::new();
+        ring.record(RingTag::Write, u64::MAX);
+        let events = ring.dump();
+        assert_eq!(events[0].tag, RingTag::Write as u8);
+        assert_eq!(events[0].arg, (1 << 56) - 1);
+    }
+
+    #[test]
+    fn tag_names_are_stable() {
+        assert_eq!(RingTag::name(RingTag::Fault as u8), "fault");
+        assert_eq!(RingTag::name(0xEE), "unknown");
+        assert_eq!(RingTag::from_byte(RingTag::Park as u8), Some(RingTag::Park));
+        assert_eq!(RingTag::from_byte(0), None);
+    }
+
+    #[test]
+    fn concurrent_producers_never_lose_the_set() {
+        // The waker's chaos site records from worker threads; the claim
+        // discipline must keep concurrent records intact.
+        let ring = Arc::new(EventRing::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        ring.record(RingTag::Park, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 2000);
+        let events = ring.dump();
+        assert_eq!(events.len(), 2000);
+        for t in 0..4u64 {
+            let mine: Vec<u64> = events
+                .iter()
+                .filter(|e| e.arg / 1000 == t)
+                .map(|e| e.arg % 1000)
+                .collect();
+            assert_eq!(mine.len(), 500, "producer {t} lost records");
+            assert!(mine.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

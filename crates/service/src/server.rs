@@ -20,6 +20,7 @@ use crate::chaos::{ChaosConfig, FaultPlan};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::outbound::{NewConn, ReactorWaker};
 use crate::reactor::{spawn_reactor, ReactorConfig, ReactorControl};
+use crate::ring::RingSet;
 use crate::worker::WorkerPool;
 
 /// Server tunables.
@@ -69,6 +70,10 @@ pub struct ServiceConfig {
     /// config with every rate at zero) serves clean. Same seed + same
     /// client schedule ⇒ same fault schedule.
     pub chaos: Option<ChaosConfig>,
+    /// Keep a per-reactor flight recorder (a fixed-size lock-free event
+    /// ring, [`crate::ring::EventRing`]) of reactor-loop events. Off by
+    /// default; when on, `GetStats { detail: 1 }` dumps the rings.
+    pub trace_ring: bool,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +91,7 @@ impl Default for ServiceConfig {
             send_buffer: 0,
             two_phase_reference: false,
             chaos: None,
+            trace_ring: false,
         }
     }
 }
@@ -123,6 +129,7 @@ pub struct ServerHandle {
     draining: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     metrics: Arc<ServiceMetrics>,
+    rings: Option<Arc<RingSet>>,
 }
 
 impl ServerHandle {
@@ -134,6 +141,12 @@ impl ServerHandle {
     /// Shared metrics.
     pub fn metrics(&self) -> &Arc<ServiceMetrics> {
         &self.metrics
+    }
+
+    /// The per-reactor flight-recorder rings, when the server was started
+    /// with [`ServiceConfig::trace_ring`].
+    pub fn rings(&self) -> Option<&Arc<RingSet>> {
+        self.rings.as_ref()
     }
 
     /// Graceful drain, then shutdown. Sets the drain flag — new accepts
@@ -185,7 +198,10 @@ pub fn serve(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let metrics = Arc::new(ServiceMetrics::new(classifier.num_languages()));
+    let metrics = Arc::new(ServiceMetrics::with_topology(
+        classifier.names().to_vec(),
+        config.effective_workers(),
+    ));
     let shutdown = Arc::new(AtomicBool::new(false));
     let draining = Arc::new(AtomicBool::new(false));
     // One fault plan for the whole server: every injection site draws from
@@ -224,11 +240,18 @@ pub fn serve(
         max_channels: config.max_channels.max(1),
     };
     let reactor_count = config.effective_reactors();
+    // One flight-recorder ring per reactor thread, so recording is
+    // contention-free in the steady state (the ring itself is still
+    // multi-producer safe for the waker's cross-thread fault records).
+    let rings: Option<Arc<RingSet>> = config
+        .trace_ring
+        .then(|| Arc::new(RingSet::new(reactor_count)));
     let mut wakers: Vec<Arc<ReactorWaker>> = Vec::with_capacity(reactor_count);
     let mut reactor_threads: Vec<JoinHandle<()>> = Vec::with_capacity(reactor_count);
     let spawned: std::io::Result<()> = (0..reactor_count).try_for_each(|i| {
         let waker = Arc::new(ReactorWaker::new(
             plan.as_ref().map(|p| (Arc::clone(p), Arc::clone(&metrics))),
+            rings.as_ref().and_then(|r| r.ring(i)).cloned(),
         )?);
         let handle = spawn_reactor(
             i,
@@ -240,6 +263,7 @@ pub fn serve(
                 shutdown: Arc::clone(&shutdown),
                 drain: Arc::clone(&draining),
                 plan: plan.clone(),
+                rings: rings.clone(),
             },
             reactor_cfg.clone(),
         )?;
@@ -352,5 +376,6 @@ pub fn serve(
         draining,
         accept_thread: Some(accept_thread),
         metrics,
+        rings,
     })
 }

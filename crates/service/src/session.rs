@@ -29,7 +29,7 @@ use lc_core::{ClassificationResult, MultiLanguageClassifier, StreamingSession};
 use lc_wire::{ErrorCode, PayloadBytes, WireCommand, WireResponse};
 use std::time::{Duration, Instant};
 
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{DocTimings, ServiceMetrics};
 
 /// A latched Query-Result payload (consumed by the first query, like the
 /// hardware latch).
@@ -74,6 +74,14 @@ pub struct Session {
     /// Pre-fusion two-phase reference mode
     /// (`ServiceConfig::two_phase_reference`) instead of the fused path.
     two_phase_reference: bool,
+    /// Worker shard this session lives on (`usize::MAX` = unattributed,
+    /// e.g. in unit tests that drive a session directly).
+    shard: usize,
+    /// Queue-wait accumulated by the in-flight document's commands
+    /// (shard-enqueued → worker-dequeued, summed over its frames).
+    queue_wait: Duration,
+    /// Time spent feeding this document through the classifier.
+    classify_time: Duration,
 }
 
 impl Session {
@@ -99,7 +107,25 @@ impl Session {
             last_activity: now,
             doc_started: now,
             two_phase_reference,
+            shard: usize::MAX,
+            queue_wait: Duration::ZERO,
+            classify_time: Duration::ZERO,
         }
+    }
+
+    /// Pin this session's metrics attribution to worker shard `shard`
+    /// (set by the owning worker at channel open so per-shard docs sum to
+    /// the global counter).
+    pub fn set_shard(&mut self, shard: usize) {
+        self.shard = shard;
+    }
+
+    /// Accumulate queue-wait observed for one of this session's commands
+    /// (stamped at shard-enqueue by the reactor, measured at dequeue by
+    /// the worker). Folded into the queue-wait histogram when the current
+    /// document latches.
+    pub fn note_queue_wait(&mut self, wait: Duration) {
+        self.queue_wait += wait;
     }
 
     /// Whether a document transfer is in flight.
@@ -191,11 +217,13 @@ impl Session {
                 self.latched = None;
                 None
             }
-            // Channel teardown is a connection-layer concern: the reactor
-            // consumes CloseChannel frames in its decode loop and never
-            // forwards them to a session. Reaching here means a decoder
-            // bug, not a client error — treat it as an inert no-op.
+            // Channel teardown and stats are connection-layer concerns:
+            // the reactor consumes CloseChannel and GetStats frames in its
+            // decode loop and never forwards them to a session. Reaching
+            // here means a decoder bug, not a client error — treat both as
+            // inert no-ops.
             WireCommand::CloseChannel => None,
+            WireCommand::GetStats { .. } => None,
         }
     }
 
@@ -262,6 +290,7 @@ impl Session {
         // arbitrary chunk boundaries natively.
         let take = (data.len() as u32).min(doc_bytes - bytes_fed);
         let mut to_feed = take as usize;
+        let classify_started = Instant::now();
         let mut word = 0u64;
         let mut word_off = 0usize;
         for piece in data.pieces() {
@@ -294,6 +323,7 @@ impl Session {
             }
         }
         debug_assert_eq!(word_off, 0, "payload is whole words");
+        self.classify_time += classify_started.elapsed();
 
         let received_words = received_words + n_words as u32;
         if received_words == expected_words {
@@ -310,15 +340,27 @@ impl Session {
         None
     }
 
-    /// End-of-transfer: classify, latch, and account.
+    /// End-of-transfer: classify, latch, and account — total latency plus
+    /// the queue-wait and classify stage accumulators, which reset here
+    /// for the next document (an EoD/Query frame's own queue-wait smears
+    /// into the following document; bounded by two frames and accepted).
     fn latch(&mut self, metrics: &ServiceMetrics, doc_bytes: u32, now: Instant) {
+        let finish_started = Instant::now();
         let result = self.stream.finish();
+        self.classify_time += finish_started.elapsed();
         metrics.record_document(
             result.best(),
             u64::from(doc_bytes),
             result.total_ngrams(),
-            now.duration_since(self.doc_started),
+            self.shard,
+            DocTimings {
+                total: now.duration_since(self.doc_started),
+                queue_wait: self.queue_wait,
+                classify: self.classify_time,
+            },
         );
+        self.queue_wait = Duration::ZERO;
+        self.classify_time = Duration::ZERO;
         self.latched = Some(LatchedResult {
             result,
             checksum: self.checksum,
@@ -332,6 +374,8 @@ impl Session {
     fn reset_document(&mut self) {
         self.state = State::Idle;
         self.checksum = 0;
+        self.queue_wait = Duration::ZERO;
+        self.classify_time = Duration::ZERO;
         let _ = self.stream.finish();
     }
 

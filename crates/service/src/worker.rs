@@ -91,11 +91,13 @@ impl ChannelKey {
     }
 }
 
-/// One unit of work for a worker. Time is stamped by the worker at
-/// application, not by the reactor at read: the watchdog and the latency
-/// histogram then measure what the engine observes, and a command that
-/// waited out a queue backlog cannot carry a stale clock that makes its
-/// own healthy session look watchdog-dead.
+/// One unit of work for a worker. The *watchdog/latency* clock is stamped
+/// by the worker at application, not by the reactor at read: the watchdog
+/// and the end-to-end histogram then measure what the engine observes, and
+/// a command that waited out a queue backlog cannot carry a stale clock
+/// that makes its own healthy session look watchdog-dead. Commands also
+/// carry the reactor's *enqueue* stamp, used only for the queue-wait stage
+/// histogram (dequeue time minus enqueue time).
 #[derive(Debug)]
 pub enum Job {
     /// Register a channel session and its response sink.
@@ -112,6 +114,10 @@ pub enum Job {
         key: ChannelKey,
         /// The command.
         cmd: WireCommand,
+        /// When the reactor enqueued the job (shard-enqueue stamp); the
+        /// worker's dequeue time minus this is the command's queue-wait,
+        /// folded into the owning document's stage histogram.
+        enqueued: Instant,
     },
     /// Connection closed (or the channel is being torn down): drop the
     /// session and finish its sink.
@@ -127,6 +133,7 @@ pub enum Job {
 /// whose apply is in flight (the quarantine target after a thread death).
 #[derive(Debug)]
 struct ShardState {
+    index: usize,
     sessions: Mutex<HashMap<ChannelKey, (Session, ResponseSink)>>,
     rx: Mutex<Receiver<Job>>,
     current: Mutex<Option<ChannelKey>>,
@@ -144,13 +151,16 @@ struct PoolRuntime {
 }
 
 impl PoolRuntime {
-    fn fresh_session(&self) -> Session {
-        Session::with_mode(
+    /// A fresh session pinned (for metrics attribution) to `shard`.
+    fn fresh_session(&self, shard: usize) -> Session {
+        let mut s = Session::with_mode(
             &self.classifier,
             self.watchdog,
             Instant::now(),
             self.two_phase_reference,
-        )
+        );
+        s.set_shard(shard);
+        s
     }
 }
 
@@ -206,13 +216,18 @@ fn run_shard(shard: &ShardState, rt: &PoolRuntime) {
     loop {
         match rx.recv_timeout(rt.tick) {
             Ok(job) => {
+                let dequeued = Instant::now();
+                if let Some(sc) = rt.metrics.shard(shard.index) {
+                    sc.note_dequeued();
+                }
                 let mut sessions = unpoisoned(shard.sessions.lock());
                 match job {
                     Job::Open { key, sink } => {
-                        sessions.insert(key, (rt.fresh_session(), sink));
+                        sessions.insert(key, (rt.fresh_session(shard.index), sink));
                     }
-                    Job::Command { key, cmd } => {
+                    Job::Command { key, cmd, enqueued } => {
                         if let Some((s, sink)) = sessions.get_mut(&key) {
+                            s.note_queue_wait(dequeued.duration_since(enqueued));
                             if let Some(plan) = &rt.chaos {
                                 if plan.fire(FaultSite::WorkerDelay) {
                                     std::thread::sleep(plan.worker_delay());
@@ -229,6 +244,12 @@ fn run_shard(shard: &ShardState, rt: &PoolRuntime) {
                                 s.apply(&rt.classifier, &rt.metrics, cmd, Instant::now())
                             }));
                             *unpoisoned(shard.current.lock()) = None;
+                            if let Some(sc) = rt.metrics.shard(shard.index) {
+                                sc.busy_ns.fetch_add(
+                                    dequeued.elapsed().as_nanos() as u64,
+                                    Ordering::Relaxed,
+                                );
+                            }
                             match applied {
                                 Ok(Some(resp)) => sink.send(&resp),
                                 Ok(None) => {}
@@ -238,7 +259,7 @@ fn run_shard(shard: &ShardState, rt: &PoolRuntime) {
                                     // it, quarantined, and answer the
                                     // poisoned document in its slot.
                                     rt.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
-                                    let mut fresh = rt.fresh_session();
+                                    let mut fresh = rt.fresh_session(shard.index);
                                     fresh.quarantine();
                                     *s = fresh;
                                     sink.send(&WireResponse::Error {
@@ -313,7 +334,7 @@ fn supervise(
         if let Some(key) = unpoisoned(shard.current.lock()).take() {
             let mut sessions = unpoisoned(shard.sessions.lock());
             if let Some((s, sink)) = sessions.get_mut(&key) {
-                let mut fresh = rt.fresh_session();
+                let mut fresh = rt.fresh_session(index);
                 fresh.quarantine();
                 *s = fresh;
                 sink.send(&WireResponse::Error {
@@ -384,6 +405,7 @@ impl WorkerPool {
         for i in 0..workers {
             let (tx, rx) = sync_channel::<Job>(queue_depth.max(1));
             let shard = Arc::new(ShardState {
+                index: i,
                 sessions: Mutex::new(HashMap::new()),
                 rx: Mutex::new(rx),
                 current: Mutex::new(None),

@@ -19,8 +19,8 @@ use std::ops::{Range, RangeInclusive};
 /// Common imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
-        TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -66,6 +66,61 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derived strategy applying `f` to every sampled value. No shrinking
+    /// (the shim never shrinks), otherwise matches real proptest.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy backed by a sampling closure; the expansion target of
+/// [`prop_compose!`].
+pub struct SampleFn<T, F: Fn(&mut TestRng) -> T>(pub F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for SampleFn<T, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Composite-strategy macro mirroring proptest's `prop_compose!`: defines a
+/// function returning a strategy that samples each listed sub-strategy and
+/// builds the result from the body. One parameter-list form only (no
+/// two-stage `(args)(more args)` dependency chaining beyond the standard
+/// params-then-strategies shape).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::SampleFn(move |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                $body
+            })
+        }
+    };
 }
 
 /// Strategy for "any value of a primitive type"; see [`any`].

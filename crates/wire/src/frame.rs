@@ -23,9 +23,12 @@
 //! | `0x03` | →engine | EndOfDocument | empty |
 //! | `0x04` | →engine | QueryResult | empty |
 //! | `0x05` | →engine | Reset | empty |
+//! | `0x06` | →engine | CloseChannel | empty |
+//! | `0x07` | →engine | GetStats | `detail: u8` (0 = counters, 1 = counters + event rings) |
 //! | `0x81` | engine→ | Hello | `count: u16`, then per language `len: u16` + UTF-8 name |
 //! | `0x82` | engine→ | Result | `valid: u8`, `checksum: u64`, `total_ngrams: u64`, `p: u16`, `p × count: u64` |
 //! | `0x83` | engine→ | Error | `code: u8`, `len: u16` + UTF-8 detail |
+//! | `0x84` | engine→ | StatsReport | opaque versioned metrics snapshot (service-layer schema) |
 //!
 //! (v2 kinds are the same values with bit 6 set: `0x41` = Size on a
 //! channel, `0xC2` = Result on a channel, and so on.)
@@ -68,12 +71,19 @@ pub mod kind {
     /// session server-side without closing the connection, freeing its
     /// `--max-channels` slot for reuse.
     pub const CLOSE_CHANNEL: u8 = 0x06;
+    /// Get-stats control command: ask the server for a live metrics
+    /// snapshot. Answered inline by the reactor (never queued behind
+    /// documents), so it works mid-load.
+    pub const GET_STATS: u8 = 0x07;
     /// Hello response (server banner: language names).
     pub const HELLO: u8 = 0x81;
     /// Result response (counters + checksum + status).
     pub const RESULT: u8 = 0x82;
     /// Error response.
     pub const ERROR: u8 = 0x83;
+    /// Stats-report response: a versioned, section-length-prefixed binary
+    /// metrics snapshot (schema owned by the service layer; opaque here).
+    pub const STATS_REPORT: u8 = 0x84;
 }
 
 /// Decode-level failures: the byte stream does not form a valid frame.
@@ -337,6 +347,15 @@ pub enum WireCommand {
     /// acknowledgement is sent — per-channel FIFO through the shard queue
     /// already orders a reuse behind the close.
     CloseChannel,
+    /// Ask the server for a live metrics snapshot (control frame, answered
+    /// by [`WireResponse::StatsReport`] on the same channel). The reactor
+    /// answers inline — a GetStats never waits behind queued documents.
+    GetStats {
+        /// Snapshot detail: 0 = counters only, 1 = counters plus the
+        /// per-reactor event rings (when `--trace-ring` is enabled).
+        /// Other values are reserved and treated as 0 by current servers.
+        detail: u8,
+    },
 }
 
 impl WireCommand {
@@ -377,6 +396,9 @@ impl WireCommand {
             WireCommand::QueryResult => write_frame_on(w, kind::QUERY_RESULT, channel, &[]),
             WireCommand::Reset => write_frame_on(w, kind::RESET, channel, &[]),
             WireCommand::CloseChannel => write_frame_on(w, kind::CLOSE_CHANNEL, channel, &[]),
+            WireCommand::GetStats { detail } => {
+                write_frame_on(w, kind::GET_STATS, channel, &[*detail])
+            }
         }
     }
 
@@ -409,6 +431,14 @@ impl WireCommand {
             kind::QUERY_RESULT => expect_empty(payload, WireCommand::QueryResult),
             kind::RESET => expect_empty(payload, WireCommand::Reset),
             kind::CLOSE_CHANNEL => expect_empty(payload, WireCommand::CloseChannel),
+            kind::GET_STATS => {
+                if payload.len() != 1 {
+                    return Err(FrameError::Malformed("GetStats payload must be 1 byte"));
+                }
+                let mut b = [0u8; 1];
+                payload.copy_to(&mut b);
+                Ok(WireCommand::GetStats { detail: b[0] })
+            }
             other => Err(FrameError::UnknownKind(other)),
         }
     }
@@ -449,6 +479,15 @@ pub enum WireResponse {
         code: ErrorCode,
         /// Diagnostic detail.
         detail: String,
+    },
+    /// Answer to [`WireCommand::GetStats`]: the server's metrics snapshot
+    /// in a versioned, section-length-prefixed binary schema. The schema
+    /// is owned by the service layer (`MetricsSnapshot::{encode,decode}`);
+    /// the wire layer carries it opaquely so schema evolution never needs
+    /// a frame-format change.
+    StatsReport {
+        /// The encoded snapshot bytes.
+        payload: Vec<u8>,
     },
 }
 
@@ -496,6 +535,9 @@ impl WireResponse {
                 payload.extend_from_slice(b);
                 write_frame_on(w, kind::ERROR, channel, &payload)
             }
+            WireResponse::StatsReport { payload } => {
+                write_frame_on(w, kind::STATS_REPORT, channel, payload)
+            }
         }
     }
 
@@ -541,6 +583,9 @@ impl WireResponse {
                 r.done()?;
                 Ok(WireResponse::Error { code, detail })
             }
+            kind::STATS_REPORT => Ok(WireResponse::StatsReport {
+                payload: payload.to_vec(),
+            }),
             other => Err(FrameError::UnknownKind(other)),
         }
     }
@@ -985,6 +1030,44 @@ mod tests {
         roundtrip_cmd(WireCommand::QueryResult);
         roundtrip_cmd(WireCommand::Reset);
         roundtrip_cmd(WireCommand::CloseChannel);
+        roundtrip_cmd(WireCommand::GetStats { detail: 0 });
+        roundtrip_cmd(WireCommand::GetStats { detail: 1 });
+    }
+
+    #[test]
+    fn get_stats_roundtrips_on_a_channel() {
+        let mut buf = Vec::new();
+        WireCommand::GetStats { detail: 1 }
+            .encode_on(9, &mut buf)
+            .unwrap();
+        assert_eq!(buf[0], kind::GET_STATS | CHANNEL_FLAG);
+        let (k, ch, payload) = read_frame_mux(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!((k, ch), (kind::GET_STATS, 9));
+        assert_eq!(
+            WireCommand::decode(k, payload).unwrap(),
+            WireCommand::GetStats { detail: 1 }
+        );
+    }
+
+    #[test]
+    fn stats_report_carries_opaque_bytes_on_any_channel() {
+        let blob: Vec<u8> = (0..=255u8).collect();
+        for channel in [0u16, 7] {
+            let mut buf = Vec::new();
+            WireResponse::StatsReport {
+                payload: blob.clone(),
+            }
+            .encode_on(channel, &mut buf)
+            .unwrap();
+            let (k, ch, payload) = read_frame_mux(&mut buf.as_slice()).unwrap().unwrap();
+            assert_eq!((k, ch), (kind::STATS_REPORT, channel));
+            assert_eq!(
+                WireResponse::decode(k, &payload).unwrap(),
+                WireResponse::StatsReport {
+                    payload: blob.clone()
+                }
+            );
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -72,20 +73,24 @@ fn print_usage() {
          \x20 lcbloom generate --out DIR [--docs N] [--bytes N] [--extended] [--seed S]\n\
          \x20 lcbloom train    --out FILE.lcp [--t N] DIR...\n\
          \x20 lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K]\n\
-         \x20                  [--subsample S] FILE...\n\
+         \x20                  [--subsample S] [--timing] FILE...\n\
          \x20 lcbloom simulate --profiles FILE.lcp [--sync] FILE...\n\
          \x20 lcbloom serve    --profiles FILE.lcp [--addr HOST:PORT] [--workers N]\n\
          \x20                  [--reactors N] [--max-connections N] [--max-channels N]\n\
          \x20                  [--outbound-high-water BYTES] [--slow-consumer-ms N]\n\
-         \x20                  [--watchdog-ms N] [--stats-secs N] [--m KBITS] [--k K]\n\
-         \x20                  [--subsample S] [--drain-deadline-ms N]\n\
-         \x20                  [--chaos-seed S] [--chaos-rate R]\n\
+         \x20                  [--watchdog-ms N] [--stats-secs N] [--stats-interval N]\n\
+         \x20                  [--m KBITS] [--k K] [--subsample S] [--trace-ring]\n\
+         \x20                  [--drain-deadline-ms N] [--chaos-seed S] [--chaos-rate R]\n\
          \x20 lcbloom query    --addr HOST:PORT [--channels N] [--window W]\n\
-         \x20                  [--timeout-ms N] FILE...\n\
+         \x20                  [--timeout-ms N] [--timing] FILE...\n\
+         \x20 lcbloom stats    --addr HOST:PORT [--watch SECS] [--ring]\n\
          \x20 lcbloom demo\n\
          \n\
          `train` expects one directory per language, named by its code (en, fr, ...),\n\
-         each containing plain-text files. `classify` and `query` accept `-` for stdin."
+         each containing plain-text files. `classify` and `query` accept `-` for stdin.\n\
+         `stats` asks a live server for its metrics snapshot over the wire (--watch\n\
+         repeats every SECS; --ring also dumps the --trace-ring flight recorders).\n\
+         `--timing` prints client-side p50/p95/p99 in the server's latency buckets."
     );
 }
 
@@ -274,11 +279,13 @@ fn load_classifier(
 const CLASSIFY_CHUNK: usize = 64 * 1024;
 
 fn cmd_classify(args: &[String]) -> Result<(), String> {
-    let (flags, files) = parse_flags(args, &["profiles", "m", "k", "subsample"], &[])?;
+    let (flags, files) = parse_flags(args, &["profiles", "m", "k", "subsample"], &["timing"])?;
     let (_, classifier) = load_classifier(&flags)?;
     if files.is_empty() {
         return Err("classify requires at least one file".into());
     }
+    let timing = flags.contains_key("timing");
+    let mut hist = [0u64; lcbloom::service::LATENCY_BUCKETS];
     println!(
         "{:<40} {:<8} {:>8} {:>10}",
         "file", "language", "margin", "n-grams"
@@ -291,6 +298,7 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
         } else {
             Box::new(std::fs::File::open(f).map_err(|e| format!("reading {f}: {e}"))?)
         };
+        let started = std::time::Instant::now();
         loop {
             let n = reader
                 .read(&mut buf)
@@ -301,6 +309,7 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
             session.feed(&buf[..n]);
         }
         let r = session.finish();
+        hist[lcbloom::service::latency_bucket(started.elapsed())] += 1;
         println!(
             "{:<40} {:<8} {:>8.3} {:>10}",
             f,
@@ -308,6 +317,9 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
             r.margin(),
             r.total_ngrams()
         );
+    }
+    if timing {
+        print_timing(&hist);
     }
     Ok(())
 }
@@ -329,11 +341,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "slow-consumer-ms",
             "watchdog-ms",
             "stats-secs",
+            "stats-interval",
             "drain-deadline-ms",
             "chaos-seed",
             "chaos-rate",
         ],
-        &[],
+        &["trace-ring"],
     )?;
     let (_, classifier) = load_classifier(&flags)?;
     let addr = flags
@@ -381,9 +394,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 ..Default::default()
             })
         },
+        trace_ring: flags.contains_key("trace-ring"),
         ..defaults
     };
-    let stats_secs = parse_num(&flags, "stats-secs", 10u64)?;
+    // --stats-interval is the canonical name; --stats-secs kept as the
+    // historical spelling.
+    let stats_secs = parse_num(
+        &flags,
+        "stats-interval",
+        parse_num(&flags, "stats-secs", 10u64)?,
+    )?;
     let drain_deadline =
         std::time::Duration::from_millis(parse_num(&flags, "drain-deadline-ms", 5000u64)?);
     // Each connection costs two fds (stream + write-through dup); make the
@@ -438,7 +458,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let (flags, files) = parse_flags(args, &["addr", "channels", "window", "timeout-ms"], &[])?;
+    let (flags, files) = parse_flags(
+        args,
+        &["addr", "channels", "window", "timeout-ms"],
+        &["timing"],
+    )?;
     let addr = flags
         .get("addr")
         .map(String::as_str)
@@ -447,6 +471,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if channels == 0 {
         return Err("--channels must be >= 1".into());
     }
+    // --timing measures per-document round trips, which needs stop-and-wait
+    // submission: with it set the multiplexed path (whose pipelining hides
+    // individual round trips) is bypassed.
+    let timing = flags.contains_key("timing");
+    let channels = if timing && channels > 1 {
+        eprintln!("--timing measures per-document round trips; ignoring --channels {channels}");
+        1
+    } else {
+        channels
+    };
     let window = parse_num(&flags, "window", 4 * channels as usize)?;
     let timeout_ms = parse_num(&flags, "timeout-ms", 0u64)?;
     if files.is_empty() {
@@ -506,7 +540,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
+    let mut hist = [0u64; lcbloom::service::LATENCY_BUCKETS];
     for f in &files {
+        let started = std::time::Instant::now();
         let served = if f == "-" {
             let mut text = Vec::new();
             std::io::stdin()
@@ -523,9 +559,135 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             client.classify_reader(&mut file, len)
         }
         .map_err(|e| format!("classifying {f}: {e}"))?;
+        hist[lcbloom::service::latency_bucket(started.elapsed())] += 1;
         print_row(f, &client, &served);
     }
+    if timing {
+        print_timing(&hist);
+    }
     Ok(())
+}
+
+/// Render a percentile bound from [`lcbloom::service::histogram_percentile_us`]
+/// (`u64::MAX` is the overflow bucket).
+fn fmt_bound_us(v: u64) -> String {
+    if v == u64::MAX {
+        format!(">{}", lcbloom::service::LATENCY_BOUNDS_US[7])
+    } else {
+        format!("≤{v}")
+    }
+}
+
+/// Print client-side percentiles from a `--timing` histogram (the same
+/// buckets the server's stage histograms use, so the numbers compare
+/// bucket-for-bucket with `lcbloom stats`).
+fn print_timing(hist: &[u64; lcbloom::service::LATENCY_BUCKETS]) {
+    let n: u64 = hist.iter().sum();
+    let p = |q: f64| {
+        lcbloom::service::histogram_percentile_us(hist, q)
+            .map(fmt_bound_us)
+            .unwrap_or_else(|| "-".into())
+    };
+    println!(
+        "timing: n={n} p50{} p95{} p99{} µs",
+        p(0.50),
+        p(0.95),
+        p(0.99)
+    );
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args, &["addr", "watch"], &["ring"])?;
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:4004");
+    let watch = parse_num(&flags, "watch", 0u64)?;
+    let detail = u8::from(flags.contains_key("ring"));
+    // A dedicated connection: GetStats must not interleave with document
+    // responses, and a fresh connection has none in flight by construction.
+    let mut client =
+        ClassifyClient::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    loop {
+        let snap = client
+            .stats(detail)
+            .map_err(|e| format!("fetching stats from {addr}: {e}"))?;
+        print_snapshot(&snap);
+        if watch == 0 {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(watch.max(1)));
+        println!();
+    }
+}
+
+/// Print a wire-fetched snapshot: the compact one-line summary first, then
+/// one greppable `key: value` line per aggregate and one line per shard /
+/// stage / ring event (what the CI smoke steps and shell pipelines parse).
+fn print_snapshot(snap: &lcbloom::service::MetricsSnapshot) {
+    println!("{snap}");
+    println!("documents: {}", snap.documents);
+    let sum: u64 = snap.shards.iter().map(|s| s.docs).sum();
+    println!("shard_docs_sum: {sum}");
+    for (i, s) in snap.shards.iter().enumerate() {
+        println!(
+            "shard[{i}]: docs={} busy_ms={} depth={} peak={} parked={} jobs={}",
+            s.docs,
+            s.busy_ns / 1_000_000,
+            s.queue_depth,
+            s.queue_depth_peak,
+            s.parked,
+            s.jobs
+        );
+    }
+    for (name, hist) in [
+        ("latency", &snap.latency),
+        ("queue-wait", &snap.queue_wait),
+        ("classify", &snap.classify),
+        ("response-drain", &snap.response_drain),
+    ] {
+        let p = |q: f64| {
+            lcbloom::service::histogram_percentile_us(hist, q)
+                .map(fmt_bound_us)
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "stage[{name}]: n={} p50{} p95{} p99{} µs",
+            hist.iter().sum::<u64>(),
+            p(0.50),
+            p(0.95),
+            p(0.99)
+        );
+    }
+    println!(
+        "reactor: wakeups={} eventfd={} reads={} writes={} short-read-continuations={}",
+        snap.reactor_wakeups,
+        snap.eventfd_wakes,
+        snap.read_syscalls,
+        snap.write_syscalls,
+        snap.short_read_continuations
+    );
+    let wake_dist: Vec<String> = lcbloom::service::EVENTS_PER_WAKE_BOUNDS
+        .iter()
+        .map(|b| format!("≤{b}"))
+        .chain(std::iter::once("over".into()))
+        .zip(snap.events_per_wake.iter())
+        .filter(|&(_, &n)| n > 0)
+        .map(|(label, n)| format!("{label}:{n}"))
+        .collect();
+    if !wake_dist.is_empty() {
+        println!("events-per-wake: {}", wake_dist.join(" "));
+    }
+    for (r, events) in snap.rings.iter().enumerate() {
+        for ev in events {
+            println!(
+                "ring[{r}] +{:>12.6}s {} arg={}",
+                ev.ts_ns as f64 / 1e9,
+                lcbloom::service::RingTag::name(ev.tag),
+                ev.arg
+            );
+        }
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {

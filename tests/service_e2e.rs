@@ -970,3 +970,187 @@ fn graceful_shutdown_joins_all_threads() {
         Err(e) => panic!("unexpected error class: {e}"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Live introspection plane: wire-v2 GetStats / StatsReport.
+
+#[test]
+fn wire_stats_match_the_in_process_snapshot_once_quiesced() {
+    let server = start(3, Duration::from_secs(5));
+    let addr = server.addr();
+    let docs = test_docs();
+    let refs: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+    let mut client = ClassifyClient::connect(addr).expect("connect");
+    let served = client
+        .classify_many_mux(&refs, 6, 8)
+        .expect("classify batch");
+    assert_eq!(served.len(), docs.len());
+
+    // Quiesced: every response was received, and a document's counters are
+    // all bumped before its response frame is even enqueued — so the
+    // report below sees a consistent, final view of the batch. The one
+    // exception is the response-drain stage: the write-through fast path
+    // makes a response visible to the peer a beat before its drain time is
+    // recorded, so give that last record a moment to land.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server
+        .metrics()
+        .snapshot()
+        .response_drain
+        .iter()
+        .sum::<u64>()
+        < docs.len() as u64
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut stats_conn = ClassifyClient::connect(addr).expect("connect stats");
+    let wire = stats_conn.stats(0).expect("stats over the wire");
+    let local = server.metrics().snapshot();
+
+    assert_eq!(wire.documents, docs.len() as u64);
+    assert_eq!(
+        wire.shards.iter().map(|s| s.docs).sum::<u64>(),
+        wire.documents,
+        "per-shard docs sum to the global document count"
+    );
+    assert_eq!(wire.shards.len(), 3, "one entry per worker shard");
+    assert_eq!(wire.bytes, local.bytes);
+    assert_eq!(wire.ngrams, local.ngrams);
+    assert_eq!(wire.lang_wins, local.lang_wins);
+    assert_eq!(
+        wire.lang_wins.iter().sum::<u64>(),
+        wire.documents,
+        "every document wins exactly one language"
+    );
+    assert_eq!(wire.latency, local.latency);
+    assert_eq!(wire.queue_wait, local.queue_wait);
+    assert_eq!(wire.classify, local.classify);
+    for (name, hist) in [
+        ("latency", &wire.latency),
+        ("queue-wait", &wire.queue_wait),
+        ("classify", &wire.classify),
+        ("response-drain", &wire.response_drain),
+    ] {
+        assert_eq!(
+            hist.iter().sum::<u64>(),
+            wire.documents,
+            "{name} histogram counts one entry per document"
+        );
+    }
+    assert!(
+        wire.shards.iter().map(|s| s.jobs).sum::<u64>() > 0,
+        "shard job counters moved"
+    );
+    assert!(wire.rings.is_empty(), "detail=0 carries no ring dumps");
+    server.shutdown();
+}
+
+#[test]
+fn stats_answer_inline_while_the_pool_is_busy() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let server = start(2, Duration::from_secs(5));
+    let addr = server.addr();
+    let docs = test_docs();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut client = ClassifyClient::connect(addr).expect("connect load");
+            let refs: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+            while !stop.load(Ordering::Relaxed) {
+                client.classify_many_mux(&refs, 4, 8).expect("load batch");
+            }
+        });
+        // GetStats is answered inline by the reactor's decode loop — never
+        // queued behind the documents saturating the shard queues — so the
+        // reports keep flowing mid-load.
+        let mut stats_conn = ClassifyClient::connect(addr).expect("connect stats");
+        let mut last_docs = 0u64;
+        for _ in 0..5 {
+            let snap = stats_conn.stats(0).expect("mid-load stats");
+            assert!(snap.documents >= last_docs, "documents are monotonic");
+            last_docs = snap.documents;
+            // Snapshots are relaxed per-counter loads: mid-load, the shard
+            // sum may tear from the global count by the handful of
+            // documents whose increments are mid-flight (bounded by the
+            // load client's pipeline window), never by more.
+            let sum: u64 = snap.shards.iter().map(|s| s.docs).sum();
+            assert!(
+                sum.abs_diff(snap.documents) <= 8,
+                "shard sum {sum} torn too far from documents {}",
+                snap.documents
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(last_docs > 0, "load client classified something");
+        stop.store(true, Ordering::Relaxed);
+    });
+    server.shutdown();
+}
+
+#[test]
+fn trace_ring_records_reactor_events_and_dumps_over_the_wire() {
+    use lcbloom::service::RingTag;
+    let server = serve(
+        classifier(),
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            trace_ring: true,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = server.addr();
+    let docs = test_docs();
+    let refs: Vec<&[u8]> = docs.iter().take(8).map(|d| d.as_slice()).collect();
+    let mut client = ClassifyClient::connect(addr).expect("connect");
+    client.classify_many(&refs, 4).expect("classify batch");
+
+    let mut stats_conn = ClassifyClient::connect(addr).expect("connect stats");
+    let plain = stats_conn.stats(0).expect("stats detail=0");
+    assert!(plain.rings.is_empty(), "detail=0 carries no ring dumps");
+    let detailed = stats_conn.stats(1).expect("stats detail=1");
+    assert!(
+        detailed.rings.iter().any(|r| !r.is_empty()),
+        "a traced server under traffic has ring events"
+    );
+    let tags: std::collections::HashSet<u8> =
+        detailed.rings.iter().flatten().map(|e| e.tag).collect();
+    assert!(
+        tags.contains(&(RingTag::ConnOpen as u8)),
+        "conn-open traced"
+    );
+    assert!(tags.contains(&(RingTag::Read as u8)), "socket reads traced");
+    assert!(
+        tags.contains(&(RingTag::Stats as u8)),
+        "the earlier detail=0 probe is itself in the window"
+    );
+    for ev in detailed.rings.iter().flatten() {
+        assert!(ev.ts_ns > 0, "ring timestamps are nonzero");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn reactor_loop_counters_move_under_traffic() {
+    let server = start(2, Duration::from_secs(5));
+    let addr = server.addr();
+    let docs = test_docs();
+    let refs: Vec<&[u8]> = docs.iter().take(10).map(|d| d.as_slice()).collect();
+    let mut client = ClassifyClient::connect(addr).expect("connect");
+    client.classify_many(&refs, 4).expect("classify batch");
+    let snap = server.metrics().snapshot();
+    assert!(snap.reactor_wakeups > 0, "epoll wakeups counted");
+    assert!(snap.read_syscalls > 0, "read syscalls counted");
+    assert!(snap.write_syscalls > 0, "write passes counted");
+    assert!(
+        snap.eventfd_wakes > 0,
+        "worker responses wake the reactor via eventfd"
+    );
+    assert!(
+        snap.events_per_wake.iter().sum::<u64>() > 0,
+        "events-per-wake histogram filled"
+    );
+    server.shutdown();
+}
