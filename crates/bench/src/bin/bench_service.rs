@@ -2,7 +2,7 @@
 //! classification service on the paper's 8-language × (k = 4, m = 16 Kbit)
 //! configuration, with concurrent pipelined clients over localhost.
 //!
-//! Five scenarios:
+//! Seven scenarios:
 //!
 //! * **Worker scaling** (1 vs 4 workers, 8 clients): the §3.3 replication
 //!   argument — one worker is one match engine, four are the replicated
@@ -26,6 +26,11 @@
 //!   payload corruption, worker delays and panics. The round asserts the
 //!   one-response-per-document accounting survives and that recovery
 //!   costs less than half the clean throughput.
+//! * **Observability overhead** (plain vs `--trace-ring` plus a live
+//!   `GetStats` poller): the ring/stats introspection plane's A/B.
+//! * **Tracing overhead** (baseline vs span plane off / 1-in-64 / 1-in-1
+//!   head sampling): the per-document span plane's A/B; the sampled-off
+//!   arm must cost nothing beyond a branch.
 //!
 //! Clients keep a small window of documents in flight per connection
 //! (Size/Data/EoD/Query for document *n+1* may follow document *n*'s Query
@@ -50,7 +55,7 @@ use lc_core::MultiLanguageClassifier;
 use lc_corpus::{Corpus, CorpusConfig, Language};
 use lc_service::{
     histogram_percentile_us, raise_nofile_limit, serve, ChaosConfig, ClassifyClient,
-    MetricsSnapshot, ServiceConfig, LATENCY_BUCKETS,
+    MetricsSnapshot, ServiceConfig, LATENCY_BOUNDS_US, LATENCY_BUCKETS,
 };
 use lc_wire::{read_frame, read_frame_mux, write_data_frame_on, WireCommand, WireResponse};
 use std::io::{BufWriter, Write};
@@ -85,6 +90,7 @@ fn send_doc_on<W: Write>(w: &mut W, channel: u16, doc: &[u8]) {
     WireCommand::Size {
         words: words as u32,
         bytes: doc.len() as u32,
+        trace: None,
     }
     .encode_on(channel, w)
     .expect("send Size");
@@ -456,13 +462,20 @@ fn per_shard_json(snap: &MetricsSnapshot) -> String {
 }
 
 /// Per-stage latency JSON (p50/p95/p99 in µs) from a quiesced snapshot.
-/// A percentile that lands in the overflow bucket reports `-1`: beyond
-/// the largest tracked bound, not a measured value.
+/// A percentile that lands in the overflow bucket reports an explicit
+/// `{ "gt_us": 300000 }` object — beyond the largest tracked bound, not a
+/// measured value (never the raw `u64::MAX` sentinel, whose signed cast
+/// used to serialize as a misleading `-1`). An empty histogram reports
+/// `null`.
 fn latency_stages_json(snap: &MetricsSnapshot) -> String {
     let stage = |name: &str, hist: &[u64; LATENCY_BUCKETS]| {
         let pct = |q: f64| match histogram_percentile_us(hist, q) {
-            Some(u64::MAX) | None => -1i64,
-            Some(v) => v as i64,
+            None => "null".to_string(),
+            Some(u64::MAX) => format!(
+                "{{ \"gt_us\": {} }}",
+                LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]
+            ),
+            Some(v) => v.to_string(),
         };
         format!(
             "\"{}\": {{ \"n\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {} }}",
@@ -814,6 +827,70 @@ fn main() {
         "the stats poller never completed a GetStats round trip mid-load"
     );
 
+    // Scenario 7: tracing overhead — the per-document span plane's A/B,
+    // alongside (and separate from) the ring/stats plane above. Four
+    // interleaved arms on identical load:
+    //   baseline   no span plane at all (the pre-tracing server),
+    //   off        plane allocated but head sampling keeps nothing (a
+    //              `--trace-slow-us` threshold no document crosses), so
+    //              each document pays exactly the sampled-off branch,
+    //   1-in-64    production-style head sampling,
+    //   1-in-1     every document builds and buffers a span record.
+    // Spans reuse the timestamps the metrics path already takes, so even
+    // the 1-in-1 arm should be noise; the exact ratios are recorded and
+    // only the off arm is asserted — its cost is a branch and must stay
+    // within the container's round-to-round swing of free.
+    const TRACE_ROUNDS: usize = 9;
+    let trace_arm = |sample: u32, slow_us: u64| ServiceConfig {
+        trace_sample: sample,
+        trace_slow_us: slow_us,
+        ..workers_config(4)
+    };
+    let mut trace_rounds: [Vec<Round>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for round in 0..TRACE_ROUNDS {
+        let arms = [
+            trace_arm(0, 0),        // baseline: spans never allocated
+            trace_arm(0, u64::MAX), // off: plane live, nothing sampled
+            trace_arm(64, 0),
+            trace_arm(1, 0),
+        ];
+        for (i, config) in arms.into_iter().enumerate() {
+            let r = run_round(
+                &classifier,
+                &docs,
+                config,
+                clients,
+                measure_docs,
+                false,
+                false,
+            );
+            trace_rounds[i].push(r);
+        }
+        eprintln!(
+            "tracing round {round}: baseline {:.0} / off {:.0} / 1-in-64 {:.0} / 1-in-1 {:.0} docs/s",
+            trace_rounds[0].last().unwrap().docs_per_s,
+            trace_rounds[1].last().unwrap().docs_per_s,
+            trace_rounds[2].last().unwrap().docs_per_s,
+            trace_rounds[3].last().unwrap().docs_per_s,
+        );
+    }
+    let [trace_base_rounds, trace_off_rounds, trace_s64_rounds, trace_s1_rounds] = trace_rounds;
+    let trace_base = median(trace_base_rounds);
+    let trace_off = median(trace_off_rounds);
+    let trace_s64 = median(trace_s64_rounds);
+    let trace_s1 = median(trace_s1_rounds);
+    let trace_off_ratio = trace_off.docs_per_s / trace_base.docs_per_s;
+    let trace_s64_ratio = trace_s64.docs_per_s / trace_base.docs_per_s;
+    let trace_s1_ratio = trace_s1.docs_per_s / trace_base.docs_per_s;
+    assert!(
+        trace_off_ratio >= 0.95,
+        "sampling-off tracing cost {:.0}% throughput ({:.0} vs {:.0} docs/s): \
+         the unsampled path must stay a branch",
+        (1.0 - trace_off_ratio) * 100.0,
+        trace_off.docs_per_s,
+        trace_base.docs_per_s,
+    );
+
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|(n, budget, r)| {
@@ -865,6 +942,19 @@ fn main() {
         fault_chaos.faults_injected,
         fault_chaos.faulted_docs,
     );
+    let tracing_json = format!(
+        "\"tracing_overhead\": {{ \"workers\": 4, \"clients\": {}, \"rounds\": {}, \"measured_documents\": {}, \"baseline_docs_per_s\": {:.1}, \"off_docs_per_s\": {:.1}, \"sample_64_docs_per_s\": {:.1}, \"sample_1_docs_per_s\": {:.1}, \"ratio_off\": {:.3}, \"ratio_sample_64\": {:.3}, \"ratio_sample_1\": {:.3}, \"note\": \"per-document span plane A/B; off = plane allocated but head sampling keeps nothing; ratios vs baseline, 1.0 = free\" }}",
+        clients,
+        TRACE_ROUNDS,
+        measure_docs,
+        trace_base.docs_per_s,
+        trace_off.docs_per_s,
+        trace_s64.docs_per_s,
+        trace_s1.docs_per_s,
+        trace_off_ratio,
+        trace_s64_ratio,
+        trace_s1_ratio,
+    );
     let observability_json = format!(
         "\"observability_overhead\": {{ \"workers\": 4, \"clients\": {}, \"rounds\": {}, \"measured_documents\": {}, \"plain_docs_per_s\": {:.1}, \"observed_docs_per_s\": {:.1}, \"throughput_ratio\": {:.3}, \"live_stats_polls\": {}, \"note\": \"observed = --trace-ring plus a client pulling GetStats(detail=1) every ~2ms mid-load; ratio is observed/plain, 1.0 = free\" }}",
         clients,
@@ -878,7 +968,7 @@ fn main() {
     let fused_vs_recorded = one.mb_per_s / PRE_FUSION_WORKERS_1_MB_S;
     let fused_vs_two_phase = one.mb_per_s / two_phase_one.mb_per_s;
     let json = format!(
-        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"pre_fusion_baseline\": {{ \"recorded\": {{ \"workers_1_mb_per_s\": {:.1}, \"workers_4_mb_per_s\": {:.1}, \"note\": \"PR 3's BENCH_service.json numbers (two-phase worker loop, per-document-flush harness)\" }}, \"two_phase_same_harness\": {{ \"workers\": 1, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"note\": \"ServiceConfig::two_phase_reference measured live in the same interleaved rounds\" }} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"fused_vs_pre_fusion_workers_1\": {:.2},\n  \"fused_vs_two_phase_workers_1\": {:.2},\n  \"speedup_1_to_4\": {:.2},\n  \"connections_sweep\": {{ \"workers\": 4, \"rounds\": {}, \"points\": [\n    {}\n  ] }},\n  {},\n  \"slow_reader\": {{ \"workers\": 4, \"clients\": 64, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"slow_consumer_resets\": {} }},\n  {},\n  {}\n}}\n",
+        "{{\n  \"bench\": \"service\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"profile_size\": {}, \"mean_doc_bytes\": {}, \"clients\": {}, \"pipeline_depth\": {}, \"measured_documents\": {}, \"rounds\": {}, \"host_cores\": {} }},\n  \"pre_fusion_baseline\": {{ \"recorded\": {{ \"workers_1_mb_per_s\": {:.1}, \"workers_4_mb_per_s\": {:.1}, \"note\": \"PR 3's BENCH_service.json numbers (two-phase worker loop, per-document-flush harness)\" }}, \"two_phase_same_harness\": {{ \"workers\": 1, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"note\": \"ServiceConfig::two_phase_reference measured live in the same interleaved rounds\" }} }},\n  \"workers_1\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"workers_4\": {{ \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1} }},\n  \"fused_vs_pre_fusion_workers_1\": {:.2},\n  \"fused_vs_two_phase_workers_1\": {:.2},\n  \"speedup_1_to_4\": {:.2},\n  \"connections_sweep\": {{ \"workers\": 4, \"rounds\": {}, \"points\": [\n    {}\n  ] }},\n  {},\n  \"slow_reader\": {{ \"workers\": 4, \"clients\": 64, \"measured_documents\": {}, \"docs_per_s\": {:.1}, \"mb_per_s\": {:.1}, \"slow_consumer_resets\": {} }},\n  {},\n  {},\n  {}\n}}\n",
         classifier.num_languages(),
         params.k,
         params.m_kbits(),
@@ -909,6 +999,7 @@ fn main() {
         slow.slow_consumer_resets,
         fault_mode_json,
         observability_json,
+        tracing_json,
     );
     print!("{json}");
 
@@ -920,11 +1011,15 @@ fn main() {
          {speedup:.2}x the documents of 1 worker; one multiplexed connection serves \
          {:.2}x its own single-channel throughput with 0/{} payload copies; a ~1% fault \
          rate costs {:.0}% throughput; the live introspection plane serves {:.2}x plain \
-         throughput over {} mid-load stats polls)",
+         throughput over {} mid-load stats polls; span tracing serves {:.2}x / {:.2}x / \
+         {:.2}x baseline at off / 1-in-64 / 1-in-1 sampling)",
         mux_best / mux_one,
         mux_data_frames,
         (1.0 - fault_ratio) * 100.0,
         obs_ratio,
         obs_on.stats_polls,
+        trace_off_ratio,
+        trace_s64_ratio,
+        trace_s1_ratio,
     );
 }

@@ -168,6 +168,9 @@ pub struct ClassifyClient {
     next_channel: u16,
     /// Peer address, kept for hardened-path reconnects.
     addr: Option<SocketAddr>,
+    /// Trace id stamped on every outgoing `Size` frame (wire-v2
+    /// TraceContext extension); `None` sends the v1-identical 8-byte form.
+    trace_context: Option<u64>,
 }
 
 impl ClassifyClient {
@@ -220,6 +223,7 @@ impl ClassifyClient {
             checksum: 0,
             next_channel: 0,
             addr,
+            trace_context: None,
         };
         match client.read_response()? {
             WireResponse::Hello { languages } => {
@@ -333,6 +337,15 @@ impl ClassifyClient {
             }
         }
         Ok(results)
+    }
+
+    /// Stamp `id` as the wire-propagated trace context on every `Size`
+    /// frame this client sends until cleared with `None`. The server
+    /// adopts the id verbatim for the document's span (marked
+    /// client-context) instead of deriving its own, so a caller-chosen id
+    /// can be grepped straight out of `lcbloom trace` output.
+    pub fn set_trace_context(&mut self, id: Option<u64>) {
+        self.trace_context = id;
     }
 
     /// Hand out the next channel id from this client's counter (1, 2, …;
@@ -773,6 +786,7 @@ impl ClassifyClient {
         WireCommand::Size {
             words: words as u32,
             bytes: len as u32,
+            trace: self.trace_context,
         }
         .encode_on(channel, &mut w)?;
 

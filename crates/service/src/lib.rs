@@ -74,6 +74,7 @@ mod reactor;
 pub mod ring;
 pub mod server;
 pub mod session;
+pub mod trace;
 pub mod worker;
 
 pub use chaos::{ChaosConfig, FaultPlan, FaultSite};
@@ -88,4 +89,9 @@ pub use outbound::ResponseSink;
 pub use ring::{EventRing, RingEvent, RingSet, RingTag};
 pub use server::{serve, ServerHandle, ServiceConfig};
 pub use session::Session;
+pub use trace::{
+    derive_trace_id, fault_name, HistoryRing, HistoryShard, HistorySlot, SpanRecord, SpanSet,
+    FAULT_WORKER_DELAY, HISTORY_SLOTS, SPAN_BUFFER, SPAN_CLIENT_CONTEXT, SPAN_FAULT, SPAN_PARKED,
+    SPAN_SAMPLED, SPAN_SLOW,
+};
 pub use worker::{ChannelKey, WorkerPool};

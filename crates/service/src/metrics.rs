@@ -18,6 +18,7 @@
 //! few percent).
 
 use crate::ring::RingEvent;
+use crate::trace::{HistoryShard, HistorySlot, SpanRecord};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -385,6 +386,8 @@ impl ServiceMetrics {
             }),
             shards: self.shards.iter().map(ShardCounters::snapshot).collect(),
             rings: Vec::new(),
+            spans: Vec::new(),
+            history: Vec::new(),
         }
     }
 }
@@ -473,6 +476,13 @@ pub struct MetricsSnapshot {
     /// `GetStats(detail=1)` answers from a `--trace-ring` server; empty
     /// in plain snapshots).
     pub rings: Vec<Vec<RingEvent>>,
+    /// Trace spans drained by a `GetStats(detail=2)` answer from a
+    /// tracing server (`--trace-sample`/`--trace-slow-us`); empty in
+    /// plain snapshots and at lower detail.
+    pub spans: Vec<SpanRecord>,
+    /// Time-series history slots attached by a `GetStats(detail=2)`
+    /// answer when the server's sampler is running; empty otherwise.
+    pub history: Vec<HistorySlot>,
 }
 
 /// Failure decoding a [`MetricsSnapshot`] wire blob.
@@ -500,9 +510,19 @@ const SEC_STAGES: u16 = 3;
 const SEC_WAKE_HIST: u16 = 4;
 const SEC_SHARDS: u16 = 5;
 const SEC_RINGS: u16 = 6;
+const SEC_SPANS: u16 = 7;
+const SEC_HISTORY: u16 = 8;
 
 const SHARD_FIELDS: usize = 6;
 const STAGE_COUNT: usize = 4;
+/// Serialized [`SpanRecord`] size; each record is length-prefixed by the
+/// section header so a future schema can append fields that old decoders
+/// skip per-record.
+const SPAN_RECORD_BYTES: usize = 70;
+/// `u64` fields per history slot (before the per-shard table).
+const HISTORY_SLOT_FIELDS: usize = 6;
+/// `u64` fields per history-slot shard entry.
+const HISTORY_SHARD_FIELDS: usize = 3;
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -714,6 +734,54 @@ impl MetricsSnapshot {
             put_section(&mut out, SEC_RINGS, &body);
         }
 
+        if !self.spans.is_empty() {
+            let mut body = Vec::with_capacity(8 + self.spans.len() * SPAN_RECORD_BYTES);
+            put_u32(&mut body, self.spans.len() as u32);
+            put_u16(&mut body, SPAN_RECORD_BYTES as u16);
+            for s in &self.spans {
+                put_u64(&mut body, s.trace_id);
+                put_u64(&mut body, s.conn);
+                put_u16(&mut body, s.channel);
+                put_u16(&mut body, s.shard);
+                put_u32(&mut body, s.doc_seq);
+                body.push(s.flags);
+                body.push(s.fault);
+                put_u32(&mut body, s.doc_bytes);
+                put_u64(&mut body, s.end_ns);
+                put_u64(&mut body, s.total_us);
+                put_u64(&mut body, s.queue_us);
+                put_u64(&mut body, s.classify_us);
+                put_u64(&mut body, s.drain_us);
+            }
+            put_section(&mut out, SEC_SPANS, &body);
+        }
+
+        if !self.history.is_empty() {
+            let mut body = Vec::new();
+            put_u32(&mut body, self.history.len() as u32);
+            put_u16(&mut body, HISTORY_SLOT_FIELDS as u16);
+            put_u16(&mut body, HISTORY_SHARD_FIELDS as u16);
+            for slot in &self.history {
+                for v in [
+                    slot.ts_ns,
+                    slot.interval_us,
+                    slot.docs,
+                    slot.doc_bytes,
+                    slot.errors,
+                    slot.faults,
+                ] {
+                    put_u64(&mut body, v);
+                }
+                put_u16(&mut body, slot.shards.len() as u16);
+                for sh in &slot.shards {
+                    put_u64(&mut body, sh.docs);
+                    put_u64(&mut body, sh.busy_ns);
+                    put_u64(&mut body, sh.queue_depth);
+                }
+            }
+            put_section(&mut out, SEC_HISTORY, &body);
+        }
+
         out
     }
 
@@ -824,6 +892,79 @@ impl MetricsSnapshot {
                     }
                     snap.rings = rings;
                 }
+                SEC_SPANS => {
+                    let n = body.u32()? as usize;
+                    let rec_len = body.u16()? as usize;
+                    if rec_len < SPAN_RECORD_BYTES {
+                        return Err(SnapshotDecodeError("span record shorter than known"));
+                    }
+                    let mut spans = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        let mut rec = Reader {
+                            buf: body.take(rec_len)?,
+                        };
+                        spans.push(SpanRecord {
+                            trace_id: rec.u64()?,
+                            conn: rec.u64()?,
+                            channel: rec.u16()?,
+                            shard: rec.u16()?,
+                            doc_seq: rec.u32()?,
+                            flags: rec.u8()?,
+                            fault: rec.u8()?,
+                            doc_bytes: rec.u32()?,
+                            end_ns: rec.u64()?,
+                            total_us: rec.u64()?,
+                            queue_us: rec.u64()?,
+                            classify_us: rec.u64()?,
+                            drain_us: rec.u64()?,
+                        });
+                        // Trailing bytes are fields from a newer schema.
+                    }
+                    snap.spans = spans;
+                }
+                SEC_HISTORY => {
+                    let n = body.u32()? as usize;
+                    let slot_fields = body.u16()? as usize;
+                    let shard_fields = body.u16()? as usize;
+                    if slot_fields < HISTORY_SLOT_FIELDS || shard_fields < HISTORY_SHARD_FIELDS {
+                        return Err(SnapshotDecodeError("history slot shorter than known"));
+                    }
+                    let mut history = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        let mut vals = [0u64; HISTORY_SLOT_FIELDS];
+                        for slot in vals.iter_mut() {
+                            *slot = body.u64()?;
+                        }
+                        for _ in HISTORY_SLOT_FIELDS..slot_fields {
+                            let _ = body.u64()?; // fields from a newer schema
+                        }
+                        let shard_count = body.u16()? as usize;
+                        let mut shards = Vec::with_capacity(shard_count.min(1024));
+                        for _ in 0..shard_count {
+                            let docs = body.u64()?;
+                            let busy_ns = body.u64()?;
+                            let queue_depth = body.u64()?;
+                            for _ in HISTORY_SHARD_FIELDS..shard_fields {
+                                let _ = body.u64()?;
+                            }
+                            shards.push(HistoryShard {
+                                docs,
+                                busy_ns,
+                                queue_depth,
+                            });
+                        }
+                        history.push(HistorySlot {
+                            ts_ns: vals[0],
+                            interval_us: vals[1],
+                            docs: vals[2],
+                            doc_bytes: vals[3],
+                            errors: vals[4],
+                            faults: vals[5],
+                            shards,
+                        });
+                    }
+                    snap.history = history;
+                }
                 _ => {} // a section from a newer schema: skipped by length
             }
         }
@@ -836,6 +977,12 @@ impl MetricsSnapshot {
 /// sample (`q` in `0.0..=1.0`), `u64::MAX` when it lands in the overflow
 /// bucket, or `None` for an empty histogram. Client `--timing` and
 /// server stage histograms share this, so the two sides diff cleanly.
+///
+/// **Overflow sentinel:** `Some(u64::MAX)` means "beyond the last bound"
+/// (> `LATENCY_BOUNDS_US.last()`), *not* a measured value. Renderers
+/// must special-case it — as `> 300000 µs`, or JSON `{"gt_us": 300000}`
+/// — never serialize the raw sentinel (casting it to a signed type
+/// produces the misleading `-1` this note exists to prevent).
 pub fn histogram_percentile_us(buckets: &[u64; LATENCY_BUCKETS], q: f64) -> Option<u64> {
     let total: u64 = buckets.iter().sum();
     if total == 0 {
@@ -1242,6 +1389,40 @@ mod tests {
                 arg: 0,
             },
         ]];
+        snap.spans = vec![
+            SpanRecord {
+                trace_id: 0xDEAD_BEEF,
+                conn: 3,
+                channel: 1,
+                shard: 0,
+                doc_seq: 9,
+                flags: 1 | 8,
+                fault: 7,
+                doc_bytes: 4096,
+                end_ns: 1_000_000,
+                total_us: 450,
+                queue_us: 90,
+                classify_us: 250,
+                drain_us: 40,
+            },
+            SpanRecord::default(),
+        ];
+        snap.history = vec![HistorySlot {
+            ts_ns: 2_000_000,
+            interval_us: 1_000_000,
+            docs: 120,
+            doc_bytes: 1 << 20,
+            errors: 1,
+            faults: 0,
+            shards: vec![
+                HistoryShard {
+                    docs: 60,
+                    busy_ns: 300_000_000,
+                    queue_depth: 2,
+                },
+                HistoryShard::default(),
+            ],
+        }];
         snap
     }
 
@@ -1282,6 +1463,36 @@ mod tests {
     }
 
     #[test]
+    fn plain_snapshots_carry_no_span_or_history_sections() {
+        // Detail ≤ 1 answers must stay bit-identical to the PR 7 schema:
+        // the span and history sections only exist when populated, so a
+        // plain snapshot's bytes list exactly the original section tags.
+        let mut snap = busy_snapshot();
+        snap.rings.clear();
+        snap.spans.clear();
+        snap.history.clear();
+        let bytes = snap.encode();
+        let mut r = Reader { buf: &bytes[2..] }; // skip the version word
+        let mut tags = Vec::new();
+        while !r.is_empty() {
+            let tag = r.u16().unwrap();
+            let len = r.u32().unwrap() as usize;
+            let _ = r.take(len).unwrap();
+            tags.push(tag);
+        }
+        assert_eq!(
+            tags,
+            vec![
+                SEC_COUNTERS,
+                SEC_LANGS,
+                SEC_STAGES,
+                SEC_WAKE_HIST,
+                SEC_SHARDS
+            ]
+        );
+    }
+
+    #[test]
     fn truncated_blob_is_a_typed_error_not_a_panic() {
         let bytes = busy_snapshot().encode();
         for cut in [0, 1, 3, bytes.len() / 2, bytes.len() - 1] {
@@ -1311,6 +1522,14 @@ mod tests {
                 proptest::collection::vec(0u64..1 << 40, SHARD_FIELDS), 0..5),
             rings in proptest::collection::vec(
                 proptest::collection::vec((0u64..1 << 40, 0u8..16, 0u64..1 << 40), 0..8), 0..3),
+            spans in proptest::collection::vec(
+                (any::<u64>(), 0u64..1 << 40, any::<u16>(), 0u16..64, any::<u32>(),
+                 any::<u8>(), 0u8..12, any::<u32>(),
+                 proptest::collection::vec(0u64..1 << 40, 5)), 0..6),
+            history in proptest::collection::vec(
+                (proptest::collection::vec(0u64..1 << 40, HISTORY_SLOT_FIELDS),
+                 proptest::collection::vec(
+                     proptest::collection::vec(0u64..1 << 40, HISTORY_SHARD_FIELDS), 0..4)), 0..4),
         ) -> MetricsSnapshot {
             let mut snap = MetricsSnapshot {
                 lang_names: langs.iter().map(|(n, _)| n.iter().collect()).collect(),
@@ -1337,6 +1556,47 @@ mod tests {
                         ring.iter()
                             .map(|&(ts_ns, tag, arg)| RingEvent { ts_ns, tag, arg })
                             .collect()
+                    })
+                    .collect(),
+                spans: spans
+                    .iter()
+                    .map(
+                        |&(trace_id, conn, channel, shard, doc_seq, flags, fault, doc_bytes, ref t)| {
+                            SpanRecord {
+                                trace_id,
+                                conn,
+                                channel,
+                                shard,
+                                doc_seq,
+                                flags,
+                                fault,
+                                doc_bytes,
+                                end_ns: t[0],
+                                total_us: t[1],
+                                queue_us: t[2],
+                                classify_us: t[3],
+                                drain_us: t[4],
+                            }
+                        },
+                    )
+                    .collect(),
+                history: history
+                    .iter()
+                    .map(|(vals, shards)| HistorySlot {
+                        ts_ns: vals[0],
+                        interval_us: vals[1],
+                        docs: vals[2],
+                        doc_bytes: vals[3],
+                        errors: vals[4],
+                        faults: vals[5],
+                        shards: shards
+                            .iter()
+                            .map(|v| HistoryShard {
+                                docs: v[0],
+                                busy_ns: v[1],
+                                queue_depth: v[2],
+                            })
+                            .collect(),
                     })
                     .collect(),
                 ..MetricsSnapshot::default()

@@ -45,6 +45,7 @@ use std::time::Instant;
 use crate::chaos::{FaultPlan, FaultSite};
 use crate::metrics::ServiceMetrics;
 use crate::ring::{EventRing, RingTag};
+use crate::trace::PendingSpan;
 
 /// One connection's outbound state, shared by the worker shards serving
 /// its channels (producers) and its reactor (consumer).
@@ -66,34 +67,47 @@ pub(crate) struct OutboundInner {
     /// Total bytes ever pushed into `buf` (monotonic); `pushed -
     /// buf.len()` is the bytes the socket has accepted so far.
     pub pushed: u64,
-    /// One `(end offset in the pushed stream, enqueue stamp)` per worker
-    /// response awaiting the socket, FIFO; popped as write progress
-    /// passes each offset, feeding the response-drain stage histogram.
-    pub stamps: VecDeque<(u64, Instant)>,
+    /// One `(end offset in the pushed stream, enqueue stamp, pending
+    /// span)` per worker response awaiting the socket, FIFO; popped as
+    /// write progress passes each offset, feeding the response-drain
+    /// stage histogram and completing any trace span riding the response
+    /// (the flush is the one place the real drain time exists).
+    pub stamps: VecDeque<(u64, Instant, Option<PendingSpan>)>,
 }
 
 impl OutboundInner {
     /// Append one encoded frame to the queue. A `stamp` marks a document
     /// response whose latched→flushed time should feed the response-drain
     /// histogram (reactor-generated frames — Hello, faults, stats — pass
-    /// `None`).
-    pub fn push_frame(&mut self, bytes: Vec<u8>, stamp: Option<Instant>) {
+    /// `None`), optionally carrying the document's trace span to finish
+    /// with that same drain measurement.
+    pub fn push_frame(
+        &mut self,
+        bytes: Vec<u8>,
+        stamp: Option<Instant>,
+        span: Option<PendingSpan>,
+    ) {
         self.pushed += bytes.len() as u64;
         if let Some(at) = stamp {
-            self.stamps.push_back((self.pushed, at));
+            self.stamps.push_back((self.pushed, at, span));
         }
         self.buf.push(bytes);
     }
 
     /// Fold write progress into the response-drain histogram: every
     /// stamped response whose last byte has now left the queue gets its
-    /// drain time recorded. Called after any `buf.write_to` progress
-    /// (write-through fast path and reactor flush alike).
+    /// drain time recorded (and its riding span, if any, completed with
+    /// it). Called after any `buf.write_to` progress (write-through fast
+    /// path and reactor flush alike).
     pub fn note_flushed(&mut self, metrics: &ServiceMetrics) {
         let flushed = self.pushed - self.buf.len() as u64;
-        while self.stamps.front().is_some_and(|&(end, _)| end <= flushed) {
-            if let Some((_, at)) = self.stamps.pop_front() {
-                metrics.record_drain(at.elapsed());
+        while self.stamps.front().is_some_and(|&(end, ..)| end <= flushed) {
+            if let Some((_, at, span)) = self.stamps.pop_front() {
+                let drain = at.elapsed();
+                metrics.record_drain(drain);
+                if let Some(span) = span {
+                    span.finish(drain);
+                }
             }
         }
     }
@@ -247,6 +261,15 @@ impl ResponseSink {
     /// falling behind — is queued and the reactor woken to resume it on
     /// the next writable edge.
     pub fn send(&self, resp: &WireResponse) {
+        self.send_traced(resp, None);
+    }
+
+    /// [`ResponseSink::send`], with the document's pending trace span
+    /// riding the frame: the span completes when the frame's bytes flush
+    /// into the socket, so its drain stage is the measured one, not an
+    /// estimate. A span on a frame that never flushes (the connection
+    /// died first) is dropped, like the response itself.
+    pub fn send_traced(&self, resp: &WireResponse, span: Option<PendingSpan>) {
         let mut bytes = Vec::with_capacity(64);
         if resp.encode_on(self.channel, &mut bytes).is_err() {
             return; // Vec writes cannot fail; defensive.
@@ -258,7 +281,7 @@ impl ResponseSink {
             return;
         }
         let was_empty = inner.buf.is_empty();
-        inner.push_frame(bytes, Some(Instant::now()));
+        inner.push_frame(bytes, Some(Instant::now()), span);
         self.metrics
             .outbound_queue_peak
             .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);

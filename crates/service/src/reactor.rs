@@ -54,6 +54,7 @@ use crate::chaos::{FaultPlan, FaultSite};
 use crate::metrics::ServiceMetrics;
 use crate::outbound::{NewConn, OutboundInner, ReactorWaker, ResponseSink};
 use crate::ring::{EventRing, RingSet, RingTag};
+use crate::trace::{HistoryRing, SpanSet};
 use crate::worker::{ChannelKey, Job};
 
 /// Token reserved for the reactor's own eventfd.
@@ -163,6 +164,10 @@ pub(crate) struct ReactorControl {
     pub drain: Arc<AtomicBool>,
     pub plan: Option<Arc<FaultPlan>>,
     pub rings: Option<Arc<RingSet>>,
+    /// Span plane for `GetStats(detail=2)` dumps (`None` = tracing off).
+    pub spans: Option<Arc<SpanSet>>,
+    /// Time-series ring for `GetStats(detail=2)` dumps (`None` = off).
+    pub history: Option<Arc<HistoryRing>>,
 }
 
 /// Spawn one reactor thread.
@@ -182,6 +187,8 @@ pub(crate) fn spawn_reactor(
         drain,
         plan,
         rings,
+        spans,
+        history,
     } = control;
     let ring = rings.as_ref().and_then(|r| r.ring(index)).cloned();
     let mut reactor = Reactor {
@@ -195,6 +202,8 @@ pub(crate) fn spawn_reactor(
         plan,
         ring,
         rings,
+        spans,
+        history,
         cfg,
         conns: HashMap::new(),
         deferred: Vec::new(),
@@ -222,6 +231,10 @@ struct Reactor {
     ring: Option<Arc<EventRing>>,
     /// Every reactor's ring, for `GetStats(detail=1)` dumps.
     rings: Option<Arc<RingSet>>,
+    /// Span plane, drained into `GetStats(detail=2)` answers.
+    spans: Option<Arc<SpanSet>>,
+    /// History ring, copied into `GetStats(detail=2)` answers.
+    history: Option<Arc<HistoryRing>>,
     cfg: ReactorConfig,
     conns: HashMap<u64, Conn>,
     /// Connections that left their last service pass with work no external
@@ -243,10 +256,11 @@ fn enqueue(
     metrics: &ServiceMetrics,
     ring: Option<&EventRing>,
     shard: usize,
-    job: Job,
+    mut job: Job,
 ) -> Result<bool, ()> {
     if !stalled.is_empty() {
         note_parked(metrics, ring, shard);
+        mark_parked(&mut job);
         stalled.push_back((shard, job));
         return Ok(false);
     }
@@ -257,12 +271,21 @@ fn enqueue(
             }
             Ok(true)
         }
-        Err(TrySendError::Full(job)) => {
+        Err(TrySendError::Full(mut job)) => {
             note_parked(metrics, ring, shard);
+            mark_parked(&mut job);
             stalled.push_back((shard, job));
             Ok(false)
         }
         Err(TrySendError::Disconnected(_)) => Err(()),
+    }
+}
+
+/// A command that waited in a stall list carries the fact into its
+/// document's trace span (`SPAN_PARKED`).
+fn mark_parked(job: &mut Job) {
+    if let Job::Command { parked, .. } = job {
+        *parked = true;
     }
 }
 
@@ -648,6 +671,8 @@ impl Reactor {
             plan,
             ring,
             rings,
+            spans,
+            history,
             ..
         } = self;
         let Some(c) = conns.get_mut(&conn) else {
@@ -673,9 +698,20 @@ impl Reactor {
                                 // mid-load, on any channel, v1 or v2.
                                 if let WireCommand::GetStats { detail } = cmd {
                                     let mut snap = metrics.snapshot();
-                                    if detail == 1 {
+                                    if detail >= 1 {
                                         if let Some(rs) = rings {
                                             snap.rings = rs.dump_all();
+                                        }
+                                    }
+                                    // detail=2 adds the trace plane: the
+                                    // span dump *drains* (each span is
+                                    // reported once); history is copied.
+                                    if detail >= 2 {
+                                        if let Some(sp) = spans {
+                                            snap.spans = sp.drain();
+                                        }
+                                        if let Some(h) = history {
+                                            snap.history = h.dump();
                                         }
                                     }
                                     if let Some(r) = ring {
@@ -828,6 +864,7 @@ impl Reactor {
                                             key,
                                             cmd,
                                             enqueued: Instant::now(),
+                                            parked: false,
                                         }) {
                                             Ok(()) => {
                                                 if let Some(sc) = metrics.shard(shard) {
@@ -865,6 +902,8 @@ impl Reactor {
                                                     );
                                                 } else {
                                                     note_parked(metrics, ring.as_deref(), shard);
+                                                    let mut job = job;
+                                                    mark_parked(&mut job);
                                                     c.stalled.push_back((shard, job));
                                                 }
                                             }
@@ -883,6 +922,7 @@ impl Reactor {
                                                 key,
                                                 cmd,
                                                 enqueued: Instant::now(),
+                                                parked: true,
                                             },
                                         ));
                                     }
@@ -896,6 +936,7 @@ impl Reactor {
                                         key,
                                         cmd,
                                         enqueued: Instant::now(),
+                                        parked: false,
                                     },
                                 )
                                 .is_err()
@@ -1147,7 +1188,7 @@ fn fail_malformed(c: &mut Conn, metrics: &ServiceMetrics, detail: String) {
     if resp.encode(&mut bytes).is_ok() {
         if let Ok(mut inner) = c.out.lock() {
             if !inner.dead {
-                inner.push_frame(bytes, None);
+                inner.push_frame(bytes, None, None);
                 metrics
                     .outbound_queue_peak
                     .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);
@@ -1166,7 +1207,7 @@ fn push_response(c: &mut Conn, metrics: &ServiceMetrics, channel: u16, resp: &Wi
     if resp.encode_on(channel, &mut bytes).is_ok() {
         if let Ok(mut inner) = c.out.lock() {
             if !inner.dead {
-                inner.push_frame(bytes, None);
+                inner.push_frame(bytes, None, None);
                 metrics
                     .outbound_queue_peak
                     .fetch_max(inner.buf.len() as u64, Ordering::Relaxed);

@@ -254,6 +254,65 @@ mod tests {
         assert_eq!(RingTag::from_byte(0), None);
     }
 
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Any write pattern across the 4096-entry boundary keeps the
+            /// ring coherent: no torn records (every surviving record's
+            /// tag/arg pair is exactly one that was written), the newest
+            /// window survives intact, and a quiescent dump is monotone in
+            /// both timestamp and claim order.
+            #[test]
+            fn wraparound_keeps_records_whole_and_monotone(
+                // Cross the boundary by a random margin, including the
+                // exact-fit and just-short cases.
+                total in (RING_ENTRIES - 8) as u64..(3 * RING_ENTRIES) as u64,
+                arg_salt in any::<u64>(),
+            ) {
+                let ring = EventRing::new();
+                // Tag varies with the claim index so a torn record (one
+                // claim's timestamp word with another's tag/arg word)
+                // would break the arg↔tag pairing check below.
+                let tags = [RingTag::Read, RingTag::Write, RingTag::Park, RingTag::Fault];
+                for i in 0..total {
+                    let tag = tags[(i % 4) as usize];
+                    ring.record(tag, (i ^ arg_salt) & ARG_MASK);
+                }
+                prop_assert_eq!(ring.recorded(), total);
+
+                let events = ring.dump();
+                let live = (total as usize).min(RING_ENTRIES);
+                prop_assert_eq!(events.len(), live);
+                let first = total - live as u64;
+                for (k, ev) in events.iter().enumerate() {
+                    let i = first + k as u64;
+                    // Un-tearable pairing: the arg word decodes back to
+                    // its claim index, and that index's tag matches.
+                    prop_assert_eq!(ev.arg, (i ^ arg_salt) & ARG_MASK);
+                    prop_assert_eq!(ev.tag, tags[(i % 4) as usize] as u8);
+                    prop_assert!(ev.ts_ns >= 1, "live slot carries the never-written marker");
+                }
+                // Quiescent single-producer dump: claim order is time order.
+                prop_assert!(
+                    events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+                    "timestamps regressed across the wrap seam"
+                );
+
+                // Dumping is non-destructive, and the ring stays monotone
+                // when writing resumes after the drain.
+                ring.record(RingTag::Stats, 0);
+                let again = ring.dump();
+                prop_assert_eq!(again.len(), (total as usize + 1).min(RING_ENTRIES));
+                prop_assert!(again.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+                prop_assert_eq!(again.last().unwrap().tag, RingTag::Stats as u8);
+            }
+        }
+    }
+
     #[test]
     fn concurrent_producers_never_lose_the_set() {
         // The waker's chaos site records from worker threads; the claim

@@ -14,13 +14,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::chaos::{ChaosConfig, FaultPlan};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::outbound::{NewConn, ReactorWaker};
 use crate::reactor::{spawn_reactor, ReactorConfig, ReactorControl};
 use crate::ring::RingSet;
+use crate::trace::{HistoryRing, HistorySlot, SpanSet};
 use crate::worker::WorkerPool;
 
 /// Server tunables.
@@ -74,6 +75,18 @@ pub struct ServiceConfig {
     /// ring, [`crate::ring::EventRing`]) of reactor-loop events. Off by
     /// default; when on, `GetStats { detail: 1 }` dumps the rings.
     pub trace_ring: bool,
+    /// Head-based document trace sampling: keep 1-in-N spans (0 = off).
+    /// Chaos-faulted and `trace_slow_us` documents force-sample
+    /// regardless; spans leave via `GetStats { detail: 2 }`.
+    pub trace_sample: u32,
+    /// Force-sample any document whose end-to-end time exceeds this many
+    /// microseconds (0 = off) — slow outliers become individually
+    /// inspectable even with head sampling off.
+    pub trace_slow_us: u64,
+    /// Cadence of the time-series sampler thread: one
+    /// [`crate::trace::HistorySlot`] delta per interval, the last
+    /// [`crate::trace::HISTORY_SLOTS`] kept.
+    pub history_interval: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -92,6 +105,9 @@ impl Default for ServiceConfig {
             two_phase_reference: false,
             chaos: None,
             trace_ring: false,
+            trace_sample: 0,
+            trace_slow_us: 0,
+            history_interval: Duration::from_secs(1),
         }
     }
 }
@@ -128,8 +144,11 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    sampler_thread: Option<JoinHandle<()>>,
     metrics: Arc<ServiceMetrics>,
     rings: Option<Arc<RingSet>>,
+    spans: Option<Arc<SpanSet>>,
+    history: Arc<HistoryRing>,
 }
 
 impl ServerHandle {
@@ -147,6 +166,18 @@ impl ServerHandle {
     /// with [`ServiceConfig::trace_ring`].
     pub fn rings(&self) -> Option<&Arc<RingSet>> {
         self.rings.as_ref()
+    }
+
+    /// The document span plane, when tracing is on
+    /// ([`ServiceConfig::trace_sample`], [`ServiceConfig::trace_slow_us`],
+    /// or any chaos plan — injected faults must be traceable).
+    pub fn spans(&self) -> Option<&Arc<SpanSet>> {
+        self.spans.as_ref()
+    }
+
+    /// The time-series history ring the sampler thread feeds.
+    pub fn history(&self) -> &Arc<HistoryRing> {
+        &self.history
     }
 
     /// Graceful drain, then shutdown. Sets the drain flag — new accepts
@@ -186,6 +217,9 @@ impl ServerHandle {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.sampler_thread.take() {
+            let _ = h.join();
+        }
         self.metrics.snapshot()
     }
 }
@@ -212,6 +246,18 @@ pub fn serve(
         .as_ref()
         .filter(|c| c.is_active())
         .map(|c| Arc::new(FaultPlan::new(c.clone())));
+    // The span plane exists when tracing was asked for — or whenever a
+    // chaos plan is active, so injected faults always force-sample their
+    // documents and stay inspectable even with head sampling off.
+    let spans: Option<Arc<SpanSet>> =
+        (config.trace_sample > 0 || config.trace_slow_us > 0 || plan.is_some()).then(|| {
+            Arc::new(SpanSet::new(
+                config.trace_sample,
+                config.trace_slow_us,
+                config.effective_workers(),
+            ))
+        });
+    let history = Arc::new(HistoryRing::new());
     let pool = WorkerPool::new(
         Arc::clone(&classifier),
         Arc::clone(&metrics),
@@ -220,6 +266,7 @@ pub fn serve(
         config.watchdog,
         config.two_phase_reference,
         plan.clone(),
+        spans.clone(),
     )?;
 
     // The Hello banner is identical for every connection: encode it once.
@@ -264,6 +311,8 @@ pub fn serve(
                 drain: Arc::clone(&draining),
                 plan: plan.clone(),
                 rings: rings.clone(),
+                spans: spans.clone(),
+                history: Some(Arc::clone(&history)),
             },
             reactor_cfg.clone(),
         )?;
@@ -285,6 +334,56 @@ pub fn serve(
         pool.shutdown();
         return Err(e);
     }
+
+    // The time-series sampler: one HistorySlot delta per interval, from
+    // the same snapshots `lcbloom stats` reads — so the rate plane costs
+    // one snapshot per second, independent of load or watcher count.
+    let sampler_thread = {
+        let metrics = Arc::clone(&metrics);
+        let history = Arc::clone(&history);
+        let shutdown = Arc::clone(&shutdown);
+        let interval = config.history_interval.max(Duration::from_millis(10));
+        std::thread::Builder::new()
+            .name("lc-history".into())
+            .spawn(move || {
+                let epoch = Instant::now();
+                let mut prev = metrics.snapshot();
+                let mut last = epoch;
+                // Nap in short slices so shutdown is noticed promptly even
+                // under a long interval.
+                let nap = interval.min(Duration::from_millis(50));
+                while !shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(nap);
+                    let now = Instant::now();
+                    if now.duration_since(last) < interval {
+                        continue;
+                    }
+                    let cur = metrics.snapshot();
+                    history.push(HistorySlot::delta(
+                        &prev,
+                        &cur,
+                        now.duration_since(epoch).as_nanos() as u64,
+                        now.duration_since(last),
+                    ));
+                    prev = cur;
+                    last = now;
+                }
+            })
+    };
+    let sampler_thread = match sampler_thread {
+        Ok(h) => h,
+        Err(e) => {
+            shutdown.store(true, Ordering::SeqCst);
+            for waker in &wakers {
+                waker.wake();
+            }
+            for handle in reactor_threads {
+                let _ = handle.join();
+            }
+            pool.shutdown();
+            return Err(e);
+        }
+    };
 
     let accept_metrics = Arc::clone(&metrics);
     let accept_shutdown = Arc::clone(&shutdown);
@@ -375,7 +474,10 @@ pub fn serve(
         shutdown,
         draining,
         accept_thread: Some(accept_thread),
+        sampler_thread: Some(sampler_thread),
         metrics,
         rings,
+        spans,
+        history,
     })
 }

@@ -27,9 +27,14 @@
 
 use lc_core::{ClassificationResult, MultiLanguageClassifier, StreamingSession};
 use lc_wire::{ErrorCode, PayloadBytes, WireCommand, WireResponse};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::metrics::{DocTimings, ServiceMetrics};
+use crate::trace::{
+    derive_trace_id, PendingSpan, SpanRecord, SpanSet, SPAN_CLIENT_CONTEXT, SPAN_FAULT,
+    SPAN_PARKED, SPAN_SAMPLED, SPAN_SLOW,
+};
 
 /// A latched Query-Result payload (consumed by the first query, like the
 /// hardware latch).
@@ -82,6 +87,40 @@ pub struct Session {
     queue_wait: Duration,
     /// Time spent feeding this document through the classifier.
     classify_time: Duration,
+    /// Span plane shared by every session when tracing is on. `None`
+    /// (tracing off) costs one branch per document and nothing else.
+    trace: Option<Arc<SpanSet>>,
+    /// Connection and channel identity for derived trace ids.
+    conn_id: u64,
+    channel: u16,
+    /// 1-based per-channel document sequence number (trace id input).
+    doc_seq: u32,
+    trace_id: u64,
+    span_flags: u8,
+    span_fault: u8,
+    /// Head-based sampling decision, taken once at Size time.
+    span_armed: bool,
+    /// The span's accept edge: the Size command's shard-enqueue stamp.
+    span_accept: Instant,
+    /// Shard-enqueue stamp of the command about to be applied (a Size
+    /// consumes it as the accept edge).
+    last_enqueued: Option<Instant>,
+    /// Queue wait of the command about to be applied.
+    last_cmd_wait: Duration,
+    /// Queue-wait restricted to this document's own frames — unlike
+    /// `queue_wait` (which, resetting at latch, smears the previous
+    /// document's EoD/Query waits forward), this resets at Size so the
+    /// span's stages stay disjoint sub-intervals of [accept, latch].
+    span_queue_wait: Duration,
+    /// A parked frame arrived while idle: flags the *next* document.
+    parked_pending: bool,
+    /// Payload bytes announced by the in-flight document's Size.
+    span_doc_bytes: u32,
+    /// Span sealed at latch, waiting for its Query to ride out on.
+    pending_span: Option<PendingSpan>,
+    /// Span riding the response the caller is about to send; the sender
+    /// finishes it with the measured drain time at flush.
+    response_span: Option<PendingSpan>,
 }
 
 impl Session {
@@ -110,6 +149,22 @@ impl Session {
             shard: usize::MAX,
             queue_wait: Duration::ZERO,
             classify_time: Duration::ZERO,
+            trace: None,
+            conn_id: 0,
+            channel: 0,
+            doc_seq: 0,
+            trace_id: 0,
+            span_flags: 0,
+            span_fault: 0,
+            span_armed: false,
+            span_accept: now,
+            last_enqueued: None,
+            last_cmd_wait: Duration::ZERO,
+            span_queue_wait: Duration::ZERO,
+            parked_pending: false,
+            span_doc_bytes: 0,
+            pending_span: None,
+            response_span: None,
         }
     }
 
@@ -126,6 +181,57 @@ impl Session {
     /// document latches.
     pub fn note_queue_wait(&mut self, wait: Duration) {
         self.queue_wait += wait;
+        self.span_queue_wait += wait;
+        self.last_cmd_wait = wait;
+    }
+
+    /// Attach the span plane and this session's channel identity (set by
+    /// the owning worker at channel open, alongside [`Session::set_shard`]).
+    pub fn set_trace(&mut self, set: Arc<SpanSet>, conn: u64, channel: u16) {
+        self.trace = Some(set);
+        self.conn_id = conn;
+        self.channel = channel;
+    }
+
+    /// Record the shard-enqueue stamp of the command about to be applied.
+    /// A Size consumes it as its document's span accept edge, so the span
+    /// covers the same interval the queue-wait histogram measures.
+    pub fn note_enqueued(&mut self, enqueued: Instant) {
+        self.last_enqueued = Some(enqueued);
+    }
+
+    /// Note that the command about to be applied had been parked by the
+    /// reactor (its shard queue was full). Mid-document this annotates
+    /// the current span; between documents it arms the next one.
+    pub fn note_parked(&mut self) {
+        if self.trace.is_none() {
+            return;
+        }
+        if self.busy() {
+            self.span_flags |= SPAN_PARKED;
+        } else {
+            self.parked_pending = true;
+        }
+    }
+
+    /// Annotate the current document's span with a fault code (first
+    /// annotation wins; see [`crate::trace::fault_name`]). Fault-annotated
+    /// spans force-sample regardless of the 1-in-N decision.
+    pub fn trace_fault(&mut self, code: u8) {
+        if self.trace.is_none() {
+            return;
+        }
+        if self.span_fault == 0 {
+            self.span_fault = code;
+        }
+        self.span_flags |= SPAN_FAULT;
+    }
+
+    /// Take the span riding the response the caller just obtained from
+    /// [`Session::apply`] or [`Session::tick`]. The sender completes it
+    /// with the measured drain time when the response bytes flush.
+    pub fn take_response_span(&mut self) -> Option<PendingSpan> {
+        self.response_span.take()
     }
 
     /// Whether a document transfer is in flight.
@@ -155,7 +261,11 @@ impl Session {
         now: Instant,
     ) -> Option<WireResponse> {
         match cmd {
-            WireCommand::Size { words, bytes } => {
+            WireCommand::Size {
+                words,
+                bytes,
+                trace,
+            } => {
                 if self.busy() {
                     return Some(self.fault(metrics, ErrorCode::SizeWhileBusy, String::new()));
                 }
@@ -164,6 +274,7 @@ impl Session {
                 self.doc_started = now;
                 self.last_activity = now;
                 self.checksum = 0;
+                self.begin_span(trace, bytes, now);
                 if words == 0 {
                     self.latch(metrics, 0, now);
                 } else {
@@ -200,12 +311,17 @@ impl Session {
                     return None;
                 }
                 match self.latched.take() {
-                    Some(l) => Some(WireResponse::Result {
-                        counts: l.result.counts().to_vec(),
-                        total_ngrams: l.result.total_ngrams(),
-                        checksum: l.checksum,
-                        valid: l.valid,
-                    }),
+                    Some(l) => {
+                        // The latched document's span leaves with its
+                        // result; drain is measured at that flush.
+                        self.response_span = self.pending_span.take();
+                        Some(WireResponse::Result {
+                            counts: l.result.counts().to_vec(),
+                            total_ngrams: l.result.total_ngrams(),
+                            checksum: l.checksum,
+                            valid: l.valid,
+                        })
+                    }
                     None => Some(self.fault(metrics, ErrorCode::NoResult, String::new())),
                 }
             }
@@ -233,6 +349,8 @@ impl Session {
         if !self.busy() || now.duration_since(self.last_activity) <= self.watchdog {
             return None;
         }
+        self.trace_fault(ErrorCode::WatchdogReset as u8);
+        self.seal_fault_span(now);
         self.abort_document();
         self.latched = None;
         metrics
@@ -359,6 +477,7 @@ impl Session {
                 classify: self.classify_time,
             },
         );
+        self.seal_span(now);
         self.queue_wait = Duration::ZERO;
         self.classify_time = Duration::ZERO;
         self.latched = Some(LatchedResult {
@@ -376,6 +495,9 @@ impl Session {
         self.checksum = 0;
         self.queue_wait = Duration::ZERO;
         self.classify_time = Duration::ZERO;
+        // A latched-but-unqueried span dies with its document — it never
+        // reaches the drain edge, just like the response it described.
+        self.pending_span = None;
         let _ = self.stream.finish();
     }
 
@@ -387,11 +509,102 @@ impl Session {
         self.state = State::Draining;
     }
 
-    fn fault(&self, metrics: &ServiceMetrics, code: ErrorCode, detail: String) -> WireResponse {
+    fn fault(&mut self, metrics: &ServiceMetrics, code: ErrorCode, detail: String) -> WireResponse {
         metrics
             .protocol_errors
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.trace_fault(code as u8);
+        self.seal_fault_span(Instant::now());
         WireResponse::Error { code, detail }
+    }
+
+    /// Arm the next document's span at its Size frame: derive or adopt
+    /// the trace id, take the head-sampling decision once, and pin the
+    /// accept edge to the Size command's shard-enqueue stamp (falling
+    /// back to `now` when driven without a worker in front).
+    fn begin_span(&mut self, client_trace: Option<u64>, bytes: u32, now: Instant) {
+        let Some(set) = &self.trace else { return };
+        self.doc_seq = self.doc_seq.wrapping_add(1);
+        self.span_flags = 0;
+        self.span_fault = 0;
+        self.span_doc_bytes = bytes;
+        self.trace_id = match client_trace {
+            Some(id) => {
+                self.span_flags |= SPAN_CLIENT_CONTEXT;
+                id
+            }
+            None => derive_trace_id(self.conn_id, self.channel, self.doc_seq),
+        };
+        self.span_armed = set.armed(self.trace_id);
+        if self.span_armed {
+            self.span_flags |= SPAN_SAMPLED;
+        }
+        if std::mem::take(&mut self.parked_pending) {
+            self.span_flags |= SPAN_PARKED;
+        }
+        self.span_accept = self.last_enqueued.take().unwrap_or(now);
+        // Only the Size's own wait belongs to this document; waits of the
+        // previous document's EoD/Query frames accrued since the last
+        // reset and are discarded here.
+        self.span_queue_wait = self.last_cmd_wait;
+        self.last_cmd_wait = Duration::ZERO;
+        self.pending_span = None;
+    }
+
+    /// Assemble the current document's span. Everything but drain is
+    /// final here; the record waits in `pending_span` for the response
+    /// that completes the document. Not captured unless sampled, fault-
+    /// annotated, or slower than the `--trace-slow-us` threshold.
+    fn seal_span(&mut self, now: Instant) {
+        let Some(set) = &self.trace else { return };
+        let queue_us = self.span_queue_wait.as_micros() as u64;
+        let classify_us = self.classify_time.as_micros() as u64;
+        // Stage accumulators and the end-to-end edges come from separate
+        // clock reads; directly-driven sessions (unit tests hand `apply`
+        // one fixed Instant) can skew them. Clamp so the disjoint-stages
+        // invariant (queue + classify + drain ≤ total) holds by
+        // construction.
+        let total_us = (now.saturating_duration_since(self.span_accept).as_micros() as u64)
+            .max(queue_us + classify_us);
+        if set.slow_us() != 0 && total_us > set.slow_us() {
+            self.span_flags |= SPAN_SLOW;
+        }
+        if !self.span_armed && self.span_flags & (SPAN_FAULT | SPAN_SLOW) == 0 {
+            return;
+        }
+        let record = SpanRecord {
+            trace_id: self.trace_id,
+            conn: self.conn_id,
+            channel: self.channel,
+            shard: if self.shard == usize::MAX {
+                u16::MAX
+            } else {
+                self.shard as u16
+            },
+            doc_seq: self.doc_seq,
+            flags: self.span_flags,
+            fault: self.span_fault,
+            doc_bytes: self.span_doc_bytes,
+            end_ns: 0,
+            total_us,
+            queue_us,
+            classify_us,
+            drain_us: 0,
+        };
+        self.pending_span = Some(PendingSpan::new(record, Arc::clone(set)));
+    }
+
+    /// A fault response consumed the document's response slot, so its
+    /// span leaves on the error: seal immediately and stage it for the
+    /// caller's `take_response_span`. (Document-aborting arms reset the
+    /// stage accumulators first — a fault span's identity, site, and
+    /// end-to-end time are what matter.)
+    fn seal_fault_span(&mut self, now: Instant) {
+        if self.trace.is_none() {
+            return;
+        }
+        self.seal_span(now);
+        self.response_span = self.pending_span.take();
     }
 }
 
@@ -428,10 +641,7 @@ mod tests {
             s.apply(
                 c,
                 m,
-                WireCommand::Size {
-                    words: words.len() as u32,
-                    bytes: doc.len() as u32,
-                },
+                WireCommand::size(words.len() as u32, doc.len() as u32),
                 now,
             ),
             None
@@ -501,15 +711,7 @@ mod tests {
         let m = ServiceMetrics::new(2);
         let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
         let now = Instant::now();
-        s.apply(
-            &c,
-            &m,
-            WireCommand::Size {
-                words: 100,
-                bytes: 800,
-            },
-            now,
-        );
+        s.apply(&c, &m, WireCommand::size(100, 800), now);
         s.apply(&c, &m, WireCommand::data_words(&[1, 2, 3]), now);
         match s.apply(&c, &m, WireCommand::EndOfDocument, now) {
             Some(WireResponse::Error { code, detail }) => {
@@ -541,15 +743,7 @@ mod tests {
         let m = ServiceMetrics::new(2);
         let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
         let now = Instant::now();
-        s.apply(
-            &c,
-            &m,
-            WireCommand::Size {
-                words: 2,
-                bytes: 16,
-            },
-            now,
-        );
+        s.apply(&c, &m, WireCommand::size(2, 16), now);
         match s.apply(&c, &m, WireCommand::data_words(&[1, 2, 3]), now) {
             Some(WireResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::UnexpectedDma),
             other => panic!("expected UnexpectedDma, got {other:?}"),
@@ -562,24 +756,8 @@ mod tests {
         let m = ServiceMetrics::new(2);
         let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
         let now = Instant::now();
-        s.apply(
-            &c,
-            &m,
-            WireCommand::Size {
-                words: 2,
-                bytes: 16,
-            },
-            now,
-        );
-        match s.apply(
-            &c,
-            &m,
-            WireCommand::Size {
-                words: 2,
-                bytes: 16,
-            },
-            now,
-        ) {
+        s.apply(&c, &m, WireCommand::size(2, 16), now);
+        match s.apply(&c, &m, WireCommand::size(2, 16), now) {
             Some(WireResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::SizeWhileBusy),
             other => panic!("expected SizeWhileBusy, got {other:?}"),
         }
@@ -591,15 +769,7 @@ mod tests {
         let m = ServiceMetrics::new(2);
         let t0 = Instant::now();
         let mut s = Session::new(&c, Duration::from_millis(10), t0);
-        s.apply(
-            &c,
-            &m,
-            WireCommand::Size {
-                words: 4,
-                bytes: 32,
-            },
-            t0,
-        );
+        s.apply(&c, &m, WireCommand::size(4, 32), t0);
         s.apply(&c, &m, WireCommand::data_words(&[7]), t0);
         // No traffic past the period.
         assert_eq!(s.tick(&m, t0 + Duration::from_millis(5)), None);
@@ -623,15 +793,7 @@ mod tests {
         let m = ServiceMetrics::new(2);
         let t0 = Instant::now();
         let mut s = Session::new(&c, Duration::from_millis(10), t0);
-        s.apply(
-            &c,
-            &m,
-            WireCommand::Size {
-                words: 4,
-                bytes: 32,
-            },
-            t0,
-        );
+        s.apply(&c, &m, WireCommand::size(4, 32), t0);
         s.apply(&c, &m, WireCommand::data_words(&[1]), t0);
         assert!(matches!(
             s.tick(&m, t0 + Duration::from_millis(11)),
@@ -660,7 +822,7 @@ mod tests {
         let m = ServiceMetrics::new(2);
         let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
         let now = Instant::now();
-        s.apply(&c, &m, WireCommand::Size { words: 0, bytes: 0 }, now);
+        s.apply(&c, &m, WireCommand::size(0, 0), now);
         match s.apply(&c, &m, WireCommand::QueryResult, now) {
             Some(WireResponse::Result {
                 total_ngrams,
@@ -680,15 +842,7 @@ mod tests {
         let m = ServiceMetrics::new(2);
         let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
         let now = Instant::now();
-        s.apply(
-            &c,
-            &m,
-            WireCommand::Size {
-                words: 3,
-                bytes: 24,
-            },
-            now,
-        );
+        s.apply(&c, &m, WireCommand::size(3, 24), now);
         s.apply(&c, &m, WireCommand::data_words(&[7]), now);
         assert_eq!(s.apply(&c, &m, WireCommand::Reset, now), None);
         assert!(!s.busy());
@@ -711,12 +865,9 @@ mod tests {
         // Push the whole burst through a tiny-chunk accumulator so the
         // Data payload comes back as many pieces.
         let mut bytes = Vec::new();
-        WireCommand::Size {
-            words: words.len() as u32,
-            bytes: doc.len() as u32,
-        }
-        .encode(&mut bytes)
-        .unwrap();
+        WireCommand::size(words.len() as u32, doc.len() as u32)
+            .encode(&mut bytes)
+            .unwrap();
         WireCommand::data_words(&words).encode(&mut bytes).unwrap();
         WireCommand::QueryResult.encode(&mut bytes).unwrap();
         let mut acc = lc_wire::FrameAccumulator::with_chunk_size(13);
@@ -749,6 +900,132 @@ mod tests {
             }
             other => panic!("expected Result, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_document_emits_span_on_its_result() {
+        let c = classifier();
+        let m = ServiceMetrics::new(c.num_languages());
+        let set = Arc::new(SpanSet::new(1, 0, 1));
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        s.set_shard(0);
+        s.set_trace(Arc::clone(&set), 11, 3);
+        let doc = b"the quick brown fox jumps over the lazy dog";
+        let words = pack_words(doc);
+        let now = Instant::now();
+        s.note_enqueued(now);
+        assert_eq!(
+            s.apply(
+                &c,
+                &m,
+                WireCommand::size(words.len() as u32, doc.len() as u32),
+                now,
+            ),
+            None
+        );
+        assert_eq!(s.apply(&c, &m, WireCommand::data_words(&words), now), None);
+        assert!(matches!(
+            s.apply(&c, &m, WireCommand::QueryResult, now),
+            Some(WireResponse::Result { .. })
+        ));
+        let span = s
+            .take_response_span()
+            .expect("sampled span rides the result");
+        span.finish(Duration::from_micros(7));
+        let spans = set.drain();
+        assert_eq!(spans.len(), 1);
+        let r = spans[0];
+        assert_eq!(r.trace_id, derive_trace_id(11, 3, 1));
+        assert_eq!(r.conn, 11);
+        assert_eq!(r.channel, 3);
+        assert_eq!(r.shard, 0);
+        assert_eq!(r.doc_seq, 1);
+        assert_ne!(r.flags & SPAN_SAMPLED, 0);
+        assert_eq!(r.fault, 0);
+        assert_eq!(r.doc_bytes, doc.len() as u32);
+        assert_eq!(r.drain_us, 7);
+        assert!(r.queue_us + r.classify_us + r.drain_us <= r.total_us);
+    }
+
+    #[test]
+    fn client_trace_context_is_adopted() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let set = Arc::new(SpanSet::new(1, 0, 1));
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        s.set_trace(Arc::clone(&set), 1, 0);
+        let doc = b"the fox";
+        let words = pack_words(doc);
+        let now = Instant::now();
+        s.apply(
+            &c,
+            &m,
+            WireCommand::size_traced(words.len() as u32, doc.len() as u32, 0xDEAD_BEEF),
+            now,
+        );
+        s.apply(&c, &m, WireCommand::data_words(&words), now);
+        s.apply(&c, &m, WireCommand::QueryResult, now);
+        s.take_response_span().unwrap().finish(Duration::ZERO);
+        let r = set.drain()[0];
+        assert_eq!(r.trace_id, 0xDEAD_BEEF);
+        assert_ne!(r.flags & SPAN_CLIENT_CONTEXT, 0);
+    }
+
+    #[test]
+    fn fault_spans_force_sample_and_name_the_site() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        // Head sampling off: only the fault forces capture.
+        let set = Arc::new(SpanSet::new(0, 0, 1));
+        let mut s = Session::new(&c, Duration::from_secs(1), Instant::now());
+        s.set_trace(Arc::clone(&set), 5, 1);
+        let now = Instant::now();
+        s.apply(&c, &m, WireCommand::size(100, 800), now);
+        s.apply(&c, &m, WireCommand::data_words(&[1, 2, 3]), now);
+        assert!(matches!(
+            s.apply(&c, &m, WireCommand::EndOfDocument, now),
+            Some(WireResponse::Error {
+                code: ErrorCode::TruncatedTransfer,
+                ..
+            })
+        ));
+        let span = s.take_response_span().expect("fault span rides the error");
+        span.finish(Duration::ZERO);
+        let r = set.drain()[0];
+        assert_eq!(r.fault, ErrorCode::TruncatedTransfer as u8);
+        assert_ne!(r.flags & SPAN_FAULT, 0);
+        assert_eq!(r.flags & SPAN_SAMPLED, 0);
+        assert_eq!(crate::trace::fault_name(r.fault), "truncated-transfer");
+    }
+
+    #[test]
+    fn slow_documents_force_sample_past_the_threshold() {
+        let c = classifier();
+        let m = ServiceMetrics::new(2);
+        let set = Arc::new(SpanSet::new(0, 1_000, 1));
+        let t0 = Instant::now();
+        let mut s = Session::new(&c, Duration::from_secs(10), t0);
+        s.set_trace(Arc::clone(&set), 2, 0);
+        let doc = b"the quick brown fox";
+        let words = pack_words(doc);
+        s.apply(
+            &c,
+            &m,
+            WireCommand::size(words.len() as u32, doc.len() as u32),
+            t0,
+        );
+        let late = t0 + Duration::from_millis(50);
+        s.apply(&c, &m, WireCommand::data_words(&words), late);
+        s.apply(&c, &m, WireCommand::QueryResult, late);
+        s.take_response_span().unwrap().finish(Duration::ZERO);
+        let r = set.drain()[0];
+        assert_ne!(r.flags & SPAN_SLOW, 0);
+        assert!(r.total_us >= 50_000);
+        // An on-time document with sampling off leaves no span.
+        let done = send_doc(&mut s, &c, &m, doc);
+        assert!(done.valid);
+        assert!(s.take_response_span().is_none());
+        assert!(set.drain().is_empty());
     }
 
     #[test]

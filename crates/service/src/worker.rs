@@ -56,6 +56,7 @@ use crate::chaos::{FaultPlan, FaultSite};
 use crate::metrics::ServiceMetrics;
 use crate::outbound::ResponseSink;
 use crate::session::Session;
+use crate::trace::{derive_trace_id, SpanRecord, SpanSet, FAULT_WORKER_DELAY, SPAN_FAULT};
 
 /// Respawn budget per pool: far above anything a real incident produces,
 /// low enough that a deterministic crash loop (a panic on the very job
@@ -118,6 +119,9 @@ pub enum Job {
         /// worker's dequeue time minus this is the command's queue-wait,
         /// folded into the owning document's stage histogram.
         enqueued: Instant,
+        /// The reactor parked this command before it fit into the shard
+        /// queue (backpressure); annotates the owning document's span.
+        parked: bool,
     },
     /// Connection closed (or the channel is being torn down): drop the
     /// session and finish its sink.
@@ -148,11 +152,13 @@ struct PoolRuntime {
     tick: Duration,
     two_phase_reference: bool,
     chaos: Option<Arc<FaultPlan>>,
+    trace: Option<Arc<SpanSet>>,
 }
 
 impl PoolRuntime {
-    /// A fresh session pinned (for metrics attribution) to `shard`.
-    fn fresh_session(&self, shard: usize) -> Session {
+    /// A fresh session pinned (for metrics attribution) to `shard`, with
+    /// the span plane and channel identity attached when tracing is on.
+    fn fresh_session(&self, shard: usize, key: ChannelKey) -> Session {
         let mut s = Session::with_mode(
             &self.classifier,
             self.watchdog,
@@ -160,7 +166,28 @@ impl PoolRuntime {
             self.two_phase_reference,
         );
         s.set_shard(shard);
+        if let Some(set) = &self.trace {
+            s.set_trace(Arc::clone(set), key.conn, key.channel);
+        }
         s
+    }
+
+    /// A panic unwound mid-apply, taking the document's session (and its
+    /// span state) with it: deposit a bare engine-fault span so the
+    /// poisoned document still shows up force-sampled in a trace dump.
+    fn push_panic_span(&self, shard: usize, key: ChannelKey) {
+        if let Some(set) = &self.trace {
+            set.push(SpanRecord {
+                trace_id: derive_trace_id(key.conn, key.channel, 0),
+                conn: key.conn,
+                channel: key.channel,
+                shard: shard as u16,
+                flags: SPAN_FAULT,
+                fault: ErrorCode::EngineFault as u8,
+                end_ns: set.now_ns(),
+                ..SpanRecord::default()
+            });
+        }
     }
 }
 
@@ -223,14 +250,26 @@ fn run_shard(shard: &ShardState, rt: &PoolRuntime) {
                 let mut sessions = unpoisoned(shard.sessions.lock());
                 match job {
                     Job::Open { key, sink } => {
-                        sessions.insert(key, (rt.fresh_session(shard.index), sink));
+                        sessions.insert(key, (rt.fresh_session(shard.index, key), sink));
                     }
-                    Job::Command { key, cmd, enqueued } => {
+                    Job::Command {
+                        key,
+                        cmd,
+                        enqueued,
+                        parked,
+                    } => {
                         if let Some((s, sink)) = sessions.get_mut(&key) {
+                            s.note_enqueued(enqueued);
                             s.note_queue_wait(dequeued.duration_since(enqueued));
+                            if parked {
+                                s.note_parked();
+                            }
                             if let Some(plan) = &rt.chaos {
                                 if plan.fire(FaultSite::WorkerDelay) {
                                     std::thread::sleep(plan.worker_delay());
+                                    // The document still classifies; the
+                                    // annotation force-samples its span.
+                                    s.trace_fault(FAULT_WORKER_DELAY);
                                 }
                             }
                             *unpoisoned(shard.current.lock()) = Some(key);
@@ -251,7 +290,7 @@ fn run_shard(shard: &ShardState, rt: &PoolRuntime) {
                                 );
                             }
                             match applied {
-                                Ok(Some(resp)) => sink.send(&resp),
+                                Ok(Some(resp)) => sink.send_traced(&resp, s.take_response_span()),
                                 Ok(None) => {}
                                 Err(_) => {
                                     // The panic unwound mid-apply: the
@@ -259,7 +298,8 @@ fn run_shard(shard: &ShardState, rt: &PoolRuntime) {
                                     // it, quarantined, and answer the
                                     // poisoned document in its slot.
                                     rt.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
-                                    let mut fresh = rt.fresh_session(shard.index);
+                                    rt.push_panic_span(shard.index, key);
+                                    let mut fresh = rt.fresh_session(shard.index, key);
                                     fresh.quarantine();
                                     *s = fresh;
                                     sink.send(&WireResponse::Error {
@@ -297,7 +337,7 @@ fn run_shard(shard: &ShardState, rt: &PoolRuntime) {
             let mut sessions = unpoisoned(shard.sessions.lock());
             for (s, sink) in sessions.values_mut() {
                 if let Some(resp) = s.tick(&rt.metrics, now) {
-                    sink.send(&resp);
+                    sink.send_traced(&resp, s.take_response_span());
                 }
             }
         }
@@ -334,7 +374,8 @@ fn supervise(
         if let Some(key) = unpoisoned(shard.current.lock()).take() {
             let mut sessions = unpoisoned(shard.sessions.lock());
             if let Some((s, sink)) = sessions.get_mut(&key) {
-                let mut fresh = rt.fresh_session(index);
+                rt.push_panic_span(index, key);
+                let mut fresh = rt.fresh_session(index, key);
                 fresh.quarantine();
                 *s = fresh;
                 sink.send(&WireResponse::Error {
@@ -377,6 +418,7 @@ impl WorkerPool {
     /// that respawns any shard whose thread dies by panic. Thread-spawn
     /// failure (resource exhaustion) is a startup error, not a panic: the
     /// threads already started are shut down cleanly before returning it.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         classifier: Arc<MultiLanguageClassifier>,
         metrics: Arc<ServiceMetrics>,
@@ -385,6 +427,7 @@ impl WorkerPool {
         watchdog: Duration,
         two_phase_reference: bool,
         chaos: Option<Arc<FaultPlan>>,
+        trace: Option<Arc<SpanSet>>,
     ) -> std::io::Result<Self> {
         assert!(workers >= 1, "need at least one worker");
         // Sweep often enough for a timely watchdog: the tick granularity
@@ -397,6 +440,7 @@ impl WorkerPool {
             tick,
             two_phase_reference,
             chaos,
+            trace,
         });
         let (obituary_tx, obituary_rx) = channel();
         let mut senders = Vec::with_capacity(workers);

@@ -18,7 +18,7 @@
 //!
 //! | kind | direction | message | payload |
 //! |---|---|---|---|
-//! | `0x01` | →engine | Size | `words: u32`, `bytes: u32` |
+//! | `0x01` | →engine | Size | `words: u32`, `bytes: u32` [, `trace_id: u64`] |
 //! | `0x02` | →engine | Data | packed LE 64-bit DMA words (len ≡ 0 mod 8) |
 //! | `0x03` | →engine | EndOfDocument | empty |
 //! | `0x04` | →engine | QueryResult | empty |
@@ -328,6 +328,14 @@ pub enum WireCommand {
         words: u32,
         /// Exact document length in bytes.
         bytes: u32,
+        /// Optional **TraceContext extension**: a caller-chosen trace id
+        /// carried as 8 extra little-endian payload bytes. A balancer (or
+        /// any relaying tier) stamps its own id here so the backend's
+        /// trace spans correlate across the hop; absent (the 8-byte v1
+        /// payload) the server derives one from conn/channel/doc-seq.
+        /// Legacy peers never send or see the extension — an 8-byte Size
+        /// decodes to `trace: None` and `trace: None` encodes 8 bytes.
+        trace: Option<u64>,
     },
     /// A burst of packed document words as word-aligned raw bytes
     /// (`len % 8 == 0`), held as refcounted buffer segments so the payload
@@ -359,6 +367,25 @@ pub enum WireCommand {
 }
 
 impl WireCommand {
+    /// A Size announcement with no trace context (what a v1 peer sends).
+    pub fn size(words: u32, bytes: u32) -> Self {
+        WireCommand::Size {
+            words,
+            bytes,
+            trace: None,
+        }
+    }
+
+    /// A Size announcement carrying a propagated trace id (the wire-v2
+    /// TraceContext extension).
+    pub fn size_traced(words: u32, bytes: u32, trace_id: u64) -> Self {
+        WireCommand::Size {
+            words,
+            bytes,
+            trace: Some(trace_id),
+        }
+    }
+
     /// Build a Data frame from 64-bit words (tests and word-level hosts;
     /// the streaming client writes byte payloads directly).
     pub fn data_words(words: &[u64]) -> Self {
@@ -378,11 +405,22 @@ impl WireCommand {
     /// other channel as v2 with the channel in the header).
     pub fn encode_on<W: Write>(&self, channel: u16, w: &mut W) -> io::Result<()> {
         match self {
-            WireCommand::Size { words, bytes } => {
-                let mut payload = [0u8; 8];
+            WireCommand::Size {
+                words,
+                bytes,
+                trace,
+            } => {
+                let mut payload = [0u8; 16];
                 payload[..4].copy_from_slice(&words.to_le_bytes());
-                payload[4..].copy_from_slice(&bytes.to_le_bytes());
-                write_frame_on(w, kind::SIZE, channel, &payload)
+                payload[4..8].copy_from_slice(&bytes.to_le_bytes());
+                let len = match trace {
+                    Some(id) => {
+                        payload[8..].copy_from_slice(&id.to_le_bytes());
+                        16
+                    }
+                    None => 8,
+                };
+                write_frame_on(w, kind::SIZE, channel, &payload[..len])
             }
             WireCommand::Data(payload) => {
                 debug_assert_eq!(payload.len() % 8, 0, "data payload must be whole words");
@@ -409,17 +447,25 @@ impl WireCommand {
         let payload: PayloadBytes = payload.into();
         match frame_kind {
             kind::SIZE => {
-                if payload.len() != 8 {
-                    return Err(FrameError::Malformed("Size payload must be 8 bytes"));
+                // 8 bytes is the v1 layout; 16 adds the TraceContext
+                // extension (trailing trace_id: u64). Nothing in between.
+                if payload.len() != 8 && payload.len() != 16 {
+                    return Err(FrameError::Malformed("Size payload must be 8 or 16 bytes"));
                 }
-                let mut b = [0u8; 8];
-                payload.copy_to(&mut b);
+                let mut b = [0u8; 16];
+                payload.copy_to(&mut b[..payload.len()]);
                 let words = u32::from_le_bytes(b[..4].try_into().unwrap());
-                let bytes = u32::from_le_bytes(b[4..].try_into().unwrap());
+                let bytes = u32::from_le_bytes(b[4..8].try_into().unwrap());
                 if u64::from(bytes) > u64::from(words) * 8 {
                     return Err(FrameError::Malformed("byte length exceeds announced words"));
                 }
-                Ok(WireCommand::Size { words, bytes })
+                let trace =
+                    (payload.len() == 16).then(|| u64::from_le_bytes(b[8..].try_into().unwrap()));
+                Ok(WireCommand::Size {
+                    words,
+                    bytes,
+                    trace,
+                })
             }
             kind::DATA => {
                 if !payload.len().is_multiple_of(8) {
@@ -1020,10 +1066,8 @@ mod tests {
 
     #[test]
     fn commands_roundtrip() {
-        roundtrip_cmd(WireCommand::Size {
-            words: 17,
-            bytes: 130,
-        });
+        roundtrip_cmd(WireCommand::size(17, 130));
+        roundtrip_cmd(WireCommand::size_traced(17, 130, 0xA5A5_DEAD_BEEF_0001));
         roundtrip_cmd(WireCommand::data_words(&[1, 2, 3, u64::MAX]));
         roundtrip_cmd(WireCommand::data_words(&[]));
         roundtrip_cmd(WireCommand::EndOfDocument);
@@ -1126,12 +1170,7 @@ mod tests {
     #[test]
     fn v2_frames_carry_their_channel() {
         let mut buf = Vec::new();
-        WireCommand::Size {
-            words: 3,
-            bytes: 20,
-        }
-        .encode_on(7, &mut buf)
-        .unwrap();
+        WireCommand::size(3, 20).encode_on(7, &mut buf).unwrap();
         WireCommand::data_words(&[1, 2, 3])
             .encode_on(513, &mut buf)
             .unwrap();
@@ -1149,10 +1188,7 @@ mod tests {
         assert_eq!((k, ch), (kind::SIZE, 7));
         assert_eq!(
             WireCommand::decode(k, payload).unwrap(),
-            WireCommand::Size {
-                words: 3,
-                bytes: 20
-            }
+            WireCommand::size(3, 20)
         );
         let (k, ch, payload) = read_frame_mux(&mut r).unwrap().unwrap();
         assert_eq!((k, ch), (kind::DATA, 513));
@@ -1191,6 +1227,47 @@ mod tests {
             WireCommand::decode(k, payload),
             Err(FrameError::ShortDmaPayload(5))
         );
+    }
+
+    #[test]
+    fn untraced_size_is_bit_identical_to_v1() {
+        // The TraceContext extension must be invisible when absent: an
+        // untraced Size encodes the exact 13 bytes a pre-extension peer
+        // sends, so v1 captures stay byte-for-byte valid.
+        let mut buf = Vec::new();
+        WireCommand::size(17, 130).encode(&mut buf).unwrap();
+        assert_eq!(buf.len(), 5 + 8);
+        let mut expected = vec![kind::SIZE];
+        expected.extend_from_slice(&8u32.to_le_bytes());
+        expected.extend_from_slice(&17u32.to_le_bytes());
+        expected.extend_from_slice(&130u32.to_le_bytes());
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn traced_size_roundtrips_on_a_channel() {
+        let mut buf = Vec::new();
+        WireCommand::size_traced(3, 20, u64::MAX)
+            .encode_on(7, &mut buf)
+            .unwrap();
+        assert_eq!(buf.len(), 7 + 16);
+        let (k, ch, payload) = read_frame_mux(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!((k, ch), (kind::SIZE, 7));
+        assert_eq!(
+            WireCommand::decode(k, payload).unwrap(),
+            WireCommand::size_traced(3, 20, u64::MAX)
+        );
+    }
+
+    #[test]
+    fn size_payload_between_8_and_16_bytes_is_rejected() {
+        for len in [0usize, 7, 9, 12, 15, 17] {
+            let payload = vec![0u8; len];
+            assert!(
+                WireCommand::decode(kind::SIZE, payload).is_err(),
+                "len {len} must be malformed"
+            );
+        }
     }
 
     #[test]
@@ -1237,12 +1314,7 @@ mod tests {
     #[test]
     fn accumulator_handles_byte_at_a_time_delivery() {
         let mut buf = Vec::new();
-        WireCommand::Size {
-            words: 3,
-            bytes: 20,
-        }
-        .encode(&mut buf)
-        .unwrap();
+        WireCommand::size(3, 20).encode(&mut buf).unwrap();
         WireCommand::data_words(&[10, 20, 30])
             .encode(&mut buf)
             .unwrap();
@@ -1260,10 +1332,7 @@ mod tests {
         assert_eq!(
             frames,
             vec![
-                WireCommand::Size {
-                    words: 3,
-                    bytes: 20
-                },
+                WireCommand::size(3, 20),
                 WireCommand::data_words(&[10, 20, 30]),
                 WireCommand::EndOfDocument,
             ]
@@ -1273,9 +1342,7 @@ mod tests {
     #[test]
     fn accumulator_fills_directly_from_reader() {
         let mut bytes = Vec::new();
-        WireCommand::Size { words: 1, bytes: 8 }
-            .encode(&mut bytes)
-            .unwrap();
+        WireCommand::size(1, 8).encode(&mut bytes).unwrap();
         WireCommand::data_words(&[99]).encode(&mut bytes).unwrap();
         let mut reader = bytes.as_slice();
         let mut acc = FrameAccumulator::new();
@@ -1292,10 +1359,7 @@ mod tests {
         }
         assert_eq!(
             frames,
-            vec![
-                WireCommand::Size { words: 1, bytes: 8 },
-                WireCommand::data_words(&[99]),
-            ]
+            vec![WireCommand::size(1, 8), WireCommand::data_words(&[99])]
         );
         assert!(!acc.mid_frame());
     }

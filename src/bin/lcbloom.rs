@@ -49,6 +49,8 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -80,17 +82,26 @@ fn print_usage() {
          \x20                  [--outbound-high-water BYTES] [--slow-consumer-ms N]\n\
          \x20                  [--watchdog-ms N] [--stats-secs N] [--stats-interval N]\n\
          \x20                  [--m KBITS] [--k K] [--subsample S] [--trace-ring]\n\
+         \x20                  [--trace-sample N] [--trace-slow-us T]\n\
+         \x20                  [--history-interval-ms N]\n\
          \x20                  [--drain-deadline-ms N] [--chaos-seed S] [--chaos-rate R]\n\
          \x20 lcbloom query    --addr HOST:PORT [--channels N] [--window W]\n\
          \x20                  [--timeout-ms N] [--timing] FILE...\n\
          \x20 lcbloom stats    --addr HOST:PORT [--watch SECS] [--ring]\n\
+         \x20 lcbloom trace    --addr HOST:PORT [--follow] [--interval SECS]\n\
+         \x20 lcbloom top      --addr HOST:PORT [--interval SECS] [--once]\n\
          \x20 lcbloom demo\n\
          \n\
          `train` expects one directory per language, named by its code (en, fr, ...),\n\
          each containing plain-text files. `classify` and `query` accept `-` for stdin.\n\
          `stats` asks a live server for its metrics snapshot over the wire (--watch\n\
-         repeats every SECS; --ring also dumps the --trace-ring flight recorders).\n\
-         `--timing` prints client-side p50/p95/p99 in the server's latency buckets."
+         repeats every SECS, with server-side rates from the history ring; --ring\n\
+         also dumps the --trace-ring flight recorders). `trace` drains the server's\n\
+         sampled per-document spans (serve --trace-sample N / --trace-slow-us T) and\n\
+         renders a stage waterfall per span; --follow polls until interrupted. `top`\n\
+         renders sparkline rate tables from the server's history ring.\n\
+         `--timing` prints p50/p95/p99 in the server's latency buckets; for `query`\n\
+         the times come from server-side sampled spans, so the batch stays pipelined."
     );
 }
 
@@ -345,6 +356,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "drain-deadline-ms",
             "chaos-seed",
             "chaos-rate",
+            "trace-sample",
+            "trace-slow-us",
+            "history-interval-ms",
         ],
         &["trace-ring"],
     )?;
@@ -395,6 +409,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             })
         },
         trace_ring: flags.contains_key("trace-ring"),
+        // --trace-sample N samples every Nth document's span (1 = all,
+        // 0 = off); faults and --trace-slow-us stragglers are always
+        // captured once any tracing (or chaos) is on.
+        trace_sample: parse_num(&flags, "trace-sample", defaults.trace_sample)?,
+        trace_slow_us: parse_num(&flags, "trace-slow-us", defaults.trace_slow_us)?,
+        history_interval: std::time::Duration::from_millis(parse_num(
+            &flags,
+            "history-interval-ms",
+            defaults.history_interval.as_millis() as u64,
+        )?),
         ..defaults
     };
     // --stats-interval is the canonical name; --stats-secs kept as the
@@ -471,16 +495,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if channels == 0 {
         return Err("--channels must be >= 1".into());
     }
-    // --timing measures per-document round trips, which needs stop-and-wait
-    // submission: with it set the multiplexed path (whose pipelining hides
-    // individual round trips) is bypassed.
+    // --timing reads per-document times from server-side sampled spans, so
+    // it rides the pipelined path at full speed instead of forcing
+    // stop-and-wait round trips like a client-side stopwatch would.
     let timing = flags.contains_key("timing");
-    let channels = if timing && channels > 1 {
-        eprintln!("--timing measures per-document round trips; ignoring --channels {channels}");
-        1
-    } else {
-        channels
-    };
     let window = parse_num(&flags, "window", 4 * channels as usize)?;
     let timeout_ms = parse_num(&flags, "timeout-ms", 0u64)?;
     if files.is_empty() {
@@ -512,10 +530,15 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             r.total_ngrams()
         );
     };
-    if channels > 1 {
+    if channels > 1 || timing {
         // Multiplexed: all documents in memory, fanned over wire-v2
         // channels on this one connection so the server's whole worker
         // pool serves the batch.
+        if timing {
+            // Trace id 0 is divisible by every sample rate, so these
+            // documents are sampled whenever the server traces at all.
+            client.set_trace_context(Some(QUERY_TRACE_ID));
+        }
         let texts: Vec<Vec<u8>> = files
             .iter()
             .map(|f| {
@@ -538,11 +561,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         for (f, s) in files.iter().zip(&served) {
             print_row(f, &client, s);
         }
+        if timing {
+            report_span_timing(&mut client)?;
+        }
         return Ok(());
     }
-    let mut hist = [0u64; lcbloom::service::LATENCY_BUCKETS];
     for f in &files {
-        let started = std::time::Instant::now();
         let served = if f == "-" {
             let mut text = Vec::new();
             std::io::stdin()
@@ -559,12 +583,50 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             client.classify_reader(&mut file, len)
         }
         .map_err(|e| format!("classifying {f}: {e}"))?;
-        hist[lcbloom::service::latency_bucket(started.elapsed())] += 1;
         print_row(f, &client, &served);
     }
-    if timing {
-        print_timing(&hist);
+    Ok(())
+}
+
+/// The trace id `query --timing` stamps on its documents: 0 is divisible
+/// by every `--trace-sample` rate, so the batch is sampled whenever the
+/// server traces at all, while the client-context flag plus this id let
+/// the timing report pick exactly its own spans out of the drain.
+const QUERY_TRACE_ID: u64 = 0;
+
+/// Fetch the server's sampled spans and report this batch's times from
+/// them: percentile bounds in the shared latency buckets plus mean stage
+/// splits — all measured server-side, so pipelining cost the numbers
+/// nothing.
+fn report_span_timing(client: &mut ClassifyClient) -> Result<(), String> {
+    let snap = client
+        .stats(2)
+        .map_err(|e| format!("fetching spans: {e}"))?;
+    let spans: Vec<_> = snap
+        .spans
+        .iter()
+        .filter(|s| {
+            s.flags & lcbloom::service::SPAN_CLIENT_CONTEXT != 0 && s.trace_id == QUERY_TRACE_ID
+        })
+        .collect();
+    if spans.is_empty() {
+        println!("timing: no sampled spans came back (is the server running with --trace-sample?)");
+        return Ok(());
     }
+    let mut hist = [0u64; lcbloom::service::LATENCY_BUCKETS];
+    for s in &spans {
+        hist[lcbloom::service::latency_bucket(std::time::Duration::from_micros(s.total_us))] += 1;
+    }
+    print_timing(&hist);
+    let n = spans.len() as u64;
+    let mean =
+        |pick: fn(&&lcbloom::service::SpanRecord) -> u64| spans.iter().map(pick).sum::<u64>() / n;
+    println!(
+        "stages (server-side means): queue={}µs classify={}µs drain={}µs",
+        mean(|s| s.queue_us),
+        mean(|s| s.classify_us),
+        mean(|s| s.drain_us)
+    );
     Ok(())
 }
 
@@ -603,7 +665,14 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or("127.0.0.1:4004");
     let watch = parse_num(&flags, "watch", 0u64)?;
-    let detail = u8::from(flags.contains_key("ring"));
+    // --watch asks for detail 2 so each refresh carries the server's own
+    // history ring: the rates printed are server-computed over measured
+    // intervals, not client-side deltas between polls.
+    let detail = if watch > 0 {
+        2
+    } else {
+        u8::from(flags.contains_key("ring"))
+    };
     // A dedicated connection: GetStats must not interleave with document
     // responses, and a fresh connection has none in flight by construction.
     let mut client =
@@ -688,6 +757,218 @@ fn print_snapshot(snap: &lcbloom::service::MetricsSnapshot) {
             );
         }
     }
+    // Server-computed rates from the history ring (detail 2): the last few
+    // slots, newest last, each a measured-interval delta.
+    for slot in snap.history.iter().rev().take(5).rev() {
+        println!("{}", history_line(slot));
+    }
+    if !snap.spans.is_empty() {
+        println!(
+            "spans: {} sampled span(s) drained (render with `lcbloom trace`)",
+            snap.spans.len()
+        );
+    }
+}
+
+/// One greppable line per history slot: server-computed rates plus
+/// per-shard busy fractions and queue depths.
+fn history_line(slot: &lcbloom::service::HistorySlot) -> String {
+    let busy: Vec<String> = (0..slot.shards.len())
+        .map(|i| format!("{:.2}", slot.busy_frac(i)))
+        .collect();
+    let depth: Vec<String> = slot
+        .shards
+        .iter()
+        .map(|s| s.queue_depth.to_string())
+        .collect();
+    format!(
+        "history +{:>9.3}s: docs/s={:.1} mb/s={:.2} errors={} faults={} busy=[{}] depth=[{}]",
+        slot.ts_ns as f64 / 1e9,
+        slot.docs_per_s(),
+        slot.mb_per_s(),
+        slot.errors,
+        slot.faults,
+        busy.join(","),
+        depth.join(",")
+    )
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args, &["addr", "interval"], &["follow"])?;
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:4004");
+    let follow = flags.contains_key("follow");
+    let interval = parse_num(&flags, "interval", 1u64)?.max(1);
+    let mut client =
+        ClassifyClient::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    loop {
+        // detail 2 *drains* the span buffers: each poll renders only what
+        // arrived since the previous one, which is exactly what a follow
+        // loop wants.
+        let snap = client
+            .stats(2)
+            .map_err(|e| format!("fetching spans from {addr}: {e}"))?;
+        if snap.spans.is_empty() && !follow {
+            println!(
+                "no sampled spans (server --trace-sample off, or none captured since the \
+                 last drain)"
+            );
+            return Ok(());
+        }
+        for s in &snap.spans {
+            print_span(s);
+        }
+        if !follow {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
+}
+
+/// Compact letter form of a span's flag bits (greppable: `flags=SF`).
+fn span_flags_str(flags: u8) -> String {
+    let mut out = String::new();
+    for (bit, ch) in [
+        (lcbloom::service::SPAN_SAMPLED, 'S'),
+        (lcbloom::service::SPAN_CLIENT_CONTEXT, 'C'),
+        (lcbloom::service::SPAN_SLOW, 'L'),
+        (lcbloom::service::SPAN_FAULT, 'F'),
+        (lcbloom::service::SPAN_PARKED, 'P'),
+    ] {
+        if flags & bit != 0 {
+            out.push(ch);
+        }
+    }
+    if out.is_empty() {
+        out.push('-');
+    }
+    out
+}
+
+/// One span: a greppable key=value line (what the CI smoke step parses)
+/// followed by a stage waterfall scaled to the span's end-to-end time —
+/// `░` queue wait, `█` classify, `▓` response drain.
+fn print_span(s: &lcbloom::service::SpanRecord) {
+    let shard = if s.shard == u16::MAX {
+        "-".to_string()
+    } else {
+        s.shard.to_string()
+    };
+    println!(
+        "span trace={:016x} conn={} ch={} seq={} shard={} bytes={} queue_us={} \
+         classify_us={} drain_us={} total_us={} flags={} fault={}",
+        s.trace_id,
+        s.conn,
+        s.channel,
+        s.doc_seq,
+        shard,
+        s.doc_bytes,
+        s.queue_us,
+        s.classify_us,
+        s.drain_us,
+        s.total_us,
+        span_flags_str(s.flags),
+        lcbloom::service::fault_name(s.fault)
+    );
+    const WIDTH: u64 = 40;
+    let total = s.total_us.max(1);
+    // Stage cells floor-scaled (min 1 when the stage ran at all), then
+    // capped left-to-right so the bar never overruns its WIDTH columns.
+    let cells = |us: u64| {
+        if us == 0 {
+            0
+        } else {
+            (us * WIDTH / total).max(1)
+        }
+    };
+    let mut left = WIDTH;
+    let mut bar = String::new();
+    for (us, ch) in [(s.queue_us, '░'), (s.classify_us, '█'), (s.drain_us, '▓')] {
+        let n = cells(us).min(left);
+        left -= n;
+        bar.extend(std::iter::repeat_n(ch, n as usize));
+    }
+    bar.extend(std::iter::repeat_n(' ', left as usize));
+    println!("  |{bar}| {}µs", s.total_us);
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args, &["addr", "interval"], &["once"])?;
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:4004");
+    let once = flags.contains_key("once");
+    let interval = parse_num(&flags, "interval", 2u64)?.max(1);
+    let mut client =
+        ClassifyClient::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    loop {
+        let snap = client
+            .stats(2)
+            .map_err(|e| format!("fetching history from {addr}: {e}"))?;
+        if !once {
+            // Repaint in place like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        // The newest 60 slots fit a terminal row; the ring holds 120.
+        let h = &snap.history[snap.history.len().saturating_sub(60)..];
+        println!(
+            "lcbloom top — {addr} — {} history slot(s), newest right",
+            h.len()
+        );
+        match h.last() {
+            None => println!("(no history yet; the server samples every --history-interval-ms)"),
+            Some(last) => {
+                let docs: Vec<f64> = h.iter().map(|s| s.docs_per_s()).collect();
+                let mbs: Vec<f64> = h.iter().map(|s| s.mb_per_s()).collect();
+                let fmax = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+                println!(
+                    "{:<8} {}  now {:>8.1}  max {:>8.1}",
+                    "docs/s",
+                    sparkline(&docs),
+                    last.docs_per_s(),
+                    fmax(&docs)
+                );
+                println!(
+                    "{:<8} {}  now {:>8.2}  max {:>8.2}",
+                    "MB/s",
+                    sparkline(&mbs),
+                    last.mb_per_s(),
+                    fmax(&mbs)
+                );
+                for i in 0..last.shards.len() {
+                    let busy: Vec<f64> = h.iter().map(|s| s.busy_frac(i)).collect();
+                    println!(
+                        "shard[{i}]  {}  busy {:>5.2}  depth {}",
+                        sparkline(&busy),
+                        last.busy_frac(i),
+                        last.shards[i].queue_depth
+                    );
+                }
+            }
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
+}
+
+/// Unicode block-element sparkline, scaled to the series' own maximum.
+fn sparkline(vals: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = vals.iter().cloned().fold(0.0f64, f64::max);
+    vals.iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[((v / max * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {

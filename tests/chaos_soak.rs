@@ -220,6 +220,7 @@ fn worker_panic_mid_document_is_a_typed_fault_not_a_hang() {
     WireCommand::Size {
         words: 4,
         bytes: 32,
+        trace: None,
     }
     .encode(&mut stream)
     .unwrap();
@@ -245,6 +246,7 @@ fn doc_burst(doc: &[u8], copies: usize) -> Vec<u8> {
         WireCommand::Size {
             words: words.len() as u32,
             bytes: doc.len() as u32,
+            trace: None,
         }
         .encode(&mut bytes)
         .unwrap();

@@ -71,6 +71,7 @@ fn doc_frames(channel: u16, doc: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
     WireCommand::Size {
         words: words.len() as u32,
         bytes: doc.len() as u32,
+        trace: None,
     }
     .encode_on(channel, &mut buf)
     .unwrap();

@@ -162,6 +162,7 @@ fn arbitrary_chunkings_are_equivalent() {
         WireCommand::Size {
             words: words.len() as u32,
             bytes: doc.len() as u32,
+            trace: None,
         }
         .encode(&mut stream)
         .unwrap();
@@ -250,6 +251,7 @@ fn truncated_transfer_is_reported_and_recovered() {
     WireCommand::Size {
         words: 100,
         bytes: 800,
+        trace: None,
     }
     .encode(&mut stream)
     .unwrap();
@@ -265,6 +267,7 @@ fn truncated_transfer_is_reported_and_recovered() {
     WireCommand::Size {
         words: words.len() as u32,
         bytes: doc.len() as u32,
+        trace: None,
     }
     .encode(&mut stream)
     .unwrap();
@@ -293,6 +296,7 @@ fn stalled_session_is_watchdog_reset_then_recovers() {
     WireCommand::Size {
         words: 50,
         bytes: 400,
+        trace: None,
     }
     .encode(&mut stream)
     .unwrap();
@@ -308,6 +312,7 @@ fn stalled_session_is_watchdog_reset_then_recovers() {
     WireCommand::Size {
         words: words.len() as u32,
         bytes: doc.len() as u32,
+        trace: None,
     }
     .encode(&mut stream)
     .unwrap();
@@ -356,12 +361,14 @@ fn remote_faults_surface_through_the_client() {
         .send_command(&WireCommand::Size {
             words: 4,
             bytes: 32,
+            trace: None,
         })
         .unwrap();
     client
         .send_command(&WireCommand::Size {
             words: 4,
             bytes: 32,
+            trace: None,
         })
         .unwrap();
     match client.read_response() {
@@ -402,6 +409,7 @@ fn doc_burst(doc: &[u8], copies: usize) -> Vec<u8> {
         WireCommand::Size {
             words: words.len() as u32,
             bytes: doc.len() as u32,
+            trace: None,
         }
         .encode(&mut bytes)
         .unwrap();
@@ -907,6 +915,7 @@ fn channel_faults_stay_on_their_channel() {
     WireCommand::Size {
         words: words.len() as u32,
         bytes: doc.len() as u32,
+        trace: None,
     }
     .encode_on(3, &mut stream)
     .unwrap();

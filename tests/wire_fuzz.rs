@@ -15,6 +15,7 @@ fn valid_stream(doc_words: &[u64], channel: u16) -> Vec<u8> {
     WireCommand::Size {
         words: doc_words.len() as u32,
         bytes: doc_words.len() as u32 * 8,
+        trace: None,
     }
     .encode_on(channel, &mut bytes)
     .unwrap();
