@@ -1,0 +1,223 @@
+//! Source stripping: blank out comment bodies and string/char literal
+//! contents so rule needles never match documentation or message text.
+//!
+//! The output is byte-for-byte the same length as the input with every
+//! newline preserved, so line numbers computed on the stripped text map
+//! directly back to the original file.
+
+/// Replace comments (line, nested block) and literal contents (string,
+/// raw string, byte string, char) with spaces. Delimiters of string
+/// literals are kept (`"  "` stays a string expression); comments are
+/// blanked entirely, `//` markers included.
+pub fn strip(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (start, hashes) = raw_string_open(b, i);
+                out.extend(std::iter::repeat_n(b' ', start - i));
+                i = start;
+                out.push(b'"');
+                i += 1;
+                loop {
+                    if i >= b.len() {
+                        break;
+                    }
+                    if b[i] == b'"' && closes_raw(b, i, hashes) {
+                        out.push(b'"');
+                        i += 1;
+                        out.extend(std::iter::repeat_n(b' ', hashes));
+                        i += hashes;
+                        break;
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                out.push(b' ');
+                i += 1; // fall through to the string on the next loop turn
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Distinguish a char literal from a lifetime: a literal
+                // closes within a couple of characters (or starts with a
+                // backslash escape); a lifetime never closes.
+                if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    out.extend_from_slice(b"'  ");
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.extend_from_slice(b"' '");
+                    i += 3;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn raw_string_open(b: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j, hashes)
+}
+
+fn closes_raw(b: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| i + k < b.len() && b[i + k] == b'#')
+}
+
+/// True if `needle` occurs in `hay` as a whole word (neighbours are not
+/// identifier characters).
+pub fn has_token(hay: &str, needle: &str) -> bool {
+    let hb = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let pre_ok = at == 0 || !is_ident(hb[at - 1]);
+        let end = at + needle.len();
+        let post_ok = end >= hb.len() || !is_ident(hb[end]);
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip("let x = 1; // unsafe here\n/* SeqCst */ let y = 2;");
+        assert!(!s.contains("unsafe"));
+        assert!(!s.contains("SeqCst"));
+        assert!(s.contains("let x = 1;"));
+        assert!(s.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn strips_string_contents_but_keeps_code() {
+        let s = strip("call(\"panic!(boom) unsafe\"); x.load(Ordering::SeqCst);");
+        assert!(!s.contains("panic!"));
+        assert!(!s.contains("unsafe"));
+        assert!(s.contains("SeqCst"));
+    }
+
+    #[test]
+    fn preserves_line_count_and_length() {
+        let src = "a // c\n\"s\ntring\"\n/* b\nlock */ b'x' 'y' 'a_lifetime\n";
+        let s = strip(src);
+        assert_eq!(s.len(), src.len());
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let s = strip(r####"let x = r#"unsafe "quoted" SeqCst"# ; let c = '['; "####);
+        assert!(!s.contains("unsafe"));
+        assert!(!s.contains('['));
+        assert!(s.contains("let c ="));
+    }
+
+    #[test]
+    fn lifetimes_survive() {
+        let s = strip("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("forbid(unsafe_code)", "unsafe"));
+        assert!(has_token("Ordering::SeqCst)", "SeqCst"));
+        assert!(!has_token("NotSeqCstish", "SeqCst"));
+    }
+}

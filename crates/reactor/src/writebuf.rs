@@ -58,6 +58,7 @@ impl WriteBuf {
     /// retried internally; other errors are fatal to the connection.
     pub fn write_to<W: Write>(&mut self, w: &mut W) -> io::Result<bool> {
         while let Some(front) = self.segments.front() {
+            // lint: allow(panic, reason = "head < front.len() invariant: head resets to 0 whenever a drained segment is popped")
             match w.write(&front[self.head..]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => {

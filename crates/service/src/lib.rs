@@ -74,6 +74,7 @@ mod reactor;
 pub mod ring;
 pub mod server;
 pub mod session;
+pub(crate) mod sync;
 pub mod trace;
 pub mod worker;
 
@@ -85,7 +86,7 @@ pub use metrics::{
     ShardCounters, ShardStats, SnapshotDecodeError, EVENTS_PER_WAKE_BOUNDS, LATENCY_BOUNDS_US,
     LATENCY_BUCKETS, STATS_SCHEMA_VERSION,
 };
-pub use outbound::ResponseSink;
+pub use outbound::{high_water_op, MaskOp, ResponseSink};
 pub use ring::{EventRing, RingEvent, RingSet, RingTag};
 pub use server::{serve, ServerHandle, ServiceConfig};
 pub use session::Session;

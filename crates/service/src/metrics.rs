@@ -18,8 +18,8 @@
 //! few percent).
 
 use crate::ring::RingEvent;
+use crate::sync::{AtomicU64, Ordering};
 use crate::trace::{HistoryShard, HistorySlot, SpanRecord};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Upper bounds of the latency histogram buckets, in microseconds; one
@@ -342,6 +342,17 @@ impl ServiceMetrics {
     /// `documents`, `bytes`/`documents` ratios) therefore hold exactly on
     /// quiesced snapshots and to within the in-flight window mid-load.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // Load the per-shard blocks *before* the global counters.
+        // `record_document` increments `documents` first and the owning
+        // shard's `docs` second, so the documented "shard sum never
+        // exceeds `documents`" invariant only holds for a racing reader
+        // that observes them in the opposite order: shards first, then
+        // the global counter (which can only have grown since). Reading
+        // `documents` first (as this method originally did) lets a
+        // snapshot catch a smaller `documents` than the shard sum — the
+        // loom model test `shard_docs_never_exceed_documents` pins this
+        // order.
+        let shards: Vec<ShardStats> = self.shards.iter().map(ShardCounters::snapshot).collect();
         MetricsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
             connections_current: self.connections_current.load(Ordering::Relaxed),
@@ -384,7 +395,7 @@ impl ServiceMetrics {
             events_per_wake: std::array::from_fn(|i| {
                 self.events_per_wake[i].load(Ordering::Relaxed)
             }),
-            shards: self.shards.iter().map(ShardCounters::snapshot).collect(),
+            shards,
             rings: Vec::new(),
             spans: Vec::new(),
             history: Vec::new(),

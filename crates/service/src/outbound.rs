@@ -38,14 +38,53 @@ use lc_reactor::{EventFd, WriteBuf};
 use lc_wire::WireResponse;
 use std::collections::VecDeque;
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::chaos::{FaultPlan, FaultSite};
 use crate::metrics::ServiceMetrics;
 use crate::ring::{EventRing, RingTag};
+use crate::sync::Ordering;
 use crate::trace::PendingSpan;
+
+/// The `EPOLLIN` mask transition [`high_water_op`] asks the reactor to
+/// perform after a flush pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaskOp {
+    /// Queue crossed above high water while readable: mask `EPOLLIN` so
+    /// no new commands (and so no new responses) are generated until the
+    /// peer drains what it already owes.
+    Mask,
+    /// A masked queue drained to empty: restore `EPOLLIN` (and re-poll
+    /// eagerly — bytes may have arrived while masked).
+    Unmask,
+    /// No transition.
+    Keep,
+}
+
+/// The outbound high-water policy, as a pure function of the queue depth
+/// observed *after* a flush pass. Factored out of the reactor's `flush`
+/// so the loom model can drive the exact shipping decision procedure
+/// against every enqueue/flush interleaving (`tests/loom_model.rs`
+/// pins lost-wakeup freedom: a drained connection never stays masked).
+///
+/// The asymmetry is deliberate: masking triggers strictly above
+/// `high_water`, unmasking waits for a *fully empty* queue rather than
+/// re-crossing the mark, so a peer oscillating around the threshold
+/// cannot flap its interest set on every pass.
+pub fn high_water_op(queued: usize, in_masked: bool, high_water: usize) -> MaskOp {
+    if queued > high_water {
+        if in_masked {
+            MaskOp::Keep
+        } else {
+            MaskOp::Mask
+        }
+    } else if in_masked && queued == 0 {
+        MaskOp::Unmask
+    } else {
+        MaskOp::Keep
+    }
+}
 
 /// One connection's outbound state, shared by the worker shards serving
 /// its channels (producers) and its reactor (consumer).

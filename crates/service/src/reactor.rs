@@ -44,7 +44,6 @@ use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
 use std::net::TcpStream;
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -52,8 +51,9 @@ use std::time::{Duration, Instant};
 
 use crate::chaos::{FaultPlan, FaultSite};
 use crate::metrics::ServiceMetrics;
-use crate::outbound::{NewConn, OutboundInner, ReactorWaker, ResponseSink};
+use crate::outbound::{high_water_op, MaskOp, NewConn, OutboundInner, ReactorWaker, ResponseSink};
 use crate::ring::{EventRing, RingSet, RingTag};
+use crate::sync::{AtomicBool, Ordering};
 use crate::trace::{HistoryRing, SpanSet};
 use crate::worker::{ChannelKey, Job};
 
@@ -264,6 +264,7 @@ fn enqueue(
         stalled.push_back((shard, job));
         return Ok(false);
     }
+    // lint: allow(panic, reason = "shard is assigned modulo the worker count at channel setup")
     match senders[shard].try_send(job) {
         Ok(()) => {
             if let Some(sc) = metrics.shard(shard) {
@@ -318,14 +319,20 @@ impl Reactor {
         let retry_tick = Duration::from_millis(1);
         let mut touched: Vec<u64> = Vec::new();
         let mut last_scan = Instant::now();
-        while !self.shutdown.load(Ordering::SeqCst) {
+        // ordering: Acquire pairs with the Release store in
+        // ServerHandle::shutdown / serve's error paths — seeing the flag
+        // set happens-after everything the setter did before it. The flag
+        // is a latch checked on a polling loop; no cross-flag ordering is
+        // consumed, so SeqCst buys nothing over Acquire here.
+        while !self.shutdown.load(Ordering::Acquire) {
             let tick = if self.deferred.is_empty() {
                 idle_tick
             } else {
                 retry_tick
             };
             let delivered = self.epoll.wait(&mut events, Some(tick)).unwrap_or(0);
-            if self.shutdown.load(Ordering::SeqCst) {
+            // ordering: Acquire — same latch as the loop condition.
+            if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
             self.metrics.record_wake(delivered);
@@ -404,6 +411,7 @@ impl Reactor {
                 return self.teardown(conn);
             }
         }
+        // lint: allow(panic, reason = "conn was looked up at the top of handle_readable; teardown paths return early")
         if self.conns[&conn].broken {
             return self.teardown(conn);
         }
@@ -523,6 +531,7 @@ impl Reactor {
                 Job::Close { key } => Some(key.channel),
                 _ => None,
             };
+            // lint: allow(panic, reason = "stalled entries only ever store shards assigned modulo the worker count")
             match senders[shard].try_send(job) {
                 Ok(()) => {
                     if let Some(sc) = metrics.shard(shard) {
@@ -612,26 +621,30 @@ impl Reactor {
         };
         let fd = c.stream.as_raw_fd();
         // High-water masking: above the mark no new commands are read, so
-        // queue growth is bounded by the jobs already in flight.
-        if queued > cfg.outbound_high_water {
-            if !c.in_masked {
+        // queue growth is bounded by the jobs already in flight. The
+        // decision procedure is the pure `high_water_op` policy, which the
+        // loom model drives against every enqueue/flush interleaving.
+        match high_water_op(queued, c.in_masked, cfg.outbound_high_water) {
+            MaskOp::Mask => {
                 if epoll.modify(fd, conn, Interest::WRITABLE).is_err() {
                     return false;
                 }
                 c.in_masked = true;
                 metrics.outbound_stalls.fetch_add(1, Ordering::Relaxed);
             }
-        } else if c.in_masked && queued == 0 {
-            if epoll
-                .modify(fd, conn, Interest::READABLE | Interest::WRITABLE)
-                .is_err()
-            {
-                return false;
+            MaskOp::Unmask => {
+                if epoll
+                    .modify(fd, conn, Interest::READABLE | Interest::WRITABLE)
+                    .is_err()
+                {
+                    return false;
+                }
+                c.in_masked = false;
+                // Bytes may have arrived while masked; the MOD re-arms the
+                // edge, but resume eagerly rather than rely on it.
+                c.read_ready = true;
             }
-            c.in_masked = false;
-            // Bytes may have arrived while masked; the MOD re-arms the
-            // edge, but resume eagerly rather than rely on it.
-            c.read_ready = true;
+            MaskOp::Keep => {}
         }
         // Slow-consumer clock: armed whenever queued bytes are stuck
         // behind a socket that accepts nothing, however small the queue —
@@ -833,6 +846,7 @@ impl Reactor {
                                             raw.extend_from_slice(piece);
                                         }
                                         let at = p.amount(FaultSite::CorruptPayload, raw.len());
+                                        // lint: allow(panic, reason = "ChaosPlan::amount contracts to return an index below the bound it was given")
                                         raw[at] ^= 0x01;
                                         WireCommand::Data(raw.into())
                                     }
@@ -843,7 +857,11 @@ impl Reactor {
                                     // ShuttingDown (in the document's own
                                     // response slot); in-flight documents
                                     // keep flowing to completion.
-                                    if drain.load(Ordering::SeqCst) {
+                                    // ordering: Acquire pairs with drain()'s
+                                    // Release store; a shed decision is a
+                                    // one-way latch, no other flag rides on
+                                    // its ordering.
+                                    if drain.load(Ordering::Acquire) {
                                         if let Some(ch) = c.channels.get_mut(&channel) {
                                             ch.shed = true;
                                         }
@@ -860,6 +878,7 @@ impl Reactor {
                                         continue;
                                     }
                                     if c.stalled.is_empty() {
+                                        // lint: allow(panic, reason = "shard is assigned modulo the worker count at channel setup")
                                         match senders[shard].try_send(Job::Command {
                                             key,
                                             cmd,
@@ -1043,14 +1062,21 @@ impl Reactor {
         if !c.read_eof || c.closes_enqueued {
             return true;
         }
+        // Split borrow: `stalled` and `channels` are disjoint fields, so
+        // iterating the map entries directly while parking into `stalled`
+        // needs no second lookup (the old key-list-then-`get_mut` shape
+        // ended in an `.expect()` on the reactor hot path).
+        let Conn {
+            channels, stalled, ..
+        } = c;
         // Deterministic order keeps behaviour reproducible under test.
-        let mut channels: Vec<u16> = c.channels.keys().copied().collect();
-        channels.sort_unstable();
-        for channel in channels {
-            let ch = c.channels.get_mut(&channel).expect("listed above");
+        let mut entries: Vec<(u16, &mut Channel)> =
+            channels.iter_mut().map(|(ch, st)| (*ch, st)).collect();
+        entries.sort_unstable_by_key(|(ch, _)| *ch);
+        for (channel, ch) in entries {
             let key = ChannelKey { conn, channel };
             match enqueue(
-                &mut c.stalled,
+                stalled,
                 senders,
                 metrics,
                 ring.as_deref(),
@@ -1128,6 +1154,7 @@ impl Reactor {
         // table entry reads Queued) are delivered from the stalled queue;
         // other parked jobs die with the connection.
         for (shard, job) in c.stalled {
+            // lint: allow(panic, reason = "stalled entries only ever store shards assigned modulo the worker count")
             if matches!(job, Job::Close { .. }) && self.senders[shard].send(job).is_ok() {
                 if let Some(sc) = self.metrics.shard(shard) {
                     sc.note_enqueued();
@@ -1138,6 +1165,7 @@ impl Reactor {
             if ch.close == CloseState::Open {
                 // Blocking send: bounded by worker compute (workers never
                 // block on I/O), and per-channel order needs Close last.
+                // lint: allow(panic, reason = "ch.shard is assigned modulo the worker count at channel setup")
                 let sent = self.senders[ch.shard].send(Job::Close {
                     key: ChannelKey { conn, channel },
                 });
@@ -1230,6 +1258,7 @@ impl<W: std::io::Write> std::io::Write for ClippedWriter<'_, W> {
             return Err(ErrorKind::WouldBlock.into());
         }
         let n = buf.len().min(self.remaining);
+        // lint: allow(panic, reason = "n is min(buf.len(), remaining), so the slice end is in bounds")
         let written = self.inner.write(&buf[..n])?;
         self.remaining -= written;
         Ok(written)

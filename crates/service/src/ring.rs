@@ -20,12 +20,19 @@
 //! every record carries its own timestamp so a torn record is visibly out
 //! of sequence rather than silently wrong.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Entries per ring. Power of two so the slot index is a mask.
+#[cfg(not(loom))]
 pub const RING_ENTRIES: usize = 4096;
+
+/// Model-checking builds shrink the ring so a dump is a handful of
+/// scheduling points instead of 8192 — the wrap/claim/tear semantics are
+/// entry-count-independent.
+#[cfg(loom)]
+pub const RING_ENTRIES: usize = 4;
 
 /// What happened, packed into the top byte of a record's second word.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -339,6 +346,39 @@ mod tests {
                 .collect();
             assert_eq!(mine.len(), 500, "producer {t} lost records");
             assert!(mine.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Every declared tag must survive the byte round-trip with a real
+    /// name, and every byte outside the declared range must decode to
+    /// `None`/"unknown" — the registry lint (`crates/wire/registry.txt`)
+    /// keeps this list in sync with the enum.
+    #[test]
+    fn ring_tag_byte_roundtrip_is_exhaustive() {
+        let all = [
+            RingTag::EpollWake,
+            RingTag::EventfdWake,
+            RingTag::Read,
+            RingTag::Write,
+            RingTag::ShortRead,
+            RingTag::Park,
+            RingTag::Fault,
+            RingTag::ConnOpen,
+            RingTag::ConnClose,
+            RingTag::Stats,
+        ];
+        for (i, tag) in all.iter().enumerate() {
+            let b = *tag as u8;
+            assert_eq!(b, i as u8 + 1, "discriminants are dense from 1");
+            assert_eq!(RingTag::from_byte(b), Some(*tag));
+            assert_ne!(RingTag::name(b), "unknown", "tag {b} has no name");
+        }
+        let names: std::collections::HashSet<&str> =
+            all.iter().map(|t| RingTag::name(*t as u8)).collect();
+        assert_eq!(names.len(), all.len(), "names must be distinct");
+        for b in (0u8..=255).filter(|b| *b == 0 || *b > all.len() as u8) {
+            assert_eq!(RingTag::from_byte(b), None);
+            assert_eq!(RingTag::name(b), "unknown");
         }
     }
 }

@@ -8,10 +8,10 @@
 //! (`ChannelKey::shard`, `worker.rs`) — one multiplexed connection fans
 //! out across the whole pool.
 
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use lc_core::MultiLanguageClassifier;
 use lc_wire::WireResponse;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -188,7 +188,11 @@ impl ServerHandle {
     /// when told the server is going away) before the hard shutdown.
     /// Returns the final metrics as the shutdown snapshot.
     pub fn drain(self, deadline: Duration) -> MetricsSnapshot {
-        self.draining.store(true, Ordering::SeqCst);
+        // ordering: Release pairs with the reactors' Acquire load of the
+        // drain flag — the shed path happens-after everything set up
+        // before the drain was requested. A one-way latch needs no
+        // SeqCst total order.
+        self.draining.store(true, Ordering::Release);
         let start = std::time::Instant::now();
         while start.elapsed() < deadline {
             if self.metrics.connections_current.load(Ordering::Relaxed) == 0 {
@@ -202,7 +206,10 @@ impl ServerHandle {
     /// Stop accepting, drain connections, reactors and workers, join all
     /// threads. Returns the final metrics as a shutdown summary.
     pub fn shutdown(mut self) -> MetricsSnapshot {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // ordering: Release pairs with the Acquire loads in the reactor
+        // loop, the sampler, and the acceptor; the flag is a one-way
+        // latch, so Release/Acquire is all the ordering it carries.
+        self.shutdown.store(true, Ordering::Release);
         // Unblock the accept loop with a dummy connection. An unspecified
         // bind address (0.0.0.0 / ::) is not connectable on every
         // platform; aim at loopback on the bound port instead.
@@ -324,7 +331,8 @@ pub fn serve(
         // Don't leak the reactors that did start (plausible under fd
         // exhaustion: each needs an epoll fd + an eventfd): signal, wake,
         // join, and drain the workers before reporting failure.
-        shutdown.store(true, Ordering::SeqCst);
+        // ordering: Release — same shutdown latch as ServerHandle::shutdown.
+        shutdown.store(true, Ordering::Release);
         for waker in &wakers {
             waker.wake();
         }
@@ -352,7 +360,9 @@ pub fn serve(
                 // Nap in short slices so shutdown is noticed promptly even
                 // under a long interval.
                 let nap = interval.min(Duration::from_millis(50));
-                while !shutdown.load(Ordering::SeqCst) {
+                // ordering: Acquire pairs with the shutdown latch's
+                // Release stores.
+                while !shutdown.load(Ordering::Acquire) {
                     std::thread::sleep(nap);
                     let now = Instant::now();
                     if now.duration_since(last) < interval {
@@ -373,7 +383,8 @@ pub fn serve(
     let sampler_thread = match sampler_thread {
         Ok(h) => h,
         Err(e) => {
-            shutdown.store(true, Ordering::SeqCst);
+            // ordering: Release — the shutdown latch again.
+            shutdown.store(true, Ordering::Release);
             for waker in &wakers {
                 waker.wake();
             }
@@ -395,7 +406,9 @@ pub fn serve(
         .spawn(move || {
             let next_session = AtomicU64::new(0);
             for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::SeqCst) {
+                // ordering: Acquire pairs with the shutdown latch's
+                // Release stores.
+                if accept_shutdown.load(Ordering::Acquire) {
                     break;
                 }
                 let Ok(stream) = stream else {
@@ -405,7 +418,8 @@ pub fn serve(
                     std::thread::sleep(Duration::from_millis(50));
                     continue;
                 };
-                if accept_draining.load(Ordering::SeqCst) {
+                // ordering: Acquire pairs with drain()'s Release store.
+                if accept_draining.load(Ordering::Acquire) {
                     // Draining: existing connections finish their in-flight
                     // documents; new arrivals go elsewhere.
                     accept_metrics
@@ -461,7 +475,8 @@ pub fn serve(
             // supervisor reaps them) and the reactor join handles are
             // detached — set the flag and wake them so they exit too.
             // Nothing joins them, but nothing leaks either.
-            shutdown.store(true, Ordering::SeqCst);
+            // ordering: Release — the shutdown latch again.
+            shutdown.store(true, Ordering::Release);
             for waker in &cleanup_wakers {
                 waker.wake();
             }

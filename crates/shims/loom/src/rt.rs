@@ -1,0 +1,424 @@
+//! The deterministic scheduler behind the shim.
+//!
+//! One model thread runs at a time; every shared-memory access point
+//! (atomic op, spawn, yield, join, finish) is a *scheduling point*. At a
+//! point where more than one thread could legally go next, the choice is
+//! recorded as a [`Decision`]; repeated executions replay a decision
+//! prefix and take the next untried branch, which is exactly a
+//! depth-first search over the interleaving tree. Because only one
+//! thread is ever runnable and every atomic op sits behind its own
+//! scheduling point, the exploration is sequentially consistent and
+//! exhaustive (up to the optional preemption bound).
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// A model thread's scheduling state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    /// Parked in `JoinHandle::join` until the given tid finishes.
+    Blocked(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision. Only points that offered a real
+/// choice (more than one permitted successor) are recorded; forced moves
+/// are recomputed identically on replay.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    /// Index into the permitted-choice list that was taken.
+    chosen: usize,
+    /// Number of permitted choices at this point.
+    alts: usize,
+    /// The tid that got scheduled (for failure traces).
+    tid: usize,
+}
+
+struct State {
+    threads: Vec<TState>,
+    /// The tid currently allowed to run.
+    active: usize,
+    /// Threads spawned and not yet finished.
+    live: usize,
+    /// Decision indices to replay (the DFS path into the tree).
+    prefix: Vec<usize>,
+    cursor: usize,
+    trace: Vec<Decision>,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    branches: u64,
+    max_branches: u64,
+    /// Set on panic / deadlock / branch-bound overflow: scheduling turns
+    /// into free-running so every thread can unwind and the execution
+    /// drains. The first panic payload is kept for the report.
+    abort: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One execution's runtime: the scheduler state plus the condvar model
+/// threads park on while it is not their turn.
+pub(crate) struct Rt {
+    st: Mutex<State>,
+    cv: Condvar,
+    /// Real OS join handles for every model thread spawned this
+    /// execution, drained by the controller after the execution ends.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// The scheduler (and this thread's tid in it) when running inside a
+    /// model execution; `None` makes every shim op fall back to plain
+    /// std behaviour.
+    static CUR: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The current thread's scheduler handle, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CUR.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Rt>, usize)>) {
+    CUR.with(|c| *c.borrow_mut() = v);
+}
+
+/// Scheduling point before a shared-memory access by the calling thread.
+/// No-op outside a model execution.
+pub(crate) fn branch_point() {
+    if let Some((rt, me)) = current() {
+        rt.branch(me);
+    }
+}
+
+impl Rt {
+    fn new(prefix: Vec<usize>, preemption_bound: Option<usize>, max_branches: u64) -> Self {
+        Self {
+            st: Mutex::new(State {
+                threads: vec![TState::Runnable],
+                active: 0,
+                live: 1,
+                prefix,
+                cursor: 0,
+                trace: Vec::new(),
+                preemptions: 0,
+                preemption_bound,
+                branches: 0,
+                max_branches,
+                abort: false,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Lock the state, shrugging off poisoning (a panicking model thread
+    /// is a *finding*, not a reason to wedge the explorer).
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, g: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record the first panic payload and flip the execution into
+    /// free-running drain mode.
+    fn note_panic(&self, st: &mut State, payload: Box<dyn std::any::Any + Send>) {
+        if st.panic.is_none() {
+            st.panic = Some(payload);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Pick the next thread to run. `me` is the thread at the scheduling
+    /// point; whether it is still a candidate is read off its state.
+    /// Must be called with the lock held.
+    fn pick_next(&self, st: &mut State, me: usize) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        if runnable.is_empty() {
+            if st.live == 0 {
+                // Execution over; wake the controller.
+                self.cv.notify_all();
+                return;
+            }
+            // Someone is blocked and nobody can run: a real deadlock in
+            // the modeled code.
+            self.note_panic(
+                st,
+                Box::new("loom: deadlock — every live model thread is blocked".to_string()),
+            );
+            return;
+        }
+        let me_runnable = st.threads.get(me) == Some(&TState::Runnable);
+        // Staying on the current thread is free; switching away from a
+        // still-runnable thread costs one preemption. Choice 0 is always
+        // "no preemption", so the DFS default path is the sequential one.
+        let choices: Vec<usize> = if me_runnable {
+            let budget_left = st.preemption_bound.is_none_or(|b| st.preemptions < b);
+            if budget_left {
+                let mut c = vec![me];
+                c.extend(runnable.iter().copied().filter(|&t| t != me));
+                c
+            } else {
+                vec![me]
+            }
+        } else {
+            runnable
+        };
+        let idx = if choices.len() > 1 {
+            let idx = if st.cursor < st.prefix.len() {
+                st.prefix[st.cursor]
+            } else {
+                0
+            };
+            st.cursor += 1;
+            if idx >= choices.len() {
+                self.note_panic(
+                    st,
+                    Box::new("loom: replay diverged (non-deterministic model body?)".to_string()),
+                );
+                return;
+            }
+            st.trace.push(Decision {
+                chosen: idx,
+                alts: choices.len(),
+                tid: choices[idx],
+            });
+            idx
+        } else {
+            0
+        };
+        let next = choices[idx];
+        if me_runnable && next != me {
+            st.preemptions += 1;
+        }
+        st.active = next;
+        if next != me {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Scheduling point for thread `me`: maybe hand the token to another
+    /// thread, then wait for it to come back.
+    fn branch(self: &Arc<Self>, me: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            return;
+        }
+        st.branches += 1;
+        if st.branches > st.max_branches {
+            let max = st.max_branches;
+            self.note_panic(
+                &mut st,
+                Box::new(format!(
+                    "loom: execution exceeded {max} scheduling points (LOOM_MAX_BRANCHES)"
+                )),
+            );
+            drop(st);
+            // Unwind this thread out of the modeled code; the payload
+            // recorded above is what the explorer reports.
+            panic!("loom: branch bound exceeded");
+        }
+        self.pick_next(&mut st, me);
+        while !st.abort && st.active != me {
+            st = self.wait(st);
+        }
+    }
+
+    /// Mark `me` finished, wake its joiners, hand the token onward.
+    fn finish(self: &Arc<Self>, me: usize) {
+        let mut st = self.lock();
+        st.threads[me] = TState::Finished;
+        st.live -= 1;
+        for s in st.threads.iter_mut() {
+            if *s == TState::Blocked(me) {
+                *s = TState::Runnable;
+            }
+        }
+        if st.abort || st.live == 0 {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, me);
+    }
+
+    /// Register a new model thread; returns its tid.
+    fn register(self: &Arc<Self>) -> usize {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        st.threads.push(TState::Runnable);
+        st.live += 1;
+        tid
+    }
+
+    /// Entry gate for a freshly spawned model thread: wait for its first
+    /// turn (or for the execution to flip into drain mode).
+    fn wait_first_turn(self: &Arc<Self>, me: usize) {
+        let mut st = self.lock();
+        while !st.abort && st.active != me {
+            st = self.wait(st);
+        }
+    }
+}
+
+/// Spawn a model thread when called from inside an execution; plain
+/// `std::thread::spawn` otherwise.
+pub(crate) fn spawn<F, T>(f: F) -> crate::thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((rt, me)) = current() else {
+        return crate::thread::JoinHandle::std(std::thread::spawn(f));
+    };
+    let tid = rt.register();
+    let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let (rt2, slot2) = (Arc::clone(&rt), Arc::clone(&slot));
+    let real = std::thread::spawn(move || {
+        set_current(Some((Arc::clone(&rt2), tid)));
+        rt2.wait_first_turn(tid);
+        match panic::catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => {
+                *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+            }
+            Err(payload) => {
+                // The real payload goes to the explorer's report; the
+                // joiner (if any) gets a placeholder.
+                let mut st = rt2.lock();
+                rt2.note_panic(&mut st, payload);
+                drop(st);
+                *slot2.lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(Err(Box::new("loom: model thread panicked".to_string())));
+            }
+        }
+        rt2.finish(tid);
+        set_current(None);
+    });
+    rt.handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(real);
+    // Scheduling point: the child is runnable from here on.
+    rt.branch(me);
+    crate::thread::JoinHandle::model(rt, tid, slot)
+}
+
+/// Join a model thread: block (as a scheduler state, not an OS wait)
+/// until the target finishes, then take its result.
+pub(crate) fn join<T>(
+    rt: Arc<Rt>,
+    tid: usize,
+    slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+) -> std::thread::Result<T> {
+    if let Some((_, me)) = current() {
+        let mut st = rt.lock();
+        if st.threads[tid] != TState::Finished && !st.abort {
+            st.threads[me] = TState::Blocked(tid);
+            rt.pick_next(&mut st, me);
+            while !(st.abort || st.threads[me] == TState::Runnable && st.active == me) {
+                st = rt.wait(st);
+            }
+        }
+        // Under drain mode the target free-runs to completion; wait for
+        // it so the result slot is filled either way.
+        while st.threads[tid] != TState::Finished {
+            st = rt.wait(st);
+        }
+        drop(st);
+    } else {
+        // Joining from outside the model (not expected, but harmless).
+        let mut st = rt.lock();
+        while st.threads[tid] != TState::Finished {
+            st = rt.wait(st);
+        }
+    }
+    slot.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+        .expect("loom: finished model thread left no result")
+}
+
+/// Run `f` under every schedule the bounded DFS reaches. Returns the
+/// number of complete executions explored; panics (re-raising the model
+/// thread's payload, after printing the schedule trace) on the first
+/// property violation.
+pub(crate) fn explore<F>(preemption_bound: Option<usize>, max_branches: u64, f: Arc<F>) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        let rt = Arc::new(Rt::new(prefix.clone(), preemption_bound, max_branches));
+        let (rt2, froot) = (Arc::clone(&rt), Arc::clone(&f));
+        let root = std::thread::spawn(move || {
+            set_current(Some((Arc::clone(&rt2), 0)));
+            if let Err(p) = panic::catch_unwind(AssertUnwindSafe(|| froot())) {
+                let mut st = rt2.lock();
+                rt2.note_panic(&mut st, p);
+            }
+            rt2.finish(0);
+            set_current(None);
+        });
+        {
+            let mut st = rt.lock();
+            while st.live > 0 {
+                st = rt.wait(st);
+            }
+        }
+        let _ = root.join();
+        for h in rt
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+        let (payload, schedule, next) = {
+            let mut st = rt.lock();
+            let payload = st.panic.take();
+            let schedule: Vec<usize> = st.trace.iter().map(|d| d.tid).collect();
+            // DFS step: drop exhausted trailing decisions, bump the
+            // deepest one that still has an untried branch.
+            let mut t = std::mem::take(&mut st.trace);
+            while let Some(d) = t.last() {
+                if d.chosen + 1 < d.alts {
+                    break;
+                }
+                t.pop();
+            }
+            let next = if t.is_empty() {
+                None
+            } else {
+                let last = t.len() - 1;
+                t[last].chosen += 1;
+                Some(t.iter().map(|d| d.chosen).collect::<Vec<usize>>())
+            };
+            (payload, schedule, next)
+        };
+        if let Some(p) = payload {
+            eprintln!(
+                "loom: property violated on schedule #{executions}; \
+                 decision trace (tid per choice point): {schedule:?}"
+            );
+            panic::resume_unwind(p);
+        }
+        match next {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    eprintln!("loom: explored {executions} complete schedules");
+    executions
+}
