@@ -4,6 +4,13 @@
 //! numbers to `BENCH_classify.json` so the perf trajectory is recorded in
 //! the repository.
 //!
+//! The banked and streamed paths are measured once per dispatch path —
+//! forced-scalar always, AVX2 additionally when the host CPU has it — so
+//! the report pins both sides of the runtime dispatch and a silent
+//! fallback regression shows up as a missing/slow `avx2` section. The
+//! top-level `naive`/`banked`/`streamed` numbers reflect the path the
+//! classifier actually selects at runtime (`cpu_features.selected`).
+//!
 //! Run from the workspace root with:
 //!
 //! ```text
@@ -18,7 +25,7 @@
 use std::time::Instant;
 
 use lc_bench::ClassifyFixture;
-use lc_core::StreamingSession;
+use lc_core::{MultiLanguageClassifier, SimdLevel, StreamingSession};
 use lc_ngram::NGram;
 
 /// Median of `samples` timed runs of `f`, in nanoseconds.
@@ -34,37 +41,28 @@ fn median_ns<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
     times[times.len() / 2]
 }
 
-fn main() {
-    let fixture = ClassifyFixture::paper_8lang();
-    let classifier = &fixture.classifier;
-    let total_bytes = fixture.total_bytes();
-    let total_ngrams = fixture.total_ngrams();
-    eprintln!(
-        "measuring: {} languages, k={}, m={} Kbit, {} docs, {:.1} MB, {} n-grams",
-        classifier.num_languages(),
-        fixture.params.k,
-        fixture.params.m_kbits(),
-        fixture.docs.len(),
-        total_bytes as f64 / 1e6,
-        total_ngrams,
-    );
+/// One dispatch path's timings (median ns over the whole workload).
+struct PathTimes {
+    banked_ns: f64,
+    two_phase_ns: f64,
+    fused_ns: f64,
+}
 
+/// Measure the banked whole-stream path and both streamed-from-raw-bytes
+/// paths on `classifier` (whose probe engine is already pinned to the
+/// path under test).
+fn measure_path(
+    classifier: &MultiLanguageClassifier,
+    fixture: &ClassifyFixture,
+    samples: usize,
+) -> PathTimes {
     // Warm-up every path once before timing (also builds the lazily
     // initialized fused hash table).
     for ((_, grams), text) in fixture.docs.iter().zip(&fixture.texts) {
-        std::hint::black_box(classifier.classify_ngrams_naive(grams));
         std::hint::black_box(classifier.classify_ngrams(grams));
         std::hint::black_box(classifier.classify(text));
     }
 
-    let samples = 7;
-    let naive_ns = median_ns(samples, || {
-        let mut acc = 0usize;
-        for (_, grams) in &fixture.docs {
-            acc ^= classifier.classify_ngrams_naive(grams).best();
-        }
-        acc
-    });
     let banked_ns = median_ns(samples, || {
         let mut acc = 0usize;
         for (_, grams) in &fixture.docs {
@@ -107,21 +105,91 @@ fn main() {
         acc
     });
 
-    let report = |ns: f64| {
+    PathTimes {
+        banked_ns,
+        two_phase_ns,
+        fused_ns,
+    }
+}
+
+fn main() {
+    let fixture = ClassifyFixture::paper_8lang();
+    let classifier = &fixture.classifier;
+    let total_bytes = fixture.total_bytes();
+    let total_ngrams = fixture.total_ngrams();
+    let selected = classifier.simd_level();
+    eprintln!(
+        "measuring: {} languages, k={}, m={} Kbit, {} docs, {:.1} MB, {} n-grams, \
+         cpu avx2: {}, selected: {}",
+        classifier.num_languages(),
+        fixture.params.k,
+        fixture.params.m_kbits(),
+        fixture.docs.len(),
+        total_bytes as f64 / 1e6,
+        total_ngrams,
+        SimdLevel::cpu_has_avx2(),
+        selected,
+    );
+
+    let samples = 7;
+
+    // Naive is the dispatch-independent reference (per-language filter
+    // walks, no bank engine).
+    for (_, grams) in &fixture.docs {
+        std::hint::black_box(classifier.classify_ngrams_naive(grams));
+    }
+    let naive_ns = median_ns(samples, || {
+        let mut acc = 0usize;
+        for (_, grams) in &fixture.docs {
+            acc ^= classifier.classify_ngrams_naive(grams).best();
+        }
+        acc
+    });
+
+    // Forced-scalar always; AVX2 additionally when the host has it.
+    let mut scalar_classifier = classifier.clone();
+    scalar_classifier.set_force_scalar(true);
+    let scalar = measure_path(&scalar_classifier, &fixture, samples);
+    let avx2 = SimdLevel::cpu_has_avx2().then(|| {
+        let mut c = classifier.clone();
+        c.set_force_scalar(false);
+        (c.simd_level() == SimdLevel::Avx2).then(|| measure_path(&c, &fixture, samples))
+    });
+    let avx2 = avx2.flatten();
+    let selected_times = match (selected, &avx2) {
+        (SimdLevel::Avx2, Some(t)) => t,
+        _ => &scalar,
+    };
+
+    let rate = |ns: f64| {
         (
             ns / total_ngrams as f64,              // ns per n-gram
             total_bytes as f64 / 1e6 / (ns / 1e9), // MB/s
         )
     };
-    let (naive_ns_gram, naive_mbs) = report(naive_ns);
-    let (banked_ns_gram, banked_mbs) = report(banked_ns);
-    let (two_phase_ns_gram, two_phase_mbs) = report(two_phase_ns);
-    let (fused_ns_gram, fused_mbs) = report(fused_ns);
-    let speedup = naive_ns / banked_ns;
-    let fused_speedup = two_phase_ns / fused_ns;
+    let sect = |ns: f64| {
+        let (per_gram, mbs) = rate(ns);
+        format!("{{ \"ns_per_ngram\": {per_gram:.2}, \"mb_per_s\": {mbs:.1} }}")
+    };
+    let path_sect = |t: &PathTimes| {
+        format!(
+            "{{ \"banked\": {}, \"streamed\": {{ \"two_phase\": {}, \"fused\": {}, \
+             \"fused_speedup\": {:.2} }} }}",
+            sect(t.banked_ns),
+            sect(t.two_phase_ns),
+            sect(t.fused_ns),
+            t.two_phase_ns / t.fused_ns,
+        )
+    };
 
+    let speedup = naive_ns / selected_times.banked_ns;
+    let fused_speedup = selected_times.two_phase_ns / selected_times.fused_ns;
+    let avx2_sect = match &avx2 {
+        Some(t) => format!(",\n  \"avx2\": {}", path_sect(t)),
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"bench\": \"classify\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"ngram\": {}, \"profile_size\": {} }},\n  \"workload\": {{ \"documents\": {}, \"bytes\": {}, \"ngrams\": {} }},\n  \"naive\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }},\n  \"banked\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }},\n  \"speedup\": {:.2},\n  \"streamed\": {{ \"note\": \"raw bytes in, extraction included; two_phase is the pre-fusion baseline-to-beat\", \"two_phase\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }}, \"fused\": {{ \"ns_per_ngram\": {:.2}, \"mb_per_s\": {:.1} }}, \"fused_speedup\": {:.2} }}\n}}\n",
+        "{{\n  \"bench\": \"classify\",\n  \"config\": {{ \"languages\": {}, \"k\": {}, \"m_kbits\": {}, \"ngram\": {}, \"profile_size\": {} }},\n  \"workload\": {{ \"documents\": {}, \"bytes\": {}, \"ngrams\": {} }},\n  \"cpu_features\": {{ \"avx2\": {}, \"selected\": \"{}\" }},\n  \"naive\": {},\n  \"banked\": {},\n  \"speedup\": {:.2},\n  \"streamed\": {{ \"note\": \"raw bytes in, extraction included; two_phase is the pre-fusion baseline-to-beat; top-level numbers are the selected path\", \"two_phase\": {}, \"fused\": {}, \"fused_speedup\": {:.2} }},\n  \"scalar\": {}{}\n}}\n",
         classifier.num_languages(),
         fixture.params.k,
         fixture.params.m_kbits(),
@@ -130,23 +198,23 @@ fn main() {
         fixture.docs.len(),
         total_bytes,
         total_ngrams,
-        naive_ns_gram,
-        naive_mbs,
-        banked_ns_gram,
-        banked_mbs,
+        SimdLevel::cpu_has_avx2(),
+        selected,
+        sect(naive_ns),
+        sect(selected_times.banked_ns),
         speedup,
-        two_phase_ns_gram,
-        two_phase_mbs,
-        fused_ns_gram,
-        fused_mbs,
+        sect(selected_times.two_phase_ns),
+        sect(selected_times.fused_ns),
         fused_speedup,
+        path_sect(&scalar),
+        avx2_sect,
     );
     print!("{json}");
 
     let out = std::env::var("LC_BENCH_OUT").unwrap_or_else(|_| "BENCH_classify.json".into());
     std::fs::write(&out, &json).expect("write benchmark report");
     eprintln!(
-        "wrote {out} (banked is {speedup:.2}x naive; fused streaming is \
-         {fused_speedup:.2}x the two-phase stream)"
+        "wrote {out} (selected {selected}; banked is {speedup:.2}x naive; fused streaming \
+         is {fused_speedup:.2}x the two-phase stream)"
     );
 }

@@ -48,8 +48,14 @@
 //!   construction and with `debug_assert!` in debug builds.
 
 use crate::params::BloomParams;
+use crate::simd::Avx2Probe;
 use crate::ParallelBloomFilter;
-use lc_hash::H3Family;
+use lc_hash::{H3Family, SimdLevel};
+
+/// Keys per block in [`KeySource::for_each_key_block`] — one AVX2 register
+/// of 32-bit keys. Matches `lc_ngram::BLOCK_LANES` (the extractor's block
+/// width) by design; the classifier asserts the two agree.
+pub const KEY_BLOCK_LANES: usize = 8;
 
 /// A push-style source of query keys — the fused-path analogue of an
 /// iterator. `for_each_key` hands every key to `sink` exactly once, in
@@ -63,6 +69,44 @@ use lc_hash::H3Family;
 pub trait KeySource {
     /// Push every key into `sink`, in order.
     fn for_each_key(self, sink: impl FnMut(u64));
+
+    /// Push the keys in [`KEY_BLOCK_LANES`]-wide blocks of 32-bit keys
+    /// (each key masked by `key_mask`, which the caller guarantees fits
+    /// `u32`), with any stragglers delivered singly via
+    /// [`KeyBlockSink::key`]. Counts commute, so a source may freely mix
+    /// blocks and single keys — the default packs the `for_each_key`
+    /// stream; block-native sources (the blocked n-gram extractor)
+    /// override it to hand over whole SIMD blocks with no repacking.
+    fn for_each_key_block(self, key_mask: u64, sink: &mut impl KeyBlockSink)
+    where
+        Self: Sized,
+    {
+        let mut buf = [0u32; KEY_BLOCK_LANES];
+        let mut filled = 0usize;
+        self.for_each_key(|key| {
+            buf[filled] = (key & key_mask) as u32;
+            filled += 1;
+            if filled == KEY_BLOCK_LANES {
+                sink.block(&buf);
+                filled = 0;
+            }
+        });
+        for &key in &buf[..filled] {
+            sink.key(u64::from(key));
+        }
+    }
+}
+
+/// Receiver for [`KeySource::for_each_key_block`]: whole blocks take the
+/// vector path, stragglers (warm-up, chunk joins, tails shorter than a
+/// block) take the scalar path. Both must produce identical counts —
+/// pinned by the equivalence proptests.
+pub trait KeyBlockSink {
+    /// Probe a full block of [`KEY_BLOCK_LANES`] pre-masked 32-bit keys.
+    fn block(&mut self, keys: &[u32; KEY_BLOCK_LANES]);
+
+    /// Probe one key on the scalar path.
+    fn key(&mut self, key: u64);
 }
 
 impl<I: IntoIterator<Item = u64>> KeySource for I {
@@ -119,7 +163,7 @@ impl_mask_word!(u8, u16, u32, u64);
 /// loop's count update is a single 64-bit add — no per-set-bit branch loop.
 /// The `p ≤ 16` bank applies the same table to each mask byte (SPREAD16):
 /// two lookups, two adds, sixteen branchless lanes across a packed pair.
-static SPREAD8: [u64; 256] = {
+pub(crate) static SPREAD8: [u64; 256] = {
     let mut t = [0u64; 256];
     let mut m = 0usize;
     while m < 256 {
@@ -139,7 +183,7 @@ static SPREAD8: [u64; 256] = {
 
 /// Width-specialized bit-sliced arrays (one per hash function).
 #[derive(Clone, Debug)]
-enum MaskSlices {
+pub(crate) enum MaskSlices {
     /// `p <= 8`: one byte per (hash, address) entry.
     W8(Vec<Box<[u8]>>),
     /// `p <= 16`.
@@ -163,6 +207,10 @@ pub struct FilterBank {
     /// ([`Self::match_mask`]) representation.
     words_per_mask: usize,
     slices: MaskSlices,
+    /// The AVX2 probe engine, built once at construction when runtime
+    /// dispatch lands on AVX2 and the bank shape has a vector fast path;
+    /// `None` means every accumulate call runs the scalar loops.
+    simd: Option<Avx2Probe>,
 }
 
 impl FilterBank {
@@ -200,13 +248,16 @@ impl FilterBank {
         } else {
             MaskSlices::W64(Self::build_slices::<u64>(filters, params, words_per_mask))
         };
-        Self {
+        let mut bank = Self {
             params,
             hashes,
             languages: p,
             words_per_mask,
             slices,
-        }
+            simd: None,
+        };
+        bank.set_simd_level(SimdLevel::detect());
+        bank
     }
 
     /// Build the `k` bit-sliced arrays at element width `W` (`wpm` elements
@@ -270,6 +321,34 @@ impl FilterBank {
         &self.hashes
     }
 
+    /// The width-specialized probe slices (the SIMD engine re-pads them).
+    pub(crate) fn mask_slices(&self) -> &MaskSlices {
+        &self.slices
+    }
+
+    /// Choose the probe path. `Avx2` builds the vector engine when the CPU
+    /// and the bank shape allow it (silently staying scalar otherwise);
+    /// `Scalar` drops any engine. Called once at construction with the
+    /// process-wide [`SimdLevel::detect`] choice; tests and the
+    /// `--force-scalar` plumbing call it explicitly for live A/B.
+    pub fn set_simd_level(&mut self, level: SimdLevel) {
+        self.simd = match level {
+            SimdLevel::Scalar => None,
+            SimdLevel::Avx2 => Avx2Probe::build(self),
+        };
+    }
+
+    /// The probe path dispatch **actually** selected — `Avx2` only when the
+    /// vector engine is live, `Scalar` when the CPU, the environment
+    /// (`LC_FORCE_SCALAR`) or the bank shape kept the scalar loops.
+    pub fn simd_level(&self) -> SimdLevel {
+        if self.simd.is_some() {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Scalar
+        }
+    }
+
     /// Total bank memory in bits (`k × m × mask_entry_bits`).
     pub fn memory_bits(&self) -> usize {
         self.params.k * self.params.m_bits() * self.mask_entry_bits()
@@ -326,7 +405,7 @@ impl FilterBank {
     /// `mask` increments `counts[bit_base + b]`. The single place the
     /// count-on-match semantics live; every accumulate path inlines this.
     #[inline]
-    fn scatter_add(mask: u64, bit_base: usize, counts: &mut [u64]) {
+    pub(crate) fn scatter_add(mask: u64, bit_base: usize, counts: &mut [u64]) {
         let mut mask = mask;
         while mask != 0 {
             counts[bit_base + mask.trailing_zeros() as usize] += 1;
@@ -338,7 +417,7 @@ impl FilterBank {
     /// byte `j` of `packed` adds to `counts[j]`. Bytes at or above
     /// `counts.len()` are always zero (masks only carry language bits).
     #[inline]
-    fn flush_packed8(packed: u64, counts: &mut [u64]) {
+    pub(crate) fn flush_packed8(packed: u64, counts: &mut [u64]) {
         for (j, c) in counts.iter_mut().enumerate() {
             *c += (packed >> (8 * j)) & 0xFF;
         }
@@ -347,10 +426,20 @@ impl FilterBank {
     /// Drain the SPREAD16 pair (languages 0–7 in `lo`, 8–15 in `hi`) into
     /// the wide counters.
     #[inline]
-    fn flush_packed16(lo: u64, hi: u64, counts: &mut [u64]) {
+    pub(crate) fn flush_packed16(lo: u64, hi: u64, counts: &mut [u64]) {
         for (j, c) in counts.iter_mut().enumerate() {
             let word = if j < 8 { lo } else { hi };
             *c += (word >> (8 * (j % 8))) & 0xFF;
+        }
+    }
+
+    /// Drain the SPREAD32 quad (languages `8w .. 8w + 8` in `packed[w]`)
+    /// into the wide counters — the `p ≤ 32` extension of the packed
+    /// byte-counter family.
+    #[inline]
+    pub(crate) fn flush_packed32(packed: &[u64; 4], counts: &mut [u64]) {
+        for (j, c) in counts.iter_mut().enumerate() {
+            *c += (packed[j / 8] >> (8 * (j % 8))) & 0xFF;
         }
     }
 
@@ -384,10 +473,14 @@ impl FilterBank {
             self.languages,
             "one counter per banked language"
         );
+        if let Some(engine) = &self.simd {
+            engine.accumulate(src, counts);
+            return;
+        }
         match &self.slices {
             MaskSlices::W8(s) => self.dispatch_k_packed8(s, src, counts),
             MaskSlices::W16(s) => self.dispatch_k_packed16(s, src, counts),
-            MaskSlices::W32(s) => self.dispatch_k(s, src, counts),
+            MaskSlices::W32(s) => self.dispatch_k_packed32(s, src, counts),
             MaskSlices::W64(s) => {
                 if self.words_per_mask == 1 {
                     self.dispatch_k(s, src, counts);
@@ -457,6 +550,60 @@ impl FilterBank {
             8 => self.accumulate_packed16::<8, S>(slices, src, counts),
             _ => self.accumulate_runtime_k(slices, src, counts),
         }
+    }
+
+    /// Dispatch for the `p ≤ 32` (u32-mask) bank: SPREAD32 — the packed
+    /// byte-counter trick extended to a *quad* of packed words, one
+    /// [`SPREAD8`] lookup per mask byte (languages `8w .. 8w + 8` in word
+    /// `w`). Same flush cadence as the narrower paths. `k > 8` falls back
+    /// to the generic runtime-`k` path.
+    fn dispatch_k_packed32<S: KeySource>(&self, slices: &[Box<[u32]>], src: S, counts: &mut [u64]) {
+        match self.params.k {
+            1 => self.accumulate_packed32::<1, S>(slices, src, counts),
+            2 => self.accumulate_packed32::<2, S>(slices, src, counts),
+            3 => self.accumulate_packed32::<3, S>(slices, src, counts),
+            4 => self.accumulate_packed32::<4, S>(slices, src, counts),
+            5 => self.accumulate_packed32::<5, S>(slices, src, counts),
+            6 => self.accumulate_packed32::<6, S>(slices, src, counts),
+            7 => self.accumulate_packed32::<7, S>(slices, src, counts),
+            8 => self.accumulate_packed32::<8, S>(slices, src, counts),
+            _ => self.accumulate_runtime_k(slices, src, counts),
+        }
+    }
+
+    /// Hot loop for u32 masks (`p ≤ 32`) with compile-time `K`: the match
+    /// mask's four bytes index [`SPREAD8`] and four 64-bit adds bump all
+    /// thirty-two per-language byte counters — branchless per key, no
+    /// per-set-bit scatter loop. Each byte lane grows by at most 1 per
+    /// key, so the quad drains into the `u64` counters every 255 keys.
+    fn accumulate_packed32<const K: usize, S: KeySource>(
+        &self,
+        slices: &[Box<[u32]>],
+        src: S,
+        counts: &mut [u64],
+    ) {
+        let slices: [&[u32]; K] = std::array::from_fn(|i| &*slices[i]);
+        let hashes = self.hashes.fused_evaluator_k::<K>();
+        let mut packed = [0u64; 4];
+        let mut pending = 0u32;
+        src.for_each_key(|key| {
+            let addrs: [u32; K] = hashes.hash_all_array(key);
+            let mut mask = slices[0][addrs[0] as usize];
+            for i in 1..K {
+                mask &= slices[i][addrs[i] as usize];
+            }
+            packed[0] = packed[0].wrapping_add(SPREAD8[(mask & 0xFF) as usize]);
+            packed[1] = packed[1].wrapping_add(SPREAD8[(mask >> 8 & 0xFF) as usize]);
+            packed[2] = packed[2].wrapping_add(SPREAD8[(mask >> 16 & 0xFF) as usize]);
+            packed[3] = packed[3].wrapping_add(SPREAD8[(mask >> 24) as usize]);
+            pending += 1;
+            if pending == 255 {
+                Self::flush_packed32(&packed, counts);
+                packed = [0; 4];
+                pending = 0;
+            }
+        });
+        Self::flush_packed32(&packed, counts);
     }
 
     /// Hot loop for u16 masks (`p ≤ 16`) with compile-time `K`: the match

@@ -27,7 +27,9 @@
 //! Invariant (property-tested): a Bloom filter **never** produces a false
 //! negative — every programmed element tests positive.
 
-#![forbid(unsafe_code)]
+// deny (not forbid) so the dedicated `simd` module can opt back in for its
+// AVX2 intrinsics; everything else in the crate stays compiler-enforced safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
@@ -37,10 +39,12 @@ mod classic;
 mod counting;
 mod parallel;
 mod params;
+mod simd;
 
-pub use bank::{FilterBank, KeySource};
+pub use bank::{FilterBank, KeyBlockSink, KeySource, KEY_BLOCK_LANES};
 pub use bitvec::BitVector;
 pub use classic::ClassicBloomFilter;
 pub use counting::{CountingBloomFilter, COUNTER_BITS, COUNTER_MAX};
+pub use lc_hash::SimdLevel;
 pub use parallel::ParallelBloomFilter;
 pub use params::{BloomParams, M4K_BITS};

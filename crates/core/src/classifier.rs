@@ -13,7 +13,7 @@
 //! n-gram costs `k` loads + one AND for **all** languages instead of `p·k`
 //! scattered bit-reads — the software image of the hardware's fan-out.
 
-use lc_bloom::{BloomParams, FilterBank, ParallelBloomFilter};
+use lc_bloom::{BloomParams, FilterBank, ParallelBloomFilter, SimdLevel};
 use lc_ngram::{NGram, NGramExtractor, NGramSpec, StreamingExtractor};
 use std::collections::HashSet;
 
@@ -129,6 +129,26 @@ impl MultiLanguageClassifier {
     /// Borrow the bit-sliced query engine the hot path runs on.
     pub fn bank(&self) -> &FilterBank {
         &self.bank
+    }
+
+    /// Pin the probe path to the scalar loops (`true`), or restore the
+    /// process-wide runtime dispatch (`false`). The live A/B knob behind
+    /// `--force-scalar`: dispatch is per-classifier and decided here, not
+    /// per call, so benchmarks can hold a scalar clone and an auto clone of
+    /// the same classifier side by side.
+    pub fn set_force_scalar(&mut self, force: bool) {
+        self.bank.set_simd_level(if force {
+            SimdLevel::Scalar
+        } else {
+            SimdLevel::detect()
+        });
+    }
+
+    /// The probe path the hot loop actually runs (`avx2` only when the
+    /// vector engine is live). Surfaces in bench output and the service
+    /// stats plane.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.bank.simd_level()
     }
 
     /// Classify a document given as raw ISO-8859-1 bytes.

@@ -35,6 +35,7 @@ pub mod unicode;
 
 pub use classifier::{ExactClassifier, MultiLanguageClassifier};
 pub use eval::{ConfusionMatrix, EvalSummary};
+pub use lc_bloom::SimdLevel;
 pub use parallel::{classify_batch, ParallelClassifier};
 pub use profile::{ClassifierBuilder, LanguageProfile, PAPER_PROFILE_SIZE};
 pub use result::ClassificationResult;

@@ -132,6 +132,12 @@ impl H3 {
         &self.rows
     }
 
+    /// The byte-sliced lookup tables (one 256-entry table per input byte).
+    /// Crate-internal: the SIMD evaluator re-lays these out for gathers.
+    pub(crate) fn tables(&self) -> &[[u32; 256]] {
+        &self.tables
+    }
+
     #[inline]
     fn key_mask(&self) -> u64 {
         if self.input_bits == 64 {
@@ -241,6 +247,16 @@ impl H3Family {
     /// Number of hash functions `k`.
     pub fn k(&self) -> usize {
         self.functions.len()
+    }
+
+    /// Number of key bits every member consumes (they all share one width).
+    pub fn input_bits(&self) -> u32 {
+        self.functions[0].input_bits()
+    }
+
+    /// Number of address bits every member produces.
+    pub fn output_bits(&self) -> u32 {
+        self.functions[0].output_bits()
     }
 
     /// The individual functions.

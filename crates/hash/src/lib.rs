@@ -30,14 +30,18 @@
 //! H3 is GF(2)-linear: `H(x ^ y) == H(x) ^ H(y)` and `H(0) == 0`. Property
 //! tests in this crate and downstream rely on this invariant.
 
-#![forbid(unsafe_code)]
+// deny (not forbid) so the dedicated `simd` module can opt back in for its
+// AVX2 intrinsics; everything else in the crate stays compiler-enforced safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod h3;
 mod mult;
+pub mod simd;
 
-pub use h3::{FusedEvaluator, H3Family, H3};
+pub use h3::{FusedEvaluator, FusedEvaluatorK, H3Family, H3};
 pub use mult::MultiplicativeHash;
+pub use simd::{SimdLevel, TransposedTables};
 
 /// A hash function from `u64` keys to bit-vector addresses in `[0, 1 << out_bits)`.
 ///

@@ -1,0 +1,300 @@
+//! Runtime SIMD dispatch and the AVX2 8-lane H3 evaluator.
+//!
+//! The scalar hot path ([`crate::FusedEvaluatorK`]) folds one key at a time:
+//! per input byte, one contiguous load of the `k` interleaved table entries.
+//! The AVX2 evaluator inverts the layout — [`TransposedTables`] stores each
+//! function's per-byte table as its own 256-entry run — so eight keys hash
+//! in lock-step: per `(function, byte)` pair one `vpgatherdd` pulls the
+//! eight table rows selected by the eight lane bytes, and the XOR fold runs
+//! across all lanes in registers. That is the software image of the paper's
+//! XOR-tree fan-out: the hardware evaluates `k` hashes of one gram per
+//! cycle, the vector unit evaluates `k` hashes of **eight** grams per
+//! iteration.
+//!
+//! Dispatch is decided once per classifier via [`SimdLevel::detect`]
+//! (`is_x86_feature_detected!("avx2")`, overridable with the
+//! `LC_FORCE_SCALAR` environment variable) — never per call. Every consumer
+//! keeps the scalar loop as the always-available fallback and the only path
+//! on non-x86 targets.
+
+#![allow(unsafe_code)]
+
+use crate::H3Family;
+use std::fmt;
+
+/// Which evaluation path a classifier selected at construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// The portable scalar loops (always available, and the reference).
+    Scalar,
+    /// 8-lane AVX2 evaluation (x86-64 with AVX2 detected at runtime).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Detect the best level for this process: AVX2 when the CPU reports it
+    /// and `LC_FORCE_SCALAR` is not set (to a value other than `0`).
+    /// The decision is cached — dispatch is chosen once, not per call.
+    pub fn detect() -> Self {
+        static LEVEL: std::sync::OnceLock<SimdLevel> = std::sync::OnceLock::new();
+        *LEVEL.get_or_init(|| {
+            if Self::force_scalar_requested() {
+                SimdLevel::Scalar
+            } else if Self::cpu_has_avx2() {
+                SimdLevel::Avx2
+            } else {
+                SimdLevel::Scalar
+            }
+        })
+    }
+
+    /// Whether the `LC_FORCE_SCALAR` environment variable requests the
+    /// scalar path (set and not `"0"`).
+    pub fn force_scalar_requested() -> bool {
+        std::env::var_os("LC_FORCE_SCALAR").is_some_and(|v| v != "0")
+    }
+
+    /// Whether this CPU supports AVX2 (ignores `LC_FORCE_SCALAR`); always
+    /// `false` off x86-64. Used by tests to force the vector path
+    /// explicitly where `detect`'s cached env-honoring answer would hide it.
+    pub fn cpu_has_avx2() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Wire/stats label: `"avx2"` or `"scalar"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A family's byte-sliced tables re-laid for 8-lane gathers:
+/// `data[(i * n_bytes + byte_idx) * 256 + v]` is function `i`'s table entry
+/// for byte `byte_idx` at value `v` — each `(function, byte)` table is one
+/// contiguous 256-entry run, so the gathered index **is** the lane's byte
+/// value. (The scalar fused layout interleaves the `k` entries per value
+/// instead, which is right for one key and wrong for eight.)
+#[derive(Clone, Debug)]
+pub struct TransposedTables {
+    data: Vec<u32>,
+    k: usize,
+    n_bytes: usize,
+    key_mask: u64,
+}
+
+impl TransposedTables {
+    /// Number of hash functions `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Key bytes covered (`ceil(input_bits / 8)`).
+    pub fn n_bytes(&self) -> usize {
+        self.n_bytes
+    }
+
+    /// Mask selecting the family's `input_bits` low key bits.
+    pub fn key_mask(&self) -> u64 {
+        self.key_mask
+    }
+
+    /// Whether the AVX2 evaluator can run this family: the 8 lanes hold
+    /// `u32` keys and the const-`K` dispatch stops at 8 functions.
+    pub fn avx2_eligible(&self) -> bool {
+        self.key_mask <= u64::from(u32::MAX) && (1..=8).contains(&self.k)
+    }
+
+    /// Scalar reference evaluation straight off the transposed layout
+    /// (tests pin it against the interleaved evaluators).
+    pub fn hash_all_into(&self, key: u64, out: &mut [u32]) {
+        assert_eq!(out.len(), self.k);
+        let key = key & self.key_mask;
+        for (i, acc) in out.iter_mut().enumerate() {
+            *acc = 0;
+            for byte_idx in 0..self.n_bytes {
+                let v = ((key >> (8 * byte_idx)) & 0xFF) as usize;
+                *acc ^= self.data[(i * self.n_bytes + byte_idx) * 256 + v];
+            }
+        }
+    }
+}
+
+impl H3Family {
+    /// Build the gather-friendly transposed table image of this family.
+    /// An owned copy (~`k × n_bytes` KiB): banks build it once per
+    /// classifier, next to their own probe-slice copies.
+    pub fn transposed_tables(&self) -> TransposedTables {
+        let k = self.k();
+        let n_bytes = self.input_bits().div_ceil(8) as usize;
+        let mut data = vec![0u32; k * n_bytes * 256];
+        for (i, f) in self.functions().iter().enumerate() {
+            for (byte_idx, table) in f.tables().iter().enumerate() {
+                let base = (i * n_bytes + byte_idx) * 256;
+                data[base..base + 256].copy_from_slice(table);
+            }
+        }
+        let key_mask = if self.input_bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.input_bits()) - 1
+        };
+        TransposedTables {
+            data,
+            k,
+            n_bytes,
+            key_mask,
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub use avx2::hash8;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::TransposedTables;
+    use core::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_i32gather_epi32, _mm256_set1_epi32, _mm256_setzero_si256,
+        _mm256_srl_epi32, _mm256_xor_si256, _mm_cvtsi32_si128,
+    };
+
+    /// Evaluate all `K` functions on 8 keys at once: returns `K` vectors of
+    /// 8 addresses (lane `j` of vector `i` is `functions[i](keys[j])`).
+    /// Bit-exact with eight scalar [`crate::FusedEvaluatorK`] evaluations.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (callers hold a dispatch decision made via
+    /// [`super::SimdLevel`]/`is_x86_feature_detected!`). `K` must equal
+    /// `t.k()` and `t` must be AVX2-eligible ([`TransposedTables::avx2_eligible`]).
+    #[target_feature(enable = "avx2")]
+    pub fn hash8<const K: usize>(t: &TransposedTables, keys: __m256i) -> [__m256i; K] {
+        debug_assert_eq!(K, t.k);
+        debug_assert!(t.avx2_eligible());
+        // Keys are ≤ 32 bits by eligibility, so masking in u32 lanes is exact.
+        let keys = _mm256_and_si256(keys, _mm256_set1_epi32(t.key_mask as u32 as i32));
+        let byte_mask = _mm256_set1_epi32(0xFF);
+        let mut acc = [_mm256_setzero_si256(); K];
+        for byte_idx in 0..t.n_bytes {
+            let shift = _mm_cvtsi32_si128((8 * byte_idx) as i32);
+            let bytes = _mm256_and_si256(_mm256_srl_epi32(keys, shift), byte_mask);
+            for (i, a) in acc.iter_mut().enumerate() {
+                let base = (i * t.n_bytes + byte_idx) * 256;
+                // safety: every lane of `bytes` is masked to 0..=255 and
+                // `data[base..base + 256]` is in bounds by construction, so
+                // all eight gathered dwords read inside `t.data`.
+                let rows = unsafe {
+                    _mm256_i32gather_epi32::<4>(t.data.as_ptr().add(base).cast::<i32>(), bytes)
+                };
+                *a = _mm256_xor_si256(*a, rows);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_stable_and_scalar_is_always_legal() {
+        // Two calls agree (the decision is cached for the process) and the
+        // reported label round-trips.
+        let a = SimdLevel::detect();
+        assert_eq!(a, SimdLevel::detect());
+        assert!(matches!(a.as_str(), "scalar" | "avx2"));
+        assert_eq!(format!("{a}"), a.as_str());
+    }
+
+    #[test]
+    fn transposed_matches_interleaved_evaluators() {
+        for (k, input_bits, output_bits, seed) in [
+            (4usize, 20u32, 14u32, 1u64),
+            (1, 8, 4, 2),
+            (8, 32, 12, 3),
+            (6, 30, 10, 4),
+        ] {
+            let fam = H3Family::new(k, input_bits, output_bits, seed);
+            let t = fam.transposed_tables();
+            assert!(t.avx2_eligible());
+            let mut via_t = vec![0u32; k];
+            let mut via_fused = vec![0u32; k];
+            for key in [0u64, 1, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x1234_5678] {
+                t.hash_all_into(key, &mut via_t);
+                fam.hash_all_into(key, &mut via_fused);
+                assert_eq!(via_t, via_fused, "k={k} b={input_bits} key={key:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_or_deep_families_are_not_avx2_eligible() {
+        let wide = H3Family::new(4, 40, 14, 1).transposed_tables();
+        assert!(!wide.avx2_eligible(), "keys above u32 need the scalar path");
+        let deep = H3Family::new(9, 20, 14, 1).transposed_tables();
+        assert!(!deep.avx2_eligible(), "k > 8 is outside the const-K table");
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hash8_matches_scalar_on_avx2_hardware() {
+        use core::arch::x86_64::{_mm256_loadu_si256, _mm256_storeu_si256};
+        if !SimdLevel::cpu_has_avx2() {
+            return;
+        }
+        for (k, input_bits, seed) in [(4usize, 20u32, 7u64), (1, 5, 8), (8, 32, 9), (3, 17, 10)] {
+            let fam = H3Family::new(k, input_bits, 14.min(input_bits), seed);
+            let t = fam.transposed_tables();
+            let keys: [u32; 8] = std::array::from_fn(|j| {
+                0x9E37_79B9u32
+                    .wrapping_mul(j as u32 + 1)
+                    .wrapping_add(seed as u32)
+            });
+            // safety: avx2 presence checked above; loadu/storeu tolerate
+            // any alignment and the arrays are exactly 32 bytes.
+            let got: [[u32; 8]; 8] = unsafe {
+                let kv = _mm256_loadu_si256(keys.as_ptr().cast());
+                let mut out = [[0u32; 8]; 8];
+                macro_rules! run {
+                    ($kk:literal) => {{
+                        let vecs = hash8::<$kk>(&t, kv);
+                        for (i, v) in vecs.iter().enumerate() {
+                            _mm256_storeu_si256(out[i].as_mut_ptr().cast(), *v);
+                        }
+                    }};
+                }
+                match k {
+                    1 => run!(1),
+                    3 => run!(3),
+                    4 => run!(4),
+                    8 => run!(8),
+                    _ => unreachable!(),
+                }
+                out
+            };
+            let mut expect = vec![0u32; k];
+            for (j, &key) in keys.iter().enumerate() {
+                fam.hash_all_into(u64::from(key), &mut expect);
+                for i in 0..k {
+                    assert_eq!(got[i][j], expect[i], "k={k} fn={i} lane={j}");
+                }
+            }
+        }
+    }
+}

@@ -52,6 +52,28 @@ const HOT_PATH_FILES: &[&str] = &[
 /// strongest ordering is the conservative default.
 const SEQCST_ALLOWLIST: &[&str] = &["crates/reactor/src/sys.rs"];
 
+/// The dedicated SIMD modules where `unsafe` is tolerated *with strings
+/// attached*: every `unsafe` there must carry an adjacent `// safety:`
+/// comment justifying the specific invariant (gather bounds, cpuid
+/// precondition, exact-size store target). Everywhere else outside
+/// `crates/reactor` stays unsafe-free.
+const SIMD_UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/hash/src/simd.rs",
+    "crates/ngram/src/simd.rs",
+    "crates/bloom/src/simd.rs",
+];
+
+/// Crate roots that host a SIMD module: they downgrade
+/// `#![forbid(unsafe_code)]` to `#![deny(unsafe_code)]` (forbid cannot be
+/// overridden per-module) and the simd module opts back in locally. The
+/// lint accepts either attribute here and still requires forbid
+/// everywhere else.
+const SIMD_CRATE_ROOTS: &[&str] = &[
+    "crates/hash/src/lib.rs",
+    "crates/ngram/src/lib.rs",
+    "crates/bloom/src/lib.rs",
+];
+
 /// One loaded source file.
 struct SourceFile {
     rel: String,
@@ -136,29 +158,66 @@ fn allowed(raw_lines: &[&str], idx: usize, rule: &str) -> bool {
 }
 
 /// Rule `unsafe`: the `unsafe` keyword is confined to `crates/reactor`
-/// (the epoll/eventfd/signal FFI). Everything else must stay safe Rust.
+/// (the epoll/eventfd/signal FFI) and the dedicated SIMD modules in
+/// [`SIMD_UNSAFE_ALLOWLIST`], where every occurrence additionally needs
+/// an adjacent `// safety:` justification (same line, or in the comment
+/// block directly above). Everything else must stay safe Rust.
 fn rule_unsafe(f: &SourceFile, out: &mut Vec<Violation>) {
     if f.rel.starts_with("crates/reactor/") {
         return;
     }
+    let simd_module = SIMD_UNSAFE_ALLOWLIST.contains(&f.rel.as_str());
     let raw = f.raw_lines();
     for (i, line) in f.stripped.lines().enumerate() {
-        if has_token(line, "unsafe") && !allowed(&raw, i, RULE_UNSAFE) {
+        if !has_token(line, "unsafe") || allowed(&raw, i, RULE_UNSAFE) {
+            continue;
+        }
+        if simd_module {
+            if has_safety_comment(&raw, i) {
+                continue;
+            }
             out.push(Violation {
                 path: f.rel.clone(),
                 line: i + 1,
                 rule: RULE_UNSAFE,
-                msg: "`unsafe` outside crates/reactor; move the FFI there or justify with \
-                      `// lint: allow(unsafe, reason)`"
+                msg: "`unsafe` in a SIMD module without an adjacent `// safety:` comment; \
+                      state the invariant (gather bounds, cpuid precondition, store \
+                      target size) on or just above this line"
+                    .into(),
+            });
+        } else {
+            out.push(Violation {
+                path: f.rel.clone(),
+                line: i + 1,
+                rule: RULE_UNSAFE,
+                msg: "`unsafe` outside crates/reactor and the SIMD modules; move the FFI \
+                      there or justify with `// lint: allow(unsafe, reason)`"
                     .into(),
             });
         }
     }
 }
 
+/// Whether the `unsafe` at raw line `idx` is justified: a `// safety:`
+/// marker on the line itself, or anywhere in the contiguous run of
+/// comment lines directly above it (multi-line justifications count as
+/// one adjacent block; any code line breaks the run).
+fn has_safety_comment(raw: &[&str], idx: usize) -> bool {
+    if raw[idx].contains("// safety:") {
+        return true;
+    }
+    raw[..idx]
+        .iter()
+        .rev()
+        .take_while(|l| l.trim_start().starts_with("//"))
+        .any(|l| l.trim_start().starts_with("// safety:"))
+}
+
 /// Rule `forbid-unsafe`: every crate root except `crates/reactor`'s
 /// must carry `#![forbid(unsafe_code)]` so the confinement is enforced
-/// by the compiler, not just this lint.
+/// by the compiler, not just this lint. The [`SIMD_CRATE_ROOTS`] may use
+/// `#![deny(unsafe_code)]` instead — forbid cannot be re-allowed by the
+/// simd module, deny can — but must still carry one of the two.
 fn rule_forbid_unsafe(root: &Path, files: &[SourceFile], out: &mut Vec<Violation>) {
     for rel in crate_roots(root) {
         if rel.starts_with("crates/reactor/") {
@@ -167,14 +226,28 @@ fn rule_forbid_unsafe(root: &Path, files: &[SourceFile], out: &mut Vec<Violation
         let Some(f) = files.iter().find(|f| f.rel == rel) else {
             continue;
         };
-        if !f.stripped.contains("#![forbid(unsafe_code)]") {
-            out.push(Violation {
-                path: rel,
-                line: 1,
-                rule: RULE_FORBID,
-                msg: "crate root is missing `#![forbid(unsafe_code)]`".into(),
-            });
+        if f.stripped.contains("#![forbid(unsafe_code)]") {
+            continue;
         }
+        if SIMD_CRATE_ROOTS.contains(&rel.as_str()) {
+            if !f.stripped.contains("#![deny(unsafe_code)]") {
+                out.push(Violation {
+                    path: rel,
+                    line: 1,
+                    rule: RULE_FORBID,
+                    msg: "SIMD-hosting crate root is missing `#![deny(unsafe_code)]` \
+                          (or `#![forbid(unsafe_code)]`)"
+                        .into(),
+                });
+            }
+            continue;
+        }
+        out.push(Violation {
+            path: rel,
+            line: 1,
+            rule: RULE_FORBID,
+            msg: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+        });
     }
 }
 

@@ -40,6 +40,20 @@ fn plant_and_check(root: &Path) -> Result<(), String> {
             ));
         }
     }
+    // The SIMD carve-out must fire as its own finding: unsafe in a
+    // planted simd.rs without `// safety:` is a RULE_UNSAFE violation
+    // anchored to that file (not silently tolerated by the allowlist).
+    if !violations
+        .iter()
+        .any(|v| v.rule == RULE_UNSAFE && v.path.ends_with("src/simd.rs"))
+    {
+        return Err(format!(
+            "seeded unjustified-unsafe in a simd.rs did NOT fire; the `// safety:` \
+             requirement is dead. Findings: {violations:#?}"
+        ));
+    }
+    println!("self-test: seeded simd.rs `// safety:` violation fires");
+
     // The escape hatch must actually suppress: the annotated unwrap in
     // the seeded reactor.rs may not be reported.
     if violations
@@ -128,6 +142,24 @@ pub fn hot(v: Option<u32>, w: Option<u32>, senders: &[u32], shard: usize) -> u32
 }
 "#,
     ),
+    (
+        "crates/bloom/Cargo.toml",
+        "[package]\nname = \"seeded-bloom\"\n",
+    ),
+    (
+        "crates/bloom/src/lib.rs",
+        "#![deny(unsafe_code)]\npub mod simd;\n",
+    ),
+    // An allowlisted SIMD module whose unsafe block has no `// safety:`
+    // justification — must fire as RULE_UNSAFE anchored to this file.
+    (
+        "crates/bloom/src/simd.rs",
+        r#"#![allow(unsafe_code)]
+pub fn gather(p: *const u32) -> u32 {
+    unsafe { p.read_unaligned() }
+}
+"#,
+    ),
     // Bounds length mismatch, literal-sized histogram storage, and a
     // LATENCY_BUCKETS not derived from the bounds table.
     (
@@ -189,6 +221,25 @@ pub fn decode(k: u8) {
         r#"#![forbid(unsafe_code)]
 pub fn hot(v: Option<u32>) -> u32 {
     v.unwrap_or(0)
+}
+"#,
+    ),
+    (
+        "crates/bloom/Cargo.toml",
+        "[package]\nname = \"seeded-bloom\"\n",
+    ),
+    // A SIMD-hosting root may use deny (so its simd module can opt back
+    // in); the justified unsafe below must be silent.
+    (
+        "crates/bloom/src/lib.rs",
+        "#![deny(unsafe_code)]\npub mod simd;\n",
+    ),
+    (
+        "crates/bloom/src/simd.rs",
+        r#"#![allow(unsafe_code)]
+pub fn gather(p: *const u32) -> u32 {
+    // safety: caller guarantees `p` points into a live, padded table row.
+    unsafe { p.read_unaligned() }
 }
 "#,
     ),

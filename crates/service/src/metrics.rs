@@ -220,6 +220,9 @@ pub struct ServiceMetrics {
     events_per_wake: [AtomicU64; LATENCY_BUCKETS],
     /// Per-worker-shard counters (empty when built without topology).
     shards: Vec<ShardCounters>,
+    /// Classify probe path (`"scalar"`/`"avx2"`), set once at startup from
+    /// the classifier's resolved dispatch; empty until then.
+    simd: std::sync::OnceLock<String>,
 }
 
 impl ServiceMetrics {
@@ -269,7 +272,16 @@ impl ServiceMetrics {
             response_drain: std::array::from_fn(|_| AtomicU64::new(0)),
             events_per_wake: std::array::from_fn(|_| AtomicU64::new(0)),
             shards: (0..workers).map(|_| ShardCounters::default()).collect(),
+            simd: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Record the classify probe path (`"scalar"`/`"avx2"`) the server's
+    /// classifier actually selected. Set once at startup — dispatch is
+    /// decided once per classifier, never per call — so later calls are
+    /// ignored.
+    pub fn set_simd(&self, level: &str) {
+        let _ = self.simd.set(level.to_string());
     }
 
     /// Shard `i`'s counter block, when the metrics carry a topology.
@@ -399,6 +411,7 @@ impl ServiceMetrics {
             rings: Vec::new(),
             spans: Vec::new(),
             history: Vec::new(),
+            simd: self.simd.get().cloned().unwrap_or_default(),
         }
     }
 }
@@ -494,6 +507,9 @@ pub struct MetricsSnapshot {
     /// Time-series history slots attached by a `GetStats(detail=2)`
     /// answer when the server's sampler is running; empty otherwise.
     pub history: Vec<HistorySlot>,
+    /// Classify probe path the server selected (`"scalar"`/`"avx2"`);
+    /// empty when the server predates the field or never set it.
+    pub simd: String,
 }
 
 /// Failure decoding a [`MetricsSnapshot`] wire blob.
@@ -523,6 +539,7 @@ const SEC_SHARDS: u16 = 5;
 const SEC_RINGS: u16 = 6;
 const SEC_SPANS: u16 = 7;
 const SEC_HISTORY: u16 = 8;
+const SEC_SIMD: u16 = 9;
 
 const SHARD_FIELDS: usize = 6;
 const STAGE_COUNT: usize = 4;
@@ -793,6 +810,15 @@ impl MetricsSnapshot {
             put_section(&mut out, SEC_HISTORY, &body);
         }
 
+        if !self.simd.is_empty() {
+            let b = self.simd.as_bytes();
+            let b = &b[..b.len().min(u16::MAX as usize)];
+            let mut body = Vec::with_capacity(2 + b.len());
+            put_u16(&mut body, b.len() as u16);
+            body.extend_from_slice(b);
+            put_section(&mut out, SEC_SIMD, &body);
+        }
+
         out
     }
 
@@ -976,6 +1002,12 @@ impl MetricsSnapshot {
                     }
                     snap.history = history;
                 }
+                SEC_SIMD => {
+                    let len = body.u16()? as usize;
+                    snap.simd = std::str::from_utf8(body.take(len)?)
+                        .map_err(|_| SnapshotDecodeError("simd label not UTF-8"))?
+                        .to_string();
+                }
                 _ => {} // a section from a newer schema: skipped by length
             }
         }
@@ -1099,6 +1131,9 @@ impl std::fmt::Display for MetricsSnapshot {
                 Some(b) => write!(f, " ≤{b}:{count}")?,
                 None => write!(f, " >{}:{count}", LATENCY_BOUNDS_US[i - 1])?,
             }
+        }
+        if !self.simd.is_empty() {
+            write!(f, " | simd {}", self.simd)?;
         }
         Ok(())
     }
@@ -1387,7 +1422,10 @@ mod tests {
         m.read_syscalls.store(41, Ordering::Relaxed);
         m.short_read_continuations.store(2, Ordering::Relaxed);
         m.shard(0).unwrap().note_enqueued();
+        m.set_simd("avx2");
+        m.set_simd("scalar"); // later calls are ignored: dispatch is set once
         let mut snap = m.snapshot();
+        assert_eq!(snap.simd, "avx2");
         snap.rings = vec![vec![
             RingEvent {
                 ts_ns: 17,
@@ -1482,6 +1520,7 @@ mod tests {
         snap.rings.clear();
         snap.spans.clear();
         snap.history.clear();
+        snap.simd.clear();
         let bytes = snap.encode();
         let mut r = Reader { buf: &bytes[2..] }; // skip the version word
         let mut tags = Vec::new();
@@ -1541,8 +1580,12 @@ mod tests {
                 (proptest::collection::vec(0u64..1 << 40, HISTORY_SLOT_FIELDS),
                  proptest::collection::vec(
                      proptest::collection::vec(0u64..1 << 40, HISTORY_SHARD_FIELDS), 0..4)), 0..4),
+            simd in proptest::SampleFn(|rng: &mut proptest::TestRng| {
+                ["", "scalar", "avx2"][(rng.next_u64() % 3) as usize].to_string()
+            }),
         ) -> MetricsSnapshot {
             let mut snap = MetricsSnapshot {
+                simd,
                 lang_names: langs.iter().map(|(n, _)| n.iter().collect()).collect(),
                 lang_wins: langs.iter().map(|&(_, w)| w).collect(),
                 latency,

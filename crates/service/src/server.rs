@@ -243,6 +243,10 @@ pub fn serve(
         classifier.names().to_vec(),
         config.effective_workers(),
     ));
+    // Surface the classifier's resolved probe path (scalar vs AVX2) on the
+    // stats plane, so `lcbloom query --stats` can verify a live server's
+    // dispatch without shell access to the host.
+    metrics.set_simd(classifier.simd_level().as_str());
     let shutdown = Arc::new(AtomicBool::new(false));
     let draining = Arc::new(AtomicBool::new(false));
     // One fault plan for the whole server: every injection site draws from

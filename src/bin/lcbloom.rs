@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("simd") => cmd_simd(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -75,7 +76,7 @@ fn print_usage() {
          \x20 lcbloom generate --out DIR [--docs N] [--bytes N] [--extended] [--seed S]\n\
          \x20 lcbloom train    --out FILE.lcp [--t N] DIR...\n\
          \x20 lcbloom classify --profiles FILE.lcp [--m KBITS] [--k K]\n\
-         \x20                  [--subsample S] [--timing] FILE...\n\
+         \x20                  [--subsample S] [--timing] [--force-scalar] FILE...\n\
          \x20 lcbloom simulate --profiles FILE.lcp [--sync] FILE...\n\
          \x20 lcbloom serve    --profiles FILE.lcp [--addr HOST:PORT] [--workers N]\n\
          \x20                  [--reactors N] [--max-connections N] [--max-channels N]\n\
@@ -85,11 +86,13 @@ fn print_usage() {
          \x20                  [--trace-sample N] [--trace-slow-us T]\n\
          \x20                  [--history-interval-ms N]\n\
          \x20                  [--drain-deadline-ms N] [--chaos-seed S] [--chaos-rate R]\n\
+         \x20                  [--force-scalar]\n\
          \x20 lcbloom query    --addr HOST:PORT [--channels N] [--window W]\n\
-         \x20                  [--timeout-ms N] [--timing] FILE...\n\
+         \x20                  [--timeout-ms N] [--timing] [--force-scalar] FILE...\n\
          \x20 lcbloom stats    --addr HOST:PORT [--watch SECS] [--ring]\n\
          \x20 lcbloom trace    --addr HOST:PORT [--follow] [--interval SECS]\n\
          \x20 lcbloom top      --addr HOST:PORT [--interval SECS] [--once]\n\
+         \x20 lcbloom simd\n\
          \x20 lcbloom demo\n\
          \n\
          `train` expects one directory per language, named by its code (en, fr, ...),\n\
@@ -101,7 +104,13 @@ fn print_usage() {
          renders a stage waterfall per span; --follow polls until interrupted. `top`\n\
          renders sparkline rate tables from the server's history ring.\n\
          `--timing` prints p50/p95/p99 in the server's latency buckets; for `query`\n\
-         the times come from server-side sampled spans, so the batch stays pipelined."
+         the times come from server-side sampled spans, so the batch stays pipelined.\n\
+         `simd` reports this host's CPU features and which probe path a classifier\n\
+         built here would select. `--force-scalar` pins `classify`/`serve` to the\n\
+         scalar path for live A/B; on `query` it instead *verifies* the remote\n\
+         server is running scalar (the stats plane carries the server's path) and\n\
+         fails fast when it is not. `LC_FORCE_SCALAR=1` does the same via the\n\
+         environment."
     );
 }
 
@@ -282,6 +291,9 @@ fn load_classifier(
     // Propagates everywhere: whole-buffer classify, chunked stdin
     // streaming, and every network session served from this classifier.
     classifier.set_subsampling(s);
+    if flags.contains_key("force-scalar") {
+        classifier.set_force_scalar(true);
+    }
     Ok((store, classifier))
 }
 
@@ -290,7 +302,11 @@ fn load_classifier(
 const CLASSIFY_CHUNK: usize = 64 * 1024;
 
 fn cmd_classify(args: &[String]) -> Result<(), String> {
-    let (flags, files) = parse_flags(args, &["profiles", "m", "k", "subsample"], &["timing"])?;
+    let (flags, files) = parse_flags(
+        args,
+        &["profiles", "m", "k", "subsample"],
+        &["timing", "force-scalar"],
+    )?;
     let (_, classifier) = load_classifier(&flags)?;
     if files.is_empty() {
         return Err("classify requires at least one file".into());
@@ -360,7 +376,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "trace-slow-us",
             "history-interval-ms",
         ],
-        &["trace-ring"],
+        &["trace-ring", "force-scalar"],
     )?;
     let (_, classifier) = load_classifier(&flags)?;
     let addr = flags
@@ -448,10 +464,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     };
     println!(
-        "serving {} languages on {} ({} workers, {} reactors, ≤{} connections, \
-         {} KiB outbound high-water, {:?} slow-consumer deadline, {:?} watchdog)",
+        "serving {} languages on {} ({} probe path, {} workers, {} reactors, \
+         ≤{} connections, {} KiB outbound high-water, {:?} slow-consumer deadline, \
+         {:?} watchdog)",
         classifier.num_languages(),
         handle.addr(),
+        classifier.simd_level(),
         auto_or(config.workers),
         auto_or(config.reactors),
         config.max_connections,
@@ -485,7 +503,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let (flags, files) = parse_flags(
         args,
         &["addr", "channels", "window", "timeout-ms"],
-        &["timing"],
+        &["timing", "force-scalar"],
     )?;
     let addr = flags
         .get("addr")
@@ -516,6 +534,30 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         ClassifyClient::connect(addr)
     }
     .map_err(|e| format!("connecting {addr}: {e}"))?;
+    // Classification runs server-side, so `--force-scalar` here cannot pin
+    // a path — it *verifies* one: the server advertises its resolved probe
+    // path on the stats plane, and a mismatch fails before any document is
+    // sent (the live A/B guard deployments script against).
+    if flags.contains_key("force-scalar") {
+        let snap = client
+            .stats(0)
+            .map_err(|e| format!("fetching stats from {addr}: {e}"))?;
+        match snap.simd.as_str() {
+            "scalar" => {}
+            "" => {
+                return Err(format!(
+                    "--force-scalar: server {addr} does not report its probe path \
+                     (pre-simd build?)"
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "--force-scalar: server {addr} is serving the `{other}` path \
+                     (restart it with `lcbloom serve --force-scalar`)"
+                ))
+            }
+        }
+    }
     println!(
         "{:<40} {:<8} {:>8} {:>10}",
         "file", "language", "margin", "n-grams"
@@ -696,6 +738,9 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 fn print_snapshot(snap: &lcbloom::service::MetricsSnapshot) {
     println!("{snap}");
     println!("documents: {}", snap.documents);
+    if !snap.simd.is_empty() {
+        println!("simd: {}", snap.simd);
+    }
     let sum: u64 = snap.shards.iter().map(|s| s.docs).sum();
     println!("shard_docs_sum: {sum}");
     for (i, s) in snap.shards.iter().enumerate() {
@@ -1012,6 +1057,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         protocol,
         report.throughput_mb_s()
     );
+    Ok(())
+}
+
+/// Report the host's vector capability and which probe path a classifier
+/// built in this process would select — what CI logs so a silent fallback
+/// to scalar (new runner, changed env) is visible in the job output.
+fn cmd_simd(args: &[String]) -> Result<(), String> {
+    let (_, _) = parse_flags(args, &[], &[])?;
+    let cpu = SimdLevel::cpu_has_avx2();
+    let forced = SimdLevel::force_scalar_requested();
+    let selected = SimdLevel::detect();
+    println!("cpu avx2: {}", if cpu { "yes" } else { "no" });
+    println!("LC_FORCE_SCALAR: {}", if forced { "set" } else { "unset" });
+    println!("selected: {selected}");
     Ok(())
 }
 

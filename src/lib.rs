@@ -71,7 +71,7 @@ pub mod prelude {
         ClassifierConfig, HardwareClassifier, HostProtocol, LinkModel, Xd1000, EP2S180,
     };
     pub use lc_hail::{HailClassifier, SramModel, XCV2000E_SRAM};
-    pub use lc_hash::{H3Family, HashFunction, H3};
+    pub use lc_hash::{H3Family, HashFunction, SimdLevel, H3};
     pub use lc_mguesser::{CavnarTrenkle, HashSetClassifier};
     pub use lc_ngram::{NGram, NGramExtractor, NGramProfile, NGramSpec};
     pub use lc_service::{ClassifyClient, ServedResult, ServiceConfig};

@@ -2,7 +2,12 @@
 //! per-language reference path, end to end through the public classifier
 //! API: identical `ClassificationResult`s for arbitrary inputs, any
 //! chunking, and language counts spanning every mask storage width and the
-//! multi-word boundary (p ∈ {1, 8, 12, 20, 64, 100}).
+//! multi-word boundary (p ∈ {1, 8, 12, 20, 32, 64, 100}).
+//!
+//! On hosts with AVX2 the bank builds its vector probe engine, so every
+//! property here also pins avx2 == naive; the `forced_scalar_*` properties
+//! compare the two dispatch paths against each other explicitly, and CI
+//! runs the whole suite a second time under `LC_FORCE_SCALAR=1`.
 
 use lcbloom::core::StreamingClassifier;
 use lcbloom::ngram::NGramExtractor;
@@ -46,7 +51,7 @@ fn classifier_for(p: usize) -> &'static MultiLanguageClassifier {
     static BANKS: std::sync::OnceLock<Vec<(usize, MultiLanguageClassifier)>> =
         std::sync::OnceLock::new();
     let banks = BANKS.get_or_init(|| {
-        [1usize, 8, 12, 20, 64, 100]
+        [1usize, 8, 12, 20, 32, 64, 100]
             .into_iter()
             .map(|p| (p, synthetic_classifier(p)))
             .collect()
@@ -66,7 +71,7 @@ impl Strategy for PStrategy {
     type Value = usize;
 
     fn sample(&self, rng: &mut proptest::TestRng) -> usize {
-        [1usize, 8, 12, 20, 64, 100][(rng.next_u64() % 6) as usize]
+        [1usize, 8, 12, 20, 32, 64, 100][(rng.next_u64() % 7) as usize]
     }
 }
 
@@ -169,6 +174,57 @@ proptest! {
         prop_assert_eq!(streamed, c.classify_ngrams_naive(&grams));
     }
 
+    /// The runtime-dispatched probe path (AVX2 where the host has it) and
+    /// the forced-scalar path agree exactly — and both equal naive — for
+    /// any document, any chunking (splits land mid-SIMD-block and mid
+    /// n-gram window), any sub-sampling factor s ∈ 1..=4, at every mask
+    /// width including the packed32 boundary (p = 32).
+    #[test]
+    fn forced_scalar_equals_auto_dispatch(
+        p in any_p(),
+        s in 1usize..=4,
+        doc in proptest::collection::vec(any::<u8>(), 0..900),
+        cuts in proptest::collection::vec(0usize..900, 0..5),
+    ) {
+        let mut auto = classifier_for(p).clone();
+        auto.set_subsampling(s);
+        let mut scalar = auto.clone();
+        scalar.set_force_scalar(true);
+
+        let mut cut_points: Vec<usize> = cuts.into_iter().map(|x| x % (doc.len() + 1)).collect();
+        cut_points.push(0);
+        cut_points.push(doc.len());
+        cut_points.sort_unstable();
+        cut_points.dedup();
+
+        let run = |c: &MultiLanguageClassifier| {
+            let mut sess = StreamingClassifier::new(c);
+            for w in cut_points.windows(2) {
+                sess.feed(&doc[w[0]..w[1]]);
+            }
+            sess.finish()
+        };
+        let auto_res = run(&auto);
+        prop_assert_eq!(&auto_res, &run(&scalar));
+        let grams = NGramExtractor::with_subsampling(auto.spec(), s).extract(&doc);
+        prop_assert_eq!(auto_res, auto.classify_ngrams_naive(&grams));
+    }
+
+    /// Identical bytes at different buffer offsets classify identically:
+    /// the blocked extractor and gather-based probe may not depend on the
+    /// document's alignment in memory.
+    #[test]
+    fn classification_is_alignment_invariant(
+        p in any_p(),
+        off in 0usize..16,
+        doc in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let c = classifier_for(p);
+        let mut padded = vec![0u8; off];
+        padded.extend_from_slice(&doc);
+        prop_assert_eq!(c.classify(&padded[off..]), c.classify(&doc));
+    }
+
     /// The lane-split datapath model (which now strides the bank per lane)
     /// stays count-exact against naive classification.
     #[test]
@@ -185,6 +241,28 @@ proptest! {
     }
 }
 
+/// Every gram-stream length through the first several 8-lane blocks — in
+/// particular tails not divisible by the lane count — matches the naive
+/// count on both dispatch paths.
+#[test]
+fn block_tail_lengths_match_naive() {
+    for &p in &[8usize, 32, 64, 100] {
+        let auto = classifier_for(p);
+        let mut scalar = auto.clone();
+        scalar.set_force_scalar(true);
+        let doc = synthetic_doc(3, 64);
+        let mut grams = Vec::new();
+        NGramExtractor::new(auto.spec()).extract_into(&doc, &mut grams);
+        assert!(grams.len() > 24, "need a few SIMD blocks' worth of grams");
+        for len in 0..=grams.len().min(40) {
+            let gs = &grams[..len];
+            let naive = auto.classify_ngrams_naive(gs);
+            assert_eq!(auto.classify_ngrams(gs), naive, "auto p={p} len={len}");
+            assert_eq!(scalar.classify_ngrams(gs), naive, "scalar p={p} len={len}");
+        }
+    }
+}
+
 #[test]
 fn bank_shape_reflects_language_count() {
     for (p, wpm) in [
@@ -192,6 +270,7 @@ fn bank_shape_reflects_language_count() {
         (8, 1),
         (12, 1),
         (20, 1),
+        (32, 1),
         (64, 1),
         (100, 2),
     ] {
